@@ -1,0 +1,32 @@
+//! Figure 3 bench: the latency-analysis configuration (64k updates/tick)
+//! measured as simulator throughput, plus the per-tick series extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmoc_core::Algorithm;
+use mmoc_sim::{SimConfig, SimEngine};
+use mmoc_workload::SyntheticConfig;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/latency_series");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for alg in [
+        Algorithm::NaiveSnapshot,
+        Algorithm::CopyOnUpdate,
+        Algorithm::DribbleAndCopyOnUpdate,
+    ] {
+        group.bench_function(alg.short_name(), |b| {
+            b.iter(|| {
+                let mut trace = SyntheticConfig::paper_default().with_ticks(30).build();
+                let report = SimEngine::new(SimConfig::default(), alg).run(&mut trace);
+                black_box(report.tick_lengths_s(1.0 / 30.0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 4 bench: the skew sweep endpoints (uniform vs 0.99) for the two
+//! algorithms skew affects most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmoc_core::Algorithm;
+use mmoc_sim::{SimConfig, SimEngine};
+use mmoc_workload::SyntheticConfig;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/skew");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for skew in [0.0f64, 0.8, 0.99] {
+        for alg in [Algorithm::CopyOnUpdate, Algorithm::PartialRedo] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.short_name(), format!("{skew}")),
+                &skew,
+                |b, &skew| {
+                    b.iter(|| {
+                        let mut trace = SyntheticConfig::paper_default()
+                            .with_skew(skew)
+                            .with_ticks(30)
+                            .build();
+                        let report =
+                            SimEngine::new(SimConfig::default(), alg).run(&mut trace);
+                        black_box(report.est_recovery_s)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 5 bench: Knights and Archers — raw server tick throughput and
+//! the game-trace simulation for the two headline algorithms, on a small
+//! battle (the full 400,128-unit figure comes from the `figures` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mmoc_core::Algorithm;
+use mmoc_game::{GameConfig, GameServer, World};
+use mmoc_sim::{SimConfig, SimEngine};
+use std::hint::black_box;
+
+fn bench_game_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/game_step");
+    let cfg = GameConfig::small();
+    group.throughput(Throughput::Elements(u64::from(cfg.active_units())));
+    group.bench_function("small_battle_tick", |b| {
+        let mut world = World::new(cfg);
+        let mut out = Vec::new();
+        b.iter(|| {
+            world.step(&mut out);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_game_trace_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/sim_over_game_trace");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let cfg = GameConfig::small().with_ticks(60);
+    for alg in [Algorithm::NaiveSnapshot, Algorithm::CopyOnUpdate] {
+        group.bench_function(alg.short_name(), |b| {
+            b.iter(|| {
+                let report = SimEngine::new(SimConfig::default(), alg)
+                    .run(&mut GameServer::new(cfg));
+                black_box(report.avg_overhead_s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_game_step, bench_game_trace_sim);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 6 bench: the real engines (actual memcpy, locks, files, fsync)
+//! on a scaled-down state so each iteration stays sub-second. The full
+//! 40 MB validation runs come from `figures fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmoc_core::StateGeometry;
+use mmoc_storage::{run_copy_on_update, run_naive_snapshot, RealConfig};
+use mmoc_workload::SyntheticConfig;
+use std::hint::black_box;
+
+fn trace() -> SyntheticConfig {
+    SyntheticConfig {
+        geometry: StateGeometry::small(4_096, 8), // 128 KB state
+        ticks: 30,
+        updates_per_tick: 2_000,
+        skew: 0.8,
+        seed: 1,
+    }
+}
+
+fn bench_real_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/real_engine");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("naive_snapshot", |b| {
+        b.iter(|| {
+            let dir = tempfile::tempdir().expect("tempdir");
+            let config = RealConfig::new(dir.path()).without_recovery();
+            let report = run_naive_snapshot(&config, || trace().build()).expect("run");
+            black_box(report.checkpoints_completed)
+        })
+    });
+    group.bench_function("copy_on_update", |b| {
+        b.iter(|| {
+            let dir = tempfile::tempdir().expect("tempdir");
+            let config = RealConfig::new(dir.path()).without_recovery();
+            let report = run_copy_on_update(&config, || trace().build()).expect("run");
+            black_box(report.checkpoints_completed)
+        })
+    });
+    group.finish();
+}
+
+fn bench_real_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/real_recovery");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("cou_crash_recover", |b| {
+        b.iter(|| {
+            let dir = tempfile::tempdir().expect("tempdir");
+            let config = RealConfig::new(dir.path());
+            let report = run_copy_on_update(&config, || trace().build()).expect("run");
+            let rec = report.recovery.expect("measured");
+            assert!(rec.state_matches);
+            black_box(rec.total_s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_engines, bench_real_recovery);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks for the Table 3 cost parameters: the same
+//! quantities the paper measured with hand-rolled loops, measured here
+//! with a statistics-aware harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mmoc_core::bitmap::BitVec;
+use mmoc_core::{Bookkeeper, FlushCursor, ObjectId};
+use mmoc_workload::{ScrambledZipf, Zipf};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// `ΔTsync(1)`: copying one 512-byte atomic object.
+fn bench_object_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/object_copy_512B");
+    group.throughput(Throughput::Bytes(512));
+    let src = vec![7u8; 1 << 20];
+    let mut dst = vec![0u8; 512];
+    let mut offset = 0usize;
+    group.bench_function("memcpy", |b| {
+        b.iter(|| {
+            offset = (offset + 512 * 37) & ((1 << 20) - 512);
+            dst.copy_from_slice(&src[offset..offset + 512]);
+            black_box(&dst);
+        })
+    });
+    group.finish();
+}
+
+/// `Obit`: the dirty-bit set in the update hot path.
+fn bench_bit_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/bit_ops");
+    let mut bits = BitVec::new(1 << 20);
+    let mut i = 0u32;
+    group.bench_function("set", |b| {
+        b.iter(|| {
+            i = (i.wrapping_mul(1_664_525).wrapping_add(1_013_904_223)) & ((1 << 20) - 1);
+            black_box(bits.set(i));
+        })
+    });
+    let mut epoch = mmoc_core::dirty::EpochBits::new(1 << 20);
+    group.bench_function("epoch_mark", |b| {
+        b.iter(|| {
+            i = (i.wrapping_mul(1_664_525).wrapping_add(1_013_904_223)) & ((1 << 20) - 1);
+            black_box(epoch.mark(ObjectId(i)));
+        })
+    });
+    group.finish();
+}
+
+/// `Olock`: an uncontested parking_lot lock/unlock pair.
+fn bench_lock(c: &mut Criterion) {
+    let locks: Vec<parking_lot::Mutex<u32>> = (0..1024).map(parking_lot::Mutex::new).collect();
+    let mut i = 0usize;
+    c.bench_function("table3/uncontested_lock", |b| {
+        b.iter(|| {
+            i = (i + 337) & 1023;
+            let mut g = locks[i].lock();
+            *g = g.wrapping_add(1);
+            black_box(*g);
+        })
+    });
+}
+
+/// The bookkeeper's `Handle-Update` hot path.
+fn bench_handle_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handle_update");
+    for alg in [
+        mmoc_core::Algorithm::NaiveSnapshot,
+        mmoc_core::Algorithm::AtomicCopyDirtyObjects,
+        mmoc_core::Algorithm::CopyOnUpdate,
+    ] {
+        group.bench_function(alg.short_name(), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut bk = Bookkeeper::new(alg.spec(), 78_125);
+                    bk.begin_checkpoint();
+                    (bk, 0u32)
+                },
+                |(bk, i)| {
+                    *i = (i.wrapping_mul(1_664_525).wrapping_add(1)) % 78_125;
+                    black_box(bk.on_update(ObjectId(*i), FlushCursor::at(30_000)));
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Zipfian sampling throughput (the trace generator's hot path).
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload/zipf_sample");
+    let plain = Zipf::new(1_000_000, 0.8);
+    let scrambled = ScrambledZipf::new(1_000_000, 0.8);
+    let mut rng = SmallRng::seed_from_u64(42);
+    group.bench_function("plain", |b| b.iter(|| black_box(plain.sample(&mut rng))));
+    group.bench_function("scrambled", |b| {
+        b.iter(|| black_box(scrambled.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_object_copy, bench_bit_ops, bench_lock, bench_handle_update, bench_zipf
+}
+criterion_main!(benches);

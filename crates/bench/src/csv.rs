@@ -1,0 +1,52 @@
+//! Minimal CSV emission for experiment results.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Write one CSV file: a header row followed by data rows.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+/// Format a float with enough precision for plotting.
+pub fn fnum(v: f64) -> String {
+    format!("{v:.9}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("sub").join("t.csv");
+        write_csv(
+            &path,
+            &["x", "y"],
+            vec![
+                vec!["1".to_string(), fnum(0.5)],
+                vec!["2".to_string(), fnum(1.5)],
+            ],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "x,y");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1,0.5"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # mmoc-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | artifact | module / entry point |
+//! |----------|----------------------|
+//! | Table 1–2 (design space, subroutines) | [`tables::print_table1`], [`tables::print_table2`] |
+//! | Table 3 (cost parameters)             | [`micro`] measured on this machine |
+//! | Table 4 (Zipf settings)               | [`tables::print_table4`] |
+//! | Table 5 (game trace characteristics)  | [`experiments::table5`] |
+//! | Figure 2 (updates/tick sweep)         | [`experiments::fig2`] |
+//! | Figure 3 (per-tick latency)           | [`experiments::fig3`] |
+//! | Figure 4 (skew sweep)                 | [`experiments::fig4`] |
+//! | Figure 5 (game trace bars)            | [`experiments::fig5`] |
+//! | Figure 6 (simulation vs. real impl.)  | [`experiments::fig6`] |
+//! | Ablations & extensions                | [`experiments::ablation_objsize`] etc. |
+//!
+//! The `figures` binary drives these and writes CSV into `results/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod experiments;
+pub mod micro;
+pub mod tables;

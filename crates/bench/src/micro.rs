@@ -1,0 +1,179 @@
+//! Table 3 microbenchmarks: measure the cost-model parameters on *this*
+//! machine, the way the paper measured them on theirs (§4.3).
+//!
+//! * `Bmem` — repeated `memcpy` of aligned buffers an order of magnitude
+//!   larger than L2.
+//! * `Omem` — per-copy startup cost of small (one-object) copies at random
+//!   offsets, after subtracting the bandwidth term.
+//! * `Olock` — aggregate cost of uncontested lock/unlock pairs.
+//! * `Obit` — incremental cost of dirty-bit counting over a large bitmap,
+//!   roughly half the bits set.
+//! * `Bdisk` — large sequential writes to a file, synced.
+
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// Parameters measured on the current machine, in the units of
+/// [`mmoc_sim::HardwareParams`].
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredParams {
+    /// Memory bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Small-copy startup overhead in seconds.
+    pub mem_latency: f64,
+    /// Uncontested lock acquire+release in seconds.
+    pub lock_overhead: f64,
+    /// Bit test/set in seconds.
+    pub bit_overhead: f64,
+    /// Sequential disk write bandwidth in bytes/second (None if no
+    /// scratch directory was supplied).
+    pub disk_bandwidth: Option<f64>,
+}
+
+/// Measure memory bandwidth: copy a 64 MB buffer repeatedly.
+pub fn measure_mem_bandwidth() -> f64 {
+    const SIZE: usize = 64 << 20;
+    let src = vec![0xA5u8; SIZE];
+    let mut dst = vec![0u8; SIZE];
+    // Warm up.
+    dst.copy_from_slice(&src);
+    let passes = 4;
+    let t0 = Instant::now();
+    for _ in 0..passes {
+        dst.copy_from_slice(&src);
+        black_box(&dst);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (SIZE * passes) as f64 / secs
+}
+
+/// Measure per-copy startup latency for 512-byte object copies at
+/// pseudo-random offsets (cache misses included), subtracting the
+/// bandwidth term measured above.
+pub fn measure_mem_latency(bandwidth: f64) -> f64 {
+    const OBJ: usize = 512;
+    const POOL: usize = 256 << 20; // far larger than LLC
+    let src = vec![1u8; POOL];
+    let mut dst = vec![0u8; OBJ];
+    let iters = 200_000u64;
+    let mut offset = 0usize;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        // Stride pseudo-randomly through the pool, object-aligned.
+        offset = (offset + 514_229 * OBJ + i as usize * OBJ) % (POOL - OBJ);
+        let offset = offset / OBJ * OBJ;
+        dst.copy_from_slice(&src[offset..offset + OBJ]);
+        black_box(&dst);
+    }
+    let per_op = t0.elapsed().as_secs_f64() / iters as f64;
+    (per_op - OBJ as f64 / bandwidth).max(0.0)
+}
+
+/// Measure an uncontested lock acquire+release pair, averaged over a
+/// parking_lot mutex array accessed with mixed stride (as the paper did
+/// with `pthread_spinlock`).
+pub fn measure_lock_overhead() -> f64 {
+    let locks: Vec<parking_lot::Mutex<u32>> = (0..4096).map(parking_lot::Mutex::new).collect();
+    let iters = 2_000_000u64;
+    let mut idx = 0usize;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        idx = (idx + 40_503 + (i as usize & 0x7)) & 0xFFF;
+        let mut guard = locks[idx].lock();
+        *guard = guard.wrapping_add(1);
+    }
+    black_box(&locks);
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Measure the incremental cost of a dirty-bit test over a large bitmap
+/// with roughly half the bits set.
+pub fn measure_bit_overhead() -> f64 {
+    let words: Vec<u64> = (0..1 << 20).map(|i| 0x5555_5555_5555_5555u64 ^ i).collect();
+    let iters = 3u64;
+    // Baseline: walk the words without testing bits.
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        for &w in &words {
+            acc = acc.wrapping_add(w);
+        }
+    }
+    black_box(acc);
+    let baseline = t0.elapsed().as_secs_f64();
+
+    // With per-bit tests: count set bits naively (the paper's "naive code
+    // to count dirty bits").
+    let t1 = Instant::now();
+    let mut count = 0u64;
+    for _ in 0..iters {
+        for &w in &words {
+            for bit in 0..64u32 {
+                count += (w >> bit) & 1;
+            }
+        }
+    }
+    black_box(count);
+    let with_bits = t1.elapsed().as_secs_f64();
+
+    let bits_tested = iters as f64 * words.len() as f64 * 64.0;
+    ((with_bits - baseline) / bits_tested).max(0.0)
+}
+
+/// Measure sequential write bandwidth into a file under `dir`, fsynced.
+pub fn measure_disk_bandwidth(dir: &std::path::Path) -> std::io::Result<f64> {
+    const CHUNK: usize = 4 << 20;
+    const TOTAL: usize = 64 << 20;
+    let path = dir.join("disk_bandwidth.probe");
+    let chunk = vec![0x3Cu8; CHUNK];
+    let mut f = std::fs::File::create(&path)?;
+    let t0 = Instant::now();
+    for _ in 0..(TOTAL / CHUNK) {
+        f.write_all(&chunk)?;
+    }
+    f.sync_all()?;
+    let secs = t0.elapsed().as_secs_f64();
+    drop(f);
+    let _ = std::fs::remove_file(&path);
+    Ok(TOTAL as f64 / secs)
+}
+
+/// Run every microbenchmark. `scratch_dir` hosts the disk probe.
+pub fn measure_all(scratch_dir: Option<&std::path::Path>) -> MeasuredParams {
+    let mem_bandwidth = measure_mem_bandwidth();
+    MeasuredParams {
+        mem_bandwidth,
+        mem_latency: measure_mem_latency(mem_bandwidth),
+        lock_overhead: measure_lock_overhead(),
+        bit_overhead: measure_bit_overhead(),
+        disk_bandwidth: scratch_dir.and_then(|d| measure_disk_bandwidth(d).ok()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Microbenchmarks are inherently machine-dependent; the tests only
+    // assert plausible orders of magnitude.
+
+    #[test]
+    fn lock_overhead_is_nanoseconds() {
+        let t = measure_lock_overhead();
+        assert!(t > 0.0 && t < 2e-6, "lock overhead {t}");
+    }
+
+    #[test]
+    fn bit_overhead_is_small() {
+        let t = measure_bit_overhead();
+        assert!(t < 1e-7, "bit overhead {t}");
+    }
+
+    #[test]
+    fn disk_probe_runs() {
+        let dir = tempfile::tempdir().unwrap();
+        let bw = measure_disk_bandwidth(dir.path()).unwrap();
+        assert!(bw > 1e6, "disk bandwidth {bw}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Dirty/flushed tracking helpers shared by the engines.
+//!
+//! Two structures live here:
+//!
+//! * [`EpochBits`] — a bitmap with the *interpretation inversion* trick of
+//!   Pu (cited as \[24\] in the paper): instead of clearing every bit between
+//!   checkpoints, the meaning of the bit is flipped, turning an O(n) clear
+//!   into an O(1) operation. Dribble-and-Copy-on-Update can use this
+//!   because its writer touches every object every checkpoint, so all bits
+//!   are guaranteed to be at the current interpretation when the checkpoint
+//!   finishes.
+//! * [`DoubleDirty`] — the two-bits-per-object structure of Salem and
+//!   Garcia-Molina's double-backup organization: one dirty bit per backup,
+//!   where "dirty" means *the object's live value differs from (or is not
+//!   yet confirmed identical to) the value stored in that backup*.
+
+use crate::bitmap::BitVec;
+use crate::geometry::ObjectId;
+
+/// A bitmap whose "set" interpretation can be inverted in O(1).
+#[derive(Debug, Clone)]
+pub struct EpochBits {
+    bits: BitVec,
+    /// Bit value that currently means "marked".
+    epoch: bool,
+}
+
+impl EpochBits {
+    /// Create with all bits unmarked.
+    pub fn new(len: u32) -> Self {
+        EpochBits {
+            bits: BitVec::new(len),
+            epoch: true,
+        }
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> u32 {
+        self.bits.len()
+    }
+
+    /// True if no objects are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Is the object marked under the current interpretation?
+    #[inline]
+    pub fn is_marked(&self, obj: ObjectId) -> bool {
+        self.bits.get(obj.0) == self.epoch
+    }
+
+    /// Mark the object. Returns whether it was already marked.
+    #[inline]
+    pub fn mark(&mut self, obj: ObjectId) -> bool {
+        if self.epoch {
+            self.bits.set(obj.0)
+        } else {
+            self.bits.clear(obj.0)
+        }
+    }
+
+    /// Number of marked objects.
+    pub fn count_marked(&self) -> u32 {
+        if self.epoch {
+            self.bits.count_ones()
+        } else {
+            self.bits.len() - self.bits.count_ones()
+        }
+    }
+
+    /// Unmark everything by flipping the interpretation — O(1).
+    ///
+    /// Only valid when *all* objects are marked (the Dribble invariant at
+    /// checckpoint completion: the writer flushed every object it did not
+    /// find already copied). Checked with a debug assertion.
+    pub fn flip_epoch(&mut self) {
+        debug_assert_eq!(
+            self.count_marked(),
+            self.bits.len(),
+            "epoch flip requires all objects marked"
+        );
+        self.epoch = !self.epoch;
+    }
+
+    /// Unmark everything explicitly — O(n/64). Valid in any state.
+    pub fn clear_all(&mut self) {
+        if self.epoch {
+            self.bits.clear_all();
+        } else {
+            self.bits.set_all();
+        }
+    }
+}
+
+/// Two dirty bits per object, one per backup, as in the double-backup
+/// disk organization.
+#[derive(Debug, Clone)]
+pub struct DoubleDirty {
+    backups: [BitVec; 2],
+}
+
+impl DoubleDirty {
+    /// Create with both backups clean.
+    ///
+    /// "Clean" here means the on-disk backups already reflect the current
+    /// state — the engines pre-load both backups with the initial state, as
+    /// a game server does when it boots a shard from disk.
+    pub fn new(len: u32) -> Self {
+        DoubleDirty {
+            backups: [BitVec::new(len), BitVec::new(len)],
+        }
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> u32 {
+        self.backups[0].len()
+    }
+
+    /// True if no objects are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.backups[0].is_empty()
+    }
+
+    /// Mark the object dirty with respect to both backups (every update
+    /// makes the live value diverge from both on-disk images).
+    #[inline]
+    pub fn mark(&mut self, obj: ObjectId) {
+        self.backups[0].set(obj.0);
+        self.backups[1].set(obj.0);
+    }
+
+    /// Is the object dirty with respect to the given backup?
+    #[inline]
+    pub fn is_dirty(&self, backup: usize, obj: ObjectId) -> bool {
+        self.backups[backup].get(obj.0)
+    }
+
+    /// Dirty count for one backup.
+    pub fn count_dirty(&self, backup: usize) -> u32 {
+        self.backups[backup].count_ones()
+    }
+
+    /// Borrow the dirty bitmap of one backup.
+    pub fn bits(&self, backup: usize) -> &BitVec {
+        &self.backups[backup]
+    }
+
+    /// Take the dirty set of one backup, clearing it.
+    ///
+    /// Clearing at checkpoint *start* gives snapshot semantics for free:
+    /// any update arriving while the checkpoint is written re-marks the
+    /// object, which is exactly right because the backup will hold the
+    /// checkpoint-start value, not the updated one.
+    pub fn begin_checkpoint(&mut self, backup: usize) -> BitVec {
+        let snapshot = self.backups[backup].clone();
+        self.backups[backup].clear_all();
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_bits_mark_and_query() {
+        let mut e = EpochBits::new(10);
+        assert!(!e.is_marked(ObjectId(3)));
+        assert!(!e.mark(ObjectId(3)));
+        assert!(e.is_marked(ObjectId(3)));
+        assert!(e.mark(ObjectId(3)));
+        assert_eq!(e.count_marked(), 1);
+    }
+
+    #[test]
+    fn epoch_flip_inverts_interpretation() {
+        let mut e = EpochBits::new(8);
+        for i in 0..8 {
+            e.mark(ObjectId(i));
+        }
+        assert_eq!(e.count_marked(), 8);
+        e.flip_epoch();
+        assert_eq!(e.count_marked(), 0);
+        for i in 0..8 {
+            assert!(!e.is_marked(ObjectId(i)));
+        }
+        // Mark some under the new interpretation and flip back after
+        // marking all.
+        e.mark(ObjectId(1));
+        assert!(e.is_marked(ObjectId(1)));
+        assert_eq!(e.count_marked(), 1);
+        for i in 0..8 {
+            e.mark(ObjectId(i));
+        }
+        e.flip_epoch();
+        assert_eq!(e.count_marked(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch flip requires all objects marked")]
+    #[cfg(debug_assertions)]
+    fn epoch_flip_requires_all_marked() {
+        let mut e = EpochBits::new(4);
+        e.mark(ObjectId(0));
+        e.flip_epoch();
+    }
+
+    #[test]
+    fn epoch_clear_all_works_in_either_epoch() {
+        let mut e = EpochBits::new(6);
+        for i in 0..6 {
+            e.mark(ObjectId(i));
+        }
+        e.flip_epoch(); // epoch now inverted, none marked
+        e.mark(ObjectId(2));
+        e.clear_all();
+        assert_eq!(e.count_marked(), 0);
+        e.mark(ObjectId(5));
+        assert_eq!(e.count_marked(), 1);
+    }
+
+    #[test]
+    fn double_dirty_tracks_per_backup() {
+        let mut d = DoubleDirty::new(16);
+        d.mark(ObjectId(4));
+        d.mark(ObjectId(9));
+        assert!(d.is_dirty(0, ObjectId(4)));
+        assert!(d.is_dirty(1, ObjectId(4)));
+        assert_eq!(d.count_dirty(0), 2);
+        assert_eq!(d.count_dirty(1), 2);
+
+        // Checkpoint backup 0: its dirty set is snapshotted and cleared,
+        // backup 1 unaffected.
+        let snap = d.begin_checkpoint(0);
+        assert_eq!(snap.ones(), vec![4, 9]);
+        assert_eq!(d.count_dirty(0), 0);
+        assert_eq!(d.count_dirty(1), 2);
+
+        // An update during the checkpoint re-dirties both.
+        d.mark(ObjectId(4));
+        assert!(d.is_dirty(0, ObjectId(4)));
+        assert_eq!(d.count_dirty(0), 1);
+    }
+
+    #[test]
+    fn alternating_checkpoints_cover_all_updates() {
+        // Objects updated between two checkpoints of the same backup stay
+        // dirty for that backup even if the other backup checkpointed them.
+        let mut d = DoubleDirty::new(8);
+        d.mark(ObjectId(1));
+        let s0 = d.begin_checkpoint(0);
+        assert_eq!(s0.ones(), vec![1]);
+        // Backup 1 still considers object 1 dirty.
+        let s1 = d.begin_checkpoint(1);
+        assert_eq!(s1.ones(), vec![1]);
+        // Now both clean.
+        assert_eq!(d.count_dirty(0) + d.count_dirty(1), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The logical action log.
+//!
+//! Physically logging every game update would exhaust disk bandwidth, so
+//! the paper's recovery scheme logs *logical* actions — the per-tick update
+//! stream — and replays ticks after restoring a checkpoint (§3.1). Because
+//! the simulation is deterministic given that stream, replay reconstructs
+//! the exact pre-crash state, "to the precise tick at which a failure
+//! occurred".
+//!
+//! [`ActionLog`] holds the stream grouped by tick and supports truncation:
+//! once a checkpoint consistent as of tick *T* is safely on disk, entries
+//! for ticks ≤ *T* can be discarded.
+
+use crate::error::CoreError;
+use crate::geometry::CellUpdate;
+use std::collections::VecDeque;
+
+/// One tick's worth of logged actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickRecord {
+    /// The tick these updates were applied in.
+    pub tick: u64,
+    /// The updates, in application order.
+    pub updates: Vec<CellUpdate>,
+}
+
+/// An in-memory logical log of per-tick update batches.
+///
+/// Ticks must be recorded in strictly increasing, gap-free order (the
+/// engine drives one `record_tick` per simulation tick).
+#[derive(Debug, Clone, Default)]
+pub struct ActionLog {
+    records: VecDeque<TickRecord>,
+}
+
+impl ActionLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the updates of one tick. Panics if `tick` does not follow
+    /// the previously recorded tick.
+    pub fn record_tick(&mut self, tick: u64, updates: &[CellUpdate]) {
+        if let Some(last) = self.records.back() {
+            assert_eq!(
+                tick,
+                last.tick + 1,
+                "ticks must be logged consecutively ({} then {})",
+                last.tick,
+                tick
+            );
+        }
+        self.records.push_back(TickRecord {
+            tick,
+            updates: updates.to_vec(),
+        });
+    }
+
+    /// Discard records for ticks strictly before `tick`.
+    pub fn truncate_before(&mut self, tick: u64) {
+        while self
+            .records
+            .front()
+            .is_some_and(|r| r.tick < tick)
+        {
+            self.records.pop_front();
+        }
+    }
+
+    /// First tick held, if any.
+    pub fn first_tick(&self) -> Option<u64> {
+        self.records.front().map(|r| r.tick)
+    }
+
+    /// Last tick held, if any.
+    pub fn last_tick(&self) -> Option<u64> {
+        self.records.back().map(|r| r.tick)
+    }
+
+    /// Number of tick records held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total number of logged updates across all held ticks.
+    pub fn total_updates(&self) -> u64 {
+        self.records.iter().map(|r| r.updates.len() as u64).sum()
+    }
+
+    /// Approximate memory footprint of the held records in bytes, used to
+    /// report log sizes in experiments.
+    pub fn approx_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| 8 + r.updates.len() as u64 * std::mem::size_of::<CellUpdate>() as u64)
+            .sum()
+    }
+
+    /// Iterate over records for ticks in `[from, to]` (inclusive).
+    ///
+    /// Returns an error if the log no longer holds tick `from` (it was
+    /// truncated too aggressively) — unless the range is empty.
+    pub fn replay_range(
+        &self,
+        from: u64,
+        to: u64,
+    ) -> Result<impl Iterator<Item = &TickRecord>, CoreError> {
+        if from > to {
+            // Empty range: nothing to replay.
+            return Ok(self.records.range(0..0));
+        }
+        let first = self.first_tick().ok_or(CoreError::MissingLogTicks {
+            from,
+            have: u64::MAX,
+        })?;
+        if first > from {
+            return Err(CoreError::MissingLogTicks { from, have: first });
+        }
+        let start = (from - first) as usize;
+        let end = ((to - first) as usize + 1).min(self.records.len());
+        Ok(self.records.range(start..end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(v: u32) -> CellUpdate {
+        CellUpdate::new(v, 0, v)
+    }
+
+    #[test]
+    fn record_and_replay_full_range() {
+        let mut log = ActionLog::new();
+        for t in 1..=5u64 {
+            log.record_tick(t, &[upd(t as u32)]);
+        }
+        assert_eq!(log.first_tick(), Some(1));
+        assert_eq!(log.last_tick(), Some(5));
+        assert_eq!(log.total_updates(), 5);
+
+        let ticks: Vec<u64> = log.replay_range(2, 4).unwrap().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn replay_clamps_to_available_end() {
+        let mut log = ActionLog::new();
+        for t in 0..3u64 {
+            log.record_tick(t, &[]);
+        }
+        let ticks: Vec<u64> = log.replay_range(1, 99).unwrap().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![1, 2]);
+    }
+
+    #[test]
+    fn truncation_drops_old_ticks_only() {
+        let mut log = ActionLog::new();
+        for t in 0..10u64 {
+            log.record_tick(t, &[upd(t as u32)]);
+        }
+        log.truncate_before(6);
+        assert_eq!(log.first_tick(), Some(6));
+        assert_eq!(log.len(), 4);
+        // Replaying a truncated range fails loudly.
+        let err = match log.replay_range(3, 8) {
+            Err(e) => e,
+            Ok(_) => panic!("expected MissingLogTicks"),
+        };
+        assert_eq!(err, CoreError::MissingLogTicks { from: 3, have: 6 });
+        // Replaying what remains succeeds.
+        assert_eq!(log.replay_range(6, 9).unwrap().count(), 4);
+    }
+
+    #[test]
+    fn empty_range_never_errors() {
+        let log = ActionLog::new();
+        assert_eq!(log.replay_range(5, 4).unwrap().count(), 0);
+        let mut log = ActionLog::new();
+        log.record_tick(7, &[]);
+        assert_eq!(log.replay_range(9, 8).unwrap().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ticks must be logged consecutively")]
+    fn gap_in_ticks_panics() {
+        let mut log = ActionLog::new();
+        log.record_tick(1, &[]);
+        log.record_tick(3, &[]);
+    }
+
+    #[test]
+    fn replay_on_empty_log_errors() {
+        let log = ActionLog::new();
+        assert!(log.replay_range(0, 5).is_err());
+    }
+
+    #[test]
+    fn bytes_accounting_grows_with_updates() {
+        let mut log = ActionLog::new();
+        log.record_tick(0, &[upd(1), upd(2)]);
+        let b1 = log.approx_bytes();
+        log.record_tick(1, &[upd(3)]);
+        assert!(log.approx_bytes() > b1);
+    }
+}

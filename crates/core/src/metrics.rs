@@ -1,0 +1,201 @@
+//! Metrics shared by the simulated and real engines.
+//!
+//! The paper reports three quantities per algorithm (§4.4): the *overhead
+//! time* added to each tick, the *time to checkpoint*, and the *recovery
+//! time*. [`RunMetrics`] collects the raw per-tick and per-checkpoint
+//! series from which all three are derived.
+
+use serde::{Deserialize, Serialize};
+
+/// Overhead accounting for one simulation tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickMetrics {
+    /// Tick number (0-based).
+    pub tick: u64,
+    /// Total recovery-induced overhead added to this tick, in seconds.
+    /// Includes the synchronous copy pause if a checkpoint started at the
+    /// end of this tick.
+    pub overhead_s: f64,
+    /// The synchronous (eager copy) portion of the overhead, in seconds.
+    pub sync_pause_s: f64,
+    /// Dirty/flushed bit operations performed by updates in this tick.
+    pub bit_ops: u64,
+    /// Lock acquisitions performed by copy-on-update handling.
+    pub locks: u64,
+    /// Objects copied in memory by copy-on-update handling.
+    pub copies: u64,
+}
+
+/// Summary of one completed (or in-flight at crash) checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointRecord {
+    /// Sequence number.
+    pub seq: u64,
+    /// Tick at whose end the checkpoint started (the state is consistent
+    /// as of this tick).
+    pub start_tick: u64,
+    /// Tick during which the asynchronous flush completed.
+    pub end_tick: u64,
+    /// Total checkpoint time in seconds: the synchronous pause (if any)
+    /// plus the asynchronous write duration.
+    pub duration_s: f64,
+    /// The synchronous pause portion, in seconds.
+    pub sync_pause_s: f64,
+    /// Atomic objects written to stable storage.
+    pub objects_written: u32,
+    /// Bytes written to stable storage.
+    pub bytes_written: u64,
+    /// Whether this was a periodic full flush.
+    pub full_flush: bool,
+}
+
+/// Raw per-run metrics: the per-tick overhead series plus one record per
+/// completed checkpoint.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// One entry per simulated tick, in order.
+    pub ticks: Vec<TickMetrics>,
+    /// One entry per *completed* checkpoint, in order.
+    pub checkpoints: Vec<CheckpointRecord>,
+}
+
+impl RunMetrics {
+    /// Average overhead per tick, in seconds (Figure 2(a)/4(a)/5(a)).
+    pub fn avg_overhead_s(&self) -> f64 {
+        mean(self.ticks.iter().map(|t| t.overhead_s))
+    }
+
+    /// Maximum overhead of any tick, in seconds (the latency peaks of
+    /// Figure 3).
+    pub fn max_overhead_s(&self) -> f64 {
+        self.ticks
+            .iter()
+            .map(|t| t.overhead_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Average time to checkpoint, in seconds, over completed checkpoints
+    /// (Figure 2(b)/4(b)/5(b)).
+    pub fn avg_checkpoint_s(&self) -> f64 {
+        mean(self.checkpoints.iter().map(|c| c.duration_s))
+    }
+
+    /// Average objects written per *normal* (non-full-flush) checkpoint —
+    /// the paper's `k` in the partial-redo restore model.
+    pub fn avg_objects_per_normal_checkpoint(&self) -> f64 {
+        mean(
+            self.checkpoints
+                .iter()
+                .filter(|c| !c.full_flush)
+                .map(|c| f64::from(c.objects_written)),
+        )
+    }
+
+    /// Overhead of tick `t` in seconds, or 0 if out of range.
+    pub fn overhead_at(&self, tick: u64) -> f64 {
+        self.ticks
+            .get(tick as usize)
+            .map_or(0.0, |t| t.overhead_s)
+    }
+
+    /// The `q`-quantile (0..=1) of per-tick overhead, in seconds.
+    pub fn overhead_quantile(&self, q: f64) -> f64 {
+        if self.ticks.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = self.ticks.iter().map(|t| t.overhead_s).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("overheads are finite"));
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+
+    /// Total bytes written to stable storage by completed checkpoints.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.checkpoints.iter().map(|c| c.bytes_written).sum()
+    }
+
+    /// Number of ticks whose overhead exceeds the given bound, in seconds
+    /// (the paper's half-a-tick "latency limit" analysis, Figure 3).
+    pub fn ticks_over_budget(&self, bound_s: f64) -> usize {
+        self.ticks.iter().filter(|t| t.overhead_s > bound_s).count()
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0f64, 0u64);
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(tick: u64, overhead_s: f64) -> TickMetrics {
+        TickMetrics {
+            tick,
+            overhead_s,
+            sync_pause_s: 0.0,
+            bit_ops: 0,
+            locks: 0,
+            copies: 0,
+        }
+    }
+
+    fn ckpt(seq: u64, duration_s: f64, objects: u32, full: bool) -> CheckpointRecord {
+        CheckpointRecord {
+            seq,
+            start_tick: seq * 10,
+            end_tick: seq * 10 + 9,
+            duration_s,
+            sync_pause_s: 0.0,
+            objects_written: objects,
+            bytes_written: u64::from(objects) * 512,
+            full_flush: full,
+        }
+    }
+
+    #[test]
+    fn averages_over_empty_runs_are_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.avg_overhead_s(), 0.0);
+        assert_eq!(m.avg_checkpoint_s(), 0.0);
+        assert_eq!(m.max_overhead_s(), 0.0);
+        assert_eq!(m.overhead_quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let m = RunMetrics {
+            ticks: vec![tick(0, 0.001), tick(1, 0.003), tick(2, 0.002)],
+            checkpoints: vec![ckpt(0, 0.5, 100, false), ckpt(1, 0.7, 300, true)],
+        };
+        assert!((m.avg_overhead_s() - 0.002).abs() < 1e-12);
+        assert_eq!(m.max_overhead_s(), 0.003);
+        assert!((m.avg_checkpoint_s() - 0.6).abs() < 1e-12);
+        // Only the normal checkpoint counts for k.
+        assert_eq!(m.avg_objects_per_normal_checkpoint(), 100.0);
+        assert_eq!(m.total_bytes_written(), 400 * 512);
+        assert_eq!(m.ticks_over_budget(0.0015), 2);
+        assert_eq!(m.overhead_at(1), 0.003);
+        assert_eq!(m.overhead_at(99), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics() {
+        let m = RunMetrics {
+            ticks: (0..101).map(|i| tick(i, i as f64)).collect(),
+            checkpoints: vec![],
+        };
+        assert_eq!(m.overhead_quantile(0.0), 0.0);
+        assert_eq!(m.overhead_quantile(0.5), 50.0);
+        assert_eq!(m.overhead_quantile(1.0), 100.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Model-based property test for the bookkeeping state machine.
+//!
+//! A brute-force reference model tracks, per algorithm, exactly which
+//! objects each checkpoint *must* write for the on-disk image to stay
+//! consistent. Random interleavings of updates, checkpoint starts, writer
+//! progress and completions are then run through both the [`Bookkeeper`]
+//! and the model, and their write sets, copy decisions and counts must
+//! agree.
+
+use mmoc_core::{Algorithm, Bookkeeper, FlushCursor, FlushJob, ObjectId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const N: u32 = 24;
+
+/// One step of a random schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Update object `id % N` while the writer is at `frontier % (N+1)`
+    /// slots (only meaningful while a sweep is active).
+    Update { id: u32, frontier: u64 },
+    /// Finish the in-flight checkpoint (if any) and start the next one.
+    NextCheckpoint,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        4 => (0u32..N, 0u64..u64::from(N) + 1)
+            .prop_map(|(id, frontier)| Op::Update { id, frontier }),
+        1 => Just(Op::NextCheckpoint),
+    ];
+    proptest::collection::vec(op, 1..200)
+}
+
+/// Reference model: tracks dirty sets per backup (or the single log dirty
+/// set) with plain `BTreeSet`s.
+struct Model {
+    alg: Algorithm,
+    /// Objects modified since last captured by backup 0 / backup 1 (only
+    /// index 0 is used for log algorithms).
+    dirty: [BTreeSet<u32>; 2],
+    target: usize,
+}
+
+impl Model {
+    fn new(alg: Algorithm) -> Self {
+        Model {
+            alg,
+            dirty: [BTreeSet::new(), BTreeSet::new()],
+            target: 0,
+        }
+    }
+
+    fn double_backup(&self) -> bool {
+        matches!(
+            self.alg,
+            Algorithm::NaiveSnapshot
+                | Algorithm::AtomicCopyDirtyObjects
+                | Algorithm::CopyOnUpdate
+        )
+    }
+
+    fn update(&mut self, id: u32) {
+        self.dirty[0].insert(id);
+        self.dirty[1].insert(id);
+    }
+
+    /// Objects the next checkpoint must write, per the algorithm's rule.
+    /// `full` marks partial-redo full flushes.
+    fn expected_write_set(&mut self, full: bool) -> BTreeSet<u32> {
+        let all: BTreeSet<u32> = (0..N).collect();
+        match self.alg {
+            Algorithm::NaiveSnapshot | Algorithm::DribbleAndCopyOnUpdate => all,
+            Algorithm::AtomicCopyDirtyObjects | Algorithm::CopyOnUpdate => {
+                std::mem::take(&mut self.dirty[self.target])
+            }
+            Algorithm::PartialRedo | Algorithm::CopyOnUpdatePartialRedo => {
+                let dirty = std::mem::take(&mut self.dirty[0]);
+                self.dirty[1].clear();
+                if full {
+                    all
+                } else {
+                    dirty
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.double_backup() {
+            self.target ^= 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bookkeeper's flush sets equal the reference model's expected
+    /// write sets, for every algorithm under random schedules.
+    #[test]
+    fn write_sets_match_reference_model(ops in arb_ops()) {
+        for alg in Algorithm::ALL {
+            let mut bk = Bookkeeper::new(alg.spec(), N);
+            let mut model = Model::new(alg);
+            let mut in_flight = false;
+
+            for &op in &ops {
+                match op {
+                    Op::Update { id, frontier } => {
+                        let cursor = FlushCursor::at(frontier);
+                        bk.on_update(ObjectId(id), cursor);
+                        model.update(id);
+                    }
+                    Op::NextCheckpoint => {
+                        if in_flight {
+                            bk.finish_checkpoint();
+                            model.finish();
+                        }
+                        let plan = bk.begin_checkpoint();
+                        in_flight = true;
+                        let expected = model.expected_write_set(plan.full_flush);
+                        // Compare counts...
+                        prop_assert_eq!(
+                            plan.flush.objects() as usize,
+                            expected.len(),
+                            "{}: flush count mismatch", alg
+                        );
+                        // ...and exact membership via the flush set (for
+                        // non-empty dirty checkpoints) or totality.
+                        if plan.flush != FlushJob::None {
+                            let got: BTreeSet<u32> =
+                                bk.flush_set().iter_ones().collect();
+                            prop_assert_eq!(got, expected, "{}: set mismatch", alg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copy-on-update algorithms copy an object at most once per
+    /// checkpoint, never copy clean objects, and never copy objects the
+    /// writer already flushed.
+    #[test]
+    fn copy_discipline(ops in arb_ops()) {
+        for alg in [
+            Algorithm::DribbleAndCopyOnUpdate,
+            Algorithm::CopyOnUpdate,
+            Algorithm::CopyOnUpdatePartialRedo,
+        ] {
+            let mut bk = Bookkeeper::new(alg.spec(), N);
+            let mut in_flight = false;
+            let mut copied_this_ckpt: BTreeSet<u32> = BTreeSet::new();
+            let mut min_frontier_seen: u64 = 0;
+
+            for &op in &ops {
+                match op {
+                    Op::Update { id, frontier } => {
+                        // Writer frontiers only move forward within a
+                        // checkpoint.
+                        let frontier = frontier.max(min_frontier_seen);
+                        min_frontier_seen = frontier;
+                        let before_in_set = bk.flush_set().get(id);
+                        let ops_out = bk.on_update(ObjectId(id), FlushCursor::at(frontier));
+                        if ops_out.copy {
+                            prop_assert!(in_flight, "{}: copy outside checkpoint", alg);
+                            prop_assert!(
+                                copied_this_ckpt.insert(id),
+                                "{}: double copy of {}", alg, id
+                            );
+                            prop_assert!(
+                                before_in_set,
+                                "{}: copied object {} outside the flush set", alg, id
+                            );
+                        }
+                        prop_assert!(
+                            !(ops_out.copy && !ops_out.lock),
+                            "copies must hold the lock"
+                        );
+                    }
+                    Op::NextCheckpoint => {
+                        if in_flight {
+                            bk.finish_checkpoint();
+                        }
+                        bk.begin_checkpoint();
+                        in_flight = true;
+                        copied_this_ckpt.clear();
+                        min_frontier_seen = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checkpoint sequencing invariants: seq increments by one per
+    /// completed checkpoint; double-backup targets strictly alternate.
+    #[test]
+    fn sequencing_invariants(n_checkpoints in 1usize..30) {
+        for alg in Algorithm::ALL {
+            let mut bk = Bookkeeper::new(alg.spec(), N);
+            let mut last_target = None;
+            for i in 0..n_checkpoints {
+                prop_assert_eq!(bk.seq(), i as u64);
+                let target = bk.target_backup();
+                if alg.spec().disk_org == mmoc_core::DiskOrg::DoubleBackup {
+                    if let Some(prev) = last_target {
+                        prop_assert_ne!(target, prev, "{}: target must alternate", alg);
+                    }
+                    last_target = Some(target);
+                }
+                bk.on_update(ObjectId((i as u32) % N), FlushCursor::START);
+                bk.begin_checkpoint();
+                prop_assert!(bk.is_in_flight());
+                bk.finish_checkpoint();
+                prop_assert!(!bk.is_in_flight());
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The per-class decision trees (§4.4).
+//!
+//! "Each unit is controlled by a simple decision tree. Knights attempt to
+//! attack and pursue nearby targets, while healers attempt to heal their
+//! weakest allies. Archers attempt to attack enemies while staying near
+//! allied units for support. Furthermore, each unit tries to cluster with
+//! allies to form squads."
+//!
+//! Decisions are pure with respect to the world (they only read state and
+//! draw from the RNG); the world applies them and emits the corresponding
+//! attribute updates.
+
+use crate::config::GameConfig;
+use crate::grid::Grid;
+use crate::unit::{Unit, UnitClass};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Movement speed in position units per tick.
+pub const MOVE_SPEED: u32 = 3;
+
+/// What a unit decided to do this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Do nothing.
+    Idle,
+    /// Step toward `(goal_x, goal_y)`; the world moves along the dominant
+    /// axis (and, for diagonal pursuit, sometimes both).
+    MoveToward {
+        /// Goal X.
+        goal_x: u32,
+        /// Goal Y.
+        goal_y: u32,
+        /// Whether to persist the goal into the GOAL_X/GOAL_Y attributes.
+        set_goal: bool,
+    },
+    /// Attack an enemy unit.
+    Attack {
+        /// Victim unit id.
+        target: u32,
+    },
+    /// Heal an allied unit.
+    Heal {
+        /// Beneficiary unit id.
+        target: u32,
+    },
+    /// Return to base with fresh health (the unit was at 0 HP).
+    Respawn,
+}
+
+/// Decide one unit's action.
+///
+/// `squad_center` is the mean position of the unit's active squad mates
+/// (or the team base when the unit is alone), `now` the current tick used
+/// for cooldown checks.
+#[allow(clippy::too_many_arguments)]
+pub fn decide(
+    unit: &Unit,
+    units: &[Unit],
+    grid: &Grid,
+    squad_center: (u32, u32),
+    config: &GameConfig,
+    now: u64,
+    rng: &mut SmallRng,
+) -> Action {
+    if unit.health == 0 {
+        return Action::Respawn;
+    }
+    // Idle fraction: tunes the trace's update rate (Table 5).
+    if rng.gen::<f64>() >= config.action_density {
+        return Action::Idle;
+    }
+    let ready = u64::from(unit.cooldown) <= now;
+    let range = config.attack_range;
+
+    match unit.class() {
+        UnitClass::Knight => {
+            // Pursue the nearest enemy; engage when in melee range.
+            if let Some(enemy) = grid.nearest_enemy(units, unit, range * 4) {
+                let e = &units[enemy as usize];
+                if ready && e.dist2(unit.x, unit.y) <= u64::from(range) * u64::from(range) {
+                    return Action::Attack { target: enemy };
+                }
+                return Action::MoveToward {
+                    goal_x: e.x,
+                    goal_y: e.y,
+                    set_goal: false,
+                };
+            }
+            cluster(unit, squad_center, config, rng)
+        }
+        UnitClass::Archer => {
+            // Shoot from distance, but only while supported by an ally.
+            if let Some(enemy) = grid.nearest_enemy(units, unit, range * 4) {
+                if ready && grid.ally_nearby(units, unit, range * 2) {
+                    return Action::Attack { target: enemy };
+                }
+                // Unsupported or reloading: fall back toward the squad.
+                return Action::MoveToward {
+                    goal_x: squad_center.0,
+                    goal_y: squad_center.1,
+                    set_goal: false,
+                };
+            }
+            cluster(unit, squad_center, config, rng)
+        }
+        UnitClass::Healer => {
+            if ready {
+                if let Some(ally) = grid.weakest_wounded_ally(units, unit, range * 2) {
+                    return Action::Heal { target: ally };
+                }
+            }
+            cluster(unit, squad_center, config, rng)
+        }
+    }
+}
+
+/// The clustering fallback: close up with the squad; once formed up,
+/// advance as a squad toward the enemy base ("the objective is to defeat
+/// as many enemies as possible"), with local wander keeping formations
+/// lively.
+fn cluster(
+    unit: &Unit,
+    squad_center: (u32, u32),
+    config: &GameConfig,
+    rng: &mut SmallRng,
+) -> Action {
+    let (cx, cy) = squad_center;
+    let close = unit.dist2(cx, cy) <= 256; // within 16 position units
+    if close {
+        // March on the enemy: jitter around the squad center biased toward
+        // the opposing base.
+        let enemy = match unit.team() {
+            crate::unit::Team::Red => crate::unit::Team::Blue,
+            crate::unit::Team::Blue => crate::unit::Team::Red,
+        };
+        let (ex, ey) = enemy.base(config.map_size);
+        let advance = |v: u32, toward: u32, r: &mut SmallRng| {
+            let bias = (i64::from(toward) - i64::from(v)).clamp(-4, 4);
+            let delta = r.gen_range(-8i64..=8) + bias;
+            (i64::from(v) + delta).clamp(0, i64::from(config.map_size) - 1) as u32
+        };
+        return Action::MoveToward {
+            goal_x: advance(cx, ex, rng),
+            goal_y: advance(cy, ey, rng),
+            set_goal: false,
+        };
+    }
+    Action::MoveToward {
+        goal_x: cx,
+        goal_y: cy,
+        set_goal: unit.goal_x != cx || unit.goal_y != cy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{state, NO_TARGET};
+    use rand::SeedableRng;
+
+    fn unit(id: u32, x: u32, y: u32, squad: u32, health: u32) -> Unit {
+        Unit {
+            id,
+            x,
+            y,
+            health,
+            state: state::IDLE,
+            target: NO_TARGET,
+            cooldown: 0,
+            squad,
+            goal_x: x,
+            goal_y: y,
+            stamina: 100,
+            damage_dealt: 0,
+            kills: 0,
+            morale: 50,
+        }
+    }
+
+    fn config() -> GameConfig {
+        let mut c = GameConfig::small();
+        c.action_density = 1.0; // deterministic decisions in tests
+        c
+    }
+
+    fn setup(units: Vec<Unit>) -> (Vec<Unit>, Grid) {
+        let active: Vec<u32> = (0..units.len() as u32).collect();
+        let mut grid = Grid::new(256);
+        grid.rebuild(&active, &units);
+        (units, grid)
+    }
+
+    #[test]
+    fn dead_units_respawn() {
+        let (units, grid) = setup(vec![unit(0, 10, 10, 0, 0)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = decide(&units[0], &units, &grid, (10, 10), &config(), 0, &mut rng);
+        assert_eq!(a, Action::Respawn);
+    }
+
+    #[test]
+    fn knight_attacks_in_range_pursues_out_of_range() {
+        // Unit 0 is a knight (id % 4 == 0), red (squad 0).
+        let (units, grid) = setup(vec![
+            unit(0, 100, 100, 0, 100),
+            unit(1, 105, 100, 1, 100), // blue, 5 away: in melee range (12)
+        ]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = decide(&units[0], &units, &grid, (100, 100), &config(), 0, &mut rng);
+        assert_eq!(a, Action::Attack { target: 1 });
+
+        // Move the enemy out of melee range but inside pursuit range.
+        let (units, grid) = setup(vec![
+            unit(0, 100, 100, 0, 100),
+            unit(1, 130, 100, 1, 100), // 30 away: pursue
+        ]);
+        let a = decide(&units[0], &units, &grid, (100, 100), &config(), 0, &mut rng);
+        assert_eq!(
+            a,
+            Action::MoveToward {
+                goal_x: 130,
+                goal_y: 100,
+                set_goal: false
+            }
+        );
+    }
+
+    #[test]
+    fn knight_on_cooldown_pursues_instead_of_attacking() {
+        let (mut units, grid) = setup(vec![
+            unit(0, 100, 100, 0, 100),
+            unit(1, 105, 100, 1, 100),
+        ]);
+        units[0].cooldown = 100; // ready at tick 100
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = decide(&units[0], &units, &grid, (100, 100), &config(), 5, &mut rng);
+        assert!(matches!(a, Action::MoveToward { .. }));
+    }
+
+    #[test]
+    fn archer_needs_support_to_shoot() {
+        // Unit ids must equal their vec index (the grid indexes by id).
+        // Id 2 is an archer (2 % 4 == 2); squad 0 makes it red.
+        let (units, grid) = setup(vec![
+            unit(0, 900, 900, 0, 100), // red knight, far away (no support)
+            unit(1, 130, 100, 1, 100), // blue enemy at 30 (within 4× range)
+            unit(2, 100, 100, 0, 100), // the archer under test
+        ]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        // No ally within support range (24): the archer falls back.
+        let a = decide(&units[2], &units, &grid, (80, 80), &config(), 0, &mut rng);
+        assert!(matches!(a, Action::MoveToward { .. }));
+
+        // With an ally in support range, it shoots. Id 3 with squad 0 is a
+        // red healer standing next to the archer.
+        let (units, grid) = setup(vec![
+            unit(0, 900, 900, 0, 100),
+            unit(1, 130, 100, 1, 100),
+            unit(2, 100, 100, 0, 100),
+            unit(3, 110, 100, 0, 100),
+        ]);
+        let a = decide(&units[2], &units, &grid, (80, 80), &config(), 0, &mut rng);
+        assert_eq!(a, Action::Attack { target: 1 });
+    }
+
+    #[test]
+    fn healer_heals_weakest_wounded_ally() {
+        // Id 3 is a healer (3 % 4 == 3); squad 0 keeps everyone red.
+        let (units, grid) = setup(vec![
+            unit(0, 105, 100, 0, 30), // knight, red, badly wounded
+            unit(1, 900, 900, 1, 100), // blue filler, far away
+            unit(2, 110, 100, 0, 60), // archer, red, lightly wounded
+            unit(3, 100, 100, 0, 100), // the healer under test
+        ]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = decide(&units[3], &units, &grid, (100, 100), &config(), 0, &mut rng);
+        assert_eq!(a, Action::Heal { target: 0 });
+    }
+
+    #[test]
+    fn lone_unit_clusters_toward_center() {
+        let (units, grid) = setup(vec![unit(0, 10, 10, 0, 100)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = decide(&units[0], &units, &grid, (200, 200), &config(), 0, &mut rng);
+        assert_eq!(
+            a,
+            Action::MoveToward {
+                goal_x: 200,
+                goal_y: 200,
+                set_goal: true
+            }
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! A uniform spatial grid over the *active* units.
+//!
+//! Neighbour queries (nearest enemy, weakest wounded ally, ally-nearby)
+//! drive the decision trees. Only ~10% of units are active, so the grid is
+//! rebuilt from scratch every tick — cheaper and simpler than incremental
+//! maintenance, and allocation-free after the first tick because cell
+//! vectors are reused.
+
+use crate::unit::Unit;
+
+/// Grid cell edge in position units. 64 covers the largest query radius
+/// (archer range = 4 × 12 = 48) with a 3×3 cell neighbourhood.
+pub const CELL_SIZE: u32 = 64;
+
+/// Uniform grid of active-unit ids.
+#[derive(Debug)]
+pub struct Grid {
+    cells_per_side: u32,
+    cells: Vec<Vec<u32>>,
+}
+
+impl Grid {
+    /// Create a grid covering a `map_size`-sided battlefield.
+    pub fn new(map_size: u32) -> Self {
+        let cells_per_side = map_size.div_ceil(CELL_SIZE).max(1);
+        Grid {
+            cells_per_side,
+            cells: (0..cells_per_side * cells_per_side)
+                .map(|_| Vec::new())
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn cell_index(&self, x: u32, y: u32) -> usize {
+        let cx = (x / CELL_SIZE).min(self.cells_per_side - 1);
+        let cy = (y / CELL_SIZE).min(self.cells_per_side - 1);
+        (cy * self.cells_per_side + cx) as usize
+    }
+
+    /// Rebuild from the active set. Clears and refills cells, keeping
+    /// their allocations.
+    pub fn rebuild(&mut self, active: &[u32], units: &[Unit]) {
+        for cell in &mut self.cells {
+            cell.clear();
+        }
+        for &id in active {
+            let u = &units[id as usize];
+            let idx = self.cell_index(u.x, u.y);
+            self.cells[idx].push(id);
+        }
+    }
+
+    /// Visit every active unit within the 3×3 cell neighbourhood of
+    /// `(x, y)` (covers ranges up to [`CELL_SIZE`]).
+    pub fn for_neighbors(&self, x: u32, y: u32, mut f: impl FnMut(u32)) {
+        let cx = (x / CELL_SIZE).min(self.cells_per_side - 1) as i64;
+        let cy = (y / CELL_SIZE).min(self.cells_per_side - 1) as i64;
+        for dy in -1..=1i64 {
+            for dx in -1..=1i64 {
+                let nx = cx + dx;
+                let ny = cy + dy;
+                if nx < 0
+                    || ny < 0
+                    || nx >= i64::from(self.cells_per_side)
+                    || ny >= i64::from(self.cells_per_side)
+                {
+                    continue;
+                }
+                let idx = (ny * i64::from(self.cells_per_side) + nx) as usize;
+                for &id in &self.cells[idx] {
+                    f(id);
+                }
+            }
+        }
+    }
+
+    /// Nearest living enemy of `unit` within `range`, if any.
+    pub fn nearest_enemy(&self, units: &[Unit], unit: &Unit, range: u32) -> Option<u32> {
+        let range2 = u64::from(range) * u64::from(range);
+        let team = unit.team();
+        let mut best: Option<(u64, u32)> = None;
+        self.for_neighbors(unit.x, unit.y, |id| {
+            if id == unit.id {
+                return;
+            }
+            let other = &units[id as usize];
+            if other.team() == team || other.health == 0 {
+                return;
+            }
+            let d2 = other.dist2(unit.x, unit.y);
+            if d2 <= range2 && best.is_none_or(|(bd, _)| d2 < bd) {
+                best = Some((d2, id));
+            }
+        });
+        best.map(|(_, id)| id)
+    }
+
+    /// The living ally of `unit` within `range` with the lowest health
+    /// below max, if any (the healer's targeting rule).
+    pub fn weakest_wounded_ally(&self, units: &[Unit], unit: &Unit, range: u32) -> Option<u32> {
+        let range2 = u64::from(range) * u64::from(range);
+        let team = unit.team();
+        let mut best: Option<(u32, u32)> = None;
+        self.for_neighbors(unit.x, unit.y, |id| {
+            if id == unit.id {
+                return;
+            }
+            let other = &units[id as usize];
+            if other.team() != team || other.health == 0 || other.health >= Unit::MAX_HEALTH {
+                return;
+            }
+            if other.dist2(unit.x, unit.y) <= range2
+                && best.is_none_or(|(bh, _)| other.health < bh)
+            {
+                best = Some((other.health, id));
+            }
+        });
+        best.map(|(_, id)| id)
+    }
+
+    /// Is any living ally within `range` (the archer's support rule)?
+    pub fn ally_nearby(&self, units: &[Unit], unit: &Unit, range: u32) -> bool {
+        let range2 = u64::from(range) * u64::from(range);
+        let team = unit.team();
+        let mut found = false;
+        self.for_neighbors(unit.x, unit.y, |id| {
+            if found || id == unit.id {
+                return;
+            }
+            let other = &units[id as usize];
+            if other.team() == team && other.health > 0 && other.dist2(unit.x, unit.y) <= range2
+            {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{state, NO_TARGET};
+
+    fn unit(id: u32, x: u32, y: u32, squad: u32, health: u32) -> Unit {
+        Unit {
+            id,
+            x,
+            y,
+            health,
+            state: state::IDLE,
+            target: NO_TARGET,
+            cooldown: 0,
+            squad,
+            goal_x: x,
+            goal_y: y,
+            stamina: 100,
+            damage_dealt: 0,
+            kills: 0,
+            morale: 50,
+        }
+    }
+
+    /// Red team = even squads, blue = odd.
+    fn world() -> (Vec<Unit>, Vec<u32>) {
+        let units = vec![
+            unit(0, 100, 100, 0, 100), // red
+            unit(1, 110, 100, 1, 100), // blue, 10 away from unit 0
+            unit(2, 120, 100, 0, 40),  // red, wounded
+            unit(3, 500, 500, 1, 100), // blue, far away
+            unit(4, 105, 100, 1, 0),   // blue, dead
+        ];
+        let active = vec![0, 1, 2, 3, 4];
+        (units, active)
+    }
+
+    #[test]
+    fn nearest_enemy_prefers_closest_living() {
+        let (units, active) = world();
+        let mut grid = Grid::new(1024);
+        grid.rebuild(&active, &units);
+        // Unit 0 (red): nearest blue within 50 is unit 1 (unit 4 is dead).
+        assert_eq!(grid.nearest_enemy(&units, &units[0], 50), Some(1));
+        // Range too small: nothing.
+        assert_eq!(grid.nearest_enemy(&units, &units[0], 5), None);
+        // Unit 3 (blue) has no red neighbours within 50.
+        assert_eq!(grid.nearest_enemy(&units, &units[3], 50), None);
+    }
+
+    #[test]
+    fn weakest_ally_is_the_wounded_one() {
+        let (units, active) = world();
+        let mut grid = Grid::new(1024);
+        grid.rebuild(&active, &units);
+        // Unit 0 (red): ally 2 is wounded.
+        assert_eq!(grid.weakest_wounded_ally(&units, &units[0], 50), Some(2));
+        // Unit 2 sees no wounded ally (unit 0 is at full health).
+        assert_eq!(grid.weakest_wounded_ally(&units, &units[2], 50), None);
+    }
+
+    #[test]
+    fn ally_nearby_ignores_dead_and_enemies() {
+        let (units, active) = world();
+        let mut grid = Grid::new(1024);
+        grid.rebuild(&active, &units);
+        assert!(grid.ally_nearby(&units, &units[0], 50)); // unit 2
+        assert!(!grid.ally_nearby(&units, &units[3], 50)); // alone
+    }
+
+    #[test]
+    fn rebuild_reflects_only_listed_units() {
+        let (units, _) = world();
+        let mut grid = Grid::new(1024);
+        grid.rebuild(&[0], &units);
+        assert_eq!(grid.nearest_enemy(&units, &units[0], 200), None);
+        grid.rebuild(&[0, 1], &units);
+        assert_eq!(grid.nearest_enemy(&units, &units[0], 200), Some(1));
+    }
+
+    #[test]
+    fn edge_positions_do_not_panic() {
+        let units = vec![unit(0, 1023, 1023, 0, 100), unit(1, 0, 0, 1, 100)];
+        let mut grid = Grid::new(1024);
+        grid.rebuild(&[0, 1], &units);
+        assert_eq!(grid.nearest_enemy(&units, &units[0], 50), None);
+        let mut seen = 0;
+        grid.for_neighbors(1023, 1023, |_| seen += 1);
+        assert_eq!(seen, 1);
+    }
+}

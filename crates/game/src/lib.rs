@@ -1,0 +1,37 @@
+//! # mmoc-game — the Knights and Archers prototype game server
+//!
+//! A Rust rebuild of the paper's prototype MMO (§4.4): a medieval battle
+//! between two teams of knights, archers and healers, "based on the
+//! Knights and Archers Game of [SGL, SIGMOD '07]". Each unit is controlled
+//! by a simple decision tree:
+//!
+//! * **Knights** attempt to attack and pursue nearby targets.
+//! * **Healers** attempt to heal their weakest allies.
+//! * **Archers** attack enemies while staying near allied units for
+//!   support.
+//! * All units try to cluster with allies to form squads.
+//!
+//! Only ~10% of the characters are active at any moment, and the active
+//! set is completely renewed every ~100 ticks with high probability.
+//!
+//! The server is instrumented exactly as in the paper: every attribute
+//! write is emitted as a [`mmoc_core::CellUpdate`], so the server doubles
+//! as a [`mmoc_workload::TraceSource`] feeding the checkpoint simulator
+//! (or a trace file for later replay). Table 5's characteristics —
+//! 400,128 units × 13 attributes, ≈35,590 updates per tick — emerge from
+//! the game logic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ai;
+pub mod config;
+pub mod grid;
+pub mod server;
+pub mod unit;
+pub mod world;
+
+pub use config::GameConfig;
+pub use server::GameServer;
+pub use unit::{attr, Team, UnitClass};
+pub use world::World;

@@ -1,0 +1,103 @@
+//! The game server as a trace source.
+//!
+//! [`GameServer`] wraps a [`World`] and implements
+//! [`mmoc_workload::TraceSource`], so the battle can feed the checkpoint
+//! simulator directly or be recorded to a trace file with
+//! [`mmoc_workload::write_trace_file`] — exactly the instrumented-server →
+//! trace-file → simulator pipeline of §4.4.
+
+use crate::config::GameConfig;
+use crate::world::World;
+use mmoc_core::{CellUpdate, StateGeometry};
+use mmoc_workload::TraceSource;
+
+/// A Knights and Archers server emitting its update trace.
+#[derive(Debug)]
+pub struct GameServer {
+    world: World,
+    remaining_ticks: u64,
+}
+
+impl GameServer {
+    /// Start a server for the given configuration.
+    pub fn new(config: GameConfig) -> Self {
+        GameServer {
+            remaining_ticks: config.ticks,
+            world: World::new(config),
+        }
+    }
+
+    /// The world, for inspection.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+}
+
+impl TraceSource for GameServer {
+    fn geometry(&self) -> StateGeometry {
+        self.world.config().geometry()
+    }
+
+    fn next_tick(&mut self, buf: &mut Vec<CellUpdate>) -> bool {
+        buf.clear();
+        if self.remaining_ticks == 0 {
+            return false;
+        }
+        self.remaining_ticks -= 1;
+        self.world.step(buf);
+        true
+    }
+
+    fn total_ticks(&self) -> Option<u64> {
+        Some(self.world.config().ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmoc_workload::TraceStats;
+
+    #[test]
+    fn server_runs_configured_ticks() {
+        let mut server = GameServer::new(GameConfig::small().with_ticks(12));
+        let mut buf = Vec::new();
+        let mut ticks = 0;
+        while server.next_tick(&mut buf) {
+            ticks += 1;
+        }
+        assert_eq!(ticks, 12);
+        assert_eq!(server.total_ticks(), Some(12));
+    }
+
+    #[test]
+    fn geometry_matches_config() {
+        let server = GameServer::new(GameConfig::small());
+        let g = server.geometry();
+        assert_eq!(g.rows, 1024);
+        assert_eq!(g.cols, 13);
+    }
+
+    #[test]
+    fn trace_stats_are_sane() {
+        let mut server = GameServer::new(GameConfig::small().with_ticks(30));
+        let stats = TraceStats::scan(&mut server);
+        assert_eq!(stats.ticks, 30);
+        assert!(stats.total_updates > 0);
+        // Only ~10% of units are active at a time, but with renewal the
+        // trace touches more than one cohort over 30 ticks.
+        assert!(stats.distinct_rows > 102);
+        assert!(stats.distinct_rows < 1024);
+    }
+
+    #[test]
+    fn traces_are_reproducible_via_files() {
+        let dir = tempfile::tempdir().expect("tempdir");
+        let path = dir.path().join("battle.trace");
+        let cfg = GameConfig::small().with_ticks(10);
+        mmoc_workload::write_trace_file(&path, &mut GameServer::new(cfg)).unwrap();
+        let from_file = mmoc_workload::read_trace_file(&path).unwrap();
+        let direct = mmoc_workload::trace::record(&mut GameServer::new(cfg));
+        assert_eq!(from_file, direct);
+    }
+}

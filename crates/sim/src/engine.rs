@@ -1,0 +1,452 @@
+//! The discrete tick engine.
+//!
+//! [`SimEngine::run`] replays a trace tick by tick, exactly following the
+//! paper's Checkpointing Algorithmic Framework:
+//!
+//! 1. During a tick, every update is routed through the algorithm's
+//!    `Handle-Update` bookkeeping, and its cost (`Obit`, `Olock`,
+//!    `ΔTsync(1)`) stretches the tick.
+//! 2. At the end of a tick, if the previous checkpoint has finished, a new
+//!    one starts: eager algorithms pay their synchronous `Copy-To-Memory`
+//!    pause here, and the asynchronous flush job is scheduled with the
+//!    duration given by the disk model.
+//! 3. The asynchronous writer's frontier advances with virtual wall-clock
+//!    time; updates within a tick observe the frontier as of the start of
+//!    the tick (the writer and the mutator genuinely race within a tick —
+//!    using the tick-start frontier is the conservative discretization).
+//!
+//! Virtual time bookkeeping: a tick's wall length is the base tick period
+//! plus all recovery-induced overhead, matching the paper's observation
+//! that "a recovery method introduces overhead that stretches ticks beyond
+//! their previous length".
+
+use crate::cost::CostModel;
+use crate::fidelity::{FidelityChecker, FidelityReport};
+use crate::params::HardwareParams;
+use crate::report::SimReport;
+use mmoc_core::algorithms::DEFAULT_FULL_FLUSH_PERIOD;
+use mmoc_core::{
+    Algorithm, Bookkeeper, CheckpointPlan, CheckpointRecord, FlushCursor, FlushJob, RunMetrics,
+    TickMetrics,
+};
+use mmoc_workload::TraceSource;
+use serde::{Deserialize, Serialize};
+
+/// Simulation configuration: hardware model plus game parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Hardware cost parameters (Table 3).
+    pub hardware: HardwareParams,
+    /// Tick frequency `Ftick` in Hz (the paper uses 30).
+    pub tick_freq_hz: f64,
+    /// Full-flush period `C` for the partial-redo algorithms.
+    pub full_flush_period: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            hardware: HardwareParams::paper(),
+            tick_freq_hz: 30.0,
+            full_flush_period: DEFAULT_FULL_FLUSH_PERIOD,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Tick period in seconds.
+    pub fn tick_period_s(&self) -> f64 {
+        1.0 / self.tick_freq_hz
+    }
+}
+
+/// A checkpoint currently being written.
+struct ActiveCheckpoint {
+    plan: CheckpointPlan,
+    /// Virtual time at which the asynchronous write began.
+    started_at: f64,
+    async_duration: f64,
+    sync_pause: f64,
+    start_tick: u64,
+}
+
+/// The simulator: drives one algorithm over one trace.
+#[derive(Debug, Clone)]
+pub struct SimEngine {
+    config: SimConfig,
+    algorithm: Algorithm,
+}
+
+impl SimEngine {
+    /// Create an engine for the given configuration and algorithm.
+    pub fn new(config: SimConfig, algorithm: Algorithm) -> Self {
+        config
+            .hardware
+            .validate()
+            .expect("invalid hardware parameters");
+        assert!(
+            config.tick_freq_hz > 0.0 && config.tick_freq_hz.is_finite(),
+            "tick frequency must be positive"
+        );
+        SimEngine { config, algorithm }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Run the simulation over a trace and report the paper's metrics.
+    pub fn run<S: TraceSource>(&self, trace: &mut S) -> SimReport {
+        self.run_inner(trace, None).0
+    }
+
+    /// Run with value-level fidelity checking: every completed checkpoint's
+    /// disk image is verified to equal the state at checkpoint start.
+    /// Slower and memory-hungry; meant for tests and small geometries.
+    pub fn run_checked<S: TraceSource>(&self, trace: &mut S) -> (SimReport, FidelityReport) {
+        let checker = FidelityChecker::new(trace.geometry(), self.algorithm);
+        let (report, fidelity) = self.run_inner(trace, Some(checker));
+        (report, fidelity.expect("fidelity checker was installed"))
+    }
+
+    fn run_inner<S: TraceSource>(
+        &self,
+        trace: &mut S,
+        mut fidelity: Option<FidelityChecker>,
+    ) -> (SimReport, Option<FidelityReport>) {
+        let geometry = trace.geometry();
+        geometry.validate().expect("trace geometry must be valid");
+        let n = geometry.n_objects();
+        let cost = CostModel::new(self.config.hardware, geometry.object_size);
+        let spec = self
+            .algorithm
+            .spec_with_flush_period(self.config.full_flush_period);
+        let mut bk = Bookkeeper::new(spec, n);
+        let tick_period = self.config.tick_period_s();
+        let frontier_rate = cost.frontier_slots_per_s();
+
+        let mut clock = 0.0f64;
+        let mut active: Option<ActiveCheckpoint> = None;
+        let mut metrics = RunMetrics::default();
+        let mut total_updates = 0u64;
+        let mut buf = Vec::new();
+        let mut tick = 0u64;
+
+        while trace.next_tick(&mut buf) {
+            // --- Phase 1: apply the tick's updates. -----------------------
+            let frontier_start = active.as_ref().map_or(0u64, |a| {
+                let elapsed = (clock - a.started_at).max(0.0);
+                (elapsed * frontier_rate) as u64
+            });
+            let cursor = FlushCursor::at(frontier_start);
+            let (mut bit_ops, mut locks, mut copies) = (0u64, 0u64, 0u64);
+            for &u in &buf {
+                let obj = geometry.object_of_unchecked(u.addr);
+                let ops = bk.on_update(obj, cursor);
+                bit_ops += u64::from(ops.bit_ops);
+                locks += u64::from(ops.lock);
+                copies += u64::from(ops.copy);
+                if let Some(f) = fidelity.as_mut() {
+                    if ops.copy {
+                        f.save_copy(obj);
+                    }
+                    f.apply(u);
+                }
+            }
+            total_updates += buf.len() as u64;
+            let update_overhead = cost.tick_update_overhead_s(bit_ops, locks, copies);
+
+            // --- Phase 2: end of tick. The tick's wall length is the base
+            // period stretched by the recovery overhead.
+            clock += tick_period + update_overhead;
+
+            // Writer progress during this tick; completion check.
+            if let Some(a) = &active {
+                let end = a.started_at + a.async_duration;
+                if let Some(f) = fidelity.as_mut() {
+                    let now = clock.min(end);
+                    let frontier_end = ((now - a.started_at).max(0.0) * frontier_rate) as u64;
+                    f.advance_flush(&bk, frontier_end);
+                }
+                if end <= clock {
+                    let a = active.take().expect("active checkpoint");
+                    if let Some(f) = fidelity.as_mut() {
+                        f.complete_checkpoint(&bk);
+                    }
+                    metrics.checkpoints.push(CheckpointRecord {
+                        seq: a.plan.seq,
+                        start_tick: a.start_tick,
+                        end_tick: tick,
+                        duration_s: a.sync_pause + a.async_duration,
+                        sync_pause_s: a.sync_pause,
+                        objects_written: a.plan.flush.objects(),
+                        bytes_written: cost.bytes_written(a.plan.flush.objects()),
+                        full_flush: a.plan.full_flush,
+                    });
+                    bk.finish_checkpoint();
+                }
+            }
+
+            // Tick boundary: start the next checkpoint if none in flight.
+            let mut sync_pause = 0.0f64;
+            if active.is_none() {
+                let plan = bk.begin_checkpoint();
+                sync_pause = plan
+                    .sync_copy
+                    .map_or(0.0, |c| cost.sync_copy_s(c));
+                clock += sync_pause;
+                let async_duration = match plan.flush {
+                    FlushJob::None => 0.0,
+                    FlushJob::Snapshot { objects, org } | FlushJob::Sweep { objects, org, .. } => {
+                        cost.async_write_s(org, objects, n)
+                    }
+                };
+                if let Some(f) = fidelity.as_mut() {
+                    f.begin_checkpoint(&bk);
+                }
+                active = Some(ActiveCheckpoint {
+                    plan,
+                    started_at: clock,
+                    async_duration,
+                    sync_pause,
+                    start_tick: tick,
+                });
+            }
+
+            metrics.ticks.push(TickMetrics {
+                tick,
+                overhead_s: update_overhead + sync_pause,
+                sync_pause_s: sync_pause,
+                bit_ops,
+                locks,
+                copies,
+            });
+            tick += 1;
+        }
+
+        let report = self.build_report(geometry, &cost, tick, total_updates, metrics);
+        (report, fidelity.map(FidelityChecker::into_report))
+    }
+
+    fn build_report(
+        &self,
+        geometry: mmoc_core::StateGeometry,
+        cost: &CostModel,
+        ticks: u64,
+        updates: u64,
+        metrics: RunMetrics,
+    ) -> SimReport {
+        let n = geometry.n_objects();
+        let spec = self
+            .algorithm
+            .spec_with_flush_period(self.config.full_flush_period);
+        let avg_k = metrics.avg_objects_per_normal_checkpoint();
+        let est_restore_s = match spec.full_flush_period {
+            Some(c) => cost.restore_partial_redo_s(avg_k, c, n),
+            None => cost.restore_full_s(n),
+        };
+        let est_replay_s = metrics.avg_checkpoint_s();
+        SimReport {
+            algorithm: self.algorithm,
+            geometry,
+            ticks,
+            updates,
+            checkpoints_completed: metrics.checkpoints.len() as u64,
+            avg_overhead_s: metrics.avg_overhead_s(),
+            max_overhead_s: metrics.max_overhead_s(),
+            avg_checkpoint_s: metrics.avg_checkpoint_s(),
+            est_restore_s,
+            est_replay_s,
+            est_recovery_s: est_restore_s + est_replay_s,
+            avg_objects_per_checkpoint: avg_k,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmoc_core::StateGeometry;
+    use mmoc_workload::{SyntheticConfig, TraceSource};
+
+    fn small_trace(ticks: u64, updates: u32, skew: f64) -> impl TraceSource {
+        SyntheticConfig {
+            geometry: StateGeometry::small(256, 8),
+            ticks,
+            updates_per_tick: updates,
+            skew,
+            seed: 99,
+        }
+        .build()
+    }
+
+    fn run(alg: Algorithm) -> SimReport {
+        SimEngine::new(SimConfig::default(), alg).run(&mut small_trace(60, 64, 0.5))
+    }
+
+    #[test]
+    fn all_algorithms_complete_checkpoints() {
+        for alg in Algorithm::ALL {
+            let report = run(alg);
+            assert!(
+                report.checkpoints_completed > 0,
+                "{alg} completed no checkpoints"
+            );
+            assert_eq!(report.ticks, 60);
+            assert_eq!(report.updates, 60 * 64);
+            assert!(report.est_recovery_s > 0.0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn naive_overhead_is_pure_sync_pause() {
+        let report = run(Algorithm::NaiveSnapshot);
+        for t in &report.metrics.ticks {
+            assert_eq!(t.bit_ops, 0);
+            assert_eq!(t.locks, 0);
+            assert_eq!(t.copies, 0);
+            assert!(
+                (t.overhead_s - t.sync_pause_s).abs() < 1e-15,
+                "naive overhead must be exactly the sync pause"
+            );
+        }
+    }
+
+    #[test]
+    fn cou_overhead_has_no_sync_pause() {
+        let report = run(Algorithm::CopyOnUpdate);
+        for t in &report.metrics.ticks {
+            assert_eq!(t.sync_pause_s, 0.0);
+        }
+        // But it does copy objects.
+        let copies: u64 = report.metrics.ticks.iter().map(|t| t.copies).sum();
+        assert!(copies > 0);
+    }
+
+    #[test]
+    fn checkpoints_are_back_to_back() {
+        let report = run(Algorithm::NaiveSnapshot);
+        let cps = &report.metrics.checkpoints;
+        assert!(cps.len() >= 2);
+        for w in cps.windows(2) {
+            // The next checkpoint starts at the tick its predecessor
+            // completed in.
+            assert_eq!(w[1].start_tick, w[0].end_tick);
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+    }
+
+    #[test]
+    fn full_state_methods_have_constant_checkpoint_time() {
+        // Naive writes n objects to the double backup every time: its
+        // checkpoint duration is independent of the update rate.
+        let r1 = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
+            .run(&mut small_trace(40, 8, 0.5));
+        let r2 = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
+            .run(&mut small_trace(40, 512, 0.5));
+        assert!(
+            (r1.avg_checkpoint_s - r2.avg_checkpoint_s).abs() < 1e-9,
+            "{} vs {}",
+            r1.avg_checkpoint_s,
+            r2.avg_checkpoint_s
+        );
+    }
+
+    #[test]
+    fn partial_redo_checkpoints_faster_at_low_rates() {
+        let pr = SimEngine::new(SimConfig::default(), Algorithm::PartialRedo)
+            .run(&mut small_trace(60, 4, 0.5));
+        let naive = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
+            .run(&mut small_trace(60, 4, 0.5));
+        assert!(
+            pr.avg_checkpoint_s < naive.avg_checkpoint_s,
+            "PR {} !< Naive {}",
+            pr.avg_checkpoint_s,
+            naive.avg_checkpoint_s
+        );
+    }
+
+    #[test]
+    fn partial_redo_recovery_is_worse_at_high_rates() {
+        let pr = SimEngine::new(SimConfig::default(), Algorithm::PartialRedo)
+            .run(&mut small_trace(60, 2048, 0.5));
+        let naive = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
+            .run(&mut small_trace(60, 2048, 0.5));
+        assert!(
+            pr.est_recovery_s > naive.est_recovery_s,
+            "PR {} !> Naive {}",
+            pr.est_recovery_s,
+            naive.est_recovery_s
+        );
+    }
+
+    #[test]
+    fn eager_methods_concentrate_overhead_cou_spreads_it() {
+        // Slow the disk down so one checkpoint spans many ticks (the
+        // paper's regime); with the default disk the tiny test state
+        // checkpoints every tick and every Naive tick pays a sync pause.
+        let config = SimConfig {
+            // 8 KB test state at 20 kB/s: one checkpoint ≈ 12 ticks.
+            hardware: HardwareParams::paper().with_disk_bandwidth(20e3),
+            ..SimConfig::default()
+        };
+        let naive =
+            SimEngine::new(config, Algorithm::NaiveSnapshot).run(&mut small_trace(60, 64, 0.5));
+        let cou =
+            SimEngine::new(config, Algorithm::CopyOnUpdate).run(&mut small_trace(60, 64, 0.5));
+        // Naive's max tick is much larger relative to its average.
+        let naive_ratio = naive.max_overhead_s / naive.avg_overhead_s.max(1e-30);
+        let cou_ratio = cou.max_overhead_s / cou.avg_overhead_s.max(1e-30);
+        assert!(
+            naive_ratio > cou_ratio,
+            "naive {naive_ratio} vs cou {cou_ratio}"
+        );
+    }
+
+    #[test]
+    fn zero_update_trace_still_checkpoints() {
+        for alg in Algorithm::ALL {
+            let report = SimEngine::new(SimConfig::default(), alg)
+                .run(&mut small_trace(30, 0, 0.0));
+            assert!(
+                report.checkpoints_completed > 0,
+                "{alg} must cycle empty checkpoints"
+            );
+            // Dirty-only algorithms write nothing.
+            if alg != Algorithm::NaiveSnapshot
+                && alg != Algorithm::DribbleAndCopyOnUpdate
+            {
+                let normal_bytes: u64 = report
+                    .metrics
+                    .checkpoints
+                    .iter()
+                    .filter(|c| !c.full_flush)
+                    .map(|c| c.bytes_written)
+                    .sum();
+                assert_eq!(normal_bytes, 0, "{alg}");
+            }
+        }
+    }
+
+    #[test]
+    fn fidelity_holds_for_all_algorithms() {
+        for alg in Algorithm::ALL {
+            let (report, fidelity) = SimEngine::new(SimConfig::default(), alg)
+                .run_checked(&mut small_trace(80, 96, 0.7));
+            assert!(report.checkpoints_completed > 1, "{alg}");
+            assert!(
+                fidelity.checks_passed >= report.checkpoints_completed,
+                "{alg}: {} checks vs {} checkpoints",
+                fidelity.checks_passed,
+                report.checkpoints_completed
+            );
+            assert!(
+                fidelity.errors.is_empty(),
+                "{alg} fidelity errors: {:?}",
+                fidelity.errors
+            );
+        }
+    }
+}

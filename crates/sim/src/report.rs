@@ -1,0 +1,98 @@
+//! Simulation reports: the derived quantities the paper's figures plot.
+
+use mmoc_core::{Algorithm, RunMetrics, StateGeometry};
+use serde::{Deserialize, Serialize};
+
+/// Result of one simulated run (one algorithm × one trace × one parameter
+/// point).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Algorithm simulated.
+    pub algorithm: Algorithm,
+    /// Geometry of the state table.
+    pub geometry: StateGeometry,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Total updates applied.
+    pub updates: u64,
+    /// Completed checkpoints.
+    pub checkpoints_completed: u64,
+    /// Average overhead added per tick, in seconds (Figures 2a/4a/5a).
+    pub avg_overhead_s: f64,
+    /// Worst single-tick overhead, in seconds (the Figure 3 peaks).
+    pub max_overhead_s: f64,
+    /// Average time to checkpoint, in seconds (Figures 2b/4b/5b).
+    pub avg_checkpoint_s: f64,
+    /// Estimated time to restore the last checkpoint from disk, in
+    /// seconds.
+    pub est_restore_s: f64,
+    /// Estimated time to replay the simulation after restore, in seconds
+    /// (≈ the checkpoint time, §4.2).
+    pub est_replay_s: f64,
+    /// Estimated recovery time: restore + replay (Figures 2c/4c/5c).
+    pub est_recovery_s: f64,
+    /// Average objects written per normal checkpoint (the model's `k`).
+    pub avg_objects_per_checkpoint: f64,
+    /// The raw per-tick and per-checkpoint series.
+    pub metrics: RunMetrics,
+}
+
+impl SimReport {
+    /// Tick length (base tick period + overhead) series in seconds, as
+    /// plotted by Figure 3.
+    pub fn tick_lengths_s(&self, tick_period_s: f64) -> Vec<f64> {
+        self.metrics
+            .ticks
+            .iter()
+            .map(|t| tick_period_s + t.overhead_s)
+            .collect()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<28} overhead {:>9.4} ms  checkpoint {:>7.3} s  recovery {:>7.3} s",
+            self.algorithm.name(),
+            self.avg_overhead_s * 1e3,
+            self.avg_checkpoint_s,
+            self.est_recovery_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_lengths_add_base_period() {
+        let mut metrics = RunMetrics::default();
+        metrics.ticks.push(mmoc_core::TickMetrics {
+            tick: 0,
+            overhead_s: 0.002,
+            sync_pause_s: 0.0,
+            bit_ops: 0,
+            locks: 0,
+            copies: 0,
+        });
+        let report = SimReport {
+            algorithm: Algorithm::NaiveSnapshot,
+            geometry: StateGeometry::small(4, 4),
+            ticks: 1,
+            updates: 0,
+            checkpoints_completed: 0,
+            avg_overhead_s: 0.002,
+            max_overhead_s: 0.002,
+            avg_checkpoint_s: 0.0,
+            est_restore_s: 0.0,
+            est_replay_s: 0.0,
+            est_recovery_s: 0.0,
+            avg_objects_per_checkpoint: 0.0,
+            metrics,
+        };
+        let lengths = report.tick_lengths_s(1.0 / 30.0);
+        assert_eq!(lengths.len(), 1);
+        assert!((lengths[0] - (1.0 / 30.0 + 0.002)).abs() < 1e-12);
+        assert!(report.summary().contains("Naive-Snapshot"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Configuration of the real engine.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration for a real (disk-backed) checkpointing run.
+#[derive(Debug, Clone)]
+pub struct RealConfig {
+    /// Directory holding the backup files (ideally on a dedicated disk, as
+    /// in the paper; any directory works).
+    pub dir: PathBuf,
+    /// Tick period. The paper games tick at 30 Hz (33.3 ms).
+    pub tick_period: Duration,
+    /// When true, the mutator sleeps out the remainder of each tick (the
+    /// paper's sleep phase); when false, ticks run back to back — the mode
+    /// tests use so they finish quickly.
+    pub paced: bool,
+    /// Random state lookups per tick (the paper's query phase, which fills
+    /// the tick with game-like read work).
+    pub query_ops_per_tick: u32,
+    /// Calibrated cost of one dirty-bit test/set, used to account the
+    /// per-update bit overhead without timing every update (timing a ~2 ns
+    /// operation with a ~20 ns clock read would swamp it).
+    pub bit_test_cost_s: f64,
+    /// `fsync` checkpoint data before declaring a checkpoint durable.
+    pub sync_data: bool,
+    /// After the run, simulate a crash and measure real recovery.
+    pub measure_recovery: bool,
+}
+
+impl RealConfig {
+    /// A configuration rooted at `dir` with test-friendly defaults:
+    /// unpaced ticks, light query phase, recovery measurement on.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        RealConfig {
+            dir: dir.into(),
+            tick_period: Duration::from_nanos(33_333_333),
+            paced: false,
+            query_ops_per_tick: 1_000,
+            bit_test_cost_s: 2e-9,
+            sync_data: true,
+            measure_recovery: true,
+        }
+    }
+
+    /// Pace ticks at the paper's 30 Hz (or any frequency).
+    pub fn paced_at_hz(mut self, hz: f64) -> Self {
+        assert!(hz > 0.0 && hz.is_finite());
+        self.paced = true;
+        self.tick_period = Duration::from_secs_f64(1.0 / hz);
+        self
+    }
+
+    /// Override the query-phase size.
+    pub fn with_query_ops(mut self, ops: u32) -> Self {
+        self.query_ops_per_tick = ops;
+        self
+    }
+
+    /// Disable the end-of-run recovery measurement.
+    pub fn without_recovery(mut self) -> Self {
+        self.measure_recovery = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_test_friendly() {
+        let cfg = RealConfig::new("/tmp/x");
+        assert!(!cfg.paced);
+        assert!(cfg.measure_recovery);
+        assert!(cfg.sync_data);
+    }
+
+    #[test]
+    fn pacing_sets_period() {
+        let cfg = RealConfig::new("/tmp/x").paced_at_hz(30.0);
+        assert!(cfg.paced);
+        assert!((cfg.tick_period.as_secs_f64() - 1.0 / 30.0).abs() < 1e-9);
+    }
+}

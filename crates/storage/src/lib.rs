@@ -1,0 +1,39 @@
+//! # mmoc-storage — the real (non-simulated) checkpointing engine
+//!
+//! A Rust rebuild of the paper's C++ validation implementation (§6). Where
+//! `mmoc-sim` *prices* operations, this crate *performs* them: real memory
+//! copies, real files, real threads.
+//!
+//! The paper implemented the two winners identified by the simulation —
+//! **Naive-Snapshot** and **Copy-on-Update** — with this structure:
+//!
+//! * a **mutator thread** executing each tick in three phases: *query*
+//!   (random lookups sized to fill the tick), *update* (apply the trace's
+//!   updates), and *sleep* (pad to the tick frequency when pacing is on);
+//! * an **asynchronous writer thread** flushing consistent checkpoints to
+//!   a double-backup pair of files, with sorted (offset-ordered) writes;
+//! * real **crash recovery**: read back the newest consistent backup and
+//!   replay the deterministic update stream to the crash tick.
+//!
+//! Substitutions versus the paper's setup are documented in DESIGN.md:
+//! regular files + `fsync` instead of a raw block device, and configurable
+//! pacing so the experiment fits CI budgets.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod cou;
+pub mod files;
+pub mod log_store;
+pub mod naive;
+pub mod partial_redo;
+pub mod recovery;
+pub mod report;
+pub mod shared;
+
+pub use config::RealConfig;
+pub use cou::run_copy_on_update;
+pub use naive::run_naive_snapshot;
+pub use partial_redo::{run_cou_partial_redo, run_partial_redo};
+pub use report::{RealReport, RecoveryMeasurement};

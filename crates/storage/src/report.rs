@@ -1,0 +1,65 @@
+//! Reports from real (wall-clock) runs.
+
+use mmoc_core::{Algorithm, RunMetrics};
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock measurements of one real crash recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryMeasurement {
+    /// Time to read and install the newest consistent backup, in seconds.
+    pub restore_s: f64,
+    /// Time to replay the update stream from the checkpoint tick to the
+    /// crash tick, in seconds.
+    pub replay_s: f64,
+    /// Total recovery time (restore + replay).
+    pub total_s: f64,
+    /// Tick the restored backup was consistent as of.
+    pub restored_from_tick: u64,
+    /// Ticks replayed.
+    pub ticks_replayed: u64,
+    /// Individual updates replayed.
+    pub updates_replayed: u64,
+    /// Whether the recovered state's fingerprint equals the live state at
+    /// the crash tick (the whole point of the exercise).
+    pub state_matches: bool,
+}
+
+/// Result of one real engine run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RealReport {
+    /// Algorithm executed (Naive-Snapshot or Copy-on-Update).
+    pub algorithm: Algorithm,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// Checkpoints completed (data synced and metadata committed).
+    pub checkpoints_completed: u64,
+    /// Average measured overhead per tick, in seconds.
+    pub avg_overhead_s: f64,
+    /// Worst single-tick overhead, in seconds.
+    pub max_overhead_s: f64,
+    /// Average measured checkpoint duration (sync pause + write + fsync),
+    /// in seconds.
+    pub avg_checkpoint_s: f64,
+    /// Raw per-tick and per-checkpoint series.
+    pub metrics: RunMetrics,
+    /// Crash-recovery measurement, when enabled.
+    pub recovery: Option<RecoveryMeasurement>,
+}
+
+impl RealReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let rec = self
+            .recovery
+            .map(|r| format!("{:.3} s (match: {})", r.total_s, r.state_matches))
+            .unwrap_or_else(|| "n/a".into());
+        format!(
+            "{:<28} overhead {:>9.4} ms  checkpoint {:>7.3} s  recovery {rec}",
+            self.algorithm.name(),
+            self.avg_overhead_s * 1e3,
+            self.avg_checkpoint_s,
+        )
+    }
+}

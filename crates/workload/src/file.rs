@@ -1,0 +1,249 @@
+//! Binary on-disk trace format.
+//!
+//! The prototype game server is "instrumented ... to log every update to a
+//! trace file, which we then use as input to our checkpoint simulator"
+//! (§4.4). This module defines that file format:
+//!
+//! ```text
+//! magic   : 8 bytes  "MMOCTRC1"
+//! geometry: rows u32 | cols u32 | cell_size u32 | object_size u32
+//! n_ticks : u64
+//! per tick: count u32, then count × (row u32 | col u32 | value u32)
+//! ```
+//!
+//! All integers are little-endian. The reader streams tick-by-tick, so
+//! arbitrarily large traces can be replayed in constant memory.
+
+use crate::trace::TraceSource;
+use mmoc_core::{CellUpdate, StateGeometry};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MMOCTRC1";
+
+/// Write a trace (drained from `source`) to `path`.
+///
+/// Returns the number of ticks written.
+pub fn write_trace_file<S: TraceSource>(path: &Path, source: &mut S) -> io::Result<u64> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    let g = source.geometry();
+    for v in [g.rows, g.cols, g.cell_size, g.object_size] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    // Tick count is unknown for streaming sources; write a placeholder and
+    // patch it at the end.
+    let n_ticks_pos = 8 + 16;
+    w.write_all(&0u64.to_le_bytes())?;
+
+    let mut buf = Vec::new();
+    let mut ticks = 0u64;
+    while source.next_tick(&mut buf) {
+        w.write_all(&(buf.len() as u32).to_le_bytes())?;
+        for u in &buf {
+            w.write_all(&u.addr.row.to_le_bytes())?;
+            w.write_all(&u.addr.col.to_le_bytes())?;
+            w.write_all(&u.value.to_le_bytes())?;
+        }
+        ticks += 1;
+    }
+    w.flush()?;
+    let mut file = w.into_inner().map_err(io::IntoInnerError::into_error)?;
+    use std::io::Seek;
+    file.seek(io::SeekFrom::Start(n_ticks_pos))?;
+    file.write_all(&ticks.to_le_bytes())?;
+    file.sync_all()?;
+    Ok(ticks)
+}
+
+/// Streaming reader over a trace file; implements [`TraceSource`].
+#[derive(Debug)]
+pub struct TraceFileReader {
+    reader: BufReader<File>,
+    geometry: StateGeometry,
+    n_ticks: u64,
+    next_tick: u64,
+}
+
+impl TraceFileReader {
+    /// Open a trace file and parse its header.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an MMOCTRC1 trace file",
+            ));
+        }
+        let rows = read_u32(&mut reader)?;
+        let cols = read_u32(&mut reader)?;
+        let cell_size = read_u32(&mut reader)?;
+        let object_size = read_u32(&mut reader)?;
+        let n_ticks = read_u64(&mut reader)?;
+        let geometry = StateGeometry {
+            rows,
+            cols,
+            cell_size,
+            object_size,
+        };
+        geometry
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(TraceFileReader {
+            reader,
+            geometry,
+            n_ticks,
+            next_tick: 0,
+        })
+    }
+
+    /// Number of ticks the file declares.
+    pub fn n_ticks(&self) -> u64 {
+        self.n_ticks
+    }
+}
+
+impl TraceSource for TraceFileReader {
+    fn geometry(&self) -> StateGeometry {
+        self.geometry
+    }
+
+    fn next_tick(&mut self, buf: &mut Vec<CellUpdate>) -> bool {
+        buf.clear();
+        if self.next_tick >= self.n_ticks {
+            return false;
+        }
+        let count = match read_u32(&mut self.reader) {
+            Ok(c) => c,
+            Err(_) => return false,
+        };
+        buf.reserve(count as usize);
+        let mut rec = [0u8; 12];
+        for _ in 0..count {
+            if self.reader.read_exact(&mut rec).is_err() {
+                buf.clear();
+                return false;
+            }
+            let row = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+            let col = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+            let value = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+            buf.push(CellUpdate::new(row, col, value));
+        }
+        self.next_tick += 1;
+        true
+    }
+
+    fn total_ticks(&self) -> Option<u64> {
+        Some(self.n_ticks)
+    }
+}
+
+/// Read an entire trace file into memory.
+pub fn read_trace_file(path: &Path) -> io::Result<crate::trace::RecordedTrace> {
+    let mut reader = TraceFileReader::open(path)?;
+    Ok(crate::trace::record(&mut reader))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+    use crate::trace::{record, RecordedTrace};
+
+    fn tiny_config() -> SyntheticConfig {
+        SyntheticConfig {
+            geometry: StateGeometry::small(50, 5),
+            ticks: 7,
+            updates_per_tick: 20,
+            skew: 0.5,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("trace.bin");
+
+        let expected = record(&mut tiny_config().build());
+        let ticks = write_trace_file(&path, &mut tiny_config().build()).unwrap();
+        assert_eq!(ticks, 7);
+
+        let reader = TraceFileReader::open(&path).unwrap();
+        assert_eq!(reader.n_ticks(), 7);
+        assert_eq!(reader.geometry(), expected.geometry());
+
+        let loaded = read_trace_file(&path).unwrap();
+        assert_eq!(loaded, expected);
+    }
+
+    #[test]
+    fn empty_ticks_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("empty.bin");
+        let trace = RecordedTrace::new(
+            StateGeometry::small(4, 4),
+            vec![vec![], vec![CellUpdate::new(1, 1, 5)], vec![]],
+        );
+        write_trace_file(&path, &mut trace.replay()).unwrap();
+        let loaded = read_trace_file(&path).unwrap();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("garbage.bin");
+        std::fs::write(&path, b"this is not a trace").unwrap();
+        assert!(TraceFileReader::open(&path).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("badgeom.bin");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        // rows=0 is invalid.
+        for v in [0u32, 4, 4, 64] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(TraceFileReader::open(&path).is_err());
+    }
+
+    #[test]
+    fn truncated_file_stops_cleanly() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("trunc.bin");
+        write_trace_file(&path, &mut tiny_config().build()).unwrap();
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..full_len as usize - 6]).unwrap();
+
+        let mut reader = TraceFileReader::open(&path).unwrap();
+        let mut buf = Vec::new();
+        let mut ticks = 0;
+        while reader.next_tick(&mut buf) {
+            ticks += 1;
+        }
+        assert!(ticks < 7, "truncated trace must end early, got {ticks}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # mmoc-workload — update traces for MMO checkpointing experiments
+//!
+//! The input to both engines is an *update trace*: for each tick, the set
+//! of cells written (§4.4). This crate provides:
+//!
+//! * [`zipf`] — an O(1)-per-sample Zipfian generator in the style of Gray
+//!   et al. (SIGMOD '94), the paper's citation \[10\], including the
+//!   *scrambled* variant that decorrelates rank from table position.
+//! * [`synthetic`] — the paper's synthetic workload (Table 4): row and
+//!   column drawn independently from the same Zipf distribution, a
+//!   configurable number of updates per tick.
+//! * [`trace`] — the streaming [`TraceSource`] abstraction plus an
+//!   in-memory recorded trace.
+//! * `file` — a binary on-disk trace format so game-server traces can be
+//!   recorded once and replayed into either engine.
+//! * [`stats`] — per-trace characteristics (the Table 5 columns).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod file;
+pub mod stats;
+pub mod synthetic;
+pub mod trace;
+pub mod zipf;
+
+pub use file::{read_trace_file, write_trace_file, TraceFileReader};
+pub use stats::TraceStats;
+pub use synthetic::{SyntheticConfig, ZipfTrace};
+pub use trace::{RecordedTrace, TraceSource};
+pub use zipf::{ScrambledZipf, Zipf};

@@ -1,0 +1,313 @@
+//! Zipfian sampling after Gray et al., "Quickly Generating Billion-Record
+//! Synthetic Databases" (SIGMOD '94) — the paper's citation \[10\].
+//!
+//! A [`Zipf`] over `n` elements with parameter `theta` assigns element of
+//! rank `i` (1-based) probability proportional to `1 / i^theta`;
+//! `theta = 0` degenerates to the uniform distribution. Sampling is O(1)
+//! via Vose's alias method after an O(n) table build, which is the right
+//! trade for our workloads (billions of samples from a handful of
+//! distributions).
+//!
+//! [`ScrambledZipf`] composes the sampler with a fixed multiplicative
+//! permutation so that hot elements are scattered across the key space
+//! instead of clustering at low indexes — matching how hot game objects
+//! are spread across a real state table, and preventing the eager-copy
+//! run-length accounting from seeing artificially contiguous dirty sets.
+
+use rand::Rng;
+
+/// An O(1) Zipfian sampler over `0..n` (rank 0 is the hottest element).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Alias-method probability table, scaled to u64 for branchless compare.
+    prob: Vec<u64>,
+    alias: Vec<u32>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` elements with skew `theta ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative or not finite.
+    pub fn new(n: u32, theta: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one element");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and non-negative"
+        );
+        // Weights 1 / (i+1)^theta. For theta = 0 this is all-ones.
+        let mut weights = Vec::with_capacity(n as usize);
+        if theta == 0.0 {
+            weights.resize(n as usize, 1.0f64);
+        } else {
+            for i in 0..n as u64 {
+                weights.push(1.0 / ((i + 1) as f64).powf(theta));
+            }
+        }
+        let (prob, alias) = build_alias(&weights);
+        Zipf { prob, alias, theta }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.prob.len() as u32
+    }
+
+    /// The skew parameter this sampler was built with.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw one rank in `0..n` (0 = hottest).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let i = rng.gen_range(0..self.prob.len() as u32);
+        let coin: u64 = rng.gen();
+        if coin < self.prob[i as usize] {
+            i
+        } else {
+            self.alias[i as usize]
+        }
+    }
+}
+
+/// Vose's alias method. Returns per-slot acceptance thresholds (scaled to
+/// `u64::MAX`) and alias targets.
+fn build_alias(weights: &[f64]) -> (Vec<u64>, Vec<u32>) {
+    let n = weights.len();
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    // Scaled probabilities: mean 1.0.
+    let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+    let mut alias = vec![0u32; n];
+    let mut prob = vec![0u64; n];
+
+    let mut small: Vec<u32> = Vec::new();
+    let mut large: Vec<u32> = Vec::new();
+    for (i, &p) in scaled.iter().enumerate() {
+        if p < 1.0 {
+            small.push(i as u32);
+        } else {
+            large.push(i as u32);
+        }
+    }
+
+    while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+        small.pop();
+        prob[s as usize] = to_u64_prob(scaled[s as usize]);
+        alias[s as usize] = l;
+        scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+        if scaled[l as usize] < 1.0 {
+            large.pop();
+            small.push(l);
+        }
+    }
+    // Leftovers (numerical residue) get probability 1.
+    for &i in small.iter().chain(large.iter()) {
+        prob[i as usize] = u64::MAX;
+        alias[i as usize] = i;
+    }
+    (prob, alias)
+}
+
+#[inline]
+fn to_u64_prob(p: f64) -> u64 {
+    if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p.max(0.0) * u64::MAX as f64) as u64
+    }
+}
+
+/// A Zipfian sampler whose ranks are scattered over `0..n` by a fixed
+/// multiplicative permutation (a "scrambled Zipfian").
+#[derive(Debug, Clone)]
+pub struct ScrambledZipf {
+    zipf: Zipf,
+    multiplier: u64,
+}
+
+impl ScrambledZipf {
+    /// Build a scrambled sampler over `n` elements with skew `theta`.
+    pub fn new(n: u32, theta: f64) -> Self {
+        ScrambledZipf {
+            zipf: Zipf::new(n, theta),
+            multiplier: coprime_multiplier(n),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.zipf.n()
+    }
+
+    /// Draw one element in `0..n`; hot elements are spread pseudo-randomly.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let rank = self.zipf.sample(rng);
+        self.permute(rank)
+    }
+
+    /// The fixed permutation applied to ranks (bijective on `0..n`).
+    #[inline]
+    pub fn permute(&self, rank: u32) -> u32 {
+        ((u64::from(rank) * self.multiplier) % u64::from(self.zipf.n())) as u32
+    }
+}
+
+/// Find a multiplier coprime with `n`, starting from Knuth's
+/// multiplicative-hash constant, so `x -> x * m mod n` is a bijection.
+fn coprime_multiplier(n: u32) -> u64 {
+    const KNUTH: u64 = 2_654_435_761;
+    if n <= 1 {
+        return 1;
+    }
+    let mut m = KNUTH % u64::from(n);
+    if m == 0 {
+        m = 1;
+    }
+    while gcd(m, u64::from(n)) != 1 {
+        m += 1;
+    }
+    m
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u32, theta: f64, samples: usize) -> Vec<u64> {
+        let zipf = Zipf::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut hist = vec![0u64; n as usize];
+        for _ in 0..samples {
+            hist[zipf.sample(&mut rng) as usize] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let hist = histogram(16, 0.0, 160_000);
+        let expected = 10_000.0;
+        for (i, &c) in hist.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i} deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn skewed_frequencies_follow_power_law() {
+        // With theta = 0.8 the ratio p(rank 1)/p(rank 10) should be 10^0.8.
+        let hist = histogram(1000, 0.8, 2_000_000);
+        let ratio = hist[0] as f64 / hist[9] as f64;
+        let expected = 10f64.powf(0.8);
+        assert!(
+            (ratio / expected - 1.0).abs() < 0.15,
+            "ratio {ratio:.2} vs expected {expected:.2}"
+        );
+        // Monotone non-increasing in expectation over decades.
+        assert!(hist[0] > hist[99]);
+        assert!(hist[9] > hist[499]);
+    }
+
+    #[test]
+    fn extreme_skew_concentrates_mass() {
+        let hist = histogram(1000, 0.99, 500_000);
+        let top10: u64 = hist[..10].iter().sum();
+        let total: u64 = hist.iter().sum();
+        // At theta = 0.99 the top-10 of 1000 elements carry a large share.
+        assert!(
+            top10 as f64 / total as f64 > 0.30,
+            "top-10 share {}",
+            top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        for theta in [0.0, 0.5, 0.99] {
+            let zipf = Zipf::new(7, theta);
+            let mut rng = SmallRng::seed_from_u64(1);
+            for _ in 0..10_000 {
+                assert!(zipf.sample(&mut rng) < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn single_element_always_samples_zero() {
+        let zipf = Zipf::new(1, 0.8);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn scramble_is_a_bijection() {
+        for n in [2u32, 10, 1000, 400_128 % 10_000 + 17] {
+            let s = ScrambledZipf::new(n, 0.5);
+            let mut seen = vec![false; n as usize];
+            for rank in 0..n {
+                let x = s.permute(rank);
+                assert!(x < n);
+                assert!(!seen[x as usize], "collision at n={n}, rank={rank}");
+                seen[x as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn scramble_scatters_hot_ranks() {
+        let s = ScrambledZipf::new(1_000_000, 0.8);
+        // The ten hottest ranks must not be clustered in a small window.
+        let hot: Vec<u32> = (0..10).map(|r| s.permute(r)).collect();
+        let min = *hot.iter().min().unwrap();
+        let max = *hot.iter().max().unwrap();
+        assert!(max - min > 100_000, "hot ranks clustered: {hot:?}");
+    }
+
+    #[test]
+    fn scrambled_preserves_marginal_skew() {
+        let s = ScrambledZipf::new(100, 0.9);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut hist = vec![0u64; 100];
+        for _ in 0..500_000 {
+            hist[s.sample(&mut rng) as usize] += 1;
+        }
+        // The hottest permuted slot should match the rank-0 frequency of a
+        // plain Zipf with the same parameters.
+        let plain = histogram(100, 0.9, 500_000);
+        let max_scrambled = *hist.iter().max().unwrap() as f64;
+        let max_plain = *plain.iter().max().unwrap() as f64;
+        assert!((max_scrambled / max_plain - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gcd_and_multiplier_are_coprime() {
+        for n in [2u32, 6, 10, 1_000_000, 400_128] {
+            let m = coprime_multiplier(n);
+            assert_eq!(gcd(m, u64::from(n)), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_elements_panics() {
+        Zipf::new(0, 0.5);
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-tick latency analysis (the paper's Figure 3, in miniature).
+//!
+//! Plots — as ASCII — how eager algorithms concentrate their overhead into
+//! single long ticks while copy-on-update spreads it, and counts the ticks
+//! that violate the half-a-tick latency limit.
+//!
+//! ```text
+//! cargo run --release --example latency_analysis
+//! ```
+
+use mmo_checkpoint::prelude::*;
+
+fn main() {
+    let trace = SyntheticConfig::paper_default().with_ticks(160);
+    let config = SimConfig::default();
+    let base_ms = config.tick_period_s() * 1e3;
+    let limit_ms = base_ms * 1.5;
+
+    println!(
+        "64,000 updates/tick on the 40 MB table; base tick {base_ms:.1} ms, latency limit {limit_ms:.1} ms\n"
+    );
+
+    for algorithm in [
+        Algorithm::NaiveSnapshot,
+        Algorithm::AtomicCopyDirtyObjects,
+        Algorithm::CopyOnUpdate,
+        Algorithm::DribbleAndCopyOnUpdate,
+    ] {
+        let report = SimEngine::new(config, algorithm).run(&mut trace.build());
+        let lengths = report.tick_lengths_s(config.tick_period_s());
+        println!("{}", algorithm.name());
+        // ASCII strip for ticks 55..=110, one char per tick.
+        let strip: String = lengths[55..110]
+            .iter()
+            .map(|&len| {
+                let ms = len * 1e3;
+                if ms > limit_ms {
+                    '#' // over the latency limit
+                } else if ms > base_ms + 4.0 {
+                    '+'
+                } else if ms > base_ms + 0.5 {
+                    '.'
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        println!("  ticks 55-110  [{strip}]");
+        let over = report
+            .metrics
+            .ticks
+            .iter()
+            .filter(|t| (config.tick_period_s() + t.overhead_s) * 1e3 > limit_ms)
+            .count();
+        println!(
+            "  avg {:.2} ms, peak {:.2} ms, ticks over limit: {over}/{}\n",
+            report.avg_overhead_s * 1e3 + base_ms,
+            report.max_overhead_s * 1e3 + base_ms,
+            report.ticks
+        );
+    }
+    println!("legend: '#' over limit, '+' noticeably stretched, '.' slightly stretched");
+}

@@ -1,0 +1,55 @@
+//! # mmo-checkpoint — checkpoint recovery for MMO game state
+//!
+//! A complete Rust implementation of *An Evaluation of Checkpoint Recovery
+//! for Massively Multiplayer Online Games* (Vaz Salles, Cao, Sowell,
+//! Demers, Gehrke, Koch, White — VLDB 2009): the six main-memory
+//! checkpointing algorithms, the cost-model simulator, the synthetic and
+//! game-server workloads, and the real disk-backed engine used to validate
+//! the simulation.
+//!
+//! This crate is a facade; the pieces live in focused crates:
+//!
+//! * [`core`] — the checkpointing algorithmic framework, the six
+//!   algorithms' bookkeeping, state tables, logical log, recovery replay.
+//! * [`sim`] — the tick-level cost-model simulator (Table 3 hardware
+//!   model; overhead / checkpoint-time / recovery-time metrics).
+//! * [`workload`] — Zipfian trace generation (Table 4), trace files,
+//!   trace statistics (Table 5).
+//! * [`game`] — the Knights and Archers prototype MMO server.
+//! * [`storage`] — the real engine: mutator + writer threads, double
+//!   backup files, actual crash recovery.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mmo_checkpoint::prelude::*;
+//!
+//! // Simulate Copy-on-Update (the paper's winner) on a synthetic workload.
+//! let trace = SyntheticConfig::paper_default()
+//!     .with_ticks(60)
+//!     .with_updates_per_tick(1_000);
+//! let report = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
+//!     .run(&mut trace.build());
+//! println!("{}", report.summary());
+//! assert!(report.checkpoints_completed > 0);
+//! ```
+
+pub use mmoc_core as core;
+pub use mmoc_game as game;
+pub use mmoc_sim as sim;
+pub use mmoc_storage as storage;
+pub use mmoc_workload as workload;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use mmoc_core::{
+        recover, Algorithm, AlgorithmSpec, Bookkeeper, CellAddr, CellUpdate, CheckpointImage,
+        CheckpointPlan, DiskOrg, ObjectId, RunMetrics, StateGeometry, StateTable,
+    };
+    pub use mmoc_game::{GameConfig, GameServer, World};
+    pub use mmoc_sim::{HardwareParams, SimConfig, SimEngine, SimReport};
+    pub use mmoc_storage::{run_copy_on_update, run_naive_snapshot, RealConfig, RealReport};
+    pub use mmoc_workload::{
+        RecordedTrace, SyntheticConfig, TraceSource, TraceStats, ZipfTrace,
+    };
+}

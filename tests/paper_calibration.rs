@@ -1,0 +1,149 @@
+//! Calibration tests: absolute numbers the paper states in prose must be
+//! reproduced by the cost model within tight tolerances (they are pure
+//! model outputs, independent of the host machine).
+
+use mmo_checkpoint::prelude::*;
+use mmo_checkpoint::sim::{SimConfig, SimEngine};
+
+/// "The average overhead of Naive-Snapshot is 0.85 msec per tick" and
+/// "this copy takes nearly 17 msec" (§5.1, §5.2).
+#[test]
+fn naive_snapshot_headline_numbers() {
+    let trace = SyntheticConfig::paper_default()
+        .with_updates_per_tick(1_000)
+        .with_ticks(150);
+    let report = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
+        .run(&mut trace.build());
+    let avg_ms = report.avg_overhead_s * 1e3;
+    assert!(
+        (0.75..0.95).contains(&avg_ms),
+        "avg overhead {avg_ms} ms (paper: 0.85 ms)"
+    );
+    let peak_ms = report.max_overhead_s * 1e3;
+    assert!(
+        (16.0..18.5).contains(&peak_ms),
+        "sync pause {peak_ms} ms (paper: nearly 17 ms)"
+    );
+}
+
+/// "These methods present constant checkpoint time of around 0.68 sec for
+/// all update rates" (§5.1).
+#[test]
+fn full_state_checkpoint_time_is_068s() {
+    for alg in [
+        Algorithm::NaiveSnapshot,
+        Algorithm::DribbleAndCopyOnUpdate,
+        Algorithm::AtomicCopyDirtyObjects,
+        Algorithm::CopyOnUpdate,
+    ] {
+        let trace = SyntheticConfig::paper_default()
+            .with_updates_per_tick(4_000)
+            .with_ticks(150);
+        let report = SimEngine::new(SimConfig::default(), alg).run(&mut trace.build());
+        assert!(
+            (0.64..0.70).contains(&report.avg_checkpoint_s),
+            "{alg}: checkpoint {} s (paper: ~0.68 s)",
+            report.avg_checkpoint_s
+        );
+    }
+}
+
+/// "At 1,000 updates per tick, Partial-Redo and Copy-on-Update-Partial-
+/// Redo take 0.1 sec to write a checkpoint. That represents a gain of a
+/// factor of 6.8 over Naive-Snapshot" (§5.1).
+#[test]
+fn partial_redo_checkpoint_gain_at_1k() {
+    let trace = || {
+        SyntheticConfig::paper_default()
+            .with_updates_per_tick(1_000)
+            .with_ticks(150)
+    };
+    let naive = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
+        .run(&mut trace().build());
+    let pr = SimEngine::new(SimConfig::default(), Algorithm::PartialRedo)
+        .run(&mut trace().build());
+    assert!(
+        (0.07..0.14).contains(&pr.avg_checkpoint_s),
+        "PR checkpoint {} s (paper: 0.1 s)",
+        pr.avg_checkpoint_s
+    );
+    let gain = naive.avg_checkpoint_s / pr.avg_checkpoint_s;
+    assert!((5.0..9.0).contains(&gain), "gain {gain} (paper: 6.8)");
+}
+
+/// "The recovery time for these algorithms is nearly twice their
+/// checkpoint times, reaching around 1.4 sec for all update rates" (§5.1).
+#[test]
+fn full_state_recovery_is_about_14s() {
+    let trace = SyntheticConfig::paper_default()
+        .with_updates_per_tick(4_000)
+        .with_ticks(150);
+    let report = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
+        .run(&mut trace.build());
+    assert!(
+        (1.28..1.45).contains(&report.est_recovery_s),
+        "recovery {} s (paper: ~1.4 s)",
+        report.est_recovery_s
+    );
+    let ratio = report.est_recovery_s / report.avg_checkpoint_s;
+    assert!((1.9..2.1).contains(&ratio), "recovery/checkpoint {ratio}");
+}
+
+/// "At 256,000 updates per tick, this difference amounts to an average
+/// overhead of 1.4 msec for Atomic-Copy-Dirty-Objects versus 1 msec for
+/// Naive-Snapshot, a 60% difference" (§5.1). Our Naive sits at 0.85 ms
+/// (the paper's own Figure 2(a) value); the *ratio* is the calibrated
+/// quantity.
+#[test]
+fn acdo_is_60_percent_worse_than_naive_at_256k() {
+    let trace = || {
+        SyntheticConfig::paper_default()
+            .with_updates_per_tick(256_000)
+            .with_ticks(60)
+    };
+    let naive = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
+        .run(&mut trace().build());
+    let acdo = SimEngine::new(SimConfig::default(), Algorithm::AtomicCopyDirtyObjects)
+        .run(&mut trace().build());
+    let ratio = acdo.avg_overhead_s / naive.avg_overhead_s;
+    assert!((1.4..1.8).contains(&ratio), "ACDO/Naive ratio {ratio} (paper: 1.6)");
+}
+
+/// Figure 3's copy-on-update decay: the overhead of the ticks following a
+/// checkpoint start decreases monotonically and roughly geometrically
+/// (the paper reports 12 → 7 → 4 msec).
+#[test]
+fn cou_latency_decays_after_checkpoint_start() {
+    let trace = SyntheticConfig::paper_default().with_ticks(120);
+    let report = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
+        .run(&mut trace.build());
+    // Find a checkpoint that started mid-run and look at the next ticks.
+    let ckpt = report
+        .metrics
+        .checkpoints
+        .iter()
+        .find(|c| c.start_tick > 40 && c.start_tick + 5 < 120)
+        .expect("a mid-run checkpoint");
+    let o = |i: u64| report.metrics.ticks[(ckpt.start_tick + i) as usize].overhead_s;
+    assert!(o(1) > o(2), "{} !> {}", o(1), o(2));
+    assert!(o(2) > o(3), "{} !> {}", o(2), o(3));
+    // Second tick (paper: 7 ms) and third (paper: 4 ms) within tolerance.
+    assert!((0.004..0.011).contains(&o(2)), "second tick {} s", o(2));
+    assert!((0.002..0.007).contains(&o(3)), "third tick {} s", o(3));
+}
+
+/// Table 5: the Knights and Archers battle at paper scale produces
+/// ≈35,590 updates per tick. This is the one calibration that runs the
+/// real game; kept short (80 ticks) to stay test-suite friendly.
+#[test]
+fn game_update_rate_matches_table5() {
+    let cfg = GameConfig::paper().with_ticks(80);
+    let stats = TraceStats::scan(&mut GameServer::new(cfg));
+    assert!(
+        (30_000.0..42_000.0).contains(&stats.avg_updates_per_tick),
+        "avg updates/tick {} (paper: 35,590)",
+        stats.avg_updates_per_tick
+    );
+    assert_eq!(stats.geometry.rows, 400_128);
+    assert_eq!(stats.geometry.cols, 13);
+}
