@@ -23,8 +23,7 @@ fn bench_fig4(c: &mut Criterion) {
                             .with_skew(skew)
                             .with_ticks(30)
                             .build();
-                        let report =
-                            SimEngine::new(SimConfig::default(), alg).run(&mut trace);
+                        let report = SimEngine::new(SimConfig::default(), alg).run(&mut trace);
                         black_box(report.est_recovery_s)
                     })
                 },

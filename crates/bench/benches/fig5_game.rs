@@ -32,8 +32,8 @@ fn bench_game_trace_sim(c: &mut Criterion) {
     for alg in [Algorithm::NaiveSnapshot, Algorithm::CopyOnUpdate] {
         group.bench_function(alg.short_name(), |b| {
             b.iter(|| {
-                let report = SimEngine::new(SimConfig::default(), alg)
-                    .run(&mut GameServer::new(cfg));
+                let report =
+                    SimEngine::new(SimConfig::default(), alg).run(&mut GameServer::new(cfg));
                 black_box(report.avg_overhead_s)
             })
         });

@@ -78,7 +78,15 @@ fn parse_args() -> Options {
     }
     if opts.commands.is_empty() {
         for c in [
-            "tables", "table3", "table5", "fig2", "fig3", "fig4", "fig5", "fig6", "ablations",
+            "tables",
+            "table3",
+            "table5",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "ablations",
         ] {
             opts.commands.insert(c.to_string());
         }
@@ -315,7 +323,12 @@ fn main() {
         csv::write_csv(&opts.out.join("fig6_validation.csv"), &header, data).expect("write csv");
         println!(
             "{:>12} {:<16} {:<16} {:>14} {:>15} {:>13}",
-            "updates/tick", "algorithm", "source", "overhead [ms]", "checkpoint [s]", "recovery [s]"
+            "updates/tick",
+            "algorithm",
+            "source",
+            "overhead [ms]",
+            "checkpoint [s]",
+            "recovery [s]"
         );
         for r in &rows {
             println!(
@@ -366,8 +379,7 @@ fn main() {
         }
 
         println!("\n=== Ablation: sorted vs unsorted double-backup writes ===");
-        let rows =
-            experiments::ablation_sorted_io(&[1_000, 16_000, 64_000], opts.ticks.min(200));
+        let rows = experiments::ablation_sorted_io(&[1_000, 16_000, 64_000], opts.ticks.min(200));
         let data: Vec<Vec<String>> = rows
             .iter()
             .map(|&(r, s, u)| vec![r.to_string(), csv::fnum(s), csv::fnum(u)])

@@ -8,7 +8,7 @@
 use mmoc_core::Algorithm;
 use mmoc_game::{GameConfig, GameServer};
 use mmoc_sim::{HardwareParams, SimConfig, SimEngine, SimReport};
-use mmoc_storage::{run_copy_on_update, run_naive_snapshot, RealConfig};
+use mmoc_storage::RealConfig;
 use mmoc_workload::{SyntheticConfig, TraceStats};
 use serde::Serialize;
 use std::io;
@@ -147,8 +147,7 @@ pub fn table5(config: GameConfig) -> TraceStats {
 /// Figure 5: all six algorithms over the game trace. `x` is unused (0).
 pub fn fig5(config: GameConfig) -> Vec<SweepRow> {
     parallel_map(Algorithm::ALL.to_vec(), 6, |alg| {
-        let report = SimEngine::new(SimConfig::default(), alg)
-            .run(&mut GameServer::new(config));
+        let report = SimEngine::new(SimConfig::default(), alg).run(&mut GameServer::new(config));
         SweepRow::from_report(0.0, &report)
     })
 }
@@ -205,14 +204,9 @@ pub fn fig6(
             .with_updates_per_tick(rate)
             .with_ticks(ticks);
 
-        // Simulation side. The paper validated Naive + COU; we extend the
-        // validation to the log-based pair as well.
-        for alg in [
-            Algorithm::NaiveSnapshot,
-            Algorithm::CopyOnUpdate,
-            Algorithm::PartialRedo,
-            Algorithm::CopyOnUpdatePartialRedo,
-        ] {
+        // Simulation side. The paper validated only Naive + COU; the
+        // unified driver lets us validate the entire design space.
+        for alg in Algorithm::ALL {
             let r = run_sim(alg, trace);
             rows.push(Fig6Row {
                 updates_per_tick: rate,
@@ -224,7 +218,7 @@ pub fn fig6(
             });
         }
 
-        // Implementation side.
+        // Implementation side: the same six algorithms on real hardware.
         let real_config = |sub: &str| -> RealConfig {
             let mut c = RealConfig::new(scratch.join(format!("{sub}_{rate}")));
             if let Some(hz) = paced_hz {
@@ -232,12 +226,9 @@ pub fn fig6(
             }
             c
         };
-        let naive = run_naive_snapshot(&real_config("naive"), || trace.build())?;
-        let cou = run_copy_on_update(&real_config("cou"), || trace.build())?;
-        let pr = mmoc_storage::run_partial_redo(&real_config("pr"), || trace.build())?;
-        let coupr =
-            mmoc_storage::run_cou_partial_redo(&real_config("coupr"), || trace.build())?;
-        for report in [naive, cou, pr, coupr] {
+        for alg in Algorithm::ALL {
+            let report =
+                mmoc_storage::run_algorithm(alg, &real_config(alg.short_name()), || trace.build())?;
             rows.push(Fig6Row {
                 updates_per_tick: rate,
                 algorithm: report.algorithm,
@@ -376,12 +367,12 @@ mod tests {
         // One rate, few ticks: enough to exercise the sim + real paths
         // end to end (the real engines still write the 40 MB backups).
         let rows = fig6(&[1_000], 12, dir.path(), None).unwrap();
-        assert_eq!(rows.len(), 8, "4 algorithms x sim + impl");
+        assert_eq!(rows.len(), 12, "6 algorithms x sim + impl");
         let impl_rows: Vec<_> = rows
             .iter()
             .filter(|r| r.source == Source::Implementation)
             .collect();
-        assert_eq!(impl_rows.len(), 4);
+        assert_eq!(impl_rows.len(), 6);
         for r in impl_rows {
             assert!(r.recovery_s.is_finite(), "recovery must be measured");
         }

@@ -22,9 +22,7 @@ pub fn print_table1() -> String {
                     .into_iter()
                     .filter(|a| {
                         let s = a.spec();
-                        s.objects_copied == objects
-                            && s.copy_timing == timing
-                            && s.disk_org == org
+                        s.objects_copied == objects && s.copy_timing == timing && s.disk_org == org
                     })
                     .map(Algorithm::name)
                     .collect();
@@ -147,7 +145,11 @@ pub fn print_table4() -> String {
         "{:<30} 1,000 ... 64,000 ... 256,000",
         "number of updates per tick"
     );
-    let _ = writeln!(out, "{:<30} 0 ... 0.8 ... 0.99", "skew of update distribution");
+    let _ = writeln!(
+        out,
+        "{:<30} 0 ... 0.8 ... 0.99",
+        "skew of update distribution"
+    );
     out
 }
 

@@ -126,8 +126,8 @@ impl Bookkeeper {
     pub fn new(spec: AlgorithmSpec, n_objects: u32) -> Self {
         let dirty_double = (spec.tracks_dirty && spec.disk_org == DiskOrg::DoubleBackup)
             .then(|| crate::dirty::DoubleDirty::new(n_objects));
-        let dirty_log = (spec.tracks_dirty && spec.disk_org == DiskOrg::Log)
-            .then(|| BitVec::new(n_objects));
+        let dirty_log =
+            (spec.tracks_dirty && spec.disk_org == DiskOrg::Log).then(|| BitVec::new(n_objects));
         Bookkeeper {
             spec,
             n_objects,
@@ -399,9 +399,7 @@ impl Bookkeeper {
                     None
                 }
             }
-            SweepKind::DirtyByPosition => {
-                self.flush_list.get(slot as usize).map(|&o| ObjectId(o))
-            }
+            SweepKind::DirtyByPosition => self.flush_list.get(slot as usize).map(|&o| ObjectId(o)),
         }
     }
 
@@ -455,7 +453,10 @@ mod tests {
             );
             assert!(matches!(
                 plan.flush,
-                FlushJob::Snapshot { objects: 100, org: DiskOrg::DoubleBackup }
+                FlushJob::Snapshot {
+                    objects: 100,
+                    org: DiskOrg::DoubleBackup
+                }
             ));
             // Updates cost nothing for Naive-Snapshot.
             let ops = b.on_update(ObjectId(5), FlushCursor::START);

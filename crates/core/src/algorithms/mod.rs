@@ -313,22 +313,42 @@ mod tests {
         use Subroutine::*;
         let s = Algorithm::NaiveSnapshot.spec();
         assert_eq!(
-            (s.copy_to_memory, s.write_copies, s.handle_update, s.write_objects),
+            (
+                s.copy_to_memory,
+                s.write_copies,
+                s.handle_update,
+                s.write_objects
+            ),
             (AllObjects, AllObjects, NoOp, NoOp)
         );
         let s = Algorithm::DribbleAndCopyOnUpdate.spec();
         assert_eq!(
-            (s.copy_to_memory, s.write_copies, s.handle_update, s.write_objects),
+            (
+                s.copy_to_memory,
+                s.write_copies,
+                s.handle_update,
+                s.write_objects
+            ),
             (NoOp, NoOp, FirstTouched { all: true }, AllObjects)
         );
         let s = Algorithm::AtomicCopyDirtyObjects.spec();
         assert_eq!(
-            (s.copy_to_memory, s.write_copies, s.handle_update, s.write_objects),
+            (
+                s.copy_to_memory,
+                s.write_copies,
+                s.handle_update,
+                s.write_objects
+            ),
             (DirtyObjects, DirtyObjects, NoOp, NoOp)
         );
         let s = Algorithm::CopyOnUpdate.spec();
         assert_eq!(
-            (s.copy_to_memory, s.write_copies, s.handle_update, s.write_objects),
+            (
+                s.copy_to_memory,
+                s.write_copies,
+                s.handle_update,
+                s.write_objects
+            ),
             (NoOp, NoOp, FirstTouched { all: false }, DirtyObjects)
         );
     }

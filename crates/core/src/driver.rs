@@ -1,0 +1,495 @@
+//! The unified tick driver: one orchestration loop for all six algorithms.
+//!
+//! The paper's *Checkpointing Algorithmic Framework* (§3.3) is a single
+//! loop — at every tick apply updates through `Handle-Update`, and at the
+//! tick boundary start a new checkpoint if the previous one finished.
+//! Historically this repository implemented that loop once per engine *per
+//! algorithm* (the cost-model simulator plus four hand-rolled real
+//! engines); [`TickDriver`] extracts it so it exists exactly once.
+//!
+//! The split of responsibilities mirrors the paper's framework table:
+//!
+//! * The **driver** owns the [`Bookkeeper`] — the algorithm-generic state
+//!   machine deciding *what* must be copied, flushed and tracked — and the
+//!   per-tick/per-checkpoint metric series.
+//! * A [`CheckpointBackend`] performs the work and attaches its notion of
+//!   time: the simulator prices operations in virtual seconds
+//!   (`mmoc-sim`), the real engine runs memcpys, mutator/writer threads
+//!   and `fsync`s and measures wall-clock seconds (`mmoc-storage`).
+//!
+//! Adding a new algorithm means extending the [`Bookkeeper`]'s plan; both
+//! engines pick it up for free. Adding a new engine (an async-I/O backend,
+//! a replicated store) means implementing this one trait.
+//!
+//! ## Loop shape
+//!
+//! ```text
+//! for each tick t in the trace:
+//!     backend.begin_tick(t)                    // query phase / time base
+//!     cursor = backend.cursor()                // writer progress at tick start
+//!     for each update u:
+//!         ops = bookkeeper.on_update(obj(u), cursor)   // Handle-Update
+//!         backend.apply_update(u, obj(u), ops)          // do + price it
+//!     backend.end_updates(...)                 // stretch the tick
+//!     if a checkpoint is in flight and backend.poll_completion():
+//!         record it; bookkeeper.finish_checkpoint()
+//!     if no checkpoint is in flight:
+//!         plan = bookkeeper.begin_checkpoint() // Copy-To-Memory decision
+//!         backend.start_checkpoint(plan)       // sync copy + async flush
+//!     backend.end_tick(t)                      // pacing / sleep phase
+//! drain the final in-flight checkpoint
+//! ```
+
+use crate::algorithms::bookkeeper::{Bookkeeper, FlushCursor, UpdateOps};
+use crate::algorithms::AlgorithmSpec;
+use crate::geometry::{CellUpdate, ObjectId};
+use crate::metrics::{CheckpointRecord, RunMetrics, TickMetrics};
+use crate::plan::CheckpointPlan;
+use crate::trace::TraceSource;
+
+/// Completion report for one asynchronous flush, produced by the backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlushCompletion {
+    /// Duration of the asynchronous flush, in (virtual or wall) seconds.
+    pub duration_s: f64,
+    /// Atomic objects actually written to stable storage.
+    pub objects_written: u32,
+    /// Bytes actually written to stable storage.
+    pub bytes_written: u64,
+}
+
+/// Aggregated `Handle-Update` work of one tick, as charged by the
+/// bookkeeper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickOps {
+    /// Dirty/flushed bit tests and sets.
+    pub bit_ops: u64,
+    /// Writer-lock acquisitions.
+    pub locks: u64,
+    /// Copy-on-update object copies.
+    pub copies: u64,
+}
+
+impl TickOps {
+    /// Accumulate one update's ops.
+    #[inline]
+    pub fn add(&mut self, ops: UpdateOps) {
+        self.bit_ops += u64::from(ops.bit_ops);
+        self.locks += u64::from(ops.lock);
+        self.copies += u64::from(ops.copy);
+    }
+}
+
+/// An engine executing (and timing) the work the driver sequences.
+///
+/// Implementations: the cost-model simulator (`mmoc-sim`) and the real
+/// disk-backed engine (`mmoc-storage`). All methods are called from the
+/// driver's single mutator thread; a backend may own worker threads
+/// internally (the real engine's asynchronous writer).
+pub trait CheckpointBackend {
+    /// Error type surfaced by backend operations (`io::Error` for the real
+    /// engine, [`std::convert::Infallible`] for the simulator).
+    type Error;
+
+    /// A tick is starting: run the query phase (real engine) or establish
+    /// the tick's time base (simulator). `tick` is 1-based.
+    fn begin_tick(&mut self, tick: u64) -> Result<(), Self::Error>;
+
+    /// The asynchronous writer's progress at the start of this tick, in
+    /// the in-flight sweep's slot units. Updates within the tick observe
+    /// this frontier (the conservative discretization: an object the
+    /// writer reaches mid-tick may be copied once more than strictly
+    /// needed, never less).
+    fn cursor(&mut self) -> FlushCursor;
+
+    /// Apply one update to live state, performing (real engine) or
+    /// pricing (simulator) the copy-on-update work the bookkeeper charged
+    /// in `ops`.
+    fn apply_update(
+        &mut self,
+        update: CellUpdate,
+        obj: ObjectId,
+        ops: UpdateOps,
+    ) -> Result<(), Self::Error>;
+
+    /// The tick's updates are all applied. Returns the update-phase
+    /// overhead in seconds (the amount this tick was stretched, excluding
+    /// any synchronous checkpoint pause). The simulator advances its
+    /// virtual clock here.
+    fn end_updates(&mut self, bk: &Bookkeeper, ops: &TickOps) -> Result<f64, Self::Error>;
+
+    /// Did the in-flight asynchronous flush complete? Called once per tick
+    /// while a checkpoint is in flight; must not block (the real engine
+    /// polls its writer's completion channel).
+    fn poll_completion(&mut self, bk: &Bookkeeper) -> Result<Option<FlushCompletion>, Self::Error>;
+
+    /// A checkpoint is starting at this tick boundary: perform the plan's
+    /// synchronous copy (if any) and launch the asynchronous flush.
+    /// Returns the synchronous pause in seconds. The bookkeeper is already
+    /// in-flight; `bk.flush_set()` / `bk.sweep_slots()` describe the write
+    /// set.
+    fn start_checkpoint(
+        &mut self,
+        bk: &Bookkeeper,
+        plan: &CheckpointPlan,
+        tick: u64,
+    ) -> Result<f64, Self::Error>;
+
+    /// The tick is over (metrics recorded): sleep out the tick period
+    /// (paced real engine) or do nothing.
+    fn end_tick(&mut self, tick: u64) -> Result<(), Self::Error>;
+
+    /// The trace is exhausted with a checkpoint still in flight: wait for
+    /// it to complete (blocking) and report it, or `None` if the backend
+    /// abandoned it.
+    fn drain(&mut self, bk: &Bookkeeper) -> Result<Option<FlushCompletion>, Self::Error>;
+}
+
+/// Result of one driver run, engine-agnostic. Engines wrap this into
+/// their report types (`SimReport`, `RealReport`).
+#[derive(Debug, Clone)]
+pub struct DriverRun {
+    /// Ticks executed (1-based count).
+    pub ticks: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// Per-tick and per-checkpoint series.
+    pub metrics: RunMetrics,
+}
+
+/// A checkpoint handed to the backend and not yet completed.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    seq: u64,
+    start_tick: u64,
+    sync_pause_s: f64,
+    full_flush: bool,
+}
+
+/// The unified orchestration loop (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct TickDriver {
+    spec: AlgorithmSpec,
+}
+
+impl TickDriver {
+    /// Create a driver for one algorithm.
+    pub fn new(spec: AlgorithmSpec) -> Self {
+        TickDriver { spec }
+    }
+
+    /// The algorithm specification being driven.
+    pub fn spec(&self) -> &AlgorithmSpec {
+        &self.spec
+    }
+
+    /// Replay `trace` through `backend`, one checkpoint after another.
+    ///
+    /// Panics if the trace's geometry is invalid (engines validate before
+    /// constructing their backends).
+    pub fn run<S, B>(&self, trace: &mut S, backend: &mut B) -> Result<DriverRun, B::Error>
+    where
+        S: TraceSource,
+        B: CheckpointBackend,
+    {
+        let geometry = trace.geometry();
+        geometry.validate().expect("trace geometry must be valid");
+        let mut bk = Bookkeeper::new(self.spec, geometry.n_objects());
+        let mut metrics = RunMetrics::default();
+        let mut pending: Option<Pending> = None;
+        let mut buf = Vec::new();
+        let mut tick = 0u64;
+        let mut total_updates = 0u64;
+
+        while trace.next_tick(&mut buf) {
+            tick += 1;
+            backend.begin_tick(tick)?;
+
+            // --- Update phase: route every update through Handle-Update.
+            let cursor = backend.cursor();
+            let mut ops_total = TickOps::default();
+            for &u in &buf {
+                let obj = geometry.object_of_unchecked(u.addr);
+                let ops = bk.on_update(obj, cursor);
+                ops_total.add(ops);
+                backend.apply_update(u, obj, ops)?;
+            }
+            total_updates += buf.len() as u64;
+            let update_overhead_s = backend.end_updates(&bk, &ops_total)?;
+
+            // --- Tick boundary: harvest a completed checkpoint...
+            if pending.is_some() {
+                if let Some(done) = backend.poll_completion(&bk)? {
+                    let p = pending.take().expect("pending checkpoint");
+                    metrics.checkpoints.push(Self::record(p, done, tick));
+                    bk.finish_checkpoint();
+                }
+            }
+
+            // ...and start the next one if the writer is free.
+            let mut sync_pause_s = 0.0f64;
+            if pending.is_none() {
+                let plan = bk.begin_checkpoint();
+                sync_pause_s = backend.start_checkpoint(&bk, &plan, tick)?;
+                pending = Some(Pending {
+                    seq: plan.seq,
+                    start_tick: tick,
+                    sync_pause_s,
+                    full_flush: plan.full_flush,
+                });
+            }
+
+            metrics.ticks.push(TickMetrics {
+                tick,
+                overhead_s: update_overhead_s + sync_pause_s,
+                sync_pause_s,
+                bit_ops: ops_total.bit_ops,
+                locks: ops_total.locks,
+                copies: ops_total.copies,
+            });
+            backend.end_tick(tick)?;
+        }
+
+        // Drain the final in-flight checkpoint so recovery sees a
+        // committed image.
+        if let Some(p) = pending.take() {
+            if let Some(done) = backend.drain(&bk)? {
+                metrics.checkpoints.push(Self::record(p, done, tick));
+                bk.finish_checkpoint();
+            }
+        }
+
+        Ok(DriverRun {
+            ticks: tick,
+            updates: total_updates,
+            metrics,
+        })
+    }
+
+    fn record(p: Pending, done: FlushCompletion, end_tick: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            seq: p.seq,
+            start_tick: p.start_tick,
+            end_tick,
+            duration_s: p.sync_pause_s + done.duration_s,
+            sync_pause_s: p.sync_pause_s,
+            objects_written: done.objects_written,
+            bytes_written: done.bytes_written,
+            full_flush: p.full_flush,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Algorithm;
+    use crate::geometry::StateGeometry;
+    use std::convert::Infallible;
+
+    /// A trace over `g` yielding `per_tick` updates for `ticks` ticks.
+    struct FakeTrace {
+        g: StateGeometry,
+        ticks: u64,
+        per_tick: u32,
+        next: u64,
+    }
+
+    impl TraceSource for FakeTrace {
+        fn geometry(&self) -> StateGeometry {
+            self.g
+        }
+
+        fn next_tick(&mut self, buf: &mut Vec<CellUpdate>) -> bool {
+            buf.clear();
+            if self.next >= self.ticks {
+                return false;
+            }
+            for i in 0..self.per_tick {
+                let row = ((self.next as u32).wrapping_mul(7) + i * 13) % self.g.rows;
+                buf.push(CellUpdate::new(row, i % self.g.cols, i));
+            }
+            self.next += 1;
+            true
+        }
+    }
+
+    /// A backend that completes every flush after `latency_ticks` ticks
+    /// and logs the driver's calls.
+    struct MockBackend {
+        latency_ticks: u64,
+        ticks_since_start: u64,
+        in_flight_objects: Option<u32>,
+        started: Vec<u64>,
+        drained: bool,
+    }
+
+    impl MockBackend {
+        fn new(latency_ticks: u64) -> Self {
+            MockBackend {
+                latency_ticks,
+                ticks_since_start: 0,
+                in_flight_objects: None,
+                started: Vec::new(),
+                drained: false,
+            }
+        }
+
+        fn completion(&mut self) -> FlushCompletion {
+            let objects = self.in_flight_objects.take().expect("flush in flight");
+            FlushCompletion {
+                duration_s: 0.001 * self.latency_ticks as f64,
+                objects_written: objects,
+                bytes_written: u64::from(objects) * 64,
+            }
+        }
+    }
+
+    impl CheckpointBackend for MockBackend {
+        type Error = Infallible;
+
+        fn begin_tick(&mut self, _tick: u64) -> Result<(), Infallible> {
+            Ok(())
+        }
+
+        fn cursor(&mut self) -> FlushCursor {
+            FlushCursor::START
+        }
+
+        fn apply_update(
+            &mut self,
+            _update: CellUpdate,
+            _obj: ObjectId,
+            _ops: UpdateOps,
+        ) -> Result<(), Infallible> {
+            Ok(())
+        }
+
+        fn end_updates(&mut self, _bk: &Bookkeeper, ops: &TickOps) -> Result<f64, Infallible> {
+            Ok(ops.bit_ops as f64 * 1e-9)
+        }
+
+        fn poll_completion(
+            &mut self,
+            _bk: &Bookkeeper,
+        ) -> Result<Option<FlushCompletion>, Infallible> {
+            self.ticks_since_start += 1;
+            if self.ticks_since_start >= self.latency_ticks {
+                Ok(Some(self.completion()))
+            } else {
+                Ok(None)
+            }
+        }
+
+        fn start_checkpoint(
+            &mut self,
+            _bk: &Bookkeeper,
+            plan: &CheckpointPlan,
+            tick: u64,
+        ) -> Result<f64, Infallible> {
+            self.in_flight_objects = Some(plan.flush.objects());
+            self.ticks_since_start = 0;
+            self.started.push(tick);
+            Ok(plan.sync_copy.map_or(0.0, |c| f64::from(c.objects) * 1e-6))
+        }
+
+        fn end_tick(&mut self, _tick: u64) -> Result<(), Infallible> {
+            Ok(())
+        }
+
+        fn drain(&mut self, _bk: &Bookkeeper) -> Result<Option<FlushCompletion>, Infallible> {
+            self.drained = true;
+            Ok(Some(self.completion()))
+        }
+    }
+
+    fn run(alg: Algorithm, latency: u64, ticks: u64) -> (DriverRun, MockBackend) {
+        let g = StateGeometry::small(64, 4);
+        let mut trace = FakeTrace {
+            g,
+            ticks,
+            per_tick: 8,
+            next: 0,
+        };
+        let mut backend = MockBackend::new(latency);
+        let driver = TickDriver::new(alg.spec());
+        let run = driver.run(&mut trace, &mut backend).expect("infallible");
+        (run, backend)
+    }
+
+    #[test]
+    fn checkpoints_run_back_to_back_for_all_algorithms() {
+        for alg in Algorithm::ALL {
+            let (run, backend) = run(alg, 3, 30);
+            assert_eq!(run.ticks, 30, "{alg}");
+            assert_eq!(run.updates, 30 * 8, "{alg}");
+            assert!(run.metrics.checkpoints.len() >= 2, "{alg}");
+            for w in run.metrics.checkpoints.windows(2) {
+                assert_eq!(w[1].seq, w[0].seq + 1, "{alg}: seq gap");
+                assert_eq!(
+                    w[1].start_tick, w[0].end_tick,
+                    "{alg}: checkpoints must be back to back"
+                );
+            }
+            assert!(backend.drained, "{alg}: final checkpoint must drain");
+        }
+    }
+
+    #[test]
+    fn eager_algorithms_pay_sync_pauses_through_the_driver() {
+        let (naive, _) = run(Algorithm::NaiveSnapshot, 2, 20);
+        assert!(naive.metrics.ticks.iter().any(|t| t.sync_pause_s > 0.0));
+        // Naive tracks no dirty bits: zero bit ops through the bookkeeper.
+        assert!(naive.metrics.ticks.iter().all(|t| t.bit_ops == 0));
+
+        let (cou, _) = run(Algorithm::CopyOnUpdate, 2, 20);
+        assert!(cou.metrics.ticks.iter().all(|t| t.sync_pause_s == 0.0));
+        assert_eq!(
+            cou.metrics.ticks.iter().map(|t| t.bit_ops).sum::<u64>(),
+            cou.updates,
+            "one bit op per update for dirty-tracking algorithms"
+        );
+    }
+
+    #[test]
+    fn driver_counts_copies_from_the_bookkeeper() {
+        // Cursor pinned at START: every first touch of a flush-set member
+        // must copy under copy-on-update.
+        let (cou, _) = run(Algorithm::CopyOnUpdate, 4, 40);
+        let copies: u64 = cou.metrics.ticks.iter().map(|t| t.copies).sum();
+        assert!(copies > 0, "first touches must copy");
+        let locks: u64 = cou.metrics.ticks.iter().map(|t| t.locks).sum();
+        assert_eq!(copies, locks, "every copy holds the lock");
+    }
+
+    #[test]
+    fn full_flush_cadence_flows_through_records() {
+        let (pr, _) = run(Algorithm::PartialRedo, 1, 40);
+        let fulls: Vec<u64> = pr
+            .metrics
+            .checkpoints
+            .iter()
+            .filter(|c| c.full_flush)
+            .map(|c| c.seq)
+            .collect();
+        assert!(!fulls.is_empty(), "40 completed checkpoints include fulls");
+        for seq in fulls {
+            assert_eq!(
+                (seq + 1) % u64::from(crate::algorithms::DEFAULT_FULL_FLUSH_PERIOD),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn start_ticks_match_backend_observations() {
+        let (run, backend) = run(Algorithm::NaiveSnapshot, 2, 12);
+        let starts: Vec<u64> = run
+            .metrics
+            .checkpoints
+            .iter()
+            .map(|c| c.start_tick)
+            .collect();
+        assert_eq!(&backend.started[..starts.len()], starts.as_slice());
+    }
+}

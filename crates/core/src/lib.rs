@@ -51,6 +51,7 @@
 pub mod algorithms;
 pub mod bitmap;
 pub mod dirty;
+pub mod driver;
 pub mod error;
 pub mod geometry;
 pub mod log;
@@ -58,9 +59,11 @@ pub mod metrics;
 pub mod plan;
 pub mod recovery;
 pub mod table;
+pub mod trace;
 
 pub use algorithms::bookkeeper::{Bookkeeper, FlushCursor, UpdateOps};
 pub use algorithms::{Algorithm, AlgorithmSpec, CopyTiming, DiskOrg, ObjectsCopied, Subroutine};
+pub use driver::{CheckpointBackend, DriverRun, FlushCompletion, TickDriver, TickOps};
 pub use error::CoreError;
 pub use geometry::{CellAddr, CellUpdate, ObjectId, StateGeometry};
 pub use log::ActionLog;
@@ -68,3 +71,4 @@ pub use metrics::{CheckpointRecord, RunMetrics, TickMetrics};
 pub use plan::{CheckpointPlan, CursorKind, FlushJob, SyncCopy};
 pub use recovery::{recover, CheckpointImage, RecoveryOutcome};
 pub use table::StateTable;
+pub use trace::TraceSource;

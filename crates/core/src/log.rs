@@ -59,11 +59,7 @@ impl ActionLog {
 
     /// Discard records for ticks strictly before `tick`.
     pub fn truncate_before(&mut self, tick: u64) {
-        while self
-            .records
-            .front()
-            .is_some_and(|r| r.tick < tick)
-        {
+        while self.records.front().is_some_and(|r| r.tick < tick) {
             self.records.pop_front();
         }
     }

@@ -68,10 +68,7 @@ impl RunMetrics {
     /// Maximum overhead of any tick, in seconds (the latency peaks of
     /// Figure 3).
     pub fn max_overhead_s(&self) -> f64 {
-        self.ticks
-            .iter()
-            .map(|t| t.overhead_s)
-            .fold(0.0, f64::max)
+        self.ticks.iter().map(|t| t.overhead_s).fold(0.0, f64::max)
     }
 
     /// Average time to checkpoint, in seconds, over completed checkpoints
@@ -91,10 +88,13 @@ impl RunMetrics {
         )
     }
 
-    /// Overhead of tick `t` in seconds, or 0 if out of range.
+    /// Overhead of tick `t` in seconds, or 0 if out of range. Tick
+    /// numbers are the driver's 1-based [`TickMetrics::tick`] values, so
+    /// the result lines up with [`CheckpointRecord::start_tick`].
     pub fn overhead_at(&self, tick: u64) -> f64 {
         self.ticks
-            .get(tick as usize)
+            .iter()
+            .find(|t| t.tick == tick)
             .map_or(0.0, |t| t.overhead_s)
     }
 

@@ -55,8 +55,7 @@ impl StateTable {
     /// must guarantee the address is in range.
     #[inline]
     pub fn apply_unchecked(&mut self, update: CellUpdate) -> ObjectId {
-        let idx =
-            update.addr.row as u64 * self.geometry.cols as u64 + update.addr.col as u64;
+        let idx = update.addr.row as u64 * self.geometry.cols as u64 + update.addr.col as u64;
         let start = (idx * self.geometry.cell_size as u64) as usize;
         self.write_cell_bytes(start, update.value);
         ObjectId((idx / self.geometry.cells_per_object() as u64) as u32)

@@ -54,9 +54,7 @@ impl Model {
     fn double_backup(&self) -> bool {
         matches!(
             self.alg,
-            Algorithm::NaiveSnapshot
-                | Algorithm::AtomicCopyDirtyObjects
-                | Algorithm::CopyOnUpdate
+            Algorithm::NaiveSnapshot | Algorithm::AtomicCopyDirtyObjects | Algorithm::CopyOnUpdate
         )
     }
 
@@ -175,7 +173,7 @@ proptest! {
                             );
                         }
                         prop_assert!(
-                            !(ops_out.copy && !ops_out.lock),
+                            !ops_out.copy || ops_out.lock,
                             "copies must hold the lock"
                         );
                     }

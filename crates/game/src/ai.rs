@@ -228,10 +228,7 @@ mod tests {
 
     #[test]
     fn knight_on_cooldown_pursues_instead_of_attacking() {
-        let (mut units, grid) = setup(vec![
-            unit(0, 100, 100, 0, 100),
-            unit(1, 105, 100, 1, 100),
-        ]);
+        let (mut units, grid) = setup(vec![unit(0, 100, 100, 0, 100), unit(1, 105, 100, 1, 100)]);
         units[0].cooldown = 100; // ready at tick 100
         let mut rng = SmallRng::seed_from_u64(1);
         let a = decide(&units[0], &units, &grid, (100, 100), &config(), 5, &mut rng);
@@ -268,9 +265,9 @@ mod tests {
     fn healer_heals_weakest_wounded_ally() {
         // Id 3 is a healer (3 % 4 == 3); squad 0 keeps everyone red.
         let (units, grid) = setup(vec![
-            unit(0, 105, 100, 0, 30), // knight, red, badly wounded
+            unit(0, 105, 100, 0, 30),  // knight, red, badly wounded
             unit(1, 900, 900, 1, 100), // blue filler, far away
-            unit(2, 110, 100, 0, 60), // archer, red, lightly wounded
+            unit(2, 110, 100, 0, 60),  // archer, red, lightly wounded
             unit(3, 100, 100, 0, 100), // the healer under test
         ]);
         let mut rng = SmallRng::seed_from_u64(1);

@@ -41,7 +41,7 @@ impl GameConfig {
             ticks: 1_000,
             action_density: 0.29,
             attack_range: 12,
-            seed: 0xBA77_1E,
+            seed: 0x00BA_771E,
         }
     }
 

@@ -110,8 +110,7 @@ impl Grid {
             if other.team() != team || other.health == 0 || other.health >= Unit::MAX_HEALTH {
                 return;
             }
-            if other.dist2(unit.x, unit.y) <= range2
-                && best.is_none_or(|(bh, _)| other.health < bh)
+            if other.dist2(unit.x, unit.y) <= range2 && best.is_none_or(|(bh, _)| other.health < bh)
             {
                 best = Some((other.health, id));
             }
@@ -129,8 +128,7 @@ impl Grid {
                 return;
             }
             let other = &units[id as usize];
-            if other.team() == team && other.health > 0 && other.dist2(unit.x, unit.y) <= range2
-            {
+            if other.team() == team && other.health > 0 && other.dist2(unit.x, unit.y) <= range2 {
                 found = true;
             }
         });

@@ -469,10 +469,7 @@ mod tests {
         let mut health_updates = 0u64;
         for _ in 0..300 {
             w.step(&mut out);
-            health_updates += out
-                .iter()
-                .filter(|u| u.addr.col == attr::HEALTH)
-                .count() as u64;
+            health_updates += out.iter().filter(|u| u.addr.col == attr::HEALTH).count() as u64;
         }
         assert!(health_updates > 0, "no combat in 300 ticks");
     }

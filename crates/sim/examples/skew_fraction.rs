@@ -10,8 +10,8 @@ fn main() {
         let trace = SyntheticConfig::paper_default()
             .with_skew(skew)
             .with_ticks(150);
-        let r = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
-            .run(&mut trace.build());
+        let r =
+            SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate).run(&mut trace.build());
         let frac = r.avg_objects_per_checkpoint / f64::from(r.geometry.n_objects());
         println!(
             "skew {skew}: {:.1}% of objects flushed per checkpoint",

@@ -145,7 +145,13 @@ mod tests {
         });
         assert!((t2 - t - 999.0 * 100e-9).abs() < 1e-12);
         // Empty copies are free.
-        assert_eq!(m.sync_copy_s(SyncCopy { objects: 0, runs: 0 }), 0.0);
+        assert_eq!(
+            m.sync_copy_s(SyncCopy {
+                objects: 0,
+                runs: 0
+            }),
+            0.0
+        );
     }
 
     #[test]

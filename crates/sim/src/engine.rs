@@ -1,36 +1,35 @@
-//! The discrete tick engine.
+//! The discrete tick engine, expressed as a cost-model backend of the
+//! unified [`TickDriver`].
 //!
-//! [`SimEngine::run`] replays a trace tick by tick, exactly following the
-//! paper's Checkpointing Algorithmic Framework:
+//! The orchestration loop — updates through `Handle-Update`, checkpoint
+//! completion, checkpoint start — lives in `mmoc_core::driver`; this
+//! module contributes only what is simulator-specific:
 //!
-//! 1. During a tick, every update is routed through the algorithm's
-//!    `Handle-Update` bookkeeping, and its cost (`Obit`, `Olock`,
-//!    `ΔTsync(1)`) stretches the tick.
-//! 2. At the end of a tick, if the previous checkpoint has finished, a new
-//!    one starts: eager algorithms pay their synchronous `Copy-To-Memory`
-//!    pause here, and the asynchronous flush job is scheduled with the
-//!    duration given by the disk model.
-//! 3. The asynchronous writer's frontier advances with virtual wall-clock
-//!    time; updates within a tick observe the frontier as of the start of
-//!    the tick (the writer and the mutator genuinely race within a tick —
-//!    using the tick-start frontier is the conservative discretization).
-//!
-//! Virtual time bookkeeping: a tick's wall length is the base tick period
-//! plus all recovery-induced overhead, matching the paper's observation
-//! that "a recovery method introduces overhead that stretches ticks beyond
-//! their previous length".
+//! 1. A **virtual clock**: a tick's wall length is the base tick period
+//!    plus all recovery-induced overhead, matching the paper's observation
+//!    that "a recovery method introduces overhead that stretches ticks
+//!    beyond their previous length".
+//! 2. The **cost model** (Table 3): update bookkeeping is priced with
+//!    `Obit`, `Olock`, `ΔTsync(1)`; eager copies with `ΔTsync(k)`; flush
+//!    jobs with the disk model `ΔTasync`.
+//! 3. The **writer frontier**: the asynchronous writer's progress advances
+//!    with virtual time; updates within a tick observe the frontier as of
+//!    the start of the tick (the conservative discretization of the real
+//!    engine's genuine mutator/writer race).
+//! 4. Optional **value-level fidelity checking** for tests.
 
 use crate::cost::CostModel;
 use crate::fidelity::{FidelityChecker, FidelityReport};
 use crate::params::HardwareParams;
 use crate::report::SimReport;
 use mmoc_core::algorithms::DEFAULT_FULL_FLUSH_PERIOD;
+use mmoc_core::driver::{CheckpointBackend, FlushCompletion, TickOps};
 use mmoc_core::{
-    Algorithm, Bookkeeper, CheckpointPlan, CheckpointRecord, FlushCursor, FlushJob, RunMetrics,
-    TickMetrics,
+    Algorithm, Bookkeeper, CellUpdate, CheckpointPlan, FlushCursor, FlushJob, ObjectId, TickDriver,
+    TraceSource,
 };
-use mmoc_workload::TraceSource;
 use serde::{Deserialize, Serialize};
+use std::convert::Infallible;
 
 /// Simulation configuration: hardware model plus game parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -60,14 +59,132 @@ impl SimConfig {
     }
 }
 
-/// A checkpoint currently being written.
-struct ActiveCheckpoint {
-    plan: CheckpointPlan,
+/// A checkpoint currently being written (virtual-time bookkeeping).
+struct ActiveFlush {
     /// Virtual time at which the asynchronous write began.
     started_at: f64,
     async_duration: f64,
-    sync_pause: f64,
-    start_tick: u64,
+    objects: u32,
+}
+
+/// The simulator-specific half of the engine: prices what the driver
+/// sequences.
+struct SimBackend {
+    cost: CostModel,
+    tick_period: f64,
+    frontier_rate: f64,
+    n_objects: u32,
+    clock: f64,
+    active: Option<ActiveFlush>,
+    fidelity: Option<FidelityChecker>,
+}
+
+impl SimBackend {
+    /// The writer's frontier at virtual time `now`, in sweep slots.
+    fn frontier_at(&self, now: f64) -> u64 {
+        self.active.as_ref().map_or(0, |a| {
+            ((now - a.started_at).max(0.0) * self.frontier_rate) as u64
+        })
+    }
+}
+
+impl CheckpointBackend for SimBackend {
+    type Error = Infallible;
+
+    fn begin_tick(&mut self, _tick: u64) -> Result<(), Infallible> {
+        Ok(())
+    }
+
+    fn cursor(&mut self) -> FlushCursor {
+        FlushCursor::at(self.frontier_at(self.clock))
+    }
+
+    fn apply_update(
+        &mut self,
+        update: CellUpdate,
+        obj: ObjectId,
+        ops: mmoc_core::UpdateOps,
+    ) -> Result<(), Infallible> {
+        if let Some(f) = self.fidelity.as_mut() {
+            if ops.copy {
+                f.save_copy(obj);
+            }
+            f.apply(update);
+        }
+        Ok(())
+    }
+
+    fn end_updates(&mut self, bk: &Bookkeeper, ops: &TickOps) -> Result<f64, Infallible> {
+        let overhead = self
+            .cost
+            .tick_update_overhead_s(ops.bit_ops, ops.locks, ops.copies);
+        self.clock += self.tick_period + overhead;
+        // Writer progress during this tick, capped at flush completion.
+        if let Some(a) = &self.active {
+            if let Some(f) = self.fidelity.as_mut() {
+                let now = self.clock.min(a.started_at + a.async_duration);
+                let slots = ((now - a.started_at).max(0.0) * self.frontier_rate) as u64;
+                f.advance_flush(bk, slots);
+            }
+        }
+        Ok(overhead)
+    }
+
+    fn poll_completion(&mut self, bk: &Bookkeeper) -> Result<Option<FlushCompletion>, Infallible> {
+        let Some(a) = &self.active else {
+            return Ok(None);
+        };
+        if a.started_at + a.async_duration <= self.clock {
+            let a = self.active.take().expect("active flush");
+            if let Some(f) = self.fidelity.as_mut() {
+                f.complete_checkpoint(bk);
+            }
+            Ok(Some(FlushCompletion {
+                duration_s: a.async_duration,
+                objects_written: a.objects,
+                bytes_written: self.cost.bytes_written(a.objects),
+            }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn start_checkpoint(
+        &mut self,
+        bk: &Bookkeeper,
+        plan: &CheckpointPlan,
+        _tick: u64,
+    ) -> Result<f64, Infallible> {
+        let sync_pause = plan.sync_copy.map_or(0.0, |c| self.cost.sync_copy_s(c));
+        self.clock += sync_pause;
+        let async_duration = match plan.flush {
+            FlushJob::None => 0.0,
+            FlushJob::Snapshot { objects, org } | FlushJob::Sweep { objects, org, .. } => {
+                self.cost.async_write_s(org, objects, self.n_objects)
+            }
+        };
+        if let Some(f) = self.fidelity.as_mut() {
+            f.begin_checkpoint(bk);
+        }
+        self.active = Some(ActiveFlush {
+            started_at: self.clock,
+            async_duration,
+            objects: plan.flush.objects(),
+        });
+        Ok(sync_pause)
+    }
+
+    fn end_tick(&mut self, _tick: u64) -> Result<(), Infallible> {
+        Ok(())
+    }
+
+    fn drain(&mut self, bk: &Bookkeeper) -> Result<Option<FlushCompletion>, Infallible> {
+        // Virtual time: let the clock jump to the flush's completion.
+        if let Some(a) = &self.active {
+            self.clock = self.clock.max(a.started_at + a.async_duration);
+        }
+        self.poll_completion(bk)
+    }
 }
 
 /// The simulator: drives one algorithm over one trace.
@@ -113,120 +230,31 @@ impl SimEngine {
     fn run_inner<S: TraceSource>(
         &self,
         trace: &mut S,
-        mut fidelity: Option<FidelityChecker>,
+        fidelity: Option<FidelityChecker>,
     ) -> (SimReport, Option<FidelityReport>) {
         let geometry = trace.geometry();
         geometry.validate().expect("trace geometry must be valid");
-        let n = geometry.n_objects();
         let cost = CostModel::new(self.config.hardware, geometry.object_size);
         let spec = self
             .algorithm
             .spec_with_flush_period(self.config.full_flush_period);
-        let mut bk = Bookkeeper::new(spec, n);
-        let tick_period = self.config.tick_period_s();
-        let frontier_rate = cost.frontier_slots_per_s();
 
-        let mut clock = 0.0f64;
-        let mut active: Option<ActiveCheckpoint> = None;
-        let mut metrics = RunMetrics::default();
-        let mut total_updates = 0u64;
-        let mut buf = Vec::new();
-        let mut tick = 0u64;
+        let mut backend = SimBackend {
+            cost,
+            tick_period: self.config.tick_period_s(),
+            frontier_rate: cost.frontier_slots_per_s(),
+            n_objects: geometry.n_objects(),
+            clock: 0.0,
+            active: None,
+            fidelity,
+        };
+        let run = match TickDriver::new(spec).run(trace, &mut backend) {
+            Ok(run) => run,
+            Err(infallible) => match infallible {},
+        };
 
-        while trace.next_tick(&mut buf) {
-            // --- Phase 1: apply the tick's updates. -----------------------
-            let frontier_start = active.as_ref().map_or(0u64, |a| {
-                let elapsed = (clock - a.started_at).max(0.0);
-                (elapsed * frontier_rate) as u64
-            });
-            let cursor = FlushCursor::at(frontier_start);
-            let (mut bit_ops, mut locks, mut copies) = (0u64, 0u64, 0u64);
-            for &u in &buf {
-                let obj = geometry.object_of_unchecked(u.addr);
-                let ops = bk.on_update(obj, cursor);
-                bit_ops += u64::from(ops.bit_ops);
-                locks += u64::from(ops.lock);
-                copies += u64::from(ops.copy);
-                if let Some(f) = fidelity.as_mut() {
-                    if ops.copy {
-                        f.save_copy(obj);
-                    }
-                    f.apply(u);
-                }
-            }
-            total_updates += buf.len() as u64;
-            let update_overhead = cost.tick_update_overhead_s(bit_ops, locks, copies);
-
-            // --- Phase 2: end of tick. The tick's wall length is the base
-            // period stretched by the recovery overhead.
-            clock += tick_period + update_overhead;
-
-            // Writer progress during this tick; completion check.
-            if let Some(a) = &active {
-                let end = a.started_at + a.async_duration;
-                if let Some(f) = fidelity.as_mut() {
-                    let now = clock.min(end);
-                    let frontier_end = ((now - a.started_at).max(0.0) * frontier_rate) as u64;
-                    f.advance_flush(&bk, frontier_end);
-                }
-                if end <= clock {
-                    let a = active.take().expect("active checkpoint");
-                    if let Some(f) = fidelity.as_mut() {
-                        f.complete_checkpoint(&bk);
-                    }
-                    metrics.checkpoints.push(CheckpointRecord {
-                        seq: a.plan.seq,
-                        start_tick: a.start_tick,
-                        end_tick: tick,
-                        duration_s: a.sync_pause + a.async_duration,
-                        sync_pause_s: a.sync_pause,
-                        objects_written: a.plan.flush.objects(),
-                        bytes_written: cost.bytes_written(a.plan.flush.objects()),
-                        full_flush: a.plan.full_flush,
-                    });
-                    bk.finish_checkpoint();
-                }
-            }
-
-            // Tick boundary: start the next checkpoint if none in flight.
-            let mut sync_pause = 0.0f64;
-            if active.is_none() {
-                let plan = bk.begin_checkpoint();
-                sync_pause = plan
-                    .sync_copy
-                    .map_or(0.0, |c| cost.sync_copy_s(c));
-                clock += sync_pause;
-                let async_duration = match plan.flush {
-                    FlushJob::None => 0.0,
-                    FlushJob::Snapshot { objects, org } | FlushJob::Sweep { objects, org, .. } => {
-                        cost.async_write_s(org, objects, n)
-                    }
-                };
-                if let Some(f) = fidelity.as_mut() {
-                    f.begin_checkpoint(&bk);
-                }
-                active = Some(ActiveCheckpoint {
-                    plan,
-                    started_at: clock,
-                    async_duration,
-                    sync_pause,
-                    start_tick: tick,
-                });
-            }
-
-            metrics.ticks.push(TickMetrics {
-                tick,
-                overhead_s: update_overhead + sync_pause,
-                sync_pause_s: sync_pause,
-                bit_ops,
-                locks,
-                copies,
-            });
-            tick += 1;
-        }
-
-        let report = self.build_report(geometry, &cost, tick, total_updates, metrics);
-        (report, fidelity.map(FidelityChecker::into_report))
+        let report = self.build_report(geometry, &cost, run.ticks, run.updates, run.metrics);
+        (report, backend.fidelity.map(FidelityChecker::into_report))
     }
 
     fn build_report(
@@ -235,7 +263,7 @@ impl SimEngine {
         cost: &CostModel,
         ticks: u64,
         updates: u64,
-        metrics: RunMetrics,
+        metrics: mmoc_core::RunMetrics,
     ) -> SimReport {
         let n = geometry.n_objects();
         let spec = self
@@ -408,16 +436,14 @@ mod tests {
     #[test]
     fn zero_update_trace_still_checkpoints() {
         for alg in Algorithm::ALL {
-            let report = SimEngine::new(SimConfig::default(), alg)
-                .run(&mut small_trace(30, 0, 0.0));
+            let report =
+                SimEngine::new(SimConfig::default(), alg).run(&mut small_trace(30, 0, 0.0));
             assert!(
                 report.checkpoints_completed > 0,
                 "{alg} must cycle empty checkpoints"
             );
             // Dirty-only algorithms write nothing.
-            if alg != Algorithm::NaiveSnapshot
-                && alg != Algorithm::DribbleAndCopyOnUpdate
-            {
+            if alg != Algorithm::NaiveSnapshot && alg != Algorithm::DribbleAndCopyOnUpdate {
                 let normal_bytes: u64 = report
                     .metrics
                     .checkpoints

@@ -1,0 +1,109 @@
+//! The real Atomic-Copy-Dirty-Objects engine — one of the two algorithms
+//! the paper's C++ validation never implemented, unlocked by the unified
+//! driver.
+//!
+//! At the tick boundary the driver eagerly copies only the objects
+//! dirtied since the target backup's previous checkpoint (the real
+//! `memcpy` pause scales with the dirty-set size, not the state size);
+//! the writer flushes the private copies to the double backup with
+//! sorted, offset-ordered writes.
+
+use crate::config::RealConfig;
+use crate::engine::run_algorithm;
+use crate::report::RealReport;
+use mmoc_core::{Algorithm, TraceSource};
+use std::io;
+
+/// Run Atomic-Copy-Dirty-Objects over the trace produced by `make_trace`
+/// (replayable; the second instantiation drives recovery).
+pub fn run_atomic_copy<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
+where
+    S: TraceSource,
+    F: Fn() -> S,
+{
+    run_algorithm(Algorithm::AtomicCopyDirtyObjects, config, make_trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmoc_core::StateGeometry;
+    use mmoc_workload::SyntheticConfig;
+
+    fn config(dir: &std::path::Path) -> RealConfig {
+        let mut c = RealConfig::new(dir);
+        c.query_ops_per_tick = 64;
+        c
+    }
+
+    fn trace_config() -> SyntheticConfig {
+        SyntheticConfig {
+            geometry: StateGeometry::small(512, 8),
+            ticks: 45,
+            updates_per_tick: 300,
+            skew: 0.7,
+            seed: 1213,
+        }
+    }
+
+    #[test]
+    fn acdo_runs_and_recovers_exactly() {
+        let dir = tempfile::tempdir().unwrap();
+        let report = run_atomic_copy(&config(dir.path()), || trace_config().build()).unwrap();
+        assert!(report.checkpoints_completed > 0);
+        let rec = report.recovery.expect("recovery measured");
+        assert!(rec.state_matches, "ACDO recovery diverged");
+    }
+
+    #[test]
+    fn acdo_writes_only_dirty_objects_with_eager_pauses() {
+        let dir = tempfile::tempdir().unwrap();
+        let report = run_atomic_copy(&config(dir.path()).without_recovery(), || {
+            trace_config().build()
+        })
+        .unwrap();
+        let g = trace_config().geometry;
+        assert!(report
+            .metrics
+            .checkpoints
+            .iter()
+            .any(|c| c.objects_written < g.n_objects()));
+        let pauses: f64 = report.metrics.ticks.iter().map(|t| t.sync_pause_s).sum();
+        assert!(pauses > 0.0, "ACDO pays eager copy pauses");
+        let copies: u64 = report.metrics.ticks.iter().map(|t| t.copies).sum();
+        assert_eq!(copies, 0, "ACDO never copies on update");
+    }
+
+    #[test]
+    fn acdo_tracks_dirty_bits_per_update() {
+        let dir = tempfile::tempdir().unwrap();
+        let report = run_atomic_copy(&config(dir.path()).without_recovery(), || {
+            trace_config().build()
+        })
+        .unwrap();
+        let bit_ops: u64 = report.metrics.ticks.iter().map(|t| t.bit_ops).sum();
+        assert_eq!(bit_ops, report.updates, "one dirty-bit op per update");
+    }
+
+    /// Alternating backups each owe their own dirty sets: an object
+    /// updated once must be written by the next checkpoint of *both*
+    /// backups.
+    #[test]
+    fn acdo_alternating_backups_recover_after_updates_stop() {
+        let dir = tempfile::tempdir().unwrap();
+        // A trace whose updates stop halfway: the tail checkpoints drain
+        // both backups' dirty sets and recovery still matches.
+        let g = StateGeometry::small(128, 8);
+        let mut ticks: Vec<Vec<mmoc_core::CellUpdate>> = (0..30u32)
+            .map(|t| {
+                (0..50u32)
+                    .map(|i| mmoc_core::CellUpdate::new((t * 7 + i) % 128, i % 8, t * 1000 + i))
+                    .collect()
+            })
+            .collect();
+        ticks.extend(std::iter::repeat_with(Vec::new).take(30));
+        let trace = mmoc_workload::RecordedTrace::new(g, ticks);
+        let report = run_atomic_copy(&config(dir.path()), || trace.replay()).unwrap();
+        assert!(report.recovery.unwrap().state_matches);
+    }
+}

@@ -1,4 +1,5 @@
-//! The real Copy-on-Update engine.
+//! The real Copy-on-Update engine — a configuration of the shared
+//! [`crate::engine`], not an orchestration loop of its own.
 //!
 //! The mutator and the asynchronous writer genuinely race here, as in the
 //! paper's C++ implementation: the writer walks the sorted dirty list and
@@ -15,77 +16,10 @@
 //! dedicated microbenchmark.
 
 use crate::config::RealConfig;
-use crate::files::BackupSet;
-use crate::recovery::recover_and_replay;
-use crate::report::{RealReport, RecoveryMeasurement};
-use crate::shared::{AtomicBitmap, SharedTable};
-use mmoc_core::bitmap::BitVec;
-use mmoc_core::{Algorithm, CheckpointRecord, ObjectId, RunMetrics, TickMetrics};
-use mmoc_workload::TraceSource;
-use parking_lot::Mutex;
+use crate::engine::run_algorithm;
+use crate::report::RealReport;
+use mmoc_core::{Algorithm, TraceSource};
 use std::io;
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
-use std::time::Instant;
-
-/// State shared between the mutator and the writer thread.
-pub(crate) struct Shared {
-    pub(crate) table: SharedTable,
-    /// Side arena holding pre-update images of copied objects (same cell
-    /// layout as the table).
-    pub(crate) arena: Box<[std::sync::atomic::AtomicU32]>,
-    pub(crate) copied: AtomicBitmap,
-    pub(crate) flushed: AtomicBitmap,
-    pub(crate) locks: Box<[Mutex<()>]>,
-}
-
-impl Shared {
-    pub(crate) fn new(table: SharedTable) -> Self {
-        let g = *table.geometry();
-        let n = g.n_objects();
-        let cells = n as u64 * u64::from(g.cells_per_object());
-        Shared {
-            table,
-            arena: (0..cells)
-                .map(|_| std::sync::atomic::AtomicU32::new(0))
-                .collect(),
-            copied: AtomicBitmap::new(n),
-            flushed: AtomicBitmap::new(n),
-            locks: (0..n).map(|_| Mutex::new(())).collect(),
-        }
-    }
-
-    /// Copy an object's live cells into the arena (mutator, under lock).
-    pub(crate) fn save_to_arena(&self, obj: ObjectId) {
-        let per = self.table.geometry().cells_per_object() as usize;
-        let base = obj.index() * per;
-        for i in 0..per {
-            let v = self.table.read_cell_raw(base + i);
-            self.arena[base + i].store(v, Ordering::Relaxed);
-        }
-    }
-
-    /// Read an object image from the arena into `buf` (writer, under
-    /// lock, after observing `copied`).
-    pub(crate) fn read_arena_into(&self, obj: ObjectId, buf: &mut [u8]) {
-        let per = self.table.geometry().cells_per_object() as usize;
-        let base = obj.index() * per;
-        for (i, chunk) in buf.chunks_exact_mut(4).enumerate().take(per) {
-            chunk.copy_from_slice(&self.arena[base + i].load(Ordering::Relaxed).to_le_bytes());
-        }
-    }
-}
-
-struct Job {
-    list: Vec<u32>,
-    target: usize,
-    tick: u64,
-}
-
-struct Done {
-    result: io::Result<f64>,
-    objects: u32,
-}
 
 /// Run Copy-on-Update over the trace produced by `make_trace`.
 ///
@@ -96,210 +30,7 @@ where
     S: TraceSource,
     F: Fn() -> S,
 {
-    let mut trace = make_trace();
-    let geometry = trace.geometry();
-    geometry
-        .validate()
-        .map_err(|e| io::Error::other(e.to_string()))?;
-    let n = geometry.n_objects();
-    let shared = Arc::new(Shared::new(SharedTable::new(geometry)));
-
-    // Pre-load both backups with the initial (zeroed) state.
-    let initial = vec![0u8; n as usize * geometry.object_size as usize];
-    let mut set = BackupSet::create(&config.dir, geometry, &initial)?;
-    let sync_data = config.sync_data;
-
-    let (job_tx, job_rx) = crossbeam::channel::bounded::<Job>(1);
-    let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(1);
-    let writer_shared = Arc::clone(&shared);
-    let writer = std::thread::spawn(move || {
-        let mut buf = vec![0u8; geometry.object_size as usize];
-        for job in job_rx {
-            let t0 = Instant::now();
-            let result = (|| {
-                set.invalidate(job.target)?;
-                for &o in &job.list {
-                    let obj = ObjectId(o);
-                    {
-                        let _guard = writer_shared.locks[o as usize].lock();
-                        if writer_shared.copied.get(o) {
-                            writer_shared.read_arena_into(obj, &mut buf);
-                        } else {
-                            writer_shared.table.read_object_into(obj, &mut buf);
-                        }
-                        writer_shared.flushed.set(o);
-                    }
-                    // Sorted I/O: `list` is in increasing offset order.
-                    set.write_object(job.target, obj, &buf)?;
-                }
-                if sync_data {
-                    set.sync(job.target)?;
-                }
-                set.commit(job.target, job.tick)?;
-                Ok(t0.elapsed().as_secs_f64())
-            })();
-            let _ = done_tx.send(Done {
-                result,
-                objects: job.list.len() as u32,
-            });
-        }
-    });
-
-    let mut metrics = RunMetrics::default();
-    let mut dirty = [BitVec::new(n), BitVec::new(n)];
-    // Mutator-local "already dealt with this checkpoint" cache: avoids
-    // touching shared atomics for repeat updates to the same object.
-    let mut handled = BitVec::new(n);
-    let mut flush_member = BitVec::new(n);
-    let mut in_flight: Option<(u64, u64, usize)> = None; // (seq, start tick, target)
-    let mut seq = 0u64;
-    let mut target = 0usize;
-    let mut tick = 0u64;
-    let mut total_updates = 0u64;
-    let mut rng_state = 0x1234_5678u64;
-    let mut query_sink = 0u64;
-    let mut buf = Vec::new();
-
-    while trace.next_tick(&mut buf) {
-        tick += 1;
-        let tick_start = Instant::now();
-
-        for _ in 0..config.query_ops_per_tick {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let row = (rng_state >> 33) as u32 % geometry.rows;
-            let col = (rng_state >> 13) as u32 % geometry.cols;
-            query_sink ^= u64::from(shared.table.read_cell(row, col));
-        }
-
-        // Update phase with the copy-on-update handler.
-        let (mut bit_ops, mut locks, mut copies) = (0u64, 0u64, 0u64);
-        let mut slow_path_s = 0.0f64;
-        for &u in &buf {
-            let obj = geometry.object_of_unchecked(u.addr);
-            dirty[0].set(obj.0);
-            dirty[1].set(obj.0);
-            bit_ops += 1;
-            if in_flight.is_some() && flush_member.get(obj.0) && !handled.get(obj.0) {
-                let t0 = Instant::now();
-                if !shared.flushed.get(obj.0) {
-                    let _guard = shared.locks[obj.index()].lock();
-                    locks += 1;
-                    // Re-check under the lock: the writer may have flushed
-                    // the object while we were acquiring.
-                    if !shared.flushed.get(obj.0) {
-                        shared.save_to_arena(obj);
-                        shared.copied.set(obj.0);
-                        copies += 1;
-                    }
-                }
-                handled.set(obj.0);
-                slow_path_s += t0.elapsed().as_secs_f64();
-            }
-            shared.table.write_cell(u);
-        }
-        total_updates += buf.len() as u64;
-
-        // Tick boundary: harvest a completed checkpoint.
-        if let Ok(done) = done_rx.try_recv() {
-            let duration = done.result?;
-            let (s, start_tick, tgt) = in_flight.take().expect("job in flight");
-            metrics.checkpoints.push(CheckpointRecord {
-                seq: s,
-                start_tick,
-                end_tick: tick,
-                duration_s: duration,
-                sync_pause_s: 0.0,
-                objects_written: done.objects,
-                bytes_written: u64::from(done.objects) * u64::from(geometry.object_size),
-                full_flush: false,
-            });
-            target = tgt ^ 1;
-        }
-
-        // Start the next checkpoint: snapshot the dirty set for the
-        // target backup and hand the sorted list to the writer.
-        if in_flight.is_none() {
-            flush_member.clone_from(&dirty[target]);
-            let list: Vec<u32> = dirty[target].ones();
-            dirty[target].clear_all();
-            shared.copied.clear_all();
-            shared.flushed.clear_all();
-            handled.clear_all();
-            job_tx
-                .send(Job {
-                    list,
-                    target,
-                    tick,
-                })
-                .expect("writer alive");
-            in_flight = Some((seq, tick, target));
-            seq += 1;
-        }
-
-        let overhead_s = slow_path_s + bit_ops as f64 * config.bit_test_cost_s;
-        metrics.ticks.push(TickMetrics {
-            tick,
-            overhead_s,
-            sync_pause_s: 0.0,
-            bit_ops,
-            locks,
-            copies,
-        });
-
-        if config.paced {
-            let elapsed = tick_start.elapsed();
-            if elapsed < config.tick_period {
-                std::thread::sleep(config.tick_period - elapsed);
-            }
-        }
-    }
-
-    // Drain the in-flight checkpoint.
-    if let Some((s, start_tick, _)) = in_flight.take() {
-        let done = done_rx.recv().expect("writer alive");
-        let duration = done.result?;
-        metrics.checkpoints.push(CheckpointRecord {
-            seq: s,
-            start_tick,
-            end_tick: tick,
-            duration_s: duration,
-            sync_pause_s: 0.0,
-            objects_written: done.objects,
-            bytes_written: u64::from(done.objects) * u64::from(geometry.object_size),
-            full_flush: false,
-        });
-    }
-    drop(job_tx);
-    writer.join().expect("writer thread");
-    std::hint::black_box(query_sink);
-
-    let recovery = if config.measure_recovery {
-        let mut replay_trace = make_trace();
-        let rec = recover_and_replay(&config.dir, geometry, &mut replay_trace, tick)?;
-        Some(RecoveryMeasurement {
-            restore_s: rec.restore_s,
-            replay_s: rec.replay_s,
-            total_s: rec.restore_s + rec.replay_s,
-            restored_from_tick: rec.from_tick,
-            ticks_replayed: rec.ticks_replayed,
-            updates_replayed: rec.updates_replayed,
-            state_matches: rec.table.fingerprint() == shared.table.fingerprint(),
-        })
-    } else {
-        None
-    };
-
-    Ok(RealReport {
-        algorithm: Algorithm::CopyOnUpdate,
-        ticks: tick,
-        updates: total_updates,
-        checkpoints_completed: metrics.checkpoints.len() as u64,
-        avg_overhead_s: metrics.avg_overhead_s(),
-        max_overhead_s: metrics.max_overhead_s(),
-        avg_checkpoint_s: metrics.avg_checkpoint_s(),
-        metrics,
-        recovery,
-    })
+    run_algorithm(Algorithm::CopyOnUpdate, config, make_trace)
 }
 
 #[cfg(test)]

@@ -202,7 +202,7 @@ mod tests {
     fn create_preloads_both_backups() {
         let dir = tempfile::tempdir().unwrap();
         let mut set = BackupSet::create(dir.path(), geometry(), &image(7)).unwrap();
-        assert_eq!(set.newest_consistent(), Some((0, 0)).map(|(i, t)| (i, t)));
+        assert_eq!(set.newest_consistent(), Some((0, 0)));
         assert_eq!(set.read_full(0).unwrap(), image(7));
         assert_eq!(set.read_full(1).unwrap(), image(7));
     }

@@ -4,16 +4,22 @@
 //! `mmoc-sim` *prices* operations, this crate *performs* them: real memory
 //! copies, real files, real threads.
 //!
-//! The paper implemented the two winners identified by the simulation —
-//! **Naive-Snapshot** and **Copy-on-Update** — with this structure:
+//! The paper implemented only the two winners identified by the simulation
+//! (Naive-Snapshot and Copy-on-Update); this crate runs **all six**
+//! algorithms through one engine ([`engine::run_algorithm`]), built as a
+//! backend of the unified tick driver in `mmoc_core::driver`:
 //!
-//! * a **mutator thread** executing each tick in three phases: *query*
-//!   (random lookups sized to fill the tick), *update* (apply the trace's
-//!   updates), and *sleep* (pad to the tick frequency when pacing is on);
-//! * an **asynchronous writer thread** flushing consistent checkpoints to
-//!   a double-backup pair of files, with sorted (offset-ordered) writes;
-//! * real **crash recovery**: read back the newest consistent backup and
-//!   replay the deterministic update stream to the crash tick.
+//! * the **mutator** executes each tick in three phases: *query* (random
+//!   lookups sized to fill the tick), *update* (apply the trace's updates
+//!   through the bookkeeper's `Handle-Update`), and *sleep* (pad to the
+//!   tick frequency when pacing is on);
+//! * an **asynchronous writer thread** flushes consistent checkpoints to
+//!   the algorithm's disk organization — a double-backup pair of files
+//!   with sorted (offset-ordered) writes, or an append-only segment log —
+//!   publishing its sweep frontier for copy-on-update coordination;
+//! * real **crash recovery**: read back the newest consistent image
+//!   (backup file or log reconstruction) and replay the deterministic
+//!   update stream to the crash tick.
 //!
 //! Substitutions versus the paper's setup are documented in DESIGN.md:
 //! regular files + `fsync` instead of a raw block device, and configurable
@@ -22,8 +28,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod atomic_copy;
 pub mod config;
 pub mod cou;
+pub mod dribble;
+pub mod engine;
 pub mod files;
 pub mod log_store;
 pub mod naive;
@@ -32,8 +41,11 @@ pub mod recovery;
 pub mod report;
 pub mod shared;
 
+pub use atomic_copy::run_atomic_copy;
 pub use config::RealConfig;
 pub use cou::run_copy_on_update;
+pub use dribble::run_dribble;
+pub use engine::run_algorithm;
 pub use naive::run_naive_snapshot;
 pub use partial_redo::{run_cou_partial_redo, run_partial_redo};
 pub use report::{RealReport, RecoveryMeasurement};

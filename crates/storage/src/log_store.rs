@@ -324,17 +324,28 @@ mod tests {
         let mut log = LogStore::create(dir.path(), geometry()).unwrap();
         assert!(log.is_empty());
 
-        let full: Vec<(ObjectId, Vec<u8>)> =
-            (0..4).map(|i| (ObjectId(i), obj(i as u8))).collect();
+        let full: Vec<(ObjectId, Vec<u8>)> = (0..4).map(|i| (ObjectId(i), obj(i as u8))).collect();
         let info = log
-            .append_segment(0, 10, true, full.iter().map(|(i, b)| (*i, b.as_slice())), true)
+            .append_segment(
+                0,
+                10,
+                true,
+                full.iter().map(|(i, b)| (*i, b.as_slice())),
+                true,
+            )
             .unwrap();
         assert_eq!(info.objects, 4);
         assert!(info.full_flush);
 
         let dirty = [(ObjectId(2), obj(9))];
-        log.append_segment(1, 20, false, dirty.iter().map(|(i, b)| (*i, b.as_slice())), true)
-            .unwrap();
+        log.append_segment(
+            1,
+            20,
+            false,
+            dirty.iter().map(|(i, b)| (*i, b.as_slice())),
+            true,
+        )
+        .unwrap();
 
         let segs = log.segments().unwrap();
         assert_eq!(segs.len(), 2);
@@ -347,38 +358,71 @@ mod tests {
     fn reconstruct_applies_newest_versions() {
         let dir = tempfile::tempdir().unwrap();
         let mut log = LogStore::create(dir.path(), geometry()).unwrap();
-        let full: Vec<(ObjectId, Vec<u8>)> =
-            (0..4).map(|i| (ObjectId(i), obj(1))).collect();
-        log.append_segment(0, 5, true, full.iter().map(|(i, b)| (*i, b.as_slice())), true)
-            .unwrap();
+        let full: Vec<(ObjectId, Vec<u8>)> = (0..4).map(|i| (ObjectId(i), obj(1))).collect();
+        log.append_segment(
+            0,
+            5,
+            true,
+            full.iter().map(|(i, b)| (*i, b.as_slice())),
+            true,
+        )
+        .unwrap();
         let d1 = [(ObjectId(1), obj(7))];
-        log.append_segment(1, 8, false, d1.iter().map(|(i, b)| (*i, b.as_slice())), true)
-            .unwrap();
+        log.append_segment(
+            1,
+            8,
+            false,
+            d1.iter().map(|(i, b)| (*i, b.as_slice())),
+            true,
+        )
+        .unwrap();
         let d2 = [(ObjectId(1), obj(8)), (ObjectId(3), obj(9))];
-        log.append_segment(2, 12, false, d2.iter().map(|(i, b)| (*i, b.as_slice())), true)
-            .unwrap();
+        log.append_segment(
+            2,
+            12,
+            false,
+            d2.iter().map(|(i, b)| (*i, b.as_slice())),
+            true,
+        )
+        .unwrap();
 
         let (image, tick, bytes_read) = log.reconstruct().unwrap();
         assert_eq!(tick, 12);
         assert!(bytes_read > 0);
         assert!(image[0..64].iter().all(|&b| b == 1), "object 0 from full");
         assert!(image[64..128].iter().all(|&b| b == 8), "object 1 newest");
-        assert!(image[128..192].iter().all(|&b| b == 1), "object 2 from full");
-        assert!(image[192..256].iter().all(|&b| b == 9), "object 3 from seg 2");
+        assert!(
+            image[128..192].iter().all(|&b| b == 1),
+            "object 2 from full"
+        );
+        assert!(
+            image[192..256].iter().all(|&b| b == 9),
+            "object 3 from seg 2"
+        );
     }
 
     #[test]
     fn reconstruct_starts_at_newest_full_flush() {
         let dir = tempfile::tempdir().unwrap();
         let mut log = LogStore::create(dir.path(), geometry()).unwrap();
-        let full1: Vec<(ObjectId, Vec<u8>)> =
-            (0..4).map(|i| (ObjectId(i), obj(1))).collect();
-        log.append_segment(0, 5, true, full1.iter().map(|(i, b)| (*i, b.as_slice())), true)
-            .unwrap();
-        let full2: Vec<(ObjectId, Vec<u8>)> =
-            (0..4).map(|i| (ObjectId(i), obj(2))).collect();
-        log.append_segment(1, 9, true, full2.iter().map(|(i, b)| (*i, b.as_slice())), true)
-            .unwrap();
+        let full1: Vec<(ObjectId, Vec<u8>)> = (0..4).map(|i| (ObjectId(i), obj(1))).collect();
+        log.append_segment(
+            0,
+            5,
+            true,
+            full1.iter().map(|(i, b)| (*i, b.as_slice())),
+            true,
+        )
+        .unwrap();
+        let full2: Vec<(ObjectId, Vec<u8>)> = (0..4).map(|i| (ObjectId(i), obj(2))).collect();
+        log.append_segment(
+            1,
+            9,
+            true,
+            full2.iter().map(|(i, b)| (*i, b.as_slice())),
+            true,
+        )
+        .unwrap();
         let (image, tick, bytes_read) = log.reconstruct().unwrap();
         assert_eq!(tick, 9);
         assert!(image.iter().all(|&b| b == 2));
@@ -393,13 +437,24 @@ mod tests {
         let path = dir.path().join("checkpoint.log");
         {
             let mut log = LogStore::create(dir.path(), geometry()).unwrap();
-            let full: Vec<(ObjectId, Vec<u8>)> =
-                (0..4).map(|i| (ObjectId(i), obj(3))).collect();
-            log.append_segment(0, 7, true, full.iter().map(|(i, b)| (*i, b.as_slice())), true)
-                .unwrap();
+            let full: Vec<(ObjectId, Vec<u8>)> = (0..4).map(|i| (ObjectId(i), obj(3))).collect();
+            log.append_segment(
+                0,
+                7,
+                true,
+                full.iter().map(|(i, b)| (*i, b.as_slice())),
+                true,
+            )
+            .unwrap();
             let d = [(ObjectId(0), obj(9))];
-            log.append_segment(1, 11, false, d.iter().map(|(i, b)| (*i, b.as_slice())), true)
-                .unwrap();
+            log.append_segment(
+                1,
+                11,
+                false,
+                d.iter().map(|(i, b)| (*i, b.as_slice())),
+                true,
+            )
+            .unwrap();
         }
         // Chop off the last 10 bytes: the second segment is torn.
         let len = std::fs::metadata(&path).unwrap().len();

@@ -1,30 +1,18 @@
-//! The real Naive-Snapshot engine.
+//! The real Naive-Snapshot engine — a configuration of the shared
+//! [`crate::engine`], not an orchestration loop of its own.
 //!
 //! At each tick boundary where the previous checkpoint has finished, the
-//! mutator quiesces (it *is* the only updater between ticks) and eagerly
-//! copies the full state into a snapshot buffer — the real `memcpy` whose
-//! duration is the algorithm's entire overhead. The asynchronous writer
-//! then streams the buffer sequentially into the alternate backup file.
+//! driver's eager path quiesces the mutator (it *is* the only updater
+//! between ticks) and copies the full state into a private buffer — the
+//! real `memcpy` whose duration is the algorithm's entire overhead. The
+//! asynchronous writer then streams the buffer into the alternate backup
+//! file.
 
 use crate::config::RealConfig;
-use crate::files::BackupSet;
-use crate::recovery::recover_and_replay;
-use crate::report::{RealReport, RecoveryMeasurement};
-use mmoc_core::{Algorithm, CheckpointRecord, RunMetrics, StateTable, TickMetrics};
-use mmoc_workload::TraceSource;
+use crate::engine::run_algorithm;
+use crate::report::RealReport;
+use mmoc_core::{Algorithm, TraceSource};
 use std::io;
-use std::time::Instant;
-
-struct Job {
-    image: Vec<u8>,
-    target: usize,
-    tick: u64,
-}
-
-struct Done {
-    result: io::Result<f64>,
-    image: Vec<u8>,
-}
 
 /// Run Naive-Snapshot over the trace produced by `make_trace`.
 ///
@@ -35,173 +23,7 @@ where
     S: TraceSource,
     F: Fn() -> S,
 {
-    let mut trace = make_trace();
-    let geometry = trace.geometry();
-    geometry
-        .validate()
-        .map_err(|e| io::Error::other(e.to_string()))?;
-    let mut table = StateTable::new(geometry).map_err(|e| io::Error::other(e.to_string()))?;
-    let mut set = BackupSet::create(&config.dir, geometry, table.as_bytes())?;
-    let sync_data = config.sync_data;
-
-    let (job_tx, job_rx) = crossbeam::channel::bounded::<Job>(1);
-    let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(1);
-    let writer = std::thread::spawn(move || {
-        for job in job_rx {
-            let t0 = Instant::now();
-            let result = (|| {
-                set.invalidate(job.target)?;
-                set.write_full(job.target, &job.image)?;
-                if sync_data {
-                    set.sync(job.target)?;
-                }
-                set.commit(job.target, job.tick)?;
-                Ok(t0.elapsed().as_secs_f64())
-            })();
-            let _ = done_tx.send(Done {
-                result,
-                image: job.image,
-            });
-        }
-    });
-
-    let mut metrics = RunMetrics::default();
-    let mut rng_state = 0x9E37_79B9u64;
-    let mut query_sink = 0u64;
-    let mut buf = Vec::new();
-    let mut spare: Option<Vec<u8>> = Some(vec![0u8; table.as_bytes().len()]);
-    // (seq, start tick, sync pause, target)
-    let mut in_flight: Option<(u64, u64, f64, usize)> = None;
-    let mut seq = 0u64;
-    let mut target = 0usize;
-    let mut tick = 0u64;
-    let mut total_updates = 0u64;
-
-    while trace.next_tick(&mut buf) {
-        tick += 1;
-        let tick_start = Instant::now();
-
-        // Query phase: random state lookups standing in for game logic.
-        for _ in 0..config.query_ops_per_tick {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let row = (rng_state >> 33) as u32 % geometry.rows;
-            let col = (rng_state >> 13) as u32 % geometry.cols;
-            query_sink ^= u64::from(
-                table
-                    .read(mmoc_core::CellAddr::new(row, col))
-                    .expect("query in bounds"),
-            );
-        }
-
-        // Update phase.
-        for &u in &buf {
-            table.apply_unchecked(u);
-        }
-        total_updates += buf.len() as u64;
-
-        // Tick boundary: harvest a completed checkpoint, reclaiming its
-        // buffer and flipping the target backup.
-        if let Ok(done) = done_rx.try_recv() {
-            let duration = done.result?;
-            let (s, start_tick, pause, tgt) = in_flight.take().expect("job was in flight");
-            metrics.checkpoints.push(CheckpointRecord {
-                seq: s,
-                start_tick,
-                end_tick: tick,
-                duration_s: pause + duration,
-                sync_pause_s: pause,
-                objects_written: geometry.n_objects(),
-                bytes_written: table.as_bytes().len() as u64,
-                full_flush: false,
-            });
-            target = tgt ^ 1;
-            spare = Some(done.image);
-        }
-
-        // Start the next checkpoint: the eager full-state copy is the
-        // pause Naive-Snapshot inflicts on the game.
-        let mut sync_pause = 0.0f64;
-        if in_flight.is_none() {
-            let mut image = spare.take().expect("one spare buffer cycles");
-            let p0 = Instant::now();
-            image.copy_from_slice(table.as_bytes());
-            sync_pause = p0.elapsed().as_secs_f64();
-            job_tx
-                .send(Job {
-                    image,
-                    target,
-                    tick,
-                })
-                .expect("writer alive");
-            in_flight = Some((seq, tick, sync_pause, target));
-            seq += 1;
-        }
-
-        metrics.ticks.push(TickMetrics {
-            tick,
-            overhead_s: sync_pause,
-            sync_pause_s: sync_pause,
-            bit_ops: 0,
-            locks: 0,
-            copies: 0,
-        });
-
-        if config.paced {
-            let elapsed = tick_start.elapsed();
-            if elapsed < config.tick_period {
-                std::thread::sleep(config.tick_period - elapsed);
-            }
-        }
-    }
-
-    // Drain the in-flight checkpoint so recovery sees a committed backup.
-    if let Some((s, start_tick, pause, _)) = in_flight.take() {
-        let done = done_rx.recv().expect("writer alive");
-        let duration = done.result?;
-        metrics.checkpoints.push(CheckpointRecord {
-            seq: s,
-            start_tick,
-            end_tick: tick,
-            duration_s: pause + duration,
-            sync_pause_s: pause,
-            objects_written: geometry.n_objects(),
-            bytes_written: table.as_bytes().len() as u64,
-            full_flush: false,
-        });
-        spare = Some(done.image);
-    }
-    drop(job_tx);
-    writer.join().expect("writer thread");
-    drop(spare);
-    std::hint::black_box(query_sink);
-
-    let recovery = if config.measure_recovery {
-        let mut replay_trace = make_trace();
-        let rec = recover_and_replay(&config.dir, geometry, &mut replay_trace, tick)?;
-        Some(RecoveryMeasurement {
-            restore_s: rec.restore_s,
-            replay_s: rec.replay_s,
-            total_s: rec.restore_s + rec.replay_s,
-            restored_from_tick: rec.from_tick,
-            ticks_replayed: rec.ticks_replayed,
-            updates_replayed: rec.updates_replayed,
-            state_matches: rec.table.fingerprint() == table.fingerprint(),
-        })
-    } else {
-        None
-    };
-
-    Ok(RealReport {
-        algorithm: Algorithm::NaiveSnapshot,
-        ticks: tick,
-        updates: total_updates,
-        checkpoints_completed: metrics.checkpoints.len() as u64,
-        avg_overhead_s: metrics.avg_overhead_s(),
-        max_overhead_s: metrics.max_overhead_s(),
-        avg_checkpoint_s: metrics.avg_checkpoint_s(),
-        metrics,
-        recovery,
-    })
+    run_algorithm(Algorithm::NaiveSnapshot, config, make_trace)
 }
 
 #[cfg(test)]
@@ -260,5 +82,18 @@ mod tests {
         })
         .unwrap();
         assert!(report.recovery.is_none());
+    }
+
+    #[test]
+    fn naive_checkpoints_are_always_full_state() {
+        let dir = tempfile::tempdir().unwrap();
+        let report = run_naive_snapshot(&config(dir.path()).without_recovery(), || {
+            trace_config().build()
+        })
+        .unwrap();
+        let n = trace_config().geometry.n_objects();
+        for c in &report.metrics.checkpoints {
+            assert_eq!(c.objects_written, n);
+        }
     }
 }

@@ -1,57 +1,30 @@
-//! Real log-structured engines: Partial-Redo and Copy-on-Update-Partial-
-//! Redo on an actual append-only checkpoint log.
+//! The real log-structured engines — Partial-Redo and Copy-on-Update-
+//! Partial-Redo as configurations of the shared [`crate::engine`] over an
+//! actual append-only checkpoint log.
 //!
 //! The paper's validation implemented only the two double-backup winners
 //! (§6); these engines extend the validation to the log organization so
 //! the log-read recovery penalty — the paper's third finding — can be
 //! measured for real rather than only modeled:
 //!
-//! * **Partial-Redo** (eager): the mutator copies the dirty objects
+//! * **Partial-Redo** (eager): the driver copies the dirty objects
 //!   synchronously at the tick boundary (a real `memcpy` pause) and hands
 //!   the private buffer to the writer, which appends one log segment.
 //! * **Copy-on-Update-Partial-Redo** (lazy): the mutator/writer pair runs
 //!   the same protocol as [`crate::cou`] — per-object locks, side arena,
 //!   copied/flushed flags — but the writer appends segments instead of
-//!   updating a double backup, and every `full_flush_period`-th checkpoint
-//!   sweeps *all* objects (the Dribble-style full flush that bounds
-//!   recovery log reads).
+//!   updating a double backup.
 //!
+//! For both, every `full_flush_period`-th checkpoint sweeps *all* objects
+//! (the Dribble-style full flush that bounds recovery log reads).
 //! Recovery reconstructs the newest consistent image from the log (read
 //! back to the last full flush) and replays the update stream.
 
 use crate::config::RealConfig;
-use crate::cou::Shared;
-use crate::log_store::LogStore;
-use crate::report::{RealReport, RecoveryMeasurement};
-use crate::shared::SharedTable;
-use mmoc_core::algorithms::DEFAULT_FULL_FLUSH_PERIOD;
-use mmoc_core::bitmap::BitVec;
-use mmoc_core::{Algorithm, CheckpointRecord, ObjectId, RunMetrics, StateTable, TickMetrics};
-use mmoc_workload::TraceSource;
+use crate::engine::run_algorithm;
+use crate::report::RealReport;
+use mmoc_core::{Algorithm, TraceSource};
 use std::io;
-use std::sync::Arc;
-use std::time::Instant;
-
-struct EagerJob {
-    /// `(object id, bytes)` pairs in increasing id order.
-    objects: Vec<(u32, Vec<u8>)>,
-    seq: u64,
-    tick: u64,
-    full_flush: bool,
-}
-
-struct SweepJob {
-    list: Vec<u32>,
-    seq: u64,
-    tick: u64,
-    full_flush: bool,
-}
-
-struct Done {
-    result: io::Result<f64>,
-    objects: u32,
-    bytes: u64,
-}
 
 /// Run the real Partial-Redo engine (eager dirty copies into a log).
 pub fn run_partial_redo<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
@@ -59,192 +32,7 @@ where
     S: TraceSource,
     F: Fn() -> S,
 {
-    let mut trace = make_trace();
-    let geometry = trace.geometry();
-    geometry
-        .validate()
-        .map_err(|e| io::Error::other(e.to_string()))?;
-    let n = geometry.n_objects();
-    let mut table = StateTable::new(geometry).map_err(|e| io::Error::other(e.to_string()))?;
-    let mut log = LogStore::create(&config.dir, geometry)?;
-    let period = u64::from(DEFAULT_FULL_FLUSH_PERIOD);
-    let sync_data = config.sync_data;
-
-    // Seed the log with the initial full image, as the double-backup
-    // engines pre-load their files.
-    {
-        let initial = table.as_bytes();
-        let obj_size = geometry.object_size as usize;
-        log.append_segment(
-            0,
-            0,
-            true,
-            (0..n).map(|i| (ObjectId(i), &initial[i as usize * obj_size..][..obj_size])),
-            true,
-        )?;
-    }
-
-    let (job_tx, job_rx) = crossbeam::channel::bounded::<EagerJob>(1);
-    let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(1);
-    let writer = std::thread::spawn(move || {
-        for job in job_rx {
-            let t0 = Instant::now();
-            let count = job.objects.len() as u32;
-            let result = log
-                .append_segment(
-                    job.seq,
-                    job.tick,
-                    job.full_flush,
-                    job.objects.iter().map(|(i, b)| (ObjectId(*i), b.as_slice())),
-                    sync_data,
-                )
-                .map(|_| t0.elapsed().as_secs_f64());
-            let _ = done_tx.send(Done {
-                result,
-                objects: count,
-                bytes: u64::from(count) * u64::from(geometry.object_size),
-            });
-        }
-    });
-
-    let mut metrics = RunMetrics::default();
-    let mut dirty = BitVec::new(n);
-    let mut in_flight: Option<(u64, u64, f64, bool)> = None; // (seq, start, pause, full)
-    let mut seq = 1u64; // segment 0 is the boot image
-    let mut tick = 0u64;
-    let mut total_updates = 0u64;
-    let mut buf = Vec::new();
-    let mut rng_state = 0xFACEu64;
-    let mut query_sink = 0u64;
-
-    while trace.next_tick(&mut buf) {
-        tick += 1;
-        let tick_start = Instant::now();
-
-        for _ in 0..config.query_ops_per_tick {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let row = (rng_state >> 33) as u32 % geometry.rows;
-            let col = (rng_state >> 13) as u32 % geometry.cols;
-            query_sink ^= u64::from(
-                table
-                    .read(mmoc_core::CellAddr::new(row, col))
-                    .expect("query in bounds"),
-            );
-        }
-
-        let mut bit_ops = 0u64;
-        for &u in &buf {
-            let obj = table.apply_unchecked(u);
-            dirty.set(obj.0);
-            bit_ops += 1;
-        }
-        total_updates += buf.len() as u64;
-
-        if let Ok(done) = done_rx.try_recv() {
-            let duration = done.result?;
-            let (s, start_tick, pause, full) = in_flight.take().expect("job in flight");
-            metrics.checkpoints.push(CheckpointRecord {
-                seq: s,
-                start_tick,
-                end_tick: tick,
-                duration_s: pause + duration,
-                sync_pause_s: pause,
-                objects_written: done.objects,
-                bytes_written: done.bytes,
-                full_flush: full,
-            });
-        }
-
-        // Tick boundary: eagerly copy the write set and hand it over.
-        let mut sync_pause = 0.0f64;
-        if in_flight.is_none() {
-            let full_flush = seq % period == 0;
-            let p0 = Instant::now();
-            let objects: Vec<(u32, Vec<u8>)> = if full_flush {
-                let bytes = table.as_bytes();
-                let obj_size = geometry.object_size as usize;
-                (0..n)
-                    .map(|i| (i, bytes[i as usize * obj_size..][..obj_size].to_vec()))
-                    .collect()
-            } else {
-                dirty
-                    .iter_ones()
-                    .map(|i| {
-                        (
-                            i,
-                            table.object_bytes(ObjectId(i)).expect("in bounds").to_vec(),
-                        )
-                    })
-                    .collect()
-            };
-            dirty.clear_all();
-            sync_pause = p0.elapsed().as_secs_f64();
-            job_tx
-                .send(EagerJob {
-                    objects,
-                    seq,
-                    tick,
-                    full_flush,
-                })
-                .expect("writer alive");
-            in_flight = Some((seq, tick, sync_pause, full_flush));
-            seq += 1;
-        }
-
-        metrics.ticks.push(TickMetrics {
-            tick,
-            overhead_s: sync_pause + bit_ops as f64 * config.bit_test_cost_s,
-            sync_pause_s: sync_pause,
-            bit_ops,
-            locks: 0,
-            copies: 0,
-        });
-
-        if config.paced {
-            let elapsed = tick_start.elapsed();
-            if elapsed < config.tick_period {
-                std::thread::sleep(config.tick_period - elapsed);
-            }
-        }
-    }
-
-    if let Some((s, start_tick, pause, full)) = in_flight.take() {
-        let done = done_rx.recv().expect("writer alive");
-        let duration = done.result?;
-        metrics.checkpoints.push(CheckpointRecord {
-            seq: s,
-            start_tick,
-            end_tick: tick,
-            duration_s: pause + duration,
-            sync_pause_s: pause,
-            objects_written: done.objects,
-            bytes_written: done.bytes,
-            full_flush: full,
-        });
-    }
-    drop(job_tx);
-    writer.join().expect("writer thread");
-    std::hint::black_box(query_sink);
-
-    let recovery = if config.measure_recovery {
-        Some(recover_from_log(
-            config,
-            geometry,
-            &mut make_trace(),
-            tick,
-            table.fingerprint(),
-        )?)
-    } else {
-        None
-    };
-
-    Ok(build_report(
-        Algorithm::PartialRedo,
-        tick,
-        total_updates,
-        metrics,
-        recovery,
-    ))
+    run_algorithm(Algorithm::PartialRedo, config, make_trace)
 }
 
 /// Run the real Copy-on-Update-Partial-Redo engine (copy-on-update into a
@@ -254,279 +42,13 @@ where
     S: TraceSource,
     F: Fn() -> S,
 {
-    let mut trace = make_trace();
-    let geometry = trace.geometry();
-    geometry
-        .validate()
-        .map_err(|e| io::Error::other(e.to_string()))?;
-    let n = geometry.n_objects();
-    let shared = Arc::new(Shared::new(SharedTable::new(geometry)));
-    let mut log = LogStore::create(&config.dir, geometry)?;
-    let period = u64::from(DEFAULT_FULL_FLUSH_PERIOD);
-    let sync_data = config.sync_data;
-
-    // Boot image.
-    {
-        let zeros = vec![0u8; geometry.object_size as usize];
-        log.append_segment(0, 0, true, (0..n).map(|i| (ObjectId(i), zeros.as_slice())), true)?;
-    }
-
-    let (job_tx, job_rx) = crossbeam::channel::bounded::<SweepJob>(1);
-    let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(1);
-    let writer_shared = Arc::clone(&shared);
-    let writer = std::thread::spawn(move || {
-        let obj_size = geometry.object_size as usize;
-        let mut buf = vec![0u8; obj_size];
-        for job in job_rx {
-            let t0 = Instant::now();
-            let count = job.list.len() as u32;
-            // Segment appends stream through the same copy-on-update
-            // protocol as the double-backup writer: lock, prefer the
-            // saved arena image, mark flushed, append.
-            let shared = &writer_shared;
-            let result = (|| {
-                let mut seg = log.begin_segment(job.seq, job.tick, job.full_flush)?;
-                for &o in &job.list {
-                    let obj = ObjectId(o);
-                    {
-                        let _guard = shared.locks[o as usize].lock();
-                        if shared.copied.get(o) {
-                            shared.read_arena_into(obj, &mut buf);
-                        } else {
-                            shared.table.read_object_into(obj, &mut buf);
-                        }
-                        shared.flushed.set(o);
-                    }
-                    seg.write_object(obj, &buf)?;
-                }
-                seg.finish(sync_data)?;
-                Ok(t0.elapsed().as_secs_f64())
-            })();
-            let _ = done_tx.send(Done {
-                result,
-                objects: count,
-                bytes: u64::from(count) * u64::from(geometry.object_size),
-            });
-        }
-    });
-
-    let mut metrics = RunMetrics::default();
-    let mut dirty = BitVec::new(n);
-    let mut handled = BitVec::new(n);
-    let mut flush_member = BitVec::new(n);
-    let mut in_flight: Option<(u64, u64, bool)> = None;
-    let mut seq = 1u64;
-    let mut tick = 0u64;
-    let mut total_updates = 0u64;
-    let mut buf = Vec::new();
-    let mut rng_state = 0xBEEFu64;
-    let mut query_sink = 0u64;
-
-    while trace.next_tick(&mut buf) {
-        tick += 1;
-        let tick_start = Instant::now();
-
-        for _ in 0..config.query_ops_per_tick {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let row = (rng_state >> 33) as u32 % geometry.rows;
-            let col = (rng_state >> 13) as u32 % geometry.cols;
-            query_sink ^= u64::from(shared.table.read_cell(row, col));
-        }
-
-        let (mut bit_ops, mut locks, mut copies) = (0u64, 0u64, 0u64);
-        let mut slow_path_s = 0.0f64;
-        let sweeping_all = in_flight.is_some_and(|(_, _, full)| full);
-        for &u in &buf {
-            let obj = geometry.object_of_unchecked(u.addr);
-            dirty.set(obj.0);
-            bit_ops += 1;
-            let participates = in_flight.is_some()
-                && (sweeping_all || flush_member.get(obj.0))
-                && !handled.get(obj.0);
-            if participates {
-                let t0 = Instant::now();
-                if !shared.flushed.get(obj.0) {
-                    let _guard = shared.locks[obj.index()].lock();
-                    locks += 1;
-                    if !shared.flushed.get(obj.0) {
-                        shared.save_to_arena(obj);
-                        shared.copied.set(obj.0);
-                        copies += 1;
-                    }
-                }
-                handled.set(obj.0);
-                slow_path_s += t0.elapsed().as_secs_f64();
-            }
-            shared.table.write_cell(u);
-        }
-        total_updates += buf.len() as u64;
-
-        if let Ok(done) = done_rx.try_recv() {
-            let duration = done.result?;
-            let (s, start_tick, full) = in_flight.take().expect("job in flight");
-            metrics.checkpoints.push(CheckpointRecord {
-                seq: s,
-                start_tick,
-                end_tick: tick,
-                duration_s: duration,
-                sync_pause_s: 0.0,
-                objects_written: done.objects,
-                bytes_written: done.bytes,
-                full_flush: full,
-            });
-        }
-
-        if in_flight.is_none() {
-            let full_flush = seq % period == 0;
-            let list: Vec<u32> = if full_flush {
-                flush_member.set_all();
-                (0..n).collect()
-            } else {
-                flush_member.clone_from(&dirty);
-                dirty.ones()
-            };
-            dirty.clear_all();
-            shared.copied.clear_all();
-            shared.flushed.clear_all();
-            handled.clear_all();
-            job_tx
-                .send(SweepJob {
-                    list,
-                    seq,
-                    tick,
-                    full_flush,
-                })
-                .expect("writer alive");
-            in_flight = Some((seq, tick, full_flush));
-            seq += 1;
-        }
-
-        metrics.ticks.push(TickMetrics {
-            tick,
-            overhead_s: slow_path_s + bit_ops as f64 * config.bit_test_cost_s,
-            sync_pause_s: 0.0,
-            bit_ops,
-            locks,
-            copies,
-        });
-
-        if config.paced {
-            let elapsed = tick_start.elapsed();
-            if elapsed < config.tick_period {
-                std::thread::sleep(config.tick_period - elapsed);
-            }
-        }
-    }
-
-    if let Some((s, start_tick, full)) = in_flight.take() {
-        let done = done_rx.recv().expect("writer alive");
-        let duration = done.result?;
-        metrics.checkpoints.push(CheckpointRecord {
-            seq: s,
-            start_tick,
-            end_tick: tick,
-            duration_s: duration,
-            sync_pause_s: 0.0,
-            objects_written: done.objects,
-            bytes_written: done.bytes,
-            full_flush: full,
-        });
-    }
-    drop(job_tx);
-    writer.join().expect("writer thread");
-    std::hint::black_box(query_sink);
-
-    let recovery = if config.measure_recovery {
-        Some(recover_from_log(
-            config,
-            geometry,
-            &mut make_trace(),
-            tick,
-            shared.table.fingerprint(),
-        )?)
-    } else {
-        None
-    };
-
-    Ok(build_report(
-        Algorithm::CopyOnUpdatePartialRedo,
-        tick,
-        total_updates,
-        metrics,
-        recovery,
-    ))
-}
-
-/// Restore from the checkpoint log and replay the stream; compare with the
-/// live fingerprint.
-fn recover_from_log<S: TraceSource>(
-    config: &RealConfig,
-    geometry: mmoc_core::StateGeometry,
-    trace: &mut S,
-    crash_tick: u64,
-    live_fingerprint: u64,
-) -> io::Result<RecoveryMeasurement> {
-    let t0 = Instant::now();
-    let mut log = LogStore::open(&config.dir, geometry)?;
-    let (image, from_tick, _bytes_read) = log.reconstruct()?;
-    let mut table = StateTable::new(geometry).map_err(|e| io::Error::other(e.to_string()))?;
-    table
-        .restore_all(&image)
-        .map_err(|e| io::Error::other(e.to_string()))?;
-    let restore_s = t0.elapsed().as_secs_f64();
-
-    let t1 = Instant::now();
-    let mut buf = Vec::new();
-    let mut tick = 0u64;
-    let mut ticks_replayed = 0u64;
-    let mut updates_replayed = 0u64;
-    while tick < crash_tick && trace.next_tick(&mut buf) {
-        tick += 1;
-        if tick <= from_tick {
-            continue;
-        }
-        ticks_replayed += 1;
-        for &u in &buf {
-            table.apply_unchecked(u);
-            updates_replayed += 1;
-        }
-    }
-    let replay_s = t1.elapsed().as_secs_f64();
-
-    Ok(RecoveryMeasurement {
-        restore_s,
-        replay_s,
-        total_s: restore_s + replay_s,
-        restored_from_tick: from_tick,
-        ticks_replayed,
-        updates_replayed,
-        state_matches: table.fingerprint() == live_fingerprint,
-    })
-}
-
-fn build_report(
-    algorithm: Algorithm,
-    ticks: u64,
-    updates: u64,
-    metrics: RunMetrics,
-    recovery: Option<RecoveryMeasurement>,
-) -> RealReport {
-    RealReport {
-        algorithm,
-        ticks,
-        updates,
-        checkpoints_completed: metrics.checkpoints.len() as u64,
-        avg_overhead_s: metrics.avg_overhead_s(),
-        max_overhead_s: metrics.max_overhead_s(),
-        avg_checkpoint_s: metrics.avg_checkpoint_s(),
-        metrics,
-        recovery,
-    }
+    run_algorithm(Algorithm::CopyOnUpdatePartialRedo, config, make_trace)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmoc_core::algorithms::DEFAULT_FULL_FLUSH_PERIOD;
     use mmoc_core::StateGeometry;
     use mmoc_workload::SyntheticConfig;
 
@@ -558,8 +80,7 @@ mod tests {
     #[test]
     fn cou_partial_redo_recovers_exactly() {
         let dir = tempfile::tempdir().unwrap();
-        let report =
-            run_cou_partial_redo(&config(dir.path()), || trace_config().build()).unwrap();
+        let report = run_cou_partial_redo(&config(dir.path()), || trace_config().build()).unwrap();
         assert!(report.checkpoints_completed > 0);
         let rec = report.recovery.expect("recovery measured");
         assert!(rec.state_matches, "coupr recovery diverged");
@@ -588,8 +109,7 @@ mod tests {
     #[test]
     fn coupr_full_flush_cadence_matches_period() {
         let dir = tempfile::tempdir().unwrap();
-        let report =
-            run_cou_partial_redo(&config(dir.path()), || trace_config().build()).unwrap();
+        let report = run_cou_partial_redo(&config(dir.path()), || trace_config().build()).unwrap();
         let fulls: Vec<u64> = report
             .metrics
             .checkpoints
@@ -598,7 +118,11 @@ mod tests {
             .map(|c| c.seq)
             .collect();
         for s in &fulls {
-            assert_eq!(s % u64::from(DEFAULT_FULL_FLUSH_PERIOD), 0, "seq {s}");
+            assert_eq!(
+                (s + 1) % u64::from(DEFAULT_FULL_FLUSH_PERIOD),
+                0,
+                "seq {s} must sit on the period boundary"
+            );
         }
     }
 

@@ -6,8 +6,14 @@
 //! stream itself (the paper drives both engines from trace files), so
 //! replay re-iterates the trace source and applies every tick after the
 //! checkpoint's consistent tick.
+//!
+//! Both disk organizations are covered: [`recover_and_replay`] restores
+//! the newest consistent [`BackupSet`] image, and
+//! [`recover_and_replay_log`] reconstructs the newest image from the
+//! [`LogStore`] (reading back through the log to the last full flush).
 
 use crate::files::BackupSet;
+use crate::log_store::LogStore;
 use mmoc_core::{StateGeometry, StateTable};
 use mmoc_workload::TraceSource;
 use std::io;
@@ -45,12 +51,39 @@ pub fn recover_and_replay<S: TraceSource>(
         .newest_consistent()
         .ok_or_else(|| io::Error::other("no consistent backup to restore"))?;
     let image = set.read_full(idx)?;
-    let mut table =
-        StateTable::new(geometry).map_err(|e| io::Error::other(e.to_string()))?;
+    restore_and_replay(geometry, &image, from_tick, t0, trace, crash_tick)
+}
+
+/// Restore from the checkpoint log under `dir` (reconstructing the newest
+/// consistent image back to the last full flush) and replay `trace` up to
+/// and including `crash_tick`.
+pub fn recover_and_replay_log<S: TraceSource>(
+    dir: &Path,
+    geometry: StateGeometry,
+    trace: &mut S,
+    crash_tick: u64,
+) -> io::Result<RecoveredState> {
+    let t0 = Instant::now();
+    let mut log = LogStore::open(dir, geometry)?;
+    let (image, from_tick, _bytes_read) = log.reconstruct()?;
+    restore_and_replay(geometry, &image, from_tick, t0, trace, crash_tick)
+}
+
+/// Shared tail of both restore paths: install the image, replay the
+/// logical log (the deterministic trace) to the crash tick.
+fn restore_and_replay<S: TraceSource>(
+    geometry: StateGeometry,
+    image: &[u8],
+    from_tick: u64,
+    restore_start: Instant,
+    trace: &mut S,
+    crash_tick: u64,
+) -> io::Result<RecoveredState> {
+    let mut table = StateTable::new(geometry).map_err(|e| io::Error::other(e.to_string()))?;
     table
-        .restore_all(&image)
+        .restore_all(image)
         .map_err(|e| io::Error::other(e.to_string()))?;
-    let restore_s = t0.elapsed().as_secs_f64();
+    let restore_s = restore_start.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
     let mut buf = Vec::new();

@@ -8,6 +8,7 @@
 //! compiler — relaxed loads/stores compile to plain moves on x86.
 
 use mmoc_core::{CellUpdate, ObjectId, StateGeometry};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// The game-state table with atomically accessible 4-byte cells.
@@ -52,8 +53,8 @@ impl SharedTable {
     /// Write one cell (mutator side).
     #[inline]
     pub fn write_cell(&self, update: CellUpdate) {
-        let idx = update.addr.row as u64 * u64::from(self.geometry.cols)
-            + u64::from(update.addr.col);
+        let idx =
+            update.addr.row as u64 * u64::from(self.geometry.cols) + u64::from(update.addr.col);
         self.cells[idx as usize].store(update.value, Ordering::Relaxed);
     }
 
@@ -164,6 +165,78 @@ impl AtomicBitmap {
         for w in &self.words {
             w.store(0, Ordering::Release);
         }
+    }
+}
+
+/// Everything the mutator and the asynchronous writer share: the live
+/// table, the copy-on-update side arena, the `copied`/`flushed` flags and
+/// the per-object locks of the protocol described on [`SharedTable`].
+pub struct Shared {
+    /// The live game state.
+    pub table: SharedTable,
+    /// Side arena holding pre-update images of copied objects (same cell
+    /// layout as the table).
+    pub arena: Box<[AtomicU32]>,
+    /// Set by the mutator once it has saved an object's pre-update image.
+    pub copied: AtomicBitmap,
+    /// Set by the writer once an object's checkpoint value is on disk.
+    pub flushed: AtomicBitmap,
+    /// Per-object locks serializing the writer's read against the
+    /// mutator's first-touch copy.
+    pub locks: Box<[Mutex<()>]>,
+}
+
+impl Shared {
+    /// Create protocol state over a zeroed table.
+    pub fn new(table: SharedTable) -> Self {
+        Shared::with_protocol(table, true)
+    }
+
+    /// As [`Shared::new`], but when `protocol` is false the arena, flags
+    /// and locks are left empty. Purely-eager algorithms (Naive-Snapshot,
+    /// Atomic-Copy-Dirty-Objects) never run the copy-on-update protocol —
+    /// their writer reads only private buffers — so the state-sized arena
+    /// and the per-object locks would be dead weight. Callers must not
+    /// issue sweep jobs or take the copy slow path on a protocol-less
+    /// `Shared`.
+    pub fn with_protocol(table: SharedTable, protocol: bool) -> Self {
+        let g = *table.geometry();
+        let n = if protocol { g.n_objects() } else { 0 };
+        let cells = u64::from(n) * u64::from(g.cells_per_object());
+        Shared {
+            table,
+            arena: (0..cells).map(|_| AtomicU32::new(0)).collect(),
+            copied: AtomicBitmap::new(n),
+            flushed: AtomicBitmap::new(n),
+            locks: (0..n).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// Copy an object's live cells into the arena (mutator, under lock).
+    pub fn save_to_arena(&self, obj: ObjectId) {
+        let per = self.table.geometry().cells_per_object() as usize;
+        let base = obj.index() * per;
+        for i in 0..per {
+            let v = self.table.read_cell_raw(base + i);
+            self.arena[base + i].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Read an object image from the arena into `buf` (writer, under
+    /// lock, after observing `copied`).
+    pub fn read_arena_into(&self, obj: ObjectId, buf: &mut [u8]) {
+        let per = self.table.geometry().cells_per_object() as usize;
+        let base = obj.index() * per;
+        for (i, chunk) in buf.chunks_exact_mut(4).enumerate().take(per) {
+            chunk.copy_from_slice(&self.arena[base + i].load(Ordering::Relaxed).to_le_bytes());
+        }
+    }
+
+    /// Reset the per-checkpoint protocol state (mutator side, called only
+    /// while the writer is idle between checkpoints).
+    pub fn reset_for_checkpoint(&self) {
+        self.copied.clear_all();
+        self.flushed.clear_all();
     }
 }
 

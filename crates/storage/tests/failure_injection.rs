@@ -6,8 +6,10 @@
 
 use mmoc_core::{CellUpdate, ObjectId, StateGeometry, StateTable};
 use mmoc_storage::files::BackupSet;
-use mmoc_storage::recovery::recover_and_replay;
-use mmoc_storage::{run_copy_on_update, run_naive_snapshot, RealConfig};
+use mmoc_storage::recovery::{recover_and_replay, recover_and_replay_log};
+use mmoc_storage::{
+    run_atomic_copy, run_copy_on_update, run_dribble, run_naive_snapshot, RealConfig,
+};
 use mmoc_workload::{RecordedTrace, SyntheticConfig, TraceSource};
 
 fn geometry() -> StateGeometry {
@@ -131,7 +133,9 @@ fn engine_recovers_after_losing_newest_checkpoint() {
     // Pace lightly so the fsync-bound writer completes several
     // checkpoints within the run.
     let report = run_copy_on_update(
-        &RealConfig::new(dir.path()).without_recovery().paced_at_hz(400.0),
+        &RealConfig::new(dir.path())
+            .without_recovery()
+            .paced_at_hz(400.0),
         || trace.build(),
     )
     .unwrap();
@@ -174,7 +178,9 @@ fn naive_engine_recovers_after_meta_loss() {
         seed: 5,
     };
     let report = run_naive_snapshot(
-        &RealConfig::new(dir.path()).without_recovery().paced_at_hz(400.0),
+        &RealConfig::new(dir.path())
+            .without_recovery()
+            .paced_at_hz(400.0),
         || trace.build(),
     )
     .unwrap();
@@ -198,6 +204,153 @@ fn naive_engine_recovers_after_meta_loss() {
     assert_eq!(rec.table.fingerprint(), truth.fingerprint());
 }
 
+/// Crash injection for the real Atomic-Copy-Dirty-Objects engine (one of
+/// the two algorithms added by the unified driver): losing the newest
+/// backup's metadata falls back to the older backup, and replay still
+/// reaches the exact final state.
+#[test]
+fn acdo_engine_recovers_after_losing_newest_checkpoint() {
+    let dir = tempfile::tempdir().unwrap();
+    let trace = SyntheticConfig {
+        geometry: StateGeometry::small(512, 8),
+        ticks: 40,
+        updates_per_tick: 300,
+        skew: 0.7,
+        seed: 77,
+    };
+    let report = run_atomic_copy(
+        &RealConfig::new(dir.path())
+            .without_recovery()
+            .paced_at_hz(400.0),
+        || trace.build(),
+    )
+    .unwrap();
+    assert!(report.checkpoints_completed >= 2, "need two checkpoints");
+
+    let g = trace.geometry;
+    let set = BackupSet::open(dir.path(), g).unwrap();
+    let (newest, newest_tick) = set.newest_consistent().unwrap();
+    drop(set);
+    std::fs::remove_file(dir.path().join(format!("backup_{newest}.meta"))).unwrap();
+
+    let rec = recover_and_replay(dir.path(), g, &mut trace.build(), 40).unwrap();
+    assert!(rec.from_tick < newest_tick);
+
+    let mut truth = StateTable::new(g).unwrap();
+    let mut src = trace.build();
+    let mut buf = Vec::new();
+    while src.next_tick(&mut buf) {
+        for &u in &buf {
+            truth.apply_unchecked(u);
+        }
+    }
+    assert_eq!(rec.table.fingerprint(), truth.fingerprint());
+}
+
+/// Crash injection for the real Dribble-and-Copy-on-Update engine (the
+/// other driver-unlocked algorithm): tearing the tail of the checkpoint
+/// log mid-sweep discards the torn segment, anchors recovery at the
+/// previous complete sweep, and replay reaches the exact final state.
+#[test]
+fn dribble_engine_recovers_after_torn_log_tail() {
+    let dir = tempfile::tempdir().unwrap();
+    let trace = SyntheticConfig {
+        geometry: StateGeometry::small(512, 8),
+        ticks: 40,
+        updates_per_tick: 300,
+        skew: 0.7,
+        seed: 88,
+    };
+    let report = run_dribble(
+        &RealConfig::new(dir.path())
+            .without_recovery()
+            .paced_at_hz(400.0),
+        || trace.build(),
+    )
+    .unwrap();
+    assert!(report.checkpoints_completed >= 2, "need two sweeps");
+
+    // Chop bytes off the log: the final segment becomes a torn tail, as
+    // if the crash had hit mid-append.
+    let path = dir.path().join("checkpoint.log");
+    let len = std::fs::metadata(&path).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(len - 100).unwrap();
+    drop(f);
+
+    let g = trace.geometry;
+    let rec = recover_and_replay_log(dir.path(), g, &mut trace.build(), 40).unwrap();
+
+    let mut truth = StateTable::new(g).unwrap();
+    let mut src = trace.build();
+    let mut buf = Vec::new();
+    while src.next_tick(&mut buf) {
+        for &u in &buf {
+            truth.apply_unchecked(u);
+        }
+    }
+    assert_eq!(
+        rec.table.fingerprint(),
+        truth.fingerprint(),
+        "torn-tail recovery must still reach the crash state via replay"
+    );
+}
+
+/// Every log-organized algorithm survives losing its *entire* newest
+/// segment: recovery falls back to an older consistent anchor plus
+/// replay. (Dribble anchors on any complete sweep; the partial-redo pair
+/// anchor on the last complete full flush.)
+#[test]
+fn log_algorithms_recover_when_final_segments_are_torn() {
+    use mmoc_core::Algorithm;
+    for alg in [
+        Algorithm::DribbleAndCopyOnUpdate,
+        Algorithm::CopyOnUpdatePartialRedo,
+    ] {
+        let name = alg.short_name();
+        let dir = tempfile::tempdir().unwrap();
+        fn make_trace() -> mmoc_workload::ZipfTrace {
+            SyntheticConfig {
+                geometry: StateGeometry::small(256, 8),
+                ticks: 30,
+                updates_per_tick: 200,
+                skew: 0.6,
+                seed: 2024,
+            }
+            .build()
+        }
+        let report = mmoc_storage::run_algorithm(
+            alg,
+            &RealConfig::new(dir.path())
+                .without_recovery()
+                .paced_at_hz(400.0),
+            make_trace,
+        )
+        .unwrap();
+        assert!(report.checkpoints_completed >= 2, "{name}");
+
+        // Tear a large tail chunk: possibly several segments.
+        let path = dir.path().join("checkpoint.log");
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len.saturating_sub(len / 4).max(100)).unwrap();
+        drop(f);
+
+        let g = make_trace().geometry();
+        let rec = recover_and_replay_log(dir.path(), g, &mut make_trace(), 30)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut truth = StateTable::new(g).unwrap();
+        let mut src = make_trace();
+        let mut buf = Vec::new();
+        while src.next_tick(&mut buf) {
+            for &u in &buf {
+                truth.apply_unchecked(u);
+            }
+        }
+        assert_eq!(rec.table.fingerprint(), truth.fingerprint(), "{name}");
+    }
+}
+
 /// Updates whose cells straddle object boundaries land in the right
 /// objects on disk (regression guard for offset arithmetic).
 #[test]
@@ -206,8 +359,8 @@ fn object_boundary_updates_persist_correctly() {
     let g = geometry(); // 16 cells/object with 4 cols -> 4 rows per object
     let ticks = vec![
         vec![
-            CellUpdate::new(3, 3, 0xAAAA), // last cell of object 0
-            CellUpdate::new(4, 0, 0xBBBB), // first cell of object 1
+            CellUpdate::new(3, 3, 0xAAAA),  // last cell of object 0
+            CellUpdate::new(4, 0, 0xBBBB),  // first cell of object 1
             CellUpdate::new(63, 3, 0xCCCC), // very last cell
         ];
         3

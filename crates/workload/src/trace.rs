@@ -4,25 +4,14 @@
 //! billion updates), so the engines consume them through the streaming
 //! [`TraceSource`] interface — one tick's batch at a time into a reused
 //! buffer — rather than materializing whole traces.
+//!
+//! The trait itself lives in `mmoc-core` so the unified tick driver can
+//! consume traces without depending on this crate; it is re-exported here
+//! next to the generators for convenience.
 
 use mmoc_core::{CellUpdate, StateGeometry};
 
-/// A source of per-tick update batches.
-pub trait TraceSource {
-    /// Geometry of the state table this trace targets.
-    fn geometry(&self) -> StateGeometry;
-
-    /// Clear `buf` and fill it with the next tick's updates.
-    ///
-    /// Returns `false` (leaving `buf` empty) when the trace is exhausted.
-    /// A tick with zero updates returns `true` with an empty buffer.
-    fn next_tick(&mut self, buf: &mut Vec<CellUpdate>) -> bool;
-
-    /// Total number of ticks, if known in advance.
-    fn total_ticks(&self) -> Option<u64> {
-        None
-    }
-}
+pub use mmoc_core::trace::TraceSource;
 
 /// Drain a source into an in-memory [`RecordedTrace`].
 ///

@@ -70,7 +70,11 @@ fn main() {
     println!("  total recovery          {:.3} s", rec.total_s);
     println!(
         "  recovered state matches pre-crash state: {}",
-        if rec.state_matches { "YES" } else { "NO (bug!)" }
+        if rec.state_matches {
+            "YES"
+        } else {
+            "NO (bug!)"
+        }
     );
     assert!(rec.state_matches);
     let _ = std::fs::remove_dir_all(&dir);

@@ -26,7 +26,11 @@ fn main() {
     println!("simulating {units} units for {ticks} ticks...");
     let written = write_trace_file(&path, &mut GameServer::new(config)).expect("write trace");
     let bytes = std::fs::metadata(&path).expect("trace written").len();
-    println!("recorded {written} ticks ({:.1} MB) to {}", bytes as f64 / 1e6, path.display());
+    println!(
+        "recorded {written} ticks ({:.1} MB) to {}",
+        bytes as f64 / 1e6,
+        path.display()
+    );
 
     // 2. Table 5: characteristics of the trace.
     let trace = read_trace_file(&path).expect("read trace");
@@ -35,7 +39,10 @@ fn main() {
     println!("  units (rows)              {}", stats.geometry.rows);
     println!("  attributes per unit       {}", stats.geometry.cols);
     println!("  ticks                     {}", stats.ticks);
-    println!("  avg updates per tick      {:.0}", stats.avg_updates_per_tick);
+    println!(
+        "  avg updates per tick      {:.0}",
+        stats.avg_updates_per_tick
+    );
     println!("  distinct units touched    {}", stats.distinct_rows);
     println!(
         "  avg dirty objects per tick {:.0}",
@@ -45,8 +52,7 @@ fn main() {
     // 3. Feed the recorded trace to the checkpoint simulator.
     println!("\ncheckpointing the battle:");
     for algorithm in [Algorithm::NaiveSnapshot, Algorithm::CopyOnUpdate] {
-        let report =
-            SimEngine::new(SimConfig::default(), algorithm).run(&mut trace.replay());
+        let report = SimEngine::new(SimConfig::default(), algorithm).run(&mut trace.replay());
         println!("  {}", report.summary());
     }
     let _ = std::fs::remove_file(&path);

@@ -1,0 +1,405 @@
+//! Minimal proptest-compatible property-testing harness for the offline
+//! build.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! `proptest!` macro with `#![proptest_config(...)]` and `arg in strategy`
+//! parameters, `Strategy` with `prop_map`, range / tuple / `Just` /
+//! `any::<T>()` strategies, `proptest::collection::vec`, the weighted
+//! `prop_oneof!` union, and panicking `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed (reproducible by construction) and failing inputs
+//! are not shrunk — the case index printed on failure is enough to replay
+//! a failure under a debugger because generation is pure.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: Strategy + ?Sized> Strategy for Box<T> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Types with a canonical "arbitrary" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty => $e:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $e;
+                f(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uniform! {
+    u8 => |r| (r.gen::<u64>() >> 56) as u8,
+    u16 => |r| (r.gen::<u64>() >> 48) as u16,
+    u32 => |r| r.gen::<u32>(),
+    u64 => |r| r.gen::<u64>(),
+    usize => |r| r.gen::<u64>() as usize,
+    i32 => |r| r.gen::<u32>() as i32,
+    i64 => |r| r.gen::<u64>() as i64,
+    bool => |r| r.gen::<bool>(),
+    f64 => |r| r.gen::<f64>(),
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (uniform over the whole domain).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generate vectors of `element` values with lengths in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Support types for the `prop_oneof!` macro.
+pub mod strategy {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Box a strategy for storage in a [`Union`] (type-inference helper
+    /// used by `prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// A weighted union of strategies over the same value type.
+    pub struct Union<T> {
+        options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` pairs; weights must not all be
+        /// zero.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(
+                total_weight > 0,
+                "prop_oneof! needs a positive total weight"
+            );
+            Union {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (w, s) in &self.options {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick within total weight")
+        }
+    }
+}
+
+/// Run one property: generate `config.cases` inputs and call `case`.
+/// Panics (with the case index) on the first failing case.
+pub fn run_property<F: FnMut(u32, &mut TestRng)>(name: &str, config: &ProptestConfig, mut case: F) {
+    // Seed from the property name so distinct properties explore
+    // distinct streams, deterministically across runs.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for i in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(seed.wrapping_add(u64::from(i)));
+        case(i, &mut rng);
+    }
+}
+
+/// Everything the `proptest!` macro and its callers need.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Declare property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random strategy outputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(stringify!($name), &config, |case_index, rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    let run = || $body;
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "property {} failed at case {} (deterministic seed; rerun reproduces it)",
+                            stringify!($name),
+                            case_index
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in -5i64..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(v in crate::collection::vec(
+            (0u32..4, any::<u32>()).prop_map(|(a, b)| (a, b)),
+            1..20,
+        )) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, _) in v {
+                prop_assert!(a < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_respects_options(op in prop_oneof![
+            3 => (0u32..5).prop_map(Some),
+            1 => Just(None),
+        ]) {
+            if let Some(v) = op {
+                prop_assert!(v < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::{run_property, ProptestConfig, Strategy};
+        let mut first: Vec<u32> = Vec::new();
+        run_property("det", &ProptestConfig::with_cases(8), |_, rng| {
+            first.push((0u32..1000).generate(rng));
+        });
+        let mut second: Vec<u32> = Vec::new();
+        run_property("det", &ProptestConfig::with_cases(8), |_, rng| {
+            second.push((0u32..1000).generate(rng));
+        });
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&v| v != first[0]), "values must vary");
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal `tempfile` shim for the offline build: `tempdir()` and
+//! [`TempDir`] only, which is all the workspace's tests and benches use.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+use std::{env, fs, io, process};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory removed recursively on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persist the directory (skip removal) and return its path.
+    pub fn into_path(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// Create a fresh directory under the system temp dir.
+pub fn tempdir() -> io::Result<TempDir> {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    // pid + monotonic counter guarantee uniqueness within and across
+    // concurrently running test processes; nanos decorrelate reruns.
+    for attempt in 0..1_000 {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = env::temp_dir().join(format!(
+            ".mmoc-tmp-{}-{}-{}-{}",
+            process::id(),
+            nanos,
+            n,
+            attempt
+        ));
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::other("could not create a unique temp dir"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tempdir;
+
+    #[test]
+    fn tempdirs_are_unique_and_removed_on_drop() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.path().join("f"), b"x").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "dir must be removed on drop");
+        assert!(b.path().is_dir());
+    }
+}

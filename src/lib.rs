@@ -43,13 +43,14 @@ pub use mmoc_workload as workload;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use mmoc_core::{
-        recover, Algorithm, AlgorithmSpec, Bookkeeper, CellAddr, CellUpdate, CheckpointImage,
-        CheckpointPlan, DiskOrg, ObjectId, RunMetrics, StateGeometry, StateTable,
+        recover, Algorithm, AlgorithmSpec, Bookkeeper, CellAddr, CellUpdate, CheckpointBackend,
+        CheckpointImage, CheckpointPlan, DiskOrg, ObjectId, RunMetrics, StateGeometry, StateTable,
+        TickDriver,
     };
     pub use mmoc_game::{GameConfig, GameServer, World};
     pub use mmoc_sim::{HardwareParams, SimConfig, SimEngine, SimReport};
-    pub use mmoc_storage::{run_copy_on_update, run_naive_snapshot, RealConfig, RealReport};
-    pub use mmoc_workload::{
-        RecordedTrace, SyntheticConfig, TraceSource, TraceStats, ZipfTrace,
+    pub use mmoc_storage::{
+        run_algorithm, run_copy_on_update, run_naive_snapshot, RealConfig, RealReport,
     };
+    pub use mmoc_workload::{RecordedTrace, SyntheticConfig, TraceSource, TraceStats, ZipfTrace};
 }

@@ -1,7 +1,9 @@
 //! Cross-engine integration: the cost-model simulator and the real
-//! disk-backed engine run the *same* trace and must agree on behavioural
-//! invariants (dirty-set sizes, checkpoint cadence, recoverability).
+//! disk-backed engine run the *same* trace through the *same* unified
+//! tick driver and must agree on behavioural invariants — and every
+//! (algorithm, engine) pair must recover byte-identical state.
 
+use mmo_checkpoint::core::CopyTiming;
 use mmo_checkpoint::prelude::*;
 use mmo_checkpoint::sim::{SimConfig, SimEngine};
 
@@ -15,26 +17,67 @@ fn trace_config() -> SyntheticConfig {
     }
 }
 
+/// The full validation matrix the paper could not run (§6 implemented
+/// only Naive-Snapshot and Copy-on-Update): all six algorithms × both
+/// engines, with an exact recovery round-trip on the real engine and a
+/// byte-level fidelity check on the simulated one.
 #[test]
-fn real_naive_and_cou_recover_identical_states() {
+fn all_six_algorithms_roundtrip_on_both_engines() {
     let dir = tempfile::tempdir().unwrap();
-    let naive = run_naive_snapshot(
-        &RealConfig::new(dir.path().join("naive")),
-        || trace_config().build(),
-    )
-    .unwrap();
-    let cou = run_copy_on_update(
-        &RealConfig::new(dir.path().join("cou")),
-        || trace_config().build(),
-    )
-    .unwrap();
+    for alg in Algorithm::ALL {
+        // Real engine: run, crash, restore, replay; state must match.
+        let real = run_algorithm(
+            alg,
+            &RealConfig::new(dir.path().join(alg.short_name())),
+            || trace_config().build(),
+        )
+        .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        assert_eq!(real.ticks, 60, "{alg}");
+        assert_eq!(real.updates, 60 * 500, "{alg}");
+        assert!(real.checkpoints_completed > 0, "{alg}");
+        let rec = real.recovery.expect("recovery measured");
+        assert!(
+            rec.state_matches,
+            "{alg}: real-engine recovery must reproduce the crash state exactly"
+        );
 
-    // Both engines processed the same trace...
-    assert_eq!(naive.ticks, cou.ticks);
-    assert_eq!(naive.updates, cou.updates);
-    // ...and both recover exactly.
-    assert!(naive.recovery.unwrap().state_matches);
-    assert!(cou.recovery.unwrap().state_matches);
+        // Simulator: the value-level shadow disk must match the state at
+        // every checkpoint start (the same invariant, virtually timed).
+        let (sim, fidelity) =
+            SimEngine::new(SimConfig::default(), alg).run_checked(&mut trace_config().build());
+        assert!(fidelity.errors.is_empty(), "{alg}: {:?}", fidelity.errors);
+        assert_eq!(sim.ticks, real.ticks, "{alg}: same trace, same ticks");
+        assert_eq!(sim.updates, real.updates, "{alg}");
+    }
+}
+
+/// Both engines consume the identical `Bookkeeper`, so for the same trace
+/// their first checkpoints must have identical write sets — for every
+/// dirty-tracking algorithm, not just Copy-on-Update.
+#[test]
+fn simulated_and_real_first_checkpoints_agree_on_write_sets() {
+    let dir = tempfile::tempdir().unwrap();
+    for alg in Algorithm::ALL {
+        let real = run_algorithm(
+            alg,
+            &RealConfig::new(dir.path().join(alg.short_name())).without_recovery(),
+            || trace_config().build(),
+        )
+        .unwrap();
+        let sim = SimEngine::new(SimConfig::default(), alg).run(&mut trace_config().build());
+
+        let real_first = real.metrics.checkpoints.first().expect("real ckpt");
+        let sim_first = sim.metrics.checkpoints.first().expect("sim ckpt");
+        // The unified driver numbers ticks identically on both engines:
+        // the first checkpoint starts at the end of tick 1.
+        assert_eq!(real_first.start_tick, 1, "{alg}");
+        assert_eq!(sim_first.start_tick, 1, "{alg}");
+        assert_eq!(
+            real_first.objects_written, sim_first.objects_written,
+            "{alg}: first-tick write sets must be identical"
+        );
+        assert_eq!(real_first.seq, sim_first.seq, "{alg}");
+    }
 }
 
 #[test]
@@ -70,35 +113,6 @@ fn real_cou_writes_less_than_naive_per_checkpoint() {
 }
 
 #[test]
-fn simulated_and_real_cou_agree_on_dirty_set_sizes() {
-    // The simulator's bookkeeping and the real engine's dirty tracking
-    // must produce identical flush-set sizes for the same deterministic
-    // trace (they implement the same double-backup dirty-bit protocol).
-    let dir = tempfile::tempdir().unwrap();
-    let real = run_copy_on_update(
-        &RealConfig::new(dir.path()).without_recovery(),
-        || trace_config().build(),
-    )
-    .unwrap();
-    let sim = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
-        .run(&mut trace_config().build());
-
-    // Checkpoint cadence differs (wall clock vs cost model), so compare
-    // distributions loosely: the very first checkpoint of each engine
-    // snapshots the dirty set of tick 1 and must match exactly.
-    let real_first = real.metrics.checkpoints.first().expect("real ckpt");
-    let sim_first = sim.metrics.checkpoints.first().expect("sim ckpt");
-    assert_eq!(real_first.start_tick, 1);
-    // Sim ticks are 0-based, real ticks 1-based; both snapshot after the
-    // first tick's updates.
-    assert_eq!(sim_first.start_tick, 0);
-    assert_eq!(
-        real_first.objects_written, sim_first.objects_written,
-        "first-tick dirty sets must be identical"
-    );
-}
-
-#[test]
 fn game_trace_runs_through_both_engines() {
     let mut cfg = GameConfig::small().with_ticks(40);
     cfg.units = 2_048;
@@ -122,11 +136,8 @@ fn unpaced_and_paced_runs_apply_identical_updates() {
     // Pacing changes wall-clock behaviour but must not change state.
     let dir = tempfile::tempdir().unwrap();
     let quick = trace_config().with_ticks(15);
-    let unpaced = run_naive_snapshot(
-        &RealConfig::new(dir.path().join("a")),
-        || quick.build(),
-    )
-    .unwrap();
+    let unpaced =
+        run_naive_snapshot(&RealConfig::new(dir.path().join("a")), || quick.build()).unwrap();
     let paced = run_naive_snapshot(
         &RealConfig::new(dir.path().join("b")).paced_at_hz(400.0),
         || quick.build(),
@@ -135,4 +146,39 @@ fn unpaced_and_paced_runs_apply_identical_updates() {
     assert_eq!(unpaced.updates, paced.updates);
     assert!(unpaced.recovery.unwrap().state_matches);
     assert!(paced.recovery.unwrap().state_matches);
+}
+
+/// The design-space axes survive the trip through the shared driver on
+/// both engines: eager methods pause, copy-on-update methods copy, and
+/// dirty-only methods write less than full-state methods.
+#[test]
+fn design_space_shapes_hold_on_both_engines() {
+    let dir = tempfile::tempdir().unwrap();
+    for alg in Algorithm::ALL {
+        let spec = alg.spec();
+        let real = run_algorithm(
+            alg,
+            &RealConfig::new(dir.path().join(alg.short_name())).without_recovery(),
+            || trace_config().build(),
+        )
+        .unwrap();
+        let sim = SimEngine::new(SimConfig::default(), alg).run(&mut trace_config().build());
+
+        let real_pause: f64 = real.metrics.ticks.iter().map(|t| t.sync_pause_s).sum();
+        let sim_pause: f64 = sim.metrics.ticks.iter().map(|t| t.sync_pause_s).sum();
+        let real_copies: u64 = real.metrics.ticks.iter().map(|t| t.copies).sum();
+        let sim_copies: u64 = sim.metrics.ticks.iter().map(|t| t.copies).sum();
+        match spec.copy_timing {
+            CopyTiming::Eager => {
+                assert!(real_pause > 0.0, "{alg}: real eager pause");
+                assert!(sim_pause > 0.0, "{alg}: sim eager pause");
+            }
+            CopyTiming::OnUpdate => {
+                assert_eq!(real_pause, 0.0, "{alg}: no real eager pause");
+                assert_eq!(sim_pause, 0.0, "{alg}: no sim eager pause");
+                assert!(real_copies > 0, "{alg}: real first-touch copies");
+                assert!(sim_copies > 0, "{alg}: sim first-touch copies");
+            }
+        }
+    }
 }

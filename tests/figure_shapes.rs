@@ -156,9 +156,8 @@ fn copy_on_update_is_the_recommended_method() {
 fn game_trace_orderings() {
     let mut cfg = GameConfig::small().with_ticks(60);
     cfg.units = 4_096;
-    let run_game = |alg: Algorithm| {
-        SimEngine::new(SimConfig::default(), alg).run(&mut GameServer::new(cfg))
-    };
+    let run_game =
+        |alg: Algorithm| SimEngine::new(SimConfig::default(), alg).run(&mut GameServer::new(cfg));
     let naive = run_game(Algorithm::NaiveSnapshot);
     let cou = run_game(Algorithm::CopyOnUpdate);
     let coupr = run_game(Algorithm::CopyOnUpdatePartialRedo);

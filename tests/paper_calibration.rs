@@ -12,8 +12,8 @@ fn naive_snapshot_headline_numbers() {
     let trace = SyntheticConfig::paper_default()
         .with_updates_per_tick(1_000)
         .with_ticks(150);
-    let report = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
-        .run(&mut trace.build());
+    let report =
+        SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot).run(&mut trace.build());
     let avg_ms = report.avg_overhead_s * 1e3;
     assert!(
         (0.75..0.95).contains(&avg_ms),
@@ -58,10 +58,9 @@ fn partial_redo_checkpoint_gain_at_1k() {
             .with_updates_per_tick(1_000)
             .with_ticks(150)
     };
-    let naive = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
-        .run(&mut trace().build());
-    let pr = SimEngine::new(SimConfig::default(), Algorithm::PartialRedo)
-        .run(&mut trace().build());
+    let naive =
+        SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot).run(&mut trace().build());
+    let pr = SimEngine::new(SimConfig::default(), Algorithm::PartialRedo).run(&mut trace().build());
     assert!(
         (0.07..0.14).contains(&pr.avg_checkpoint_s),
         "PR checkpoint {} s (paper: 0.1 s)",
@@ -78,8 +77,8 @@ fn full_state_recovery_is_about_14s() {
     let trace = SyntheticConfig::paper_default()
         .with_updates_per_tick(4_000)
         .with_ticks(150);
-    let report = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
-        .run(&mut trace.build());
+    let report =
+        SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate).run(&mut trace.build());
     assert!(
         (1.28..1.45).contains(&report.est_recovery_s),
         "recovery {} s (paper: ~1.4 s)",
@@ -101,12 +100,15 @@ fn acdo_is_60_percent_worse_than_naive_at_256k() {
             .with_updates_per_tick(256_000)
             .with_ticks(60)
     };
-    let naive = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
-        .run(&mut trace().build());
+    let naive =
+        SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot).run(&mut trace().build());
     let acdo = SimEngine::new(SimConfig::default(), Algorithm::AtomicCopyDirtyObjects)
         .run(&mut trace().build());
     let ratio = acdo.avg_overhead_s / naive.avg_overhead_s;
-    assert!((1.4..1.8).contains(&ratio), "ACDO/Naive ratio {ratio} (paper: 1.6)");
+    assert!(
+        (1.4..1.8).contains(&ratio),
+        "ACDO/Naive ratio {ratio} (paper: 1.6)"
+    );
 }
 
 /// Figure 3's copy-on-update decay: the overhead of the ticks following a
@@ -115,8 +117,8 @@ fn acdo_is_60_percent_worse_than_naive_at_256k() {
 #[test]
 fn cou_latency_decays_after_checkpoint_start() {
     let trace = SyntheticConfig::paper_default().with_ticks(120);
-    let report = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
-        .run(&mut trace.build());
+    let report =
+        SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate).run(&mut trace.build());
     // Find a checkpoint that started mid-run and look at the next ticks.
     let ckpt = report
         .metrics

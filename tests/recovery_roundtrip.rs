@@ -18,8 +18,7 @@ fn arb_trace() -> impl Strategy<Value = RecordedTrace> {
     let update = (0u32..64, 0u32..8, any::<u32>())
         .prop_map(|(row, col, value)| CellUpdate::new(row, col, value));
     let tick = proptest::collection::vec(update, 0..40);
-    proptest::collection::vec(tick, 1..60)
-        .prop_map(|ticks| RecordedTrace::new(geometry(), ticks))
+    proptest::collection::vec(tick, 1..60).prop_map(|ticks| RecordedTrace::new(geometry(), ticks))
 }
 
 /// Slow the simulated disk so checkpoints span several ticks and updates
@@ -132,9 +131,13 @@ fn fidelity_with_fast_disk_and_bursty_updates() {
     }
     let trace = RecordedTrace::new(g, ticks);
     for algorithm in Algorithm::ALL {
-        let (report, fidelity) = SimEngine::new(SimConfig::default(), algorithm)
-            .run_checked(&mut trace.replay());
-        assert!(fidelity.errors.is_empty(), "{algorithm}: {:?}", fidelity.errors);
+        let (report, fidelity) =
+            SimEngine::new(SimConfig::default(), algorithm).run_checked(&mut trace.replay());
+        assert!(
+            fidelity.errors.is_empty(),
+            "{algorithm}: {:?}",
+            fidelity.errors
+        );
         assert!(report.checkpoints_completed > 0, "{algorithm}");
     }
 }
