@@ -13,6 +13,8 @@
 //!   fig5      Figure 5: game-trace bars
 //!   fig6      Figure 6: simulation vs. real implementation
 //!   ablations ablation-objsize, ablation-sort, ext-hardware
+//!   shards    shard scaling: overhead + recovery vs N ∈ {1,2,4,8}
+//!   batching  driver-level update batching at 256k updates/tick
 //!
 //! OPTIONS
 //!   --ticks N   simulate N ticks per run (default 1000, the paper's value)
@@ -65,7 +67,7 @@ fn parse_args() -> Options {
             }
             "--quick" => opts.quick = true,
             "--help" | "-h" => {
-                println!("usage: figures [tables|table3|table5|fig2|fig3|fig4|fig5|fig6|ablations]* [--ticks N] [--out DIR] [--paced HZ] [--quick]");
+                println!("usage: figures [tables|table3|table5|fig2|fig3|fig4|fig5|fig6|ablations|shards|batching]* [--ticks N] [--out DIR] [--paced HZ] [--quick]");
                 std::process::exit(0);
             }
             cmd => {
@@ -87,6 +89,8 @@ fn parse_args() -> Options {
             "fig5",
             "fig6",
             "ablations",
+            "shards",
+            "batching",
         ] {
             opts.commands.insert(c.to_string());
         }
@@ -429,6 +433,115 @@ fn main() {
                 r.recovery_s
             );
         }
+    }
+
+    if has("shards") {
+        let rate = 64_000;
+        let ticks = opts.ticks.min(200);
+        println!(
+            "\n=== Shard scaling: overhead + recovery vs N shards \
+             ({rate} updates/tick, {ticks} ticks, fixed 40 MB state) ==="
+        );
+        let rows = experiments::shard_scaling(&experiments::SHARD_COUNTS, rate, ticks);
+        let header = [
+            "n_shards",
+            "algorithm",
+            "overhead_s",
+            "checkpoint_s",
+            "recovery_s",
+            "serial_recovery_s",
+            "wall_clock_s",
+        ];
+        let row_csv = |r: &experiments::ShardScaleRow| {
+            vec![
+                r.n_shards.to_string(),
+                r.algorithm.short_name().to_string(),
+                csv::fnum(r.overhead_s),
+                csv::fnum(r.checkpoint_s),
+                csv::fnum(r.recovery_s),
+                csv::fnum(r.serial_recovery_s),
+                csv::fnum(r.wall_clock_s),
+            ]
+        };
+        let data: Vec<Vec<String>> = rows.iter().map(row_csv).collect();
+        csv::write_csv(&opts.out.join("shard_scaling.csv"), &header, data).expect("write csv");
+        println!(
+            "{:>8} {:<16} {:>14} {:>15} {:>13}",
+            "shards", "algorithm", "overhead [ms]", "checkpoint [s]", "recovery [s]"
+        );
+        for r in &rows {
+            println!(
+                "{:>8} {:<16} {:>14.4} {:>15.3} {:>13.3}",
+                r.n_shards,
+                r.algorithm.short_name(),
+                r.overhead_s * 1e3,
+                r.checkpoint_s,
+                r.recovery_s
+            );
+        }
+
+        println!("\n--- real engine (scaled-down state, measured parallel recovery) ---");
+        let scratch = std::env::temp_dir().join("mmoc_shards");
+        let real = experiments::shard_scaling_real(
+            mmoc_core::Algorithm::CopyOnUpdate,
+            &experiments::SHARD_COUNTS,
+            ticks.min(60),
+            &scratch,
+        )
+        .expect("shard scaling real engine");
+        let data: Vec<Vec<String>> = real.iter().map(row_csv).collect();
+        csv::write_csv(&opts.out.join("shard_scaling_real.csv"), &header, data).expect("write csv");
+        for r in &real {
+            println!(
+                "{:>8} {:<16} overhead {:>9.4} ms   parallel recovery {:>7.3} s \
+                 (serial would be {:>7.3} s)",
+                r.n_shards,
+                r.algorithm.short_name(),
+                r.overhead_s * 1e3,
+                r.recovery_s,
+                r.serial_recovery_s
+            );
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+
+    if has("batching") {
+        println!("\n=== Driver-level update batching (256k updates/tick) ===");
+        let ticks = if opts.quick { 8 } else { 20 };
+        let m = micro::measure_update_batching(256_000, ticks);
+        println!(
+            "  unbatched: {:>8.2} ns/update  ({} bit ops)",
+            m.unbatched_s_per_update * 1e9,
+            m.unbatched_bit_ops
+        );
+        println!(
+            "  batched:   {:>8.2} ns/update  ({} bit ops)",
+            m.batched_s_per_update * 1e9,
+            m.batched_bit_ops
+        );
+        println!(
+            "  speedup: {:.2}x wall, {:.2}x fewer bookkeeping ops",
+            m.speedup(),
+            m.unbatched_bit_ops as f64 / m.batched_bit_ops.max(1) as f64
+        );
+        csv::write_csv(
+            &opts.out.join("batching_micro.csv"),
+            &[
+                "updates",
+                "unbatched_ns_per_update",
+                "batched_ns_per_update",
+                "unbatched_bit_ops",
+                "batched_bit_ops",
+            ],
+            vec![vec![
+                m.updates.to_string(),
+                csv::fnum(m.unbatched_s_per_update * 1e9),
+                csv::fnum(m.batched_s_per_update * 1e9),
+                m.unbatched_bit_ops.to_string(),
+                m.batched_bit_ops.to_string(),
+            ]],
+        )
+        .expect("write csv");
     }
 
     eprintln!(

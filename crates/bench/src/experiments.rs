@@ -313,6 +313,99 @@ pub fn ext_hardware(disk_bandwidths: &[f64], ticks: u64) -> Vec<SweepRow> {
     })
 }
 
+/// The shard-count grid of the scaling experiment.
+pub const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// One shard-scaling measurement: one algorithm at one shard count, over
+/// fixed total state.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ShardScaleRow {
+    /// Number of shards the (fixed-size) world was split into.
+    pub n_shards: u32,
+    /// Algorithm measured.
+    pub algorithm: Algorithm,
+    /// World average overhead per tick, seconds (per-tick max across
+    /// shards, averaged).
+    pub overhead_s: f64,
+    /// Average time to checkpoint across all shards' checkpoints,
+    /// seconds.
+    pub checkpoint_s: f64,
+    /// World recovery time, seconds: shards restore in parallel, so
+    /// this is the slowest shard (estimated for the simulator, the
+    /// measured parallel wall time for the real engine).
+    pub recovery_s: f64,
+    /// What a *serial* one-shard-after-another recovery would cost:
+    /// the per-shard recovery times summed.
+    pub serial_recovery_s: f64,
+    /// Aggregate wall clock of the run, seconds: the max over shards'
+    /// virtual clocks (simulator) or the measured run duration (real
+    /// engine).
+    pub wall_clock_s: f64,
+}
+
+/// Shard scaling: split the paper's synthetic state into N ∈
+/// [`SHARD_COUNTS`] shards at a fixed total size and update rate, and
+/// measure overhead and recovery time per algorithm. The per-shard flush
+/// shrinks with N while recovery parallelizes — the scale axis the paper
+/// left on the table.
+pub fn shard_scaling(shard_counts: &[u32], rate: u32, ticks: u64) -> Vec<ShardScaleRow> {
+    let jobs: Vec<(u32, Algorithm)> = shard_counts
+        .iter()
+        .flat_map(|&n| Algorithm::ALL.into_iter().map(move |a| (n, a)))
+        .collect();
+    parallel_map(jobs, 8, |(n, alg)| {
+        let trace = SyntheticConfig::paper_default()
+            .with_updates_per_tick(rate)
+            .with_ticks(ticks);
+        let report = SimEngine::new(SimConfig::default(), alg).run_sharded(&mut trace.build(), n);
+        ShardScaleRow {
+            n_shards: n,
+            algorithm: alg,
+            overhead_s: report.avg_overhead_s,
+            checkpoint_s: report.avg_checkpoint_s,
+            recovery_s: report.est_recovery_s,
+            serial_recovery_s: report.shards.iter().map(|s| s.est_recovery_s).sum(),
+            wall_clock_s: report.wall_clock_s,
+        }
+    })
+}
+
+/// Shard scaling on the real engine (scaled-down state so it fits test
+/// and CI budgets): wall-clock overhead plus *measured* parallel
+/// recovery time per shard count, for one algorithm.
+pub fn shard_scaling_real(
+    algorithm: Algorithm,
+    shard_counts: &[u32],
+    ticks: u64,
+    scratch: &Path,
+) -> io::Result<Vec<ShardScaleRow>> {
+    let trace = SyntheticConfig {
+        geometry: mmoc_core::StateGeometry::small(8_192, 8), // 256 KB state, 4,096 objects
+        ticks,
+        updates_per_tick: 2_000,
+        skew: 0.8,
+        seed: 77,
+    };
+    let mut rows = Vec::new();
+    for &n in shard_counts {
+        let config = RealConfig::new(scratch.join(format!("shards_{n}")));
+        let t0 = std::time::Instant::now();
+        let report = mmoc_storage::run_algorithm_sharded(algorithm, &config, n, || trace.build())?;
+        let run_wall_s = t0.elapsed().as_secs_f64();
+        let rec = report.recovery.expect("recovery measured");
+        rows.push(ShardScaleRow {
+            n_shards: n,
+            algorithm,
+            overhead_s: report.avg_overhead_s,
+            checkpoint_s: report.avg_checkpoint_s,
+            recovery_s: rec.wall_s,
+            serial_recovery_s: rec.sum_shard_total_s,
+            wall_clock_s: run_wall_s,
+        });
+    }
+    Ok(rows)
+}
+
 /// A reduced-scale geometry check used by tests: every figure function
 /// must run end to end on small inputs.
 #[cfg(test)]
@@ -375,6 +468,41 @@ mod tests {
         assert_eq!(impl_rows.len(), 6);
         for r in impl_rows {
             assert!(r.recovery_s.is_finite(), "recovery must be measured");
+        }
+    }
+
+    #[test]
+    fn shard_scaling_produces_full_grid() {
+        let rows = shard_scaling(&[1, 4], 16_000, 30);
+        assert_eq!(rows.len(), 2 * 6);
+        for r in &rows {
+            assert!(r.checkpoint_s > 0.0, "{r:?}");
+            assert!(r.recovery_s > 0.0, "{r:?}");
+        }
+        // Parallel restore: recovery at 4 shards never exceeds 1 shard
+        // (same total state, each shard restores a quarter of it).
+        for alg in Algorithm::ALL {
+            let at = |n: u32| {
+                rows.iter()
+                    .find(|r| r.algorithm == alg && r.n_shards == n)
+                    .unwrap()
+            };
+            assert!(
+                at(4).recovery_s <= at(1).recovery_s * 1.0001,
+                "{alg}: rec(4)={} > rec(1)={}",
+                at(4).recovery_s,
+                at(1).recovery_s
+            );
+        }
+    }
+
+    #[test]
+    fn shard_scaling_real_runs() {
+        let dir = tempfile::tempdir().unwrap();
+        let rows = shard_scaling_real(Algorithm::CopyOnUpdate, &[1, 2], 20, dir.path()).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.recovery_s > 0.0);
         }
     }
 

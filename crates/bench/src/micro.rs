@@ -9,7 +9,15 @@
 //! * `Obit` — incremental cost of dirty-bit counting over a large bitmap,
 //!   roughly half the bits set.
 //! * `Bdisk` — large sequential writes to a file, synced.
+//!
+//! Plus one engine-level microbenchmark:
+//! [`measure_update_batching`] times the driver's per-update bookkeeping
+//! hot path (`Bookkeeper::on_update`, mirrored from [`mmoc_core::DriverStep`])
+//! with and without driver-level update batching, at the paper's maximum
+//! rate of 256,000 updates per tick.
 
+use mmoc_core::{Algorithm, Bookkeeper, FlushCursor, ObjectId};
+use mmoc_workload::{SyntheticConfig, TraceSource};
 use std::hint::black_box;
 use std::io::Write;
 use std::time::Instant;
@@ -139,6 +147,126 @@ pub fn measure_disk_bandwidth(dir: &std::path::Path) -> std::io::Result<f64> {
     Ok(TOTAL as f64 / secs)
 }
 
+/// Result of the driver-level update-batching microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchingMeasurement {
+    /// Updates routed per run (ticks × updates/tick).
+    pub updates: u64,
+    /// Per-update bookkeeping cost without batching, in seconds.
+    pub unbatched_s_per_update: f64,
+    /// Per-update bookkeeping cost with batching, in seconds.
+    pub batched_s_per_update: f64,
+    /// Dirty-bit operations charged without batching.
+    pub unbatched_bit_ops: u64,
+    /// Dirty-bit operations charged with batching (first touch per
+    /// object per tick only).
+    pub batched_bit_ops: u64,
+}
+
+impl BatchingMeasurement {
+    /// Wall-clock speedup of the batched hot path (>1 is a win).
+    pub fn speedup(&self) -> f64 {
+        self.unbatched_s_per_update / self.batched_s_per_update.max(1e-30)
+    }
+}
+
+/// Measure the per-update bookkeeping cost of `Bookkeeper::on_update` —
+/// the ~ns hot path flagged in the ROADMAP — with and without
+/// driver-level update batching, on a skewed stream of
+/// `updates_per_tick` updates (the paper's top rate is 256,000) for
+/// `ticks` ticks over the paper's synthetic geometry.
+///
+/// The Zipf trace is generated and address-translated *outside* the
+/// timed region (both driver paths pay identical generation and
+/// cell→object mapping costs), so the timed loops are exactly what
+/// [`mmoc_core::DriverStep`] executes per update: the unbatched variant
+/// calls `on_update` for every update, the batched variant performs the
+/// driver's first-touch stamp check and calls `on_update` once per
+/// distinct object per tick. Checkpoints cycle every tick, as under an
+/// instant-completion backend. The op counts are deterministic; the
+/// timings are machine-dependent (best of 3 runs per variant).
+pub fn measure_update_batching(updates_per_tick: u32, ticks: u64) -> BatchingMeasurement {
+    let config = SyntheticConfig {
+        geometry: mmoc_core::StateGeometry::paper_synthetic(),
+        ticks,
+        updates_per_tick,
+        skew: 0.8, // the paper's default skew: heavy same-object repeats
+        seed: 2_560_001,
+    };
+    let geometry = config.geometry;
+    let n_objects = geometry.n_objects();
+
+    // Pre-resolve the stream to per-tick object-id batches.
+    let mut per_tick: Vec<Vec<ObjectId>> = Vec::with_capacity(ticks as usize);
+    let mut src = config.build();
+    let mut buf = Vec::new();
+    while src.next_tick(&mut buf) {
+        per_tick.push(
+            buf.iter()
+                .map(|u| geometry.object_of_unchecked(u.addr))
+                .collect(),
+        );
+    }
+    let updates: u64 = per_tick.iter().map(|t| t.len() as u64).sum();
+
+    let spec = Algorithm::CopyOnUpdate.spec();
+    // One tick of the driver's update phase + tick boundary, exactly as
+    // DriverStep::tick sequences it against an instant backend.
+    let run = |batching: bool| {
+        let mut bk = Bookkeeper::new(spec, n_objects);
+        let mut seen = if batching {
+            vec![0u64; n_objects as usize]
+        } else {
+            Vec::new()
+        };
+        let mut bit_ops = 0u64;
+        let t0 = Instant::now();
+        for (t, objs) in per_tick.iter().enumerate() {
+            let tick = t as u64 + 1;
+            let cursor = FlushCursor::START;
+            if batching {
+                for &obj in objs {
+                    let stamp = &mut seen[obj.index()];
+                    if *stamp != tick {
+                        *stamp = tick;
+                        bit_ops += u64::from(bk.on_update(obj, cursor).bit_ops);
+                    }
+                }
+            } else {
+                for &obj in objs {
+                    bit_ops += u64::from(bk.on_update(obj, cursor).bit_ops);
+                }
+            }
+            // Tick boundary under an instant writer: the in-flight
+            // checkpoint completes, the next one starts.
+            if bk.is_in_flight() {
+                bk.finish_checkpoint();
+            }
+            bk.begin_checkpoint();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        black_box(&bk);
+        (secs / updates.max(1) as f64, bit_ops)
+    };
+    let best = |batching: bool| {
+        (0..3)
+            .map(|_| run(batching))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("three runs")
+    };
+    // Warm up caches + allocator once, then measure.
+    let _ = run(false);
+    let (unbatched_s, unbatched_bits) = best(false);
+    let (batched_s, batched_bits) = best(true);
+    BatchingMeasurement {
+        updates,
+        unbatched_s_per_update: unbatched_s,
+        batched_s_per_update: batched_s,
+        unbatched_bit_ops: unbatched_bits,
+        batched_bit_ops: batched_bits,
+    }
+}
+
 /// Run every microbenchmark. `scratch_dir` hosts the disk probe.
 pub fn measure_all(scratch_dir: Option<&std::path::Path>) -> MeasuredParams {
     let mem_bandwidth = measure_mem_bandwidth();
@@ -175,5 +303,22 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let bw = measure_disk_bandwidth(dir.path()).unwrap();
         assert!(bw > 1e6, "disk bandwidth {bw}");
+    }
+
+    #[test]
+    fn batching_cuts_bookkeeping_ops() {
+        // A scaled-down run (the figures binary uses 256k updates/tick):
+        // the op-count win is deterministic even where timings are noisy.
+        let m = measure_update_batching(8_192, 12);
+        assert_eq!(m.updates, 8_192 * 12);
+        assert!(
+            m.batched_bit_ops < m.unbatched_bit_ops,
+            "batched {} !< unbatched {}",
+            m.batched_bit_ops,
+            m.unbatched_bit_ops
+        );
+        assert!(m.unbatched_s_per_update > 0.0);
+        assert!(m.batched_s_per_update > 0.0);
+        assert!(m.speedup() > 0.0);
     }
 }

@@ -242,8 +242,7 @@ impl Bookkeeper {
                 (sync, flush, SweepKind::NoSweep)
             }
             (Algorithm::DribbleAndCopyOnUpdate, _)
-            | (Algorithm::PartialRedo, true)
-            | (Algorithm::CopyOnUpdatePartialRedo, true) => {
+            | (Algorithm::PartialRedo | Algorithm::CopyOnUpdatePartialRedo, true) => {
                 // A Dribble-style sweep of all objects. The partial-redo
                 // algorithms run this as their periodic full flush.
                 self.handled.clear_all();

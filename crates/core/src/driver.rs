@@ -42,7 +42,7 @@
 
 use crate::algorithms::bookkeeper::{Bookkeeper, FlushCursor, UpdateOps};
 use crate::algorithms::AlgorithmSpec;
-use crate::geometry::{CellUpdate, ObjectId};
+use crate::geometry::{CellUpdate, ObjectId, StateGeometry};
 use crate::metrics::{CheckpointRecord, RunMetrics, TickMetrics};
 use crate::plan::CheckpointPlan;
 use crate::trace::TraceSource;
@@ -170,17 +170,64 @@ struct Pending {
 #[derive(Debug, Clone, Copy)]
 pub struct TickDriver {
     spec: AlgorithmSpec,
+    batching: bool,
 }
 
 impl TickDriver {
     /// Create a driver for one algorithm.
     pub fn new(spec: AlgorithmSpec) -> Self {
-        TickDriver { spec }
+        TickDriver {
+            spec,
+            batching: false,
+        }
+    }
+
+    /// Enable (or disable) driver-level update batching: repeated updates
+    /// to the same object within one tick hit [`Bookkeeper::on_update`]
+    /// only on the first touch.
+    ///
+    /// Coalescing is safe because `on_update` is idempotent within a tick
+    /// — the writer frontier is sampled once at tick start and dirty bits
+    /// are only cleared at tick boundaries — so the write set, the copies
+    /// and the recovered state are bit-identical. What changes is the
+    /// *accounting*: the skipped calls would each have charged a dirty-bit
+    /// operation, so batched runs report fewer `bit_ops` (and thus lower
+    /// bookkeeping overhead at high update rates). Off by default to keep
+    /// historical metrics reproducible.
+    pub fn with_batching(mut self, on: bool) -> Self {
+        self.batching = on;
+        self
     }
 
     /// The algorithm specification being driven.
     pub fn spec(&self) -> &AlgorithmSpec {
         &self.spec
+    }
+
+    /// Whether driver-level update batching is enabled.
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Start a resumable run over a state of the given geometry. The
+    /// sharded driver uses this to interleave N per-shard loops over one
+    /// global trace; [`TickDriver::run`] is the single-shard convenience
+    /// wrapper. Panics if the geometry is invalid.
+    pub fn begin(&self, geometry: StateGeometry) -> DriverStep {
+        geometry.validate().expect("driver geometry must be valid");
+        DriverStep {
+            geometry,
+            bk: Bookkeeper::new(self.spec, geometry.n_objects()),
+            metrics: RunMetrics::default(),
+            pending: None,
+            tick: 0,
+            total_updates: 0,
+            seen_at_tick: if self.batching {
+                vec![0u64; geometry.n_objects() as usize]
+            } else {
+                Vec::new()
+            },
+        }
     }
 
     /// Replay `trace` through `backend`, one checkpoint after another.
@@ -192,91 +239,141 @@ impl TickDriver {
         S: TraceSource,
         B: CheckpointBackend,
     {
-        let geometry = trace.geometry();
-        geometry.validate().expect("trace geometry must be valid");
-        let mut bk = Bookkeeper::new(self.spec, geometry.n_objects());
-        let mut metrics = RunMetrics::default();
-        let mut pending: Option<Pending> = None;
+        let mut step = self.begin(trace.geometry());
         let mut buf = Vec::new();
-        let mut tick = 0u64;
-        let mut total_updates = 0u64;
-
         while trace.next_tick(&mut buf) {
-            tick += 1;
-            backend.begin_tick(tick)?;
-
-            // --- Update phase: route every update through Handle-Update.
-            let cursor = backend.cursor();
-            let mut ops_total = TickOps::default();
-            for &u in &buf {
-                let obj = geometry.object_of_unchecked(u.addr);
-                let ops = bk.on_update(obj, cursor);
-                ops_total.add(ops);
-                backend.apply_update(u, obj, ops)?;
-            }
-            total_updates += buf.len() as u64;
-            let update_overhead_s = backend.end_updates(&bk, &ops_total)?;
-
-            // --- Tick boundary: harvest a completed checkpoint...
-            if pending.is_some() {
-                if let Some(done) = backend.poll_completion(&bk)? {
-                    let p = pending.take().expect("pending checkpoint");
-                    metrics.checkpoints.push(Self::record(p, done, tick));
-                    bk.finish_checkpoint();
-                }
-            }
-
-            // ...and start the next one if the writer is free.
-            let mut sync_pause_s = 0.0f64;
-            if pending.is_none() {
-                let plan = bk.begin_checkpoint();
-                sync_pause_s = backend.start_checkpoint(&bk, &plan, tick)?;
-                pending = Some(Pending {
-                    seq: plan.seq,
-                    start_tick: tick,
-                    sync_pause_s,
-                    full_flush: plan.full_flush,
-                });
-            }
-
-            metrics.ticks.push(TickMetrics {
-                tick,
-                overhead_s: update_overhead_s + sync_pause_s,
-                sync_pause_s,
-                bit_ops: ops_total.bit_ops,
-                locks: ops_total.locks,
-                copies: ops_total.copies,
-            });
-            backend.end_tick(tick)?;
+            step.tick(&buf, backend)?;
         }
+        step.finish(backend)
+    }
+}
 
-        // Drain the final in-flight checkpoint so recovery sees a
-        // committed image.
-        if let Some(p) = pending.take() {
-            if let Some(done) = backend.drain(&bk)? {
-                metrics.checkpoints.push(Self::record(p, done, tick));
-                bk.finish_checkpoint();
-            }
-        }
+/// One algorithm's in-progress run: the [`Bookkeeper`], the metric series
+/// and the in-flight checkpoint, advanced one tick at a time.
+///
+/// Created by [`TickDriver::begin`]; each [`DriverStep::tick`] executes
+/// the full framework loop body for one tick (update phase, completion
+/// poll, checkpoint start, tick end) against the supplied backend, and
+/// [`DriverStep::finish`] drains the final in-flight checkpoint.
+#[derive(Debug)]
+pub struct DriverStep {
+    geometry: StateGeometry,
+    bk: Bookkeeper,
+    metrics: RunMetrics,
+    pending: Option<Pending>,
+    tick: u64,
+    total_updates: u64,
+    /// Batching state: per object, the last (1-based) tick that touched
+    /// it. Empty when batching is off.
+    seen_at_tick: Vec<u64>,
+}
 
-        Ok(DriverRun {
-            ticks: tick,
-            updates: total_updates,
-            metrics,
-        })
+impl DriverStep {
+    /// The geometry this run is over.
+    pub fn geometry(&self) -> StateGeometry {
+        self.geometry
     }
 
-    fn record(p: Pending, done: FlushCompletion, end_tick: u64) -> CheckpointRecord {
-        CheckpointRecord {
-            seq: p.seq,
-            start_tick: p.start_tick,
-            end_tick,
-            duration_s: p.sync_pause_s + done.duration_s,
-            sync_pause_s: p.sync_pause_s,
-            objects_written: done.objects_written,
-            bytes_written: done.bytes_written,
-            full_flush: p.full_flush,
+    /// Ticks executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Execute one tick of the framework loop over `updates`.
+    pub fn tick<B: CheckpointBackend>(
+        &mut self,
+        updates: &[CellUpdate],
+        backend: &mut B,
+    ) -> Result<(), B::Error> {
+        self.tick += 1;
+        let tick = self.tick;
+        backend.begin_tick(tick)?;
+
+        // --- Update phase: route every update through Handle-Update.
+        let cursor = backend.cursor();
+        let mut ops_total = TickOps::default();
+        let batching = !self.seen_at_tick.is_empty();
+        for &u in updates {
+            let obj = self.geometry.object_of_unchecked(u.addr);
+            let ops = if batching {
+                let seen = &mut self.seen_at_tick[obj.index()];
+                if *seen == tick {
+                    // Coalesced: the first touch already did the
+                    // bookkeeping; the value write still happens below.
+                    UpdateOps::default()
+                } else {
+                    *seen = tick;
+                    self.bk.on_update(obj, cursor)
+                }
+            } else {
+                self.bk.on_update(obj, cursor)
+            };
+            ops_total.add(ops);
+            backend.apply_update(u, obj, ops)?;
         }
+        self.total_updates += updates.len() as u64;
+        let update_overhead_s = backend.end_updates(&self.bk, &ops_total)?;
+
+        // --- Tick boundary: harvest a completed checkpoint...
+        if self.pending.is_some() {
+            if let Some(done) = backend.poll_completion(&self.bk)? {
+                let p = self.pending.take().expect("pending checkpoint");
+                self.metrics.checkpoints.push(record(p, done, tick));
+                self.bk.finish_checkpoint();
+            }
+        }
+
+        // ...and start the next one if the writer is free.
+        let mut sync_pause_s = 0.0f64;
+        if self.pending.is_none() {
+            let plan = self.bk.begin_checkpoint();
+            sync_pause_s = backend.start_checkpoint(&self.bk, &plan, tick)?;
+            self.pending = Some(Pending {
+                seq: plan.seq,
+                start_tick: tick,
+                sync_pause_s,
+                full_flush: plan.full_flush,
+            });
+        }
+
+        self.metrics.ticks.push(TickMetrics {
+            tick,
+            overhead_s: update_overhead_s + sync_pause_s,
+            sync_pause_s,
+            bit_ops: ops_total.bit_ops,
+            locks: ops_total.locks,
+            copies: ops_total.copies,
+        });
+        backend.end_tick(tick)
+    }
+
+    /// The trace is exhausted: drain the final in-flight checkpoint so
+    /// recovery sees a committed image, and assemble the run result.
+    pub fn finish<B: CheckpointBackend>(mut self, backend: &mut B) -> Result<DriverRun, B::Error> {
+        if let Some(p) = self.pending.take() {
+            if let Some(done) = backend.drain(&self.bk)? {
+                self.metrics.checkpoints.push(record(p, done, self.tick));
+                self.bk.finish_checkpoint();
+            }
+        }
+        Ok(DriverRun {
+            ticks: self.tick,
+            updates: self.total_updates,
+            metrics: self.metrics,
+        })
+    }
+}
+
+fn record(p: Pending, done: FlushCompletion, end_tick: u64) -> CheckpointRecord {
+    CheckpointRecord {
+        seq: p.seq,
+        start_tick: p.start_tick,
+        end_tick,
+        duration_s: p.sync_pause_s + done.duration_s,
+        sync_pause_s: p.sync_pause_s,
+        objects_written: done.objects_written,
+        bytes_written: done.bytes_written,
+        full_flush: p.full_flush,
     }
 }
 
@@ -479,6 +576,126 @@ mod tests {
                 0
             );
         }
+    }
+
+    /// A trace hammering the same few rows every tick (heavy same-object
+    /// duplication, the batching win case).
+    struct HotTrace {
+        g: StateGeometry,
+        ticks: u64,
+        per_tick: u32,
+        next: u64,
+    }
+
+    impl TraceSource for HotTrace {
+        fn geometry(&self) -> StateGeometry {
+            self.g
+        }
+
+        fn next_tick(&mut self, buf: &mut Vec<CellUpdate>) -> bool {
+            buf.clear();
+            if self.next >= self.ticks {
+                return false;
+            }
+            for i in 0..self.per_tick {
+                // Only 4 distinct rows: most updates coalesce.
+                buf.push(CellUpdate::new(
+                    i % 4,
+                    i % self.g.cols,
+                    self.next as u32 + i,
+                ));
+            }
+            self.next += 1;
+            true
+        }
+    }
+
+    #[test]
+    fn batching_preserves_write_sets_and_cuts_bit_ops() {
+        for alg in Algorithm::ALL {
+            let g = StateGeometry::small(64, 4);
+            let run_with = |batching: bool| {
+                let mut trace = HotTrace {
+                    g,
+                    ticks: 30,
+                    per_tick: 64,
+                    next: 0,
+                };
+                let mut backend = MockBackend::new(3);
+                TickDriver::new(alg.spec())
+                    .with_batching(batching)
+                    .run(&mut trace, &mut backend)
+                    .expect("infallible")
+            };
+            let plain = run_with(false);
+            let batched = run_with(true);
+
+            // Identical checkpoint behaviour: same sequence, same write
+            // sets, same copies (coalescing only skips redundant calls).
+            assert_eq!(plain.updates, batched.updates, "{alg}");
+            assert_eq!(
+                plain.metrics.checkpoints.len(),
+                batched.metrics.checkpoints.len(),
+                "{alg}"
+            );
+            for (p, b) in plain
+                .metrics
+                .checkpoints
+                .iter()
+                .zip(&batched.metrics.checkpoints)
+            {
+                assert_eq!(p.objects_written, b.objects_written, "{alg}");
+                assert_eq!(p.start_tick, b.start_tick, "{alg}");
+            }
+            let copies = |r: &DriverRun| r.metrics.ticks.iter().map(|t| t.copies).sum::<u64>();
+            assert_eq!(copies(&plain), copies(&batched), "{alg}");
+
+            // Reduced bookkeeping: dirty-tracking algorithms pay one bit
+            // op per *distinct* object per tick instead of one per update.
+            let bit_ops = |r: &DriverRun| r.metrics.ticks.iter().map(|t| t.bit_ops).sum::<u64>();
+            if alg != Algorithm::NaiveSnapshot {
+                assert!(
+                    bit_ops(&batched) < bit_ops(&plain),
+                    "{alg}: batched {} !< plain {}",
+                    bit_ops(&batched),
+                    bit_ops(&plain)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stepped_run_equals_whole_trace_run() {
+        let g = StateGeometry::small(64, 4);
+        let driver = TickDriver::new(Algorithm::CopyOnUpdate.spec());
+
+        let mut trace = FakeTrace {
+            g,
+            ticks: 25,
+            per_tick: 8,
+            next: 0,
+        };
+        let mut backend = MockBackend::new(2);
+        let whole = driver.run(&mut trace, &mut backend).expect("infallible");
+
+        let mut trace = FakeTrace {
+            g,
+            ticks: 25,
+            per_tick: 8,
+            next: 0,
+        };
+        let mut backend = MockBackend::new(2);
+        let mut step = driver.begin(g);
+        let mut buf = Vec::new();
+        while trace.next_tick(&mut buf) {
+            step.tick(&buf, &mut backend).expect("infallible");
+        }
+        let stepped = step.finish(&mut backend).expect("infallible");
+
+        assert_eq!(whole.ticks, stepped.ticks);
+        assert_eq!(whole.updates, stepped.updates);
+        assert_eq!(whole.metrics.ticks, stepped.metrics.ticks);
+        assert_eq!(whole.metrics.checkpoints, stepped.metrics.checkpoints);
     }
 
     #[test]

@@ -122,6 +122,26 @@ impl StateGeometry {
         }
     }
 
+    /// The workspace's standard small test geometry: 512 × 8 cells in
+    /// 64-byte objects (16 KB of state, 256 atomic objects). Shared by
+    /// engine and integration tests so trace configs stay comparable.
+    pub fn test_small() -> Self {
+        StateGeometry::small(512, 8)
+    }
+
+    /// The standard hot-contention test geometry: 64 × 8 cells in 64-byte
+    /// objects (32 objects) — tiny enough that skewed workloads touch
+    /// everything every tick.
+    pub fn test_hot() -> Self {
+        StateGeometry::small(64, 8)
+    }
+
+    /// The standard file-level test geometry: 16 × 4 cells in 64-byte
+    /// objects (4 objects) — small enough to eyeball byte offsets.
+    pub fn test_micro() -> Self {
+        StateGeometry::small(16, 4)
+    }
+
     /// Validate internal consistency.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.rows == 0 || self.cols == 0 {

@@ -58,17 +58,19 @@ pub mod log;
 pub mod metrics;
 pub mod plan;
 pub mod recovery;
+pub mod sharding;
 pub mod table;
 pub mod trace;
 
 pub use algorithms::bookkeeper::{Bookkeeper, FlushCursor, UpdateOps};
 pub use algorithms::{Algorithm, AlgorithmSpec, CopyTiming, DiskOrg, ObjectsCopied, Subroutine};
-pub use driver::{CheckpointBackend, DriverRun, FlushCompletion, TickDriver, TickOps};
+pub use driver::{CheckpointBackend, DriverRun, DriverStep, FlushCompletion, TickDriver, TickOps};
 pub use error::CoreError;
 pub use geometry::{CellAddr, CellUpdate, ObjectId, StateGeometry};
 pub use log::ActionLog;
 pub use metrics::{CheckpointRecord, RunMetrics, TickMetrics};
 pub use plan::{CheckpointPlan, CursorKind, FlushJob, SyncCopy};
 pub use recovery::{recover, CheckpointImage, RecoveryOutcome};
+pub use sharding::{ShardFilter, ShardMap, ShardedDriver, ShardedRun};
 pub use table::StateTable;
 pub use trace::TraceSource;

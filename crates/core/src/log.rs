@@ -166,9 +166,8 @@ mod tests {
         assert_eq!(log.first_tick(), Some(6));
         assert_eq!(log.len(), 4);
         // Replaying a truncated range fails loudly.
-        let err = match log.replay_range(3, 8) {
-            Err(e) => e,
-            Ok(_) => panic!("expected MissingLogTicks"),
+        let Err(err) = log.replay_range(3, 8) else {
+            panic!("expected MissingLogTicks")
         };
         assert_eq!(err, CoreError::MissingLogTicks { from: 3, have: 6 });
         // Replaying what remains succeeds.

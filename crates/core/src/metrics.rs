@@ -60,6 +60,38 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    /// Aggregate per-shard metric series into one world-level series.
+    ///
+    /// Shards tick in lockstep (every shard executes every global tick),
+    /// so per-tick *latency* aggregates as the **max** across shards — the
+    /// world's tick is stretched by its slowest shard — while per-tick
+    /// *work* counters (`bit_ops`, `locks`, `copies`) aggregate as sums.
+    /// Checkpoint records are the union of all shards' records, ordered by
+    /// completion tick (shards checkpoint independently, so their
+    /// sequence numbers overlap).
+    pub fn merge_shards<'a>(shards: impl IntoIterator<Item = &'a RunMetrics>) -> RunMetrics {
+        let mut out = RunMetrics::default();
+        for m in shards {
+            for (i, t) in m.ticks.iter().enumerate() {
+                if i == out.ticks.len() {
+                    out.ticks.push(*t);
+                    continue;
+                }
+                let o = &mut out.ticks[i];
+                debug_assert_eq!(o.tick, t.tick, "shards must tick in lockstep");
+                o.overhead_s = o.overhead_s.max(t.overhead_s);
+                o.sync_pause_s = o.sync_pause_s.max(t.sync_pause_s);
+                o.bit_ops += t.bit_ops;
+                o.locks += t.locks;
+                o.copies += t.copies;
+            }
+            out.checkpoints.extend_from_slice(&m.checkpoints);
+        }
+        out.checkpoints
+            .sort_by_key(|c| (c.end_tick, c.start_tick, c.seq));
+        out
+    }
+
     /// Average overhead per tick, in seconds (Figure 2(a)/4(a)/5(a)).
     pub fn avg_overhead_s(&self) -> f64 {
         mean(self.ticks.iter().map(|t| t.overhead_s))
@@ -186,6 +218,35 @@ mod tests {
         assert_eq!(m.ticks_over_budget(0.0015), 2);
         assert_eq!(m.overhead_at(1), 0.003);
         assert_eq!(m.overhead_at(99), 0.0);
+    }
+
+    #[test]
+    fn merge_shards_maxes_latency_and_sums_work() {
+        let mut a = RunMetrics {
+            ticks: vec![tick(1, 0.002), tick(2, 0.001)],
+            checkpoints: vec![ckpt(0, 0.5, 10, false)],
+        };
+        a.ticks[0].bit_ops = 5;
+        a.ticks[0].copies = 2;
+        let mut b = RunMetrics {
+            ticks: vec![tick(1, 0.001), tick(2, 0.004)],
+            checkpoints: vec![ckpt(0, 0.2, 3, false)],
+        };
+        b.ticks[0].bit_ops = 7;
+        b.ticks[0].locks = 1;
+        // Shard b's checkpoint completes earlier in tick terms.
+        b.checkpoints[0].start_tick = 1;
+        b.checkpoints[0].end_tick = 2;
+
+        let merged = RunMetrics::merge_shards([&a, &b]);
+        assert_eq!(merged.ticks.len(), 2);
+        assert_eq!(merged.ticks[0].overhead_s, 0.002, "max across shards");
+        assert_eq!(merged.ticks[1].overhead_s, 0.004);
+        assert_eq!(merged.ticks[0].bit_ops, 12, "sum across shards");
+        assert_eq!(merged.ticks[0].locks, 1);
+        assert_eq!(merged.ticks[0].copies, 2);
+        assert_eq!(merged.checkpoints.len(), 2);
+        assert_eq!(merged.checkpoints[0].end_tick, 2, "ordered by completion");
     }
 
     #[test]

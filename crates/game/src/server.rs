@@ -5,10 +5,18 @@
 //! simulator directly or be recorded to a trace file with
 //! [`mmoc_workload::write_trace_file`] — exactly the instrumented-server →
 //! trace-file → simulator pipeline of §4.4.
+//!
+//! The server also speaks the shard layer: [`GameServer::shard_map`]
+//! partitions its unit table into object-aligned row bands, and
+//! [`GameServer::sharded_traces`] yields one replayable per-shard trace
+//! per band (each re-runs the deterministic battle and routes every
+//! update through the map), so a sharded checkpoint engine — or a single
+//! crashed shard's recovery replay — consumes exactly the updates of the
+//! units it owns.
 
 use crate::config::GameConfig;
 use crate::world::World;
-use mmoc_core::{CellUpdate, StateGeometry};
+use mmoc_core::{CellUpdate, CoreError, ShardFilter, ShardMap, StateGeometry};
 use mmoc_workload::TraceSource;
 
 /// A Knights and Archers server emitting its update trace.
@@ -30,6 +38,27 @@ impl GameServer {
     /// The world, for inspection.
     pub fn world(&self) -> &World {
         &self.world
+    }
+
+    /// Partition this server's unit table into `n_shards` disjoint,
+    /// object-aligned row bands (units are rows, so a band is a block of
+    /// units — the zone/shard assignment of a sharded game cluster).
+    pub fn shard_map(&self, n_shards: u32) -> Result<ShardMap, CoreError> {
+        ShardMap::new(self.geometry(), n_shards)
+    }
+
+    /// One replayable trace per shard: each re-runs the battle for
+    /// `config` deterministically and routes its updates through `map`,
+    /// yielding only the owning shard's slice in shard-local coordinates.
+    pub fn sharded_traces(config: GameConfig, map: &ShardMap) -> Vec<ShardFilter<GameServer>> {
+        assert_eq!(
+            config.geometry(),
+            map.global_geometry(),
+            "shard map must partition this game's geometry"
+        );
+        (0..map.n_shards())
+            .map(|s| ShardFilter::new(GameServer::new(config), map.clone(), s))
+            .collect()
     }
 }
 
@@ -88,6 +117,37 @@ mod tests {
         // trace touches more than one cohort over 30 ticks.
         assert!(stats.distinct_rows > 102);
         assert!(stats.distinct_rows < 1024);
+    }
+
+    #[test]
+    fn shard_map_routes_every_game_update() {
+        let cfg = GameConfig::small().with_ticks(20);
+        let server = GameServer::new(cfg);
+        // 128 cells/object over 13 cols -> bands of 128 units; 1,024
+        // units allow up to 8 shards.
+        let map = server.shard_map(4).unwrap();
+        assert_eq!(map.n_shards(), 4);
+
+        // The per-shard traces partition the direct trace exactly.
+        let mut shard_updates = 0u64;
+        let mut shard_ticks = None;
+        for mut filtered in GameServer::sharded_traces(cfg, &map) {
+            let mut buf = Vec::new();
+            let mut ticks = 0u64;
+            let mut updates = 0u64;
+            while filtered.next_tick(&mut buf) {
+                ticks += 1;
+                updates += buf.len() as u64;
+                // Every local row fits the shard's geometry.
+                let g = filtered.geometry();
+                assert!(buf.iter().all(|u| u.addr.row < g.rows));
+            }
+            assert_eq!(*shard_ticks.get_or_insert(ticks), ticks);
+            shard_updates += updates;
+        }
+        let direct = TraceStats::scan(&mut GameServer::new(cfg));
+        assert_eq!(shard_ticks, Some(direct.ticks));
+        assert_eq!(shard_updates, direct.total_updates);
     }
 
     #[test]

@@ -21,12 +21,13 @@
 use crate::cost::CostModel;
 use crate::fidelity::{FidelityChecker, FidelityReport};
 use crate::params::HardwareParams;
+use crate::report::ShardedSimReport;
 use crate::report::SimReport;
 use mmoc_core::algorithms::DEFAULT_FULL_FLUSH_PERIOD;
 use mmoc_core::driver::{CheckpointBackend, FlushCompletion, TickOps};
 use mmoc_core::{
-    Algorithm, Bookkeeper, CellUpdate, CheckpointPlan, FlushCursor, FlushJob, ObjectId, TickDriver,
-    TraceSource,
+    Algorithm, Bookkeeper, CellUpdate, CheckpointPlan, FlushCursor, FlushJob, ObjectId, ShardMap,
+    ShardedDriver, TickDriver, TraceSource,
 };
 use serde::{Deserialize, Serialize};
 use std::convert::Infallible;
@@ -239,15 +240,7 @@ impl SimEngine {
             .algorithm
             .spec_with_flush_period(self.config.full_flush_period);
 
-        let mut backend = SimBackend {
-            cost,
-            tick_period: self.config.tick_period_s(),
-            frontier_rate: cost.frontier_slots_per_s(),
-            n_objects: geometry.n_objects(),
-            clock: 0.0,
-            active: None,
-            fidelity,
-        };
+        let mut backend = self.make_backend(&cost, geometry.n_objects(), fidelity);
         let run = match TickDriver::new(spec).run(trace, &mut backend) {
             Ok(run) => run,
             Err(infallible) => match infallible {},
@@ -255,6 +248,120 @@ impl SimEngine {
 
         let report = self.build_report(geometry, &cost, run.ticks, run.updates, run.metrics);
         (report, backend.fidelity.map(FidelityChecker::into_report))
+    }
+
+    fn make_backend(
+        &self,
+        cost: &CostModel,
+        n_objects: u32,
+        fidelity: Option<FidelityChecker>,
+    ) -> SimBackend {
+        SimBackend {
+            cost: *cost,
+            tick_period: self.config.tick_period_s(),
+            frontier_rate: cost.frontier_slots_per_s(),
+            n_objects,
+            clock: 0.0,
+            active: None,
+            fidelity,
+        }
+    }
+
+    /// Run the simulation over `n_shards` disjoint shards of the trace's
+    /// geometry: one bookkeeper and one **independent virtual clock** per
+    /// shard, advanced in lockstep over the global trace. The aggregate
+    /// wall clock is the max over shards — shards run in parallel, so the
+    /// world is as slow as its slowest shard.
+    ///
+    /// With `n_shards == 1` this is exactly [`SimEngine::run`] (same
+    /// backend call sequence, same metrics, wrapped in the sharded
+    /// report).
+    ///
+    /// Panics if the geometry cannot be split into `n_shards`
+    /// object-aligned bands (see [`ShardMap::new`]).
+    pub fn run_sharded<S: TraceSource>(&self, trace: &mut S, n_shards: u32) -> ShardedSimReport {
+        self.run_sharded_inner(trace, n_shards, false).0
+    }
+
+    /// As [`SimEngine::run_sharded`], with per-shard value-level fidelity
+    /// checking: every shard's completed checkpoints must equal that
+    /// shard's state at checkpoint start.
+    pub fn run_sharded_checked<S: TraceSource>(
+        &self,
+        trace: &mut S,
+        n_shards: u32,
+    ) -> (ShardedSimReport, Vec<FidelityReport>) {
+        let (report, fidelity) = self.run_sharded_inner(trace, n_shards, true);
+        (report, fidelity.expect("fidelity checkers were installed"))
+    }
+
+    fn run_sharded_inner<S: TraceSource>(
+        &self,
+        trace: &mut S,
+        n_shards: u32,
+        checked: bool,
+    ) -> (ShardedSimReport, Option<Vec<FidelityReport>>) {
+        let geometry = trace.geometry();
+        let map = ShardMap::new(geometry, n_shards).expect("shardable geometry");
+        let cost = CostModel::new(self.config.hardware, geometry.object_size);
+        let spec = self
+            .algorithm
+            .spec_with_flush_period(self.config.full_flush_period);
+
+        let mut backends: Vec<SimBackend> = (0..map.n_shards())
+            .map(|s| {
+                let fidelity =
+                    checked.then(|| FidelityChecker::new(map.shard_geometry(s), self.algorithm));
+                self.make_backend(&cost, map.shard_geometry(s).n_objects(), fidelity)
+            })
+            .collect();
+
+        let run = match ShardedDriver::new(TickDriver::new(spec), map.clone())
+            .run(trace, &mut backends)
+        {
+            Ok(run) => run,
+            Err(infallible) => match infallible {},
+        };
+
+        let wall_clock_s = backends.iter().map(|b| b.clock).fold(0.0f64, f64::max);
+        let fidelity = checked.then(|| {
+            backends
+                .iter_mut()
+                .map(|b| b.fidelity.take().expect("checker installed").into_report())
+                .collect()
+        });
+
+        let metrics = run.merged_metrics();
+        let shards: Vec<SimReport> = run
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(s, r)| {
+                self.build_report(map.shard_geometry(s), &cost, r.ticks, r.updates, r.metrics)
+            })
+            .collect();
+        // Shards restore in parallel at recovery: the world is back when
+        // the slowest shard is.
+        let est_recovery_s = shards
+            .iter()
+            .map(|r| r.est_recovery_s)
+            .fold(0.0f64, f64::max);
+        let report = ShardedSimReport {
+            algorithm: self.algorithm,
+            geometry,
+            n_shards,
+            ticks: run.ticks,
+            updates: run.updates,
+            checkpoints_completed: metrics.checkpoints.len() as u64,
+            avg_overhead_s: metrics.avg_overhead_s(),
+            max_overhead_s: metrics.max_overhead_s(),
+            avg_checkpoint_s: metrics.avg_checkpoint_s(),
+            est_recovery_s,
+            wall_clock_s,
+            shards,
+            metrics,
+        };
+        (report, fidelity)
     }
 
     fn build_report(
@@ -301,7 +408,7 @@ mod tests {
 
     fn small_trace(ticks: u64, updates: u32, skew: f64) -> impl TraceSource {
         SyntheticConfig {
-            geometry: StateGeometry::small(256, 8),
+            geometry: StateGeometry::test_small(),
             ticks,
             updates_per_tick: updates,
             skew,
@@ -416,7 +523,7 @@ mod tests {
         // paper's regime); with the default disk the tiny test state
         // checkpoints every tick and every Naive tick pays a sync pause.
         let config = SimConfig {
-            // 8 KB test state at 20 kB/s: one checkpoint ≈ 12 ticks.
+            // 16 KB test state at 20 kB/s: one checkpoint ≈ 24 ticks.
             hardware: HardwareParams::paper().with_disk_bandwidth(20e3),
             ..SimConfig::default()
         };
@@ -454,6 +561,87 @@ mod tests {
                 assert_eq!(normal_bytes, 0, "{alg}");
             }
         }
+    }
+
+    #[test]
+    fn one_shard_is_bit_identical_to_the_single_driver_path() {
+        for alg in Algorithm::ALL {
+            let engine = SimEngine::new(SimConfig::default(), alg);
+            let single = engine.run(&mut small_trace(60, 96, 0.7));
+            let sharded = engine.run_sharded(&mut small_trace(60, 96, 0.7), 1);
+            assert_eq!(sharded.n_shards, 1);
+            assert_eq!(sharded.shards.len(), 1);
+            let shard = &sharded.shards[0];
+            // The virtual clock is deterministic: every derived number
+            // must be *exactly* equal, not just close.
+            assert_eq!(shard.ticks, single.ticks, "{alg}");
+            assert_eq!(shard.updates, single.updates, "{alg}");
+            assert_eq!(shard.metrics.ticks, single.metrics.ticks, "{alg}");
+            assert_eq!(
+                shard.metrics.checkpoints, single.metrics.checkpoints,
+                "{alg}"
+            );
+            assert_eq!(shard.avg_overhead_s, single.avg_overhead_s, "{alg}");
+            assert_eq!(shard.est_recovery_s, single.est_recovery_s, "{alg}");
+            // And the world-level aggregates collapse to the shard's.
+            assert_eq!(sharded.avg_overhead_s, single.avg_overhead_s, "{alg}");
+            assert_eq!(sharded.est_recovery_s, single.est_recovery_s, "{alg}");
+        }
+    }
+
+    #[test]
+    fn sharded_fidelity_holds_and_clocks_are_independent() {
+        for alg in Algorithm::ALL {
+            let engine = SimEngine::new(SimConfig::default(), alg);
+            let (report, fidelity) = engine.run_sharded_checked(&mut small_trace(60, 96, 0.7), 4);
+            assert_eq!(report.n_shards, 4);
+            assert_eq!(report.shards.len(), 4);
+            assert_eq!(fidelity.len(), 4);
+            for (s, f) in fidelity.iter().enumerate() {
+                assert!(f.errors.is_empty(), "{alg} shard {s}: {:?}", f.errors);
+                assert!(f.checks_passed > 0, "{alg} shard {s}");
+            }
+            // Each shard prices its own virtual clock; the aggregate wall
+            // clock is the slowest shard's.
+            let max_clock = report
+                .shards
+                .iter()
+                .map(|r| {
+                    r.ticks as f64 * engine.config().tick_period_s()
+                        + r.metrics.ticks.iter().map(|t| t.overhead_s).sum::<f64>()
+                })
+                .fold(0.0f64, f64::max);
+            assert!(
+                report.wall_clock_s >= max_clock - 1e-9,
+                "{alg}: wall clock {} < slowest shard {}",
+                report.wall_clock_s,
+                max_clock
+            );
+            // Recovery is parallel: the world estimate is a max, not a sum.
+            let max_rec = report
+                .shards
+                .iter()
+                .map(|r| r.est_recovery_s)
+                .fold(0.0f64, f64::max);
+            assert_eq!(report.est_recovery_s, max_rec, "{alg}");
+            // Work is conserved: total updates equal the unsharded trace's.
+            assert_eq!(report.updates, 60 * 96, "{alg}");
+        }
+    }
+
+    #[test]
+    fn sharding_shrinks_per_shard_checkpoints() {
+        // Fixed total state split 4 ways: each shard flushes ~1/4 of the
+        // full-state write, so Naive's per-shard checkpoint time drops.
+        let engine = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot);
+        let single = engine.run(&mut small_trace(40, 64, 0.5));
+        let sharded = engine.run_sharded(&mut small_trace(40, 64, 0.5), 4);
+        assert!(
+            sharded.avg_checkpoint_s < single.avg_checkpoint_s,
+            "sharded {} !< single {}",
+            sharded.avg_checkpoint_s,
+            single.avg_checkpoint_s
+        );
     }
 
     #[test]

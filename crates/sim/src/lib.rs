@@ -40,4 +40,4 @@ pub mod report;
 pub use cost::CostModel;
 pub use engine::{SimConfig, SimEngine};
 pub use params::HardwareParams;
-pub use report::SimReport;
+pub use report::{ShardedSimReport, SimReport};

@@ -60,6 +60,55 @@ impl SimReport {
     }
 }
 
+/// Result of one sharded simulated run: per-shard reports plus the
+/// world-level aggregates (latency maxed, work summed across shards).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedSimReport {
+    /// Algorithm simulated (the same on every shard).
+    pub algorithm: Algorithm,
+    /// The *global* (unpartitioned) geometry.
+    pub geometry: StateGeometry,
+    /// Number of shards the state was split into.
+    pub n_shards: u32,
+    /// Global ticks simulated (every shard executes every tick).
+    pub ticks: u64,
+    /// Total updates routed across all shards.
+    pub updates: u64,
+    /// Completed checkpoints summed over shards.
+    pub checkpoints_completed: u64,
+    /// Average per-tick overhead of the *world*: each tick costs the max
+    /// across shards (shards run in parallel), averaged over ticks.
+    pub avg_overhead_s: f64,
+    /// Worst single-tick world overhead, in seconds.
+    pub max_overhead_s: f64,
+    /// Average time to checkpoint across all shards' checkpoints.
+    pub avg_checkpoint_s: f64,
+    /// Estimated recovery time of the world: shards restore in parallel,
+    /// so this is the max over per-shard estimates.
+    pub est_recovery_s: f64,
+    /// Aggregate virtual wall clock: the max over shards' final clocks.
+    pub wall_clock_s: f64,
+    /// One full report per shard, in shard order.
+    pub shards: Vec<SimReport>,
+    /// The merged per-tick and per-checkpoint series
+    /// (see [`RunMetrics::merge_shards`]).
+    pub metrics: RunMetrics,
+}
+
+impl ShardedSimReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<28} x{:<2} shards  overhead {:>9.4} ms  checkpoint {:>7.3} s  recovery {:>7.3} s",
+            self.algorithm.name(),
+            self.n_shards,
+            self.avg_overhead_s * 1e3,
+            self.avg_checkpoint_s,
+            self.est_recovery_s
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,7 +19,7 @@ use std::io;
 pub fn run_atomic_copy<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
 where
     S: TraceSource,
-    F: Fn() -> S,
+    F: Fn() -> S + Sync,
 {
     run_algorithm(Algorithm::AtomicCopyDirtyObjects, config, make_trace)
 }
@@ -38,7 +38,7 @@ mod tests {
 
     fn trace_config() -> SyntheticConfig {
         SyntheticConfig {
-            geometry: StateGeometry::small(512, 8),
+            geometry: StateGeometry::test_small(),
             ticks: 45,
             updates_per_tick: 300,
             skew: 0.7,

@@ -26,6 +26,12 @@ pub struct RealConfig {
     pub sync_data: bool,
     /// After the run, simulate a crash and measure real recovery.
     pub measure_recovery: bool,
+    /// Writer-pool workers serving all shards' flush jobs in sharded
+    /// runs. `0` (the default) picks `min(n_shards, 4)` — the pool is a
+    /// shared resource sized to the storage device, not to the shard
+    /// count. Single-shard runs always use one worker (the historical
+    /// dedicated writer thread).
+    pub writer_pool_threads: usize,
 }
 
 impl RealConfig {
@@ -40,6 +46,24 @@ impl RealConfig {
             bit_test_cost_s: 2e-9,
             sync_data: true,
             measure_recovery: true,
+            writer_pool_threads: 0,
+        }
+    }
+
+    /// Override the writer-pool size for sharded runs (`0` = auto).
+    pub fn with_writer_pool(mut self, threads: usize) -> Self {
+        self.writer_pool_threads = threads;
+        self
+    }
+
+    /// The writer-pool size actually used for an `n_shards`-way run.
+    pub fn effective_pool_threads(&self, n_shards: usize) -> usize {
+        if n_shards <= 1 {
+            1
+        } else if self.writer_pool_threads == 0 {
+            n_shards.min(4)
+        } else {
+            self.writer_pool_threads
         }
     }
 

@@ -28,7 +28,7 @@ use std::io;
 pub fn run_copy_on_update<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
 where
     S: TraceSource,
-    F: Fn() -> S,
+    F: Fn() -> S + Sync,
 {
     run_algorithm(Algorithm::CopyOnUpdate, config, make_trace)
 }
@@ -47,7 +47,7 @@ mod tests {
 
     fn trace_config() -> SyntheticConfig {
         SyntheticConfig {
-            geometry: StateGeometry::small(512, 8),
+            geometry: StateGeometry::test_small(),
             ticks: 50,
             updates_per_tick: 300,
             skew: 0.7,
@@ -106,7 +106,7 @@ mod tests {
     fn cou_recovery_correct_under_hot_contention() {
         let dir = tempfile::tempdir().unwrap();
         let cfg = SyntheticConfig {
-            geometry: StateGeometry::small(64, 8), // tiny: everything is hot
+            geometry: StateGeometry::test_hot(), // tiny: everything is hot
             ticks: 200,
             updates_per_tick: 500,
             skew: 0.99,

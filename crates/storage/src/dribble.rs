@@ -19,7 +19,7 @@ use std::io;
 pub fn run_dribble<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
 where
     S: TraceSource,
-    F: Fn() -> S,
+    F: Fn() -> S + Sync,
 {
     run_algorithm(Algorithm::DribbleAndCopyOnUpdate, config, make_trace)
 }
@@ -38,7 +38,7 @@ mod tests {
 
     fn trace_config() -> SyntheticConfig {
         SyntheticConfig {
-            geometry: StateGeometry::small(512, 8),
+            geometry: StateGeometry::test_small(),
             ticks: 40,
             updates_per_tick: 250,
             skew: 0.7,
@@ -87,7 +87,7 @@ mod tests {
     fn dribble_recovery_survives_hot_contention() {
         let dir = tempfile::tempdir().unwrap();
         let cfg = SyntheticConfig {
-            geometry: StateGeometry::small(64, 8),
+            geometry: StateGeometry::test_hot(),
             ticks: 120,
             updates_per_tick: 400,
             skew: 0.99,

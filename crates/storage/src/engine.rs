@@ -11,11 +11,13 @@
 //!   lookups standing in for game logic), applying updates to the
 //!   [`Shared`] table with the copy-on-update slow path (lock, re-check,
 //!   arena save), and the paced sleep phase;
-//! * an **asynchronous writer thread** executing the plan's flush job
-//!   against either disk organization — the [`BackupSet`] double backup
-//!   (sorted offset-ordered writes) or the [`LogStore`] (sequential
-//!   segment appends) — publishing its sweep frontier for the
-//!   bookkeeper's copy-on-update decisions;
+//! * a **shared writer pool** executing every shard's flush jobs against
+//!   its disk organization — the [`BackupSet`] double backup (sorted
+//!   offset-ordered writes) or the [`LogStore`] (sequential segment
+//!   appends) — publishing each shard's sweep frontier for the
+//!   bookkeeper's copy-on-update decisions. A single-shard run is simply
+//!   a pool of one worker serving one shard, which is exactly the old
+//!   dedicated writer thread;
 //! * real **durability**: data `fsync` before metadata commit, and a
 //!   wall-clock recovery measurement (restore the newest consistent image,
 //!   replay the deterministic update stream).
@@ -23,7 +25,9 @@
 //! Adding the two algorithms the old per-algorithm engines never
 //! implemented (Dribble-and-Copy-on-Update, Atomic-Copy-Dirty-Objects)
 //! required no new orchestration — they are [`run_algorithm`] calls like
-//! the rest, which is the point of the refactor.
+//! the rest, which is the point of the refactor. The multi-shard entry
+//! point is [`crate::sharded::run_algorithm_sharded`]; [`run_algorithm`]
+//! is its single-shard specialization.
 
 use crate::config::RealConfig;
 use crate::files::BackupSet;
@@ -34,23 +38,50 @@ use crate::shared::{Shared, SharedTable};
 use mmoc_core::driver::{CheckpointBackend, FlushCompletion, TickOps};
 use mmoc_core::{
     Algorithm, Bookkeeper, CellUpdate, CheckpointPlan, CursorKind, DiskOrg, FlushCursor, FlushJob,
-    ObjectId, StateGeometry, TickDriver, TraceSource, UpdateOps,
+    ObjectId, StateGeometry, TraceSource, UpdateOps,
 };
 use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// The stable-storage organization the writer thread owns.
-enum Store {
+/// The stable-storage organization a pool worker writes for one shard.
+pub(crate) enum Store {
     /// Two alternating full-size backup files (sorted writes).
     Double(BackupSet),
     /// The append-only checkpoint log.
     Log(LogStore),
 }
 
-/// One checkpoint's flush job, handed to the writer thread.
-enum Job {
+/// Create a shard's store under `dir`, pre-loading the complete initial
+/// (zeroed) state — the boot-time load the bookkeeping assumes.
+pub(crate) fn create_store(
+    dir: &Path,
+    geometry: StateGeometry,
+    disk_org: DiskOrg,
+) -> io::Result<Store> {
+    let n = geometry.n_objects();
+    let initial = vec![0u8; n as usize * geometry.object_size as usize];
+    Ok(match disk_org {
+        DiskOrg::DoubleBackup => Store::Double(BackupSet::create(dir, geometry, &initial)?),
+        DiskOrg::Log => {
+            let mut log = LogStore::create(dir, geometry)?;
+            let obj_size = geometry.object_size as usize;
+            log.append_segment(
+                0,
+                0,
+                true,
+                (0..n).map(|i| (ObjectId(i), &initial[i as usize * obj_size..][..obj_size])),
+                true,
+            )?;
+            Store::Log(log)
+        }
+    })
+}
+
+/// One checkpoint's flush job, handed to the writer pool.
+pub(crate) enum Job {
     /// Write a privately buffered eager copy (`Write-Copies-To-Stable-
     /// Storage`): no coordination with the mutator is needed.
     Eager {
@@ -80,7 +111,7 @@ enum Job {
 }
 
 /// Writer → mutator completion report.
-struct Done {
+pub(crate) struct Done {
     result: io::Result<f64>,
     objects: u32,
     bytes: u64,
@@ -89,127 +120,203 @@ struct Done {
     recycled: Option<(Vec<u32>, Vec<u8>)>,
 }
 
-/// The writer thread: drains flush jobs until the channel closes.
-fn writer_loop(
-    mut store: Store,
-    shared: Arc<Shared>,
-    frontier: Arc<AtomicU64>,
-    geometry: StateGeometry,
-    sync_data: bool,
-    job_rx: crossbeam::channel::Receiver<Job>,
-    done_tx: crossbeam::channel::Sender<Done>,
-) {
-    let obj_size = geometry.object_size as usize;
-    let mut buf = vec![0u8; obj_size];
-    for job in job_rx {
-        let t0 = Instant::now();
-        let (objects, result, recycled) = match job {
-            Job::Eager {
-                ids,
-                data,
-                seq,
-                tick,
-                target,
-                full_image,
-            } => {
-                let count = ids.len() as u32;
-                let objects = ids
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &id)| (ObjectId(id), &data[i * obj_size..][..obj_size]));
-                let result = match &mut store {
-                    Store::Double(set) => (|| {
-                        set.invalidate(target)?;
-                        for (obj, bytes) in objects {
-                            // Sorted I/O: ids are in increasing offset order.
-                            set.write_object(target, obj, bytes)?;
-                        }
-                        if sync_data {
-                            set.sync(target)?;
-                        }
-                        set.commit(target, tick)
-                    })(),
-                    Store::Log(log) => log
-                        .append_segment(seq, tick, full_image, objects, sync_data)
-                        .map(|_| ()),
-                };
-                (count, result, Some((ids, data)))
-            }
-            Job::Sweep {
-                list,
-                cursor,
-                seq,
-                tick,
-                target,
-                full_image,
-            } => {
-                let count = list.len() as u32;
-                // Read one object under the copy-on-update protocol:
-                // lock, prefer the saved pre-update image, mark flushed.
-                let read_object = |o: u32, buf: &mut [u8]| {
-                    let obj = ObjectId(o);
-                    let _guard = shared.locks[o as usize].lock();
-                    if shared.copied.get(o) {
-                        shared.read_arena_into(obj, buf);
-                    } else {
-                        shared.table.read_object_into(obj, buf);
+/// Everything a pool worker needs to execute one shard's flush jobs: the
+/// shard's store (a mutex because workers are fungible, uncontended
+/// because a shard has at most one checkpoint in flight), its shared
+/// table/protocol state, and its frontier + completion channel.
+pub(crate) struct ShardCtx {
+    pub(crate) store: parking_lot::Mutex<Store>,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) frontier: Arc<AtomicU64>,
+    pub(crate) geometry: StateGeometry,
+    pub(crate) sync_data: bool,
+    pub(crate) done_tx: crossbeam::channel::Sender<Done>,
+}
+
+/// A flush job tagged with the shard it belongs to.
+pub(crate) struct PoolJob {
+    pub(crate) shard: usize,
+    pub(crate) job: Job,
+}
+
+/// Execute one flush job against one shard's store. Runs on a pool
+/// worker; `buf` is the worker's reusable object buffer.
+fn execute_job(ctx: &ShardCtx, store: &mut Store, buf: &mut Vec<u8>, job: Job) -> Done {
+    let obj_size = ctx.geometry.object_size as usize;
+    buf.resize(obj_size, 0);
+    let sync_data = ctx.sync_data;
+    let shared = &ctx.shared;
+    let t0 = Instant::now();
+    let (objects, result, recycled) = match job {
+        Job::Eager {
+            ids,
+            data,
+            seq,
+            tick,
+            target,
+            full_image,
+        } => {
+            let count = ids.len() as u32;
+            let objects = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (ObjectId(id), &data[i * obj_size..][..obj_size]));
+            let result = match store {
+                Store::Double(set) => (|| {
+                    set.invalidate(target)?;
+                    for (obj, bytes) in objects {
+                        // Sorted I/O: ids are in increasing offset order.
+                        set.write_object(target, obj, bytes)?;
                     }
-                    shared.flushed.set(o);
+                    if sync_data {
+                        set.sync(target)?;
+                    }
+                    set.commit(target, tick)
+                })(),
+                Store::Log(log) => log
+                    .append_segment(seq, tick, full_image, objects, sync_data)
+                    .map(|_| ()),
+            };
+            (count, result, Some((ids, data)))
+        }
+        Job::Sweep {
+            list,
+            cursor,
+            seq,
+            tick,
+            target,
+            full_image,
+        } => {
+            let count = list.len() as u32;
+            // Read one object under the copy-on-update protocol:
+            // lock, prefer the saved pre-update image, mark flushed.
+            let read_object = |o: u32, buf: &mut [u8]| {
+                let obj = ObjectId(o);
+                let _guard = shared.locks[o as usize].lock();
+                if shared.copied.get(o) {
+                    shared.read_arena_into(obj, buf);
+                } else {
+                    shared.table.read_object_into(obj, buf);
+                }
+                shared.flushed.set(o);
+            };
+            // Publish progress *after* the object is durably queued:
+            // the frontier must under-approximate what is flushed, so
+            // a racing update copies once too often, never too rarely.
+            let publish = |position: usize, o: u32| {
+                let slots = match cursor {
+                    CursorKind::ByIndex => u64::from(o) + 1,
+                    CursorKind::ByPosition => position as u64 + 1,
                 };
-                // Publish progress *after* the object is durably queued:
-                // the frontier must under-approximate what is flushed, so
-                // a racing update copies once too often, never too rarely.
-                let publish = |position: usize, o: u32| {
-                    let slots = match cursor {
-                        CursorKind::ByIndex => u64::from(o) + 1,
-                        CursorKind::ByPosition => position as u64 + 1,
-                    };
-                    frontier.store(slots, Ordering::Release);
-                };
-                let result = match &mut store {
-                    Store::Double(set) => (|| {
-                        set.invalidate(target)?;
-                        for (p, &o) in list.iter().enumerate() {
-                            read_object(o, &mut buf);
-                            set.write_object(target, ObjectId(o), &buf)?;
-                            publish(p, o);
-                        }
-                        if sync_data {
-                            set.sync(target)?;
-                        }
-                        set.commit(target, tick)
-                    })(),
-                    Store::Log(log) => (|| {
-                        let mut seg = log.begin_segment(seq, tick, full_image)?;
-                        for (p, &o) in list.iter().enumerate() {
-                            read_object(o, &mut buf);
-                            seg.write_object(ObjectId(o), &buf)?;
-                            publish(p, o);
-                        }
-                        seg.finish(sync_data).map(|_| ())
-                    })(),
-                };
-                (count, result, None)
-            }
-        };
-        let _ = done_tx.send(Done {
-            result: result.map(|()| t0.elapsed().as_secs_f64()),
-            objects,
-            bytes: u64::from(objects) * u64::from(geometry.object_size),
-            recycled,
-        });
+                ctx.frontier.store(slots, Ordering::Release);
+            };
+            let result = match store {
+                Store::Double(set) => (|| {
+                    set.invalidate(target)?;
+                    for (p, &o) in list.iter().enumerate() {
+                        read_object(o, buf);
+                        set.write_object(target, ObjectId(o), buf)?;
+                        publish(p, o);
+                    }
+                    if sync_data {
+                        set.sync(target)?;
+                    }
+                    set.commit(target, tick)
+                })(),
+                Store::Log(log) => (|| {
+                    let mut seg = log.begin_segment(seq, tick, full_image)?;
+                    for (p, &o) in list.iter().enumerate() {
+                        read_object(o, buf);
+                        seg.write_object(ObjectId(o), buf)?;
+                        publish(p, o);
+                    }
+                    seg.finish(sync_data).map(|_| ())
+                })(),
+            };
+            (count, result, None)
+        }
+    };
+    Done {
+        result: result.map(|()| t0.elapsed().as_secs_f64()),
+        objects,
+        bytes: u64::from(objects) * u64::from(ctx.geometry.object_size),
+        recycled,
     }
 }
 
-/// The mutator-side backend the [`TickDriver`] drives.
-struct RealBackend {
+/// The shared pool of writer workers serving all shards' checkpoint work.
+///
+/// Workers pull tagged jobs off one queue; any worker can flush any
+/// shard (the shard's store sits behind an uncontended mutex). With one
+/// shard and one worker this degenerates to the classic dedicated writer
+/// thread. Capacity-wise the queue never backs up beyond one job per
+/// shard, because the driver keeps at most one checkpoint in flight per
+/// shard.
+pub(crate) struct WriterPool {
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WriterPool {
+    /// Spawn `threads` workers draining `job_rx` over the given shard
+    /// contexts. Workers exit when every job sender has been dropped.
+    pub(crate) fn spawn(
+        ctxs: Arc<Vec<ShardCtx>>,
+        threads: usize,
+        job_rx: crossbeam::channel::Receiver<PoolJob>,
+    ) -> WriterPool {
+        // The shim's Receiver is not clonable; a mutex-guarded receiver
+        // gives the same one-waiter-at-a-time handoff a shared MPMC
+        // queue would.
+        let job_rx = Arc::new(parking_lot::Mutex::new(job_rx));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let ctxs = Arc::clone(&ctxs);
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    loop {
+                        let next = { job_rx.lock().recv() };
+                        let Ok(PoolJob { shard, job }) = next else {
+                            break;
+                        };
+                        let ctx = &ctxs[shard];
+                        let mut store = ctx.store.lock();
+                        let done = execute_job(ctx, &mut store, &mut buf, job);
+                        let _ = ctx.done_tx.send(done);
+                    }
+                })
+            })
+            .collect();
+        WriterPool { workers }
+    }
+
+    /// Join every worker. Callers must have dropped every job sender
+    /// first (the backends' clones and the runner's original).
+    pub(crate) fn shutdown(&mut self) {
+        for w in self.workers.drain(..) {
+            w.join().expect("writer pool worker");
+        }
+    }
+}
+
+impl Drop for WriterPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The mutator-side backend the [`mmoc_core::TickDriver`] (or, across
+/// shards, the [`mmoc_core::ShardedDriver`]) drives: one per shard.
+pub(crate) struct RealBackend {
     config: RealConfig,
     geometry: StateGeometry,
+    shard: usize,
     shared: Arc<Shared>,
     frontier: Arc<AtomicU64>,
-    job_tx: Option<crossbeam::channel::Sender<Job>>,
+    /// `None` after [`RealBackend::release_writer`]: the backend's clone
+    /// of the pool's job sender, dropped so the pool can wind down.
+    job_tx: Option<crossbeam::channel::Sender<PoolJob>>,
     done_rx: crossbeam::channel::Receiver<Done>,
-    writer: Option<std::thread::JoinHandle<()>>,
     /// Query-phase RNG state and sink (prevents the loop optimizing away).
     rng_state: u64,
     query_sink: u64,
@@ -223,27 +330,26 @@ struct RealBackend {
 }
 
 impl RealBackend {
-    /// Drop the job channel and join the writer thread.
-    fn shutdown(&mut self) {
-        self.job_tx = None;
-        if let Some(writer) = self.writer.take() {
-            writer.join().expect("writer thread");
-        }
-        std::hint::black_box(self.query_sink);
-    }
-
     fn send(&self, job: Job) {
         self.job_tx
             .as_ref()
-            .expect("writer running")
-            .send(job)
-            .expect("writer alive");
+            .expect("writer pool running")
+            .send(PoolJob {
+                shard: self.shard,
+                job,
+            })
+            .expect("writer pool alive");
+    }
+
+    /// Drop this backend's job sender so the pool can shut down.
+    pub(crate) fn release_writer(&mut self) {
+        self.job_tx = None;
     }
 }
 
 impl Drop for RealBackend {
     fn drop(&mut self) {
-        self.shutdown();
+        std::hint::black_box(self.query_sink);
     }
 }
 
@@ -329,9 +435,8 @@ impl CheckpointBackend for RealBackend {
         let target = bk.target_backup();
         if bk.sweep_slots().is_some() {
             // Sweep job: the writer reads live state under the protocol.
-            let cursor = match plan.flush {
-                FlushJob::Sweep { cursor, .. } => cursor,
-                _ => unreachable!("sweep slots imply a sweep flush job"),
+            let FlushJob::Sweep { cursor, .. } = plan.flush else {
+                unreachable!("sweep slots imply a sweep flush job")
             };
             self.shared.reset_for_checkpoint();
             self.frontier.store(0, Ordering::Release);
@@ -377,7 +482,7 @@ impl CheckpointBackend for RealBackend {
         if self.config.paced {
             let elapsed = self.tick_start.elapsed();
             if elapsed < self.config.tick_period {
-                std::thread::sleep(self.config.tick_period - elapsed);
+                std::thread::sleep(self.config.tick_period.saturating_sub(elapsed));
             }
         }
         Ok(())
@@ -393,28 +498,21 @@ impl CheckpointBackend for RealBackend {
     }
 }
 
-/// Run one of the six algorithms on the real engine, over the trace
-/// produced by `make_trace`.
-///
-/// `make_trace` must be replayable (calling it again yields an identical
-/// stream); the second instantiation drives recovery replay. This is the
-/// single entry point behind the per-algorithm wrappers
-/// ([`crate::run_naive_snapshot`], [`crate::run_copy_on_update`], …).
-pub fn run_algorithm<S, F>(
+/// Build one shard's backend + context pair. `n_shards` scales the query
+/// phase (the total game-logic read load stays fixed as the world is
+/// split) and decorrelates the per-shard query RNG; shard 0 of a
+/// single-shard run reproduces the historical single-engine stream
+/// exactly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn make_shard(
     algorithm: Algorithm,
     config: &RealConfig,
-    make_trace: F,
-) -> io::Result<RealReport>
-where
-    S: TraceSource,
-    F: Fn() -> S,
-{
-    let mut trace = make_trace();
-    let geometry = trace.geometry();
-    geometry
-        .validate()
-        .map_err(|e| io::Error::other(e.to_string()))?;
-    let n = geometry.n_objects();
+    geometry: StateGeometry,
+    shard: usize,
+    n_shards: usize,
+    dir: &Path,
+    job_tx: crossbeam::channel::Sender<PoolJob>,
+) -> io::Result<(ShardCtx, RealBackend)> {
     let spec = algorithm.spec();
     // Only algorithms that ever run a sweep (copy-on-update handlers, or
     // the partial-redo family's Dribble-style full flushes) need the
@@ -423,73 +521,54 @@ where
     let sweeps =
         spec.copy_timing == mmoc_core::CopyTiming::OnUpdate || spec.full_flush_period.is_some();
     let shared = Arc::new(Shared::with_protocol(SharedTable::new(geometry), sweeps));
-
-    // Stable storage starts out holding the complete initial (zeroed)
-    // state, the boot-time load the bookkeeping assumes.
-    let initial = vec![0u8; n as usize * geometry.object_size as usize];
-    let store = match spec.disk_org {
-        DiskOrg::DoubleBackup => Store::Double(BackupSet::create(&config.dir, geometry, &initial)?),
-        DiskOrg::Log => {
-            let mut log = LogStore::create(&config.dir, geometry)?;
-            let obj_size = geometry.object_size as usize;
-            log.append_segment(
-                0,
-                0,
-                true,
-                (0..n).map(|i| (ObjectId(i), &initial[i as usize * obj_size..][..obj_size])),
-                true,
-            )?;
-            Store::Log(log)
-        }
-    };
-
+    let store = create_store(dir, geometry, spec.disk_org)?;
     let frontier = Arc::new(AtomicU64::new(0));
-    let (job_tx, job_rx) = crossbeam::channel::bounded::<Job>(1);
     let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(1);
-    let writer = {
-        let shared = Arc::clone(&shared);
-        let frontier = Arc::clone(&frontier);
-        let sync_data = config.sync_data;
-        std::thread::spawn(move || {
-            writer_loop(
-                store, shared, frontier, geometry, sync_data, job_rx, done_tx,
-            )
-        })
-    };
 
-    let mut backend = RealBackend {
-        config: config.clone(),
-        geometry,
+    let mut shard_config = config.clone();
+    // Pacing is a per-world concern (one sleep per global tick); a
+    // multi-shard run executes its shards back to back on the mutator
+    // thread, so only the single-shard configuration keeps it.
+    shard_config.paced = config.paced && n_shards == 1;
+    shard_config.query_ops_per_tick = config.query_ops_per_tick / n_shards as u32;
+
+    let ctx = ShardCtx {
+        store: parking_lot::Mutex::new(store),
         shared: Arc::clone(&shared),
+        frontier: Arc::clone(&frontier),
+        geometry,
+        sync_data: config.sync_data,
+        done_tx,
+    };
+    let backend = RealBackend {
+        config: shard_config,
+        geometry,
+        shard,
+        shared,
         frontier,
         job_tx: Some(job_tx),
         done_rx,
-        writer: Some(writer),
-        rng_state: 0x9E37_79B9 ^ plan_seed(algorithm),
+        rng_state: 0x9E37_79B9 ^ plan_seed(algorithm) ^ shard_seed(shard),
         query_sink: 0,
         tick_start: Instant::now(),
         slow_path_s: 0.0,
         spare: None,
     };
+    Ok((ctx, backend))
+}
 
-    let run = TickDriver::new(spec).run(&mut trace, &mut backend)?;
-    backend.shutdown();
+/// Live-state fingerprint of a backend's shard (for recovery checks).
+pub(crate) fn live_fingerprint(backend: &RealBackend) -> u64 {
+    backend.shared.table.fingerprint()
+}
 
-    let recovery = if config.measure_recovery {
-        let mut replay_trace = make_trace();
-        Some(measure_recovery(
-            spec.disk_org,
-            config,
-            geometry,
-            &mut replay_trace,
-            run.ticks,
-            shared.table.fingerprint(),
-        )?)
-    } else {
-        None
-    };
-
-    Ok(RealReport {
+/// Assemble one shard's [`RealReport`] from its driver run.
+pub(crate) fn shard_report(
+    algorithm: Algorithm,
+    run: mmoc_core::DriverRun,
+    recovery: Option<RecoveryMeasurement>,
+) -> RealReport {
+    RealReport {
         algorithm,
         ticks: run.ticks,
         updates: run.updates,
@@ -499,7 +578,30 @@ where
         avg_checkpoint_s: run.metrics.avg_checkpoint_s(),
         metrics: run.metrics,
         recovery,
-    })
+    }
+}
+
+/// Run one of the six algorithms on the real engine, over the trace
+/// produced by `make_trace`.
+///
+/// `make_trace` must be replayable (calling it again yields an identical
+/// stream); the second instantiation drives recovery replay. This is the
+/// single entry point behind the per-algorithm wrappers
+/// ([`crate::run_naive_snapshot`], [`crate::run_copy_on_update`], …), and
+/// is itself the single-shard specialization of
+/// [`crate::sharded::run_algorithm_sharded`]: one shard served by a
+/// writer pool of one.
+pub fn run_algorithm<S, F>(
+    algorithm: Algorithm,
+    config: &RealConfig,
+    make_trace: F,
+) -> io::Result<RealReport>
+where
+    S: TraceSource,
+    F: Fn() -> S + Sync,
+{
+    let mut report = crate::sharded::run_algorithm_sharded(algorithm, config, 1, make_trace)?;
+    Ok(report.shards.remove(0))
 }
 
 /// A per-algorithm constant decorrelating the query phases of different
@@ -508,19 +610,27 @@ fn plan_seed(algorithm: Algorithm) -> u64 {
     algorithm as u64 ^ 0xFACE_BEEF
 }
 
-/// Measure one real crash recovery: restore the newest consistent image
-/// from the organization's files, replay the stream, compare fingerprints.
-fn measure_recovery<S: TraceSource>(
+/// A per-shard constant decorrelating shard query phases; zero for shard
+/// 0, so single-shard runs reproduce the historical stream.
+fn shard_seed(shard: usize) -> u64 {
+    (shard as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+}
+
+/// Measure one real crash recovery of one shard (or the whole world, for
+/// single-shard runs): restore the newest consistent image from the
+/// organization's files under `dir`, replay the stream, compare
+/// fingerprints.
+pub(crate) fn measure_recovery<S: TraceSource>(
     disk_org: DiskOrg,
-    config: &RealConfig,
+    dir: &Path,
     geometry: StateGeometry,
     trace: &mut S,
     crash_tick: u64,
     live_fingerprint: u64,
 ) -> io::Result<RecoveryMeasurement> {
     let rec = match disk_org {
-        DiskOrg::DoubleBackup => recover_and_replay(&config.dir, geometry, trace, crash_tick)?,
-        DiskOrg::Log => recover_and_replay_log(&config.dir, geometry, trace, crash_tick)?,
+        DiskOrg::DoubleBackup => recover_and_replay(dir, geometry, trace, crash_tick)?,
+        DiskOrg::Log => recover_and_replay_log(dir, geometry, trace, crash_tick)?,
     };
     Ok(RecoveryMeasurement {
         restore_s: rec.restore_s,
@@ -546,7 +656,7 @@ mod tests {
 
     fn trace_config() -> SyntheticConfig {
         SyntheticConfig {
-            geometry: StateGeometry::small(512, 8),
+            geometry: StateGeometry::test_small(),
             ticks: 50,
             updates_per_tick: 300,
             skew: 0.7,
@@ -640,7 +750,7 @@ mod tests {
         ] {
             let dir = tempfile::tempdir().unwrap();
             let cfg = SyntheticConfig {
-                geometry: StateGeometry::small(64, 8), // tiny: everything is hot
+                geometry: StateGeometry::test_hot(), // tiny: everything is hot
                 ticks: 200,
                 updates_per_tick: 500,
                 skew: 0.99,

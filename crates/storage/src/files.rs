@@ -191,7 +191,7 @@ mod tests {
     use super::*;
 
     fn geometry() -> StateGeometry {
-        StateGeometry::small(16, 4) // 4 objects of 64 bytes
+        StateGeometry::test_micro() // 4 objects of 64 bytes
     }
 
     fn image(fill: u8) -> Vec<u8> {

@@ -39,6 +39,7 @@ pub mod naive;
 pub mod partial_redo;
 pub mod recovery;
 pub mod report;
+pub mod sharded;
 pub mod shared;
 
 pub use atomic_copy::run_atomic_copy;
@@ -49,3 +50,4 @@ pub use engine::run_algorithm;
 pub use naive::run_naive_snapshot;
 pub use partial_redo::{run_cou_partial_redo, run_partial_redo};
 pub use report::{RealReport, RecoveryMeasurement};
+pub use sharded::{run_algorithm_sharded, shard_dir, ShardedRealReport, ShardedRecovery};

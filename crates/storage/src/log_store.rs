@@ -311,7 +311,7 @@ mod tests {
     use super::*;
 
     fn geometry() -> StateGeometry {
-        StateGeometry::small(16, 4) // 4 objects of 64 B
+        StateGeometry::test_micro() // 4 objects of 64 B
     }
 
     fn obj(fill: u8) -> Vec<u8> {

@@ -21,7 +21,7 @@ use std::io;
 pub fn run_naive_snapshot<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
 where
     S: TraceSource,
-    F: Fn() -> S,
+    F: Fn() -> S + Sync,
 {
     run_algorithm(Algorithm::NaiveSnapshot, config, make_trace)
 }
@@ -40,7 +40,7 @@ mod tests {
 
     fn trace_config() -> SyntheticConfig {
         SyntheticConfig {
-            geometry: StateGeometry::small(512, 8),
+            geometry: StateGeometry::test_small(),
             ticks: 40,
             updates_per_tick: 200,
             skew: 0.7,

@@ -30,7 +30,7 @@ use std::io;
 pub fn run_partial_redo<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
 where
     S: TraceSource,
-    F: Fn() -> S,
+    F: Fn() -> S + Sync,
 {
     run_algorithm(Algorithm::PartialRedo, config, make_trace)
 }
@@ -40,7 +40,7 @@ where
 pub fn run_cou_partial_redo<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
 where
     S: TraceSource,
-    F: Fn() -> S,
+    F: Fn() -> S + Sync,
 {
     run_algorithm(Algorithm::CopyOnUpdatePartialRedo, config, make_trace)
 }
@@ -60,7 +60,7 @@ mod tests {
 
     fn trace_config() -> SyntheticConfig {
         SyntheticConfig {
-            geometry: StateGeometry::small(512, 8),
+            geometry: StateGeometry::test_small(),
             ticks: 60,
             updates_per_tick: 300,
             skew: 0.7,
@@ -150,7 +150,7 @@ mod tests {
     fn coupr_recovery_correct_under_hot_contention() {
         let dir = tempfile::tempdir().unwrap();
         let cfg = SyntheticConfig {
-            geometry: StateGeometry::small(64, 8),
+            geometry: StateGeometry::test_hot(),
             ticks: 150,
             updates_per_tick: 400,
             skew: 0.99,

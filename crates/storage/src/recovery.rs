@@ -120,7 +120,7 @@ mod tests {
     use mmoc_workload::RecordedTrace;
 
     fn geometry() -> StateGeometry {
-        StateGeometry::small(16, 4)
+        StateGeometry::test_micro()
     }
 
     fn trace() -> RecordedTrace {

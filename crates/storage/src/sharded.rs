@@ -1,0 +1,347 @@
+//! The sharded real engine: N per-shard framework loops over one world,
+//! one shared writer pool, per-shard files, parallel recovery.
+//!
+//! [`run_algorithm_sharded`] partitions the trace's geometry with a
+//! [`ShardMap`], gives every shard its own live table, bookkeeper and
+//! disk organization (namespaced under `dir/shard<N>/`), and drives all
+//! shards in lockstep through [`mmoc_core::ShardedDriver`]. Checkpoint
+//! flush work from *all* shards is served by one shared writer pool —
+//! the scaling point: writer threads are a resource shared across the
+//! world, not one dedicated thread per shard.
+//!
+//! Because every shard owns disjoint files, shards also **recover
+//! independently and in parallel**: the end-of-run measurement restores
+//! and replays every shard on its own thread, and a single crashed shard
+//! can be restored without touching its neighbours (see the shard crash
+//! injection tests in `tests/shard_failure.rs`).
+
+use crate::config::RealConfig;
+use crate::engine::{
+    live_fingerprint, make_shard, measure_recovery, shard_report, PoolJob, RealBackend, WriterPool,
+};
+use crate::report::{RealReport, RecoveryMeasurement};
+use mmoc_core::{Algorithm, RunMetrics, ShardFilter, ShardMap, ShardedDriver, TickDriver};
+use mmoc_workload::TraceSource;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Directory holding shard `s`'s backup/log files. Single-shard runs use
+/// `dir` itself (the historical layout); multi-shard runs namespace each
+/// shard under `dir/shard<s>/`.
+pub fn shard_dir(dir: &Path, shard: usize, n_shards: usize) -> PathBuf {
+    if n_shards == 1 {
+        dir.to_path_buf()
+    } else {
+        dir.join(format!("shard{shard}"))
+    }
+}
+
+/// The parallel-recovery measurement of a sharded run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedRecovery {
+    /// Wall-clock time of the whole parallel restore+replay: all shards
+    /// recover concurrently, so this tracks the slowest shard, not the
+    /// sum.
+    pub wall_s: f64,
+    /// The slowest single shard's restore+replay time.
+    pub max_shard_total_s: f64,
+    /// Sum of all shards' restore+replay times (what a serial recovery
+    /// would have cost).
+    pub sum_shard_total_s: f64,
+    /// True only if *every* shard's recovered state matches its live
+    /// state at the crash tick.
+    pub state_matches: bool,
+}
+
+/// Result of one sharded real-engine run.
+#[derive(Debug, Clone)]
+pub struct ShardedRealReport {
+    /// Algorithm executed (the same on every shard).
+    pub algorithm: Algorithm,
+    /// Number of shards the world was split into.
+    pub n_shards: u32,
+    /// Writer-pool workers that served the shards' flush jobs.
+    pub pool_threads: usize,
+    /// Global ticks executed.
+    pub ticks: u64,
+    /// Total updates routed across all shards.
+    pub updates: u64,
+    /// Checkpoints completed, summed over shards.
+    pub checkpoints_completed: u64,
+    /// Average per-tick overhead of the world (per-tick max across
+    /// shards, averaged over ticks).
+    pub avg_overhead_s: f64,
+    /// Worst single-tick world overhead.
+    pub max_overhead_s: f64,
+    /// Average checkpoint duration over all shards' checkpoints.
+    pub avg_checkpoint_s: f64,
+    /// Merged per-tick and per-checkpoint series
+    /// ([`RunMetrics::merge_shards`]).
+    pub metrics: RunMetrics,
+    /// One report per shard (each with its own recovery measurement).
+    pub shards: Vec<RealReport>,
+    /// The parallel-recovery measurement, when enabled.
+    pub recovery: Option<ShardedRecovery>,
+}
+
+impl ShardedRealReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let rec = self
+            .recovery
+            .map(|r| format!("{:.3} s (match: {})", r.wall_s, r.state_matches))
+            .unwrap_or_else(|| "n/a".into());
+        format!(
+            "{:<28} x{:<2} shards  overhead {:>9.4} ms  checkpoint {:>7.3} s  recovery {rec}",
+            self.algorithm.name(),
+            self.n_shards,
+            self.avg_overhead_s * 1e3,
+            self.avg_checkpoint_s,
+        )
+    }
+}
+
+/// Run one of the six algorithms over `n_shards` disjoint shards of the
+/// trace's geometry, all flush work served by one shared writer pool.
+///
+/// `make_trace` must be replayable (calling it again yields an identical
+/// stream); recovery replays each shard through a [`ShardFilter`] over a
+/// fresh instantiation, in parallel, one thread per shard. With
+/// `n_shards == 1` this is exactly [`crate::run_algorithm`] (identity
+/// shard map, historical file layout, pool of one).
+///
+/// Pacing ([`RealConfig`]'s `paced`) applies only to single-shard runs;
+/// a multi-shard run executes its shards back to back.
+pub fn run_algorithm_sharded<S, F>(
+    algorithm: Algorithm,
+    config: &RealConfig,
+    n_shards: u32,
+    make_trace: F,
+) -> io::Result<ShardedRealReport>
+where
+    S: TraceSource,
+    F: Fn() -> S + Sync,
+{
+    let mut trace = make_trace();
+    let geometry = trace.geometry();
+    let map = ShardMap::new(geometry, n_shards).map_err(|e| io::Error::other(e.to_string()))?;
+    let n = map.n_shards();
+    let spec = algorithm.spec();
+    let pool_threads = config.effective_pool_threads(n);
+
+    // Per-shard live state, stores and backends, sharing one job queue.
+    let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(n);
+    let mut ctxs = Vec::with_capacity(n);
+    let mut built = Vec::with_capacity(n);
+    for s in 0..n {
+        let (ctx, backend) = make_shard(
+            algorithm,
+            config,
+            map.shard_geometry(s),
+            s,
+            n,
+            &shard_dir(&config.dir, s, n),
+            job_tx.clone(),
+        )?;
+        ctxs.push(ctx);
+        built.push(backend);
+    }
+    let ctxs = Arc::new(ctxs);
+    let mut pool = WriterPool::spawn(Arc::clone(&ctxs), pool_threads, job_rx);
+    // `backends` is declared after `pool`, so on an early `?` return it
+    // drops first, releasing its job senders before the pool joins.
+    let mut backends: Vec<RealBackend> = built;
+    drop(job_tx);
+
+    // Drive every shard in lockstep over the global trace.
+    let run =
+        ShardedDriver::new(TickDriver::new(spec), map.clone()).run(&mut trace, &mut backends)?;
+
+    // All checkpoints drained: wind the pool down before measuring
+    // recovery, so no worker races the files being read back.
+    for b in &mut backends {
+        b.release_writer();
+    }
+    pool.shutdown();
+
+    // Parallel per-shard recovery: one thread per shard, each restoring
+    // its own files and replaying its slice of the trace.
+    let recovery = if config.measure_recovery {
+        let crash_tick = run.ticks;
+        let fingerprints: Vec<u64> = backends.iter().map(live_fingerprint).collect();
+        let t0 = Instant::now();
+        let results: Vec<io::Result<RecoveryMeasurement>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|s| {
+                    let map = &map;
+                    let make_trace = &make_trace;
+                    let dir = shard_dir(&config.dir, s, n);
+                    let fp = fingerprints[s];
+                    scope.spawn(move || {
+                        let mut replay = ShardFilter::new(make_trace(), map.clone(), s);
+                        measure_recovery(
+                            spec.disk_org,
+                            &dir,
+                            map.shard_geometry(s),
+                            &mut replay,
+                            crash_tick,
+                            fp,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard recovery thread"))
+                .collect()
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+        let measurements: Vec<RecoveryMeasurement> =
+            results.into_iter().collect::<io::Result<_>>()?;
+        Some((wall_s, measurements))
+    } else {
+        None
+    };
+
+    // Assemble per-shard and world-level reports.
+    let (sharded_recovery, mut per_shard_rec) = match recovery {
+        Some((wall_s, ms)) => {
+            let max = ms.iter().map(|m| m.total_s).fold(0.0f64, f64::max);
+            let sum = ms.iter().map(|m| m.total_s).sum();
+            let all_match = ms.iter().all(|m| m.state_matches);
+            (
+                Some(ShardedRecovery {
+                    wall_s,
+                    max_shard_total_s: max,
+                    sum_shard_total_s: sum,
+                    state_matches: all_match,
+                }),
+                ms.into_iter().map(Some).collect::<Vec<_>>(),
+            )
+        }
+        None => (None, vec![None; n]),
+    };
+
+    let metrics = run.merged_metrics();
+    let shards: Vec<RealReport> = run
+        .shards
+        .into_iter()
+        .enumerate()
+        .map(|(s, r)| shard_report(algorithm, r, per_shard_rec[s].take()))
+        .collect();
+
+    Ok(ShardedRealReport {
+        algorithm,
+        n_shards,
+        pool_threads,
+        ticks: run.ticks,
+        updates: run.updates,
+        checkpoints_completed: metrics.checkpoints.len() as u64,
+        avg_overhead_s: metrics.avg_overhead_s(),
+        max_overhead_s: metrics.max_overhead_s(),
+        avg_checkpoint_s: metrics.avg_checkpoint_s(),
+        metrics,
+        shards,
+        recovery: sharded_recovery,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmoc_core::StateGeometry;
+    use mmoc_workload::SyntheticConfig;
+
+    fn config(dir: &std::path::Path) -> RealConfig {
+        let mut c = RealConfig::new(dir);
+        c.query_ops_per_tick = 64;
+        c
+    }
+
+    fn trace_config() -> SyntheticConfig {
+        SyntheticConfig {
+            geometry: StateGeometry::test_small(),
+            ticks: 40,
+            updates_per_tick: 300,
+            skew: 0.7,
+            seed: 4242,
+        }
+    }
+
+    #[test]
+    fn four_shards_run_and_recover_for_all_algorithms() {
+        for alg in Algorithm::ALL {
+            let dir = tempfile::tempdir().unwrap();
+            let report =
+                run_algorithm_sharded(alg, &config(dir.path()), 4, || trace_config().build())
+                    .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert_eq!(report.n_shards, 4);
+            assert_eq!(report.shards.len(), 4);
+            assert_eq!(report.ticks, 40, "{alg}");
+            assert_eq!(report.updates, 40 * 300, "{alg}");
+            let rec = report.recovery.expect("recovery measured");
+            assert!(rec.state_matches, "{alg}: some shard diverged");
+            for (s, shard) in report.shards.iter().enumerate() {
+                assert!(
+                    shard.recovery.expect("per-shard recovery").state_matches,
+                    "{alg} shard {s}"
+                );
+                assert!(shard.checkpoints_completed > 0, "{alg} shard {s}");
+            }
+            // Per-shard files are namespaced.
+            for s in 0..4 {
+                assert!(
+                    shard_dir(dir.path(), s, 4).is_dir(),
+                    "{alg}: missing shard dir {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_uses_the_historical_layout_and_counts() {
+        let dir = tempfile::tempdir().unwrap();
+        let report = run_algorithm_sharded(Algorithm::CopyOnUpdate, &config(dir.path()), 1, || {
+            trace_config().build()
+        })
+        .unwrap();
+        assert_eq!(report.n_shards, 1);
+        assert_eq!(report.pool_threads, 1, "single shard = pool of one");
+        // Files live directly under the run directory, as before.
+        assert!(dir.path().join("backup_0.img").is_file());
+        assert!(report.recovery.unwrap().state_matches);
+    }
+
+    #[test]
+    fn writer_pool_is_shared_not_per_shard() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut cfg = config(dir.path()).without_recovery();
+        cfg.writer_pool_threads = 2; // 2 workers serving 4 shards
+        let report =
+            run_algorithm_sharded(Algorithm::NaiveSnapshot, &cfg, 4, || trace_config().build())
+                .unwrap();
+        assert_eq!(report.pool_threads, 2);
+        assert_eq!(report.shards.len(), 4);
+        for shard in &report.shards {
+            assert!(shard.checkpoints_completed > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_totals_conserve_work() {
+        let dir = tempfile::tempdir().unwrap();
+        let report = run_algorithm_sharded(
+            Algorithm::CopyOnUpdate,
+            &config(dir.path()).without_recovery(),
+            4,
+            || trace_config().build(),
+        )
+        .unwrap();
+        let per_shard: u64 = report.shards.iter().map(|s| s.updates).sum();
+        assert_eq!(per_shard, report.updates);
+        let ckpts: u64 = report.shards.iter().map(|s| s.checkpoints_completed).sum();
+        assert_eq!(ckpts, report.checkpoints_completed);
+    }
+}

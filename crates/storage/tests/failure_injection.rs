@@ -124,7 +124,7 @@ fn recovery_with_no_backups_fails_cleanly() {
 fn engine_recovers_after_losing_newest_checkpoint() {
     let dir = tempfile::tempdir().unwrap();
     let trace = SyntheticConfig {
-        geometry: StateGeometry::small(512, 8),
+        geometry: StateGeometry::test_small(),
         ticks: 40,
         updates_per_tick: 300,
         skew: 0.7,
@@ -171,7 +171,7 @@ fn engine_recovers_after_losing_newest_checkpoint() {
 fn naive_engine_recovers_after_meta_loss() {
     let dir = tempfile::tempdir().unwrap();
     let trace = SyntheticConfig {
-        geometry: StateGeometry::small(512, 8),
+        geometry: StateGeometry::test_small(),
         ticks: 30,
         updates_per_tick: 200,
         skew: 0.5,
@@ -212,7 +212,7 @@ fn naive_engine_recovers_after_meta_loss() {
 fn acdo_engine_recovers_after_losing_newest_checkpoint() {
     let dir = tempfile::tempdir().unwrap();
     let trace = SyntheticConfig {
-        geometry: StateGeometry::small(512, 8),
+        geometry: StateGeometry::test_small(),
         ticks: 40,
         updates_per_tick: 300,
         skew: 0.7,
@@ -255,7 +255,7 @@ fn acdo_engine_recovers_after_losing_newest_checkpoint() {
 fn dribble_engine_recovers_after_torn_log_tail() {
     let dir = tempfile::tempdir().unwrap();
     let trace = SyntheticConfig {
-        geometry: StateGeometry::small(512, 8),
+        geometry: StateGeometry::test_small(),
         ticks: 40,
         updates_per_tick: 300,
         skew: 0.7,

@@ -117,9 +117,8 @@ impl TraceSource for TraceFileReader {
         if self.next_tick >= self.n_ticks {
             return false;
         }
-        let count = match read_u32(&mut self.reader) {
-            Ok(c) => c,
-            Err(_) => return false,
+        let Ok(count) = read_u32(&mut self.reader) else {
+            return false;
         };
         buf.reserve(count as usize);
         let mut rec = [0u8; 12];

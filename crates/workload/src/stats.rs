@@ -42,7 +42,7 @@ impl TraceStats {
         let geometry = source.geometry();
         let n_cells = geometry.n_cells();
         assert!(
-            n_cells <= u64::from(u32::MAX),
+            u32::try_from(n_cells).is_ok(),
             "stats scanning supports up to 2^32 cells"
         );
         let mut cells_touched = BitVec::new(n_cells as u32);
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn stats_of_simple_trace() {
-        let g = StateGeometry::small(16, 4); // 64-byte objects, 16 cells each
+        let g = StateGeometry::test_micro(); // 64-byte objects, 16 cells each
         let trace = RecordedTrace::new(
             g,
             vec![

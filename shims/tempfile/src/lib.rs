@@ -53,7 +53,7 @@ pub fn tempdir() -> io::Result<TempDir> {
         ));
         match fs::create_dir(&path) {
             Ok(()) => return Ok(TempDir { path }),
-            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
             Err(e) => return Err(e),
         }
     }

@@ -44,13 +44,14 @@ pub use mmoc_workload as workload;
 pub mod prelude {
     pub use mmoc_core::{
         recover, Algorithm, AlgorithmSpec, Bookkeeper, CellAddr, CellUpdate, CheckpointBackend,
-        CheckpointImage, CheckpointPlan, DiskOrg, ObjectId, RunMetrics, StateGeometry, StateTable,
-        TickDriver,
+        CheckpointImage, CheckpointPlan, DiskOrg, ObjectId, RunMetrics, ShardFilter, ShardMap,
+        ShardedDriver, StateGeometry, StateTable, TickDriver,
     };
     pub use mmoc_game::{GameConfig, GameServer, World};
-    pub use mmoc_sim::{HardwareParams, SimConfig, SimEngine, SimReport};
+    pub use mmoc_sim::{HardwareParams, ShardedSimReport, SimConfig, SimEngine, SimReport};
     pub use mmoc_storage::{
-        run_algorithm, run_copy_on_update, run_naive_snapshot, RealConfig, RealReport,
+        run_algorithm, run_algorithm_sharded, run_copy_on_update, run_naive_snapshot, RealConfig,
+        RealReport, ShardedRealReport,
     };
     pub use mmoc_workload::{RecordedTrace, SyntheticConfig, TraceSource, TraceStats, ZipfTrace};
 }

@@ -17,6 +17,18 @@ fn trace_config() -> SyntheticConfig {
     }
 }
 
+/// The sharded test matrix runs a shorter trace: 6 algorithms × 2 engines
+/// × 4 shards is a lot of fsync.
+fn sharded_trace_config() -> SyntheticConfig {
+    SyntheticConfig {
+        geometry: StateGeometry::small(2_048, 8),
+        ticks: 40,
+        updates_per_tick: 500,
+        skew: 0.8,
+        seed: 33,
+    }
+}
+
 /// The full validation matrix the paper could not run (§6 implemented
 /// only Naive-Snapshot and Copy-on-Update): all six algorithms × both
 /// engines, with an exact recovery round-trip on the real engine and a
@@ -80,6 +92,115 @@ fn simulated_and_real_first_checkpoints_agree_on_write_sets() {
     }
 }
 
+/// The shard-count axis of the test matrix: every (algorithm, engine)
+/// pair must also round-trip with the world split into 4 shards — each
+/// shard recovering independently, in parallel, from its own files.
+#[test]
+fn all_six_algorithms_roundtrip_on_both_engines_with_4_shards() {
+    let dir = tempfile::tempdir().unwrap();
+    for alg in Algorithm::ALL {
+        // Real engine, 4 shards, shared writer pool: every shard's
+        // recovered state must match its live slice at the crash tick.
+        let real = run_algorithm_sharded(
+            alg,
+            &RealConfig::new(dir.path().join(alg.short_name())),
+            4,
+            || sharded_trace_config().build(),
+        )
+        .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        assert_eq!(real.n_shards, 4, "{alg}");
+        assert_eq!(real.ticks, 40, "{alg}");
+        assert_eq!(real.updates, 40 * 500, "{alg}");
+        let rec = real.recovery.expect("recovery measured");
+        assert!(
+            rec.state_matches,
+            "{alg}: sharded real-engine recovery must reproduce every shard exactly"
+        );
+        for (s, shard) in real.shards.iter().enumerate() {
+            assert!(shard.checkpoints_completed > 0, "{alg} shard {s}");
+            assert!(
+                shard.recovery.expect("per-shard measurement").state_matches,
+                "{alg} shard {s}"
+            );
+        }
+
+        // Simulator, 4 shards on independent virtual clocks: every
+        // shard's shadow disk must match its state at checkpoint starts.
+        let (sim, fidelity) = SimEngine::new(SimConfig::default(), alg)
+            .run_sharded_checked(&mut sharded_trace_config().build(), 4);
+        for (s, f) in fidelity.iter().enumerate() {
+            assert!(f.errors.is_empty(), "{alg} shard {s}: {:?}", f.errors);
+        }
+        assert_eq!(sim.ticks, real.ticks, "{alg}: same trace, same ticks");
+        assert_eq!(sim.updates, real.updates, "{alg}");
+        // Both engines route through the identical shard map and
+        // bookkeeping: their first checkpoints agree shard by shard.
+        for s in 0..4 {
+            let real_first = real.shards[s].metrics.checkpoints.first().expect("ckpt");
+            let sim_first = sim.shards[s].metrics.checkpoints.first().expect("ckpt");
+            assert_eq!(
+                real_first.objects_written, sim_first.objects_written,
+                "{alg} shard {s}: first write sets must be identical"
+            );
+        }
+    }
+}
+
+/// The acceptance criterion of the refactor: shard count 1 must behave
+/// identically to the pre-refactor single-driver path — exactly equal
+/// deterministic metrics on the simulator, identical write sets and
+/// recovery on the real engine.
+#[test]
+fn one_shard_is_identical_to_the_single_driver_path() {
+    let dir = tempfile::tempdir().unwrap();
+    for alg in Algorithm::ALL {
+        // Simulator: virtual time is deterministic, so equality is exact.
+        let engine = SimEngine::new(SimConfig::default(), alg);
+        let single = engine.run(&mut trace_config().build());
+        let sharded = engine.run_sharded(&mut trace_config().build(), 1);
+        assert_eq!(sharded.shards.len(), 1, "{alg}");
+        assert_eq!(
+            sharded.shards[0].metrics.ticks, single.metrics.ticks,
+            "{alg}: per-tick series must be bit-identical"
+        );
+        assert_eq!(
+            sharded.shards[0].metrics.checkpoints, single.metrics.checkpoints,
+            "{alg}: checkpoint series must be bit-identical"
+        );
+        assert_eq!(sharded.avg_overhead_s, single.avg_overhead_s, "{alg}");
+        assert_eq!(sharded.est_recovery_s, single.est_recovery_s, "{alg}");
+
+        // Real engine: checkpoint *boundaries* beyond the first depend
+        // on wall-clock fsync timing and differ run to run, so compare
+        // only the deterministic outputs — tick/update totals, the
+        // first checkpoint (it always starts at the end of tick 1, so
+        // its write set is fixed by the trace), and exact recovery.
+        let single = run_algorithm(
+            alg,
+            &RealConfig::new(dir.path().join(format!("single_{}", alg.short_name()))),
+            || sharded_trace_config().build(),
+        )
+        .unwrap();
+        let sharded = run_algorithm_sharded(
+            alg,
+            &RealConfig::new(dir.path().join(format!("sharded_{}", alg.short_name()))),
+            1,
+            || sharded_trace_config().build(),
+        )
+        .unwrap();
+        let shard = &sharded.shards[0];
+        assert_eq!(shard.ticks, single.ticks, "{alg}");
+        assert_eq!(shard.updates, single.updates, "{alg}");
+        let first = |r: &RealReport| {
+            let c = r.metrics.checkpoints.first().expect("a checkpoint");
+            (c.seq, c.start_tick, c.objects_written)
+        };
+        assert_eq!(first(shard), first(&single), "{alg}: first write set");
+        assert!(shard.recovery.unwrap().state_matches, "{alg}");
+        assert!(single.recovery.unwrap().state_matches, "{alg}");
+    }
+}
+
 #[test]
 fn real_cou_writes_less_than_naive_per_checkpoint() {
     let dir = tempfile::tempdir().unwrap();
@@ -129,6 +250,46 @@ fn game_trace_runs_through_both_engines() {
         .run(&mut GameServer::new(cfg));
     assert_eq!(sim.ticks, real.ticks);
     assert_eq!(sim.updates, real.updates);
+}
+
+/// The game server's updates route through the shard map on both
+/// engines: a 4-shard battle checkpoints and recovers per shard.
+#[test]
+fn game_trace_runs_sharded_through_both_engines() {
+    let mut cfg = GameConfig::small().with_ticks(30);
+    cfg.units = 2_048; // 16 object-aligned bands of 128 units
+    let make_trace = || GameServer::new(cfg);
+
+    let dir = tempfile::tempdir().unwrap();
+    let real = run_algorithm_sharded(
+        Algorithm::CopyOnUpdate,
+        &RealConfig::new(dir.path()),
+        4,
+        make_trace,
+    )
+    .unwrap();
+    assert_eq!(real.n_shards, 4);
+    assert!(real.recovery.unwrap().state_matches);
+
+    let sim = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
+        .run_sharded(&mut GameServer::new(cfg), 4);
+    assert_eq!(sim.ticks, real.ticks);
+    assert_eq!(sim.updates, real.updates);
+
+    // The server's own shard helpers agree with the engines' routing.
+    let map = GameServer::new(cfg).shard_map(4).unwrap();
+    let routed: u64 = GameServer::sharded_traces(cfg, &map)
+        .into_iter()
+        .map(|mut t| {
+            let mut buf = Vec::new();
+            let mut n = 0u64;
+            while t.next_tick(&mut buf) {
+                n += buf.len() as u64;
+            }
+            n
+        })
+        .sum();
+    assert_eq!(routed, real.updates);
 }
 
 #[test]

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 
 /// A small geometry keeps the value-level fidelity checker fast.
 fn geometry() -> StateGeometry {
-    StateGeometry::small(64, 8) // 32 objects of 64 B
+    StateGeometry::test_hot() // 32 objects of 64 B
 }
 
 /// Strategy: an arbitrary trace of up to 60 ticks × up to 40 updates.
