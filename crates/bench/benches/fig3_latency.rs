@@ -2,8 +2,8 @@
 //! measured as simulator throughput, plus the per-tick series extraction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mmoc_core::Algorithm;
-use mmoc_sim::{SimConfig, SimEngine};
+use mmoc_core::{Algorithm, Run};
+use mmoc_sim::SimConfig;
 use mmoc_workload::SyntheticConfig;
 use std::hint::black_box;
 
@@ -18,10 +18,12 @@ fn bench_fig3(c: &mut Criterion) {
         Algorithm::DribbleAndCopyOnUpdate,
     ] {
         group.bench_function(alg.short_name(), |b| {
+            let run = Run::algorithm(alg)
+                .engine(SimConfig::default())
+                .trace(SyntheticConfig::paper_default().with_ticks(30));
             b.iter(|| {
-                let mut trace = SyntheticConfig::paper_default().with_ticks(30).build();
-                let report = SimEngine::new(SimConfig::default(), alg).run(&mut trace);
-                black_box(report.tick_lengths_s(1.0 / 30.0))
+                let report = run.execute().expect("simulation runs");
+                black_box(report.world.metrics.tick_lengths_s(1.0 / 30.0))
             })
         });
     }

@@ -2,8 +2,8 @@
 //! algorithms skew affects most.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mmoc_core::Algorithm;
-use mmoc_sim::{SimConfig, SimEngine};
+use mmoc_core::{Algorithm, Run};
+use mmoc_sim::SimConfig;
 use mmoc_workload::SyntheticConfig;
 use std::hint::black_box;
 
@@ -18,13 +18,14 @@ fn bench_fig4(c: &mut Criterion) {
                 BenchmarkId::new(alg.short_name(), format!("{skew}")),
                 &skew,
                 |b, &skew| {
-                    b.iter(|| {
-                        let mut trace = SyntheticConfig::paper_default()
+                    let run = Run::algorithm(alg).engine(SimConfig::default()).trace(
+                        SyntheticConfig::paper_default()
                             .with_skew(skew)
-                            .with_ticks(30)
-                            .build();
-                        let report = SimEngine::new(SimConfig::default(), alg).run(&mut trace);
-                        black_box(report.est_recovery_s)
+                            .with_ticks(30),
+                    );
+                    b.iter(|| {
+                        let report = run.execute().expect("simulation runs");
+                        black_box(report.recovery_s())
                     })
                 },
             );

@@ -3,9 +3,9 @@
 //! battle (the full 400,128-unit figure comes from the `figures` binary).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mmoc_core::Algorithm;
-use mmoc_game::{GameConfig, GameServer, World};
-use mmoc_sim::{SimConfig, SimEngine};
+use mmoc_core::{Algorithm, Run};
+use mmoc_game::{GameConfig, World};
+use mmoc_sim::SimConfig;
 use std::hint::black_box;
 
 fn bench_game_step(c: &mut Criterion) {
@@ -31,10 +31,10 @@ fn bench_game_trace_sim(c: &mut Criterion) {
     let cfg = GameConfig::small().with_ticks(60);
     for alg in [Algorithm::NaiveSnapshot, Algorithm::CopyOnUpdate] {
         group.bench_function(alg.short_name(), |b| {
+            let run = Run::algorithm(alg).engine(SimConfig::default()).trace(cfg);
             b.iter(|| {
-                let report =
-                    SimEngine::new(SimConfig::default(), alg).run(&mut GameServer::new(cfg));
-                black_box(report.avg_overhead_s)
+                let report = run.execute().expect("simulation runs");
+                black_box(report.world.avg_overhead_s)
             })
         });
     }

@@ -3,8 +3,8 @@
 //! 40 MB validation runs come from `figures fig6`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mmoc_core::StateGeometry;
-use mmoc_storage::{run_copy_on_update, run_naive_snapshot, RealConfig};
+use mmoc_core::{Algorithm, Run, StateGeometry};
+use mmoc_storage::RealConfig;
 use mmoc_workload::SyntheticConfig;
 use std::hint::black_box;
 
@@ -23,22 +23,19 @@ fn bench_real_engines(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(4));
     group.warm_up_time(std::time::Duration::from_secs(1));
-    group.bench_function("naive_snapshot", |b| {
-        b.iter(|| {
-            let dir = tempfile::tempdir().expect("tempdir");
-            let config = RealConfig::new(dir.path()).without_recovery();
-            let report = run_naive_snapshot(&config, || trace().build()).expect("run");
-            black_box(report.checkpoints_completed)
-        })
-    });
-    group.bench_function("copy_on_update", |b| {
-        b.iter(|| {
-            let dir = tempfile::tempdir().expect("tempdir");
-            let config = RealConfig::new(dir.path()).without_recovery();
-            let report = run_copy_on_update(&config, || trace().build()).expect("run");
-            black_box(report.checkpoints_completed)
-        })
-    });
+    for alg in [Algorithm::NaiveSnapshot, Algorithm::CopyOnUpdate] {
+        group.bench_function(alg.short_name(), |b| {
+            b.iter(|| {
+                let dir = tempfile::tempdir().expect("tempdir");
+                let report = Run::algorithm(alg)
+                    .engine(RealConfig::new(dir.path()).without_recovery())
+                    .trace(trace())
+                    .execute()
+                    .expect("run");
+                black_box(report.world.checkpoints_completed)
+            })
+        });
+    }
     group.finish();
 }
 
@@ -50,11 +47,13 @@ fn bench_real_recovery(c: &mut Criterion) {
     group.bench_function("cou_crash_recover", |b| {
         b.iter(|| {
             let dir = tempfile::tempdir().expect("tempdir");
-            let config = RealConfig::new(dir.path());
-            let report = run_copy_on_update(&config, || trace().build()).expect("run");
-            let rec = report.recovery.expect("measured");
-            assert!(rec.state_matches);
-            black_box(rec.total_s)
+            let report = Run::algorithm(Algorithm::CopyOnUpdate)
+                .engine(RealConfig::new(dir.path()))
+                .trace(trace())
+                .execute()
+                .expect("run");
+            assert_eq!(report.verified_consistent(), Some(true));
+            black_box(report.recovery_s())
         })
     });
     group.finish();

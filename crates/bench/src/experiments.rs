@@ -5,9 +5,10 @@
 //! tick counts are overridable because the full 1,000-tick sweeps take
 //! minutes.
 
-use mmoc_core::Algorithm;
+use mmoc_core::run::{EngineDetail, RunReport, TraceSpec};
+use mmoc_core::{Algorithm, Run};
 use mmoc_game::{GameConfig, GameServer};
-use mmoc_sim::{HardwareParams, SimConfig, SimEngine, SimReport};
+use mmoc_sim::{HardwareParams, SimConfig};
 use mmoc_storage::RealConfig;
 use mmoc_workload::{SyntheticConfig, TraceStats};
 use serde::Serialize;
@@ -38,13 +39,13 @@ pub struct SweepRow {
 }
 
 impl SweepRow {
-    fn from_report(x: f64, r: &SimReport) -> Self {
+    fn from_report(x: f64, r: &RunReport) -> Self {
         SweepRow {
             x,
             algorithm: r.algorithm,
-            overhead_s: r.avg_overhead_s,
-            checkpoint_s: r.avg_checkpoint_s,
-            recovery_s: r.est_recovery_s,
+            overhead_s: r.world.avg_overhead_s,
+            checkpoint_s: r.world.avg_checkpoint_s,
+            recovery_s: r.recovery_s().unwrap_or(f64::NAN),
         }
     }
 }
@@ -77,8 +78,16 @@ where
     out
 }
 
-fn run_sim(alg: Algorithm, trace: SyntheticConfig) -> SimReport {
-    SimEngine::new(SimConfig::default(), alg).run(&mut trace.build())
+fn run_sim(alg: Algorithm, trace: SyntheticConfig) -> RunReport {
+    run_sim_on(SimConfig::default(), alg, trace)
+}
+
+fn run_sim_on(config: SimConfig, alg: Algorithm, trace: impl TraceSpec) -> RunReport {
+    Run::algorithm(alg)
+        .engine(config)
+        .trace(trace)
+        .execute()
+        .expect("simulation runs")
 }
 
 /// Figure 2: scaling the number of updates per tick (skew 0.8, 10M cells).
@@ -115,8 +124,8 @@ pub fn fig3(ticks: u64) -> Fig3Data {
     let tick_period_s = config.tick_period_s();
     let series = parallel_map(Algorithm::ALL.to_vec(), 6, |alg| {
         let trace = SyntheticConfig::paper_default().with_ticks(ticks);
-        let report = SimEngine::new(config, alg).run(&mut trace.build());
-        (alg, report.tick_lengths_s(tick_period_s))
+        let report = run_sim_on(config, alg, trace);
+        (alg, report.world.metrics.tick_lengths_s(tick_period_s))
     });
     Fig3Data {
         tick_period_s,
@@ -147,7 +156,7 @@ pub fn table5(config: GameConfig) -> TraceStats {
 /// Figure 5: all six algorithms over the game trace. `x` is unused (0).
 pub fn fig5(config: GameConfig) -> Vec<SweepRow> {
     parallel_map(Algorithm::ALL.to_vec(), 6, |alg| {
-        let report = SimEngine::new(SimConfig::default(), alg).run(&mut GameServer::new(config));
+        let report = run_sim_on(SimConfig::default(), alg, config);
         SweepRow::from_report(0.0, &report)
     })
 }
@@ -212,9 +221,9 @@ pub fn fig6(
                 updates_per_tick: rate,
                 algorithm: alg,
                 source: Source::Simulation,
-                overhead_s: r.avg_overhead_s,
-                checkpoint_s: r.avg_checkpoint_s,
-                recovery_s: r.est_recovery_s,
+                overhead_s: r.world.avg_overhead_s,
+                checkpoint_s: r.world.avg_checkpoint_s,
+                recovery_s: r.recovery_s().unwrap_or(f64::NAN),
             });
         }
 
@@ -227,15 +236,18 @@ pub fn fig6(
             c
         };
         for alg in Algorithm::ALL {
-            let report =
-                mmoc_storage::run_algorithm(alg, &real_config(alg.short_name()), || trace.build())?;
+            let report = Run::algorithm(alg)
+                .engine(real_config(alg.short_name()))
+                .trace(trace)
+                .execute()
+                .map_err(|e| io::Error::other(e.to_string()))?;
             rows.push(Fig6Row {
                 updates_per_tick: rate,
                 algorithm: report.algorithm,
                 source: Source::Implementation,
-                overhead_s: report.avg_overhead_s,
-                checkpoint_s: report.avg_checkpoint_s,
-                recovery_s: report.recovery.map_or(f64::NAN, |r| r.total_s),
+                overhead_s: report.world.avg_overhead_s,
+                checkpoint_s: report.world.avg_checkpoint_s,
+                recovery_s: report.recovery_s().unwrap_or(f64::NAN),
             });
         }
     }
@@ -276,8 +288,8 @@ pub fn ablation_sorted_io(rates: &[u32], ticks: u64) -> Vec<(u32, f64, f64)> {
             .with_updates_per_tick(rate)
             .with_ticks(ticks);
         let report = run_sim(Algorithm::CopyOnUpdate, trace);
-        let k = report.avg_objects_per_checkpoint;
-        let sorted = report.avg_checkpoint_s;
+        let k = report.world.metrics.avg_objects_per_normal_checkpoint();
+        let sorted = report.world.avg_checkpoint_s;
         let per_object = SEEK_S + HALF_ROTATION_S + 512.0 / hw.disk_bandwidth;
         (rate, sorted, k * per_object)
     })
@@ -302,14 +314,8 @@ pub fn ext_hardware(disk_bandwidths: &[f64], ticks: u64) -> Vec<SweepRow> {
             ..SimConfig::default()
         };
         let trace = SyntheticConfig::paper_default().with_ticks(ticks);
-        let report = SimEngine::new(config, alg).run(&mut trace.build());
-        SweepRow {
-            x: bw,
-            algorithm: alg,
-            overhead_s: report.avg_overhead_s,
-            checkpoint_s: report.avg_checkpoint_s,
-            recovery_s: report.est_recovery_s,
-        }
+        let report = run_sim_on(config, alg, trace);
+        SweepRow::from_report(bw, &report)
     })
 }
 
@@ -357,15 +363,28 @@ pub fn shard_scaling(shard_counts: &[u32], rate: u32, ticks: u64) -> Vec<ShardSc
         let trace = SyntheticConfig::paper_default()
             .with_updates_per_tick(rate)
             .with_ticks(ticks);
-        let report = SimEngine::new(SimConfig::default(), alg).run_sharded(&mut trace.build(), n);
+        let report = Run::algorithm(alg)
+            .engine(SimConfig::default())
+            .trace(trace)
+            .shards(n)
+            .execute()
+            .expect("sharded simulation runs");
+        let wall_clock_s = match report.detail {
+            EngineDetail::Sim(d) => d.wall_clock_s,
+            _ => f64::NAN,
+        };
         ShardScaleRow {
             n_shards: n,
             algorithm: alg,
-            overhead_s: report.avg_overhead_s,
-            checkpoint_s: report.avg_checkpoint_s,
-            recovery_s: report.est_recovery_s,
-            serial_recovery_s: report.shards.iter().map(|s| s.est_recovery_s).sum(),
-            wall_clock_s: report.wall_clock_s,
+            overhead_s: report.world.avg_overhead_s,
+            checkpoint_s: report.world.avg_checkpoint_s,
+            recovery_s: report.recovery_s().unwrap_or(f64::NAN),
+            serial_recovery_s: report
+                .shards
+                .iter()
+                .filter_map(|s| s.summary.recovery_s)
+                .sum(),
+            wall_clock_s,
         }
     })
 }
@@ -390,16 +409,27 @@ pub fn shard_scaling_real(
     for &n in shard_counts {
         let config = RealConfig::new(scratch.join(format!("shards_{n}")));
         let t0 = std::time::Instant::now();
-        let report = mmoc_storage::run_algorithm_sharded(algorithm, &config, n, || trace.build())?;
+        let report = Run::algorithm(algorithm)
+            .engine(config)
+            .trace(trace)
+            .shards(n)
+            .execute()
+            .map_err(|e| io::Error::other(e.to_string()))?;
         let run_wall_s = t0.elapsed().as_secs_f64();
-        let rec = report.recovery.expect("recovery measured");
+        let (recovery_s, serial_recovery_s) = match report.detail {
+            EngineDetail::Real(d) => (
+                d.recovery_wall_s.expect("recovery measured"),
+                d.serial_recovery_s.expect("recovery measured"),
+            ),
+            _ => (f64::NAN, f64::NAN),
+        };
         rows.push(ShardScaleRow {
             n_shards: n,
             algorithm,
-            overhead_s: report.avg_overhead_s,
-            checkpoint_s: report.avg_checkpoint_s,
-            recovery_s: rec.wall_s,
-            serial_recovery_s: rec.sum_shard_total_s,
+            overhead_s: report.world.avg_overhead_s,
+            checkpoint_s: report.world.avg_checkpoint_s,
+            recovery_s,
+            serial_recovery_s,
             wall_clock_s: run_wall_s,
         });
     }

@@ -58,6 +58,7 @@ pub mod log;
 pub mod metrics;
 pub mod plan;
 pub mod recovery;
+pub mod run;
 pub mod sharding;
 pub mod table;
 pub mod trace;
@@ -71,6 +72,10 @@ pub use log::ActionLog;
 pub use metrics::{CheckpointRecord, RunMetrics, TickMetrics};
 pub use plan::{CheckpointPlan, CursorKind, FlushJob, SyncCopy};
 pub use recovery::{recover, CheckpointImage, RecoveryOutcome};
+pub use run::{
+    EngineDetail, ExperimentEngine, FidelitySummary, RealRunDetail, RecoveryReport, Run, RunError,
+    RunReport, RunSpec, RunSummary, ShardReport, SimRunDetail, TraceFn, TraceSpec,
+};
 pub use sharding::{ShardFilter, ShardMap, ShardedDriver, ShardedRun};
 pub use table::StateTable;
 pub use trace::TraceSource;

@@ -151,6 +151,15 @@ impl RunMetrics {
     pub fn ticks_over_budget(&self, bound_s: f64) -> usize {
         self.ticks.iter().filter(|t| t.overhead_s > bound_s).count()
     }
+
+    /// Tick length (base tick period + overhead) series in seconds, as
+    /// plotted by Figure 3.
+    pub fn tick_lengths_s(&self, tick_period_s: f64) -> Vec<f64> {
+        self.ticks
+            .iter()
+            .map(|t| tick_period_s + t.overhead_s)
+            .collect()
+    }
 }
 
 fn mean(iter: impl Iterator<Item = f64>) -> f64 {

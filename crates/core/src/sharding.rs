@@ -238,6 +238,28 @@ impl ShardedDriver {
         S: TraceSource,
         B: CheckpointBackend,
     {
+        self.run_with(trace, backends, |_| {})
+    }
+
+    /// As [`ShardedDriver::run`], invoking `on_tick_end(tick)` once after
+    /// every **global** tick — after all shards have executed their
+    /// framework-loop body for that tick (1-based tick numbers).
+    ///
+    /// This is the hook for world-level per-tick concerns. The real
+    /// engine's paced mode uses it to sleep out the remainder of the tick
+    /// period exactly once per global tick; sleeping per shard (N sleeps
+    /// per tick) would stretch the world's tick N-fold.
+    pub fn run_with<S, B, F>(
+        &self,
+        trace: &mut S,
+        backends: &mut [B],
+        mut on_tick_end: F,
+    ) -> Result<ShardedRun, B::Error>
+    where
+        S: TraceSource,
+        B: CheckpointBackend,
+        F: FnMut(u64),
+    {
         assert_eq!(
             trace.geometry(),
             self.map.global_geometry(),
@@ -261,6 +283,7 @@ impl ShardedDriver {
             for (s, step) in steps.iter_mut().enumerate() {
                 step.tick(&shard_bufs[s], &mut backends[s])?;
             }
+            on_tick_end(ticks);
         }
 
         let mut shards = Vec::with_capacity(n);
@@ -571,6 +594,27 @@ mod tests {
                 assert!(!r.metrics.checkpoints.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn tick_hook_fires_once_per_global_tick_not_per_shard() {
+        let g = StateGeometry::test_small();
+        let map = ShardMap::new(g, 4).unwrap();
+        let driver = ShardedDriver::new(TickDriver::new(Algorithm::CopyOnUpdate.spec()), map);
+        let mut backends: Vec<CountingBackend> = (0..4).map(|_| CountingBackend::new()).collect();
+        let mut trace = TestTrace {
+            g,
+            ticks: 15,
+            per_tick: 30,
+            next: 0,
+        };
+        let mut fired = Vec::new();
+        let run = driver
+            .run_with(&mut trace, &mut backends, |t| fired.push(t))
+            .expect("infallible");
+        assert_eq!(run.ticks, 15);
+        // One call per *global* tick, in order — not one per shard.
+        assert_eq!(fired, (1..=15).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -62,6 +62,29 @@ impl GameServer {
     }
 }
 
+/// A game configuration is a replayable trace description: the battle is
+/// deterministic, so re-opening the spec replays the identical update
+/// stream. This lets a battle feed `mmoc_core::Run` experiments directly
+/// — including real-engine recovery replay — with no trace file:
+///
+/// ```
+/// use mmoc_core::run::TraceSpec;
+/// use mmoc_game::GameConfig;
+///
+/// let spec = GameConfig::small().with_ticks(5);
+/// let mut server = spec.open(); // a fresh GameServer each call
+/// let mut buf = Vec::new();
+/// assert!(server.next_tick(&mut buf));
+/// # use mmoc_core::TraceSource;
+/// ```
+impl mmoc_core::run::TraceSpec for GameConfig {
+    type Source = GameServer;
+
+    fn open(&self) -> GameServer {
+        GameServer::new(*self)
+    }
+}
+
 impl TraceSource for GameServer {
     fn geometry(&self) -> StateGeometry {
         self.world.config().geometry()

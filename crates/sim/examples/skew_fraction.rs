@@ -1,8 +1,8 @@
 //! Prints the fraction of atomic objects Copy-on-Update flushes per
 //! checkpoint at increasing skew (the paper's "diminishes the updated
 //! portion from roughly 100% to 84%" claim, §5.3).
-use mmoc_core::Algorithm;
-use mmoc_sim::{SimConfig, SimEngine};
+use mmoc_core::{Algorithm, Run};
+use mmoc_sim::SimConfig;
 use mmoc_workload::SyntheticConfig;
 
 fn main() {
@@ -10,9 +10,13 @@ fn main() {
         let trace = SyntheticConfig::paper_default()
             .with_skew(skew)
             .with_ticks(150);
-        let r =
-            SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate).run(&mut trace.build());
-        let frac = r.avg_objects_per_checkpoint / f64::from(r.geometry.n_objects());
+        let r = Run::algorithm(Algorithm::CopyOnUpdate)
+            .engine(SimConfig::default())
+            .trace(trace)
+            .execute()
+            .expect("simulation runs");
+        let frac = r.world.metrics.avg_objects_per_normal_checkpoint()
+            / f64::from(trace.geometry.n_objects());
         println!(
             "skew {skew}: {:.1}% of objects flushed per checkpoint",
             frac * 100.0

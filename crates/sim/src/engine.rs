@@ -25,9 +25,13 @@ use crate::report::ShardedSimReport;
 use crate::report::SimReport;
 use mmoc_core::algorithms::DEFAULT_FULL_FLUSH_PERIOD;
 use mmoc_core::driver::{CheckpointBackend, FlushCompletion, TickOps};
+use mmoc_core::run::{
+    EngineDetail, ExperimentEngine, FidelitySummary, RecoveryReport, RunError, RunReport, RunSpec,
+    RunSummary, ShardReport, SimRunDetail, TraceSpec,
+};
 use mmoc_core::{
-    Algorithm, Bookkeeper, CellUpdate, CheckpointPlan, FlushCursor, FlushJob, ObjectId, ShardMap,
-    ShardedDriver, TickDriver, TraceSource,
+    Algorithm, Bookkeeper, CellUpdate, CheckpointPlan, CoreError, FlushCursor, FlushJob, ObjectId,
+    ShardMap, ShardedDriver, TickDriver, TraceSource,
 };
 use serde::{Deserialize, Serialize};
 use std::convert::Infallible;
@@ -215,6 +219,10 @@ impl SimEngine {
     }
 
     /// Run the simulation over a trace and report the paper's metrics.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified builder: `Run::algorithm(alg).engine(sim_config).trace(…).execute()`"
+    )]
     pub fn run<S: TraceSource>(&self, trace: &mut S) -> SimReport {
         self.run_inner(trace, None).0
     }
@@ -222,6 +230,11 @@ impl SimEngine {
     /// Run with value-level fidelity checking: every completed checkpoint's
     /// disk image is verified to equal the state at checkpoint start.
     /// Slower and memory-hungry; meant for tests and small geometries.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified builder with `.fidelity_check(true)`: \
+                `Run::algorithm(alg).engine(sim_config).trace(…).fidelity_check(true).execute()`"
+    )]
     pub fn run_checked<S: TraceSource>(&self, trace: &mut S) -> (SimReport, FidelityReport) {
         let checker = FidelityChecker::new(trace.geometry(), self.algorithm);
         let (report, fidelity) = self.run_inner(trace, Some(checker));
@@ -279,30 +292,47 @@ impl SimEngine {
     ///
     /// Panics if the geometry cannot be split into `n_shards`
     /// object-aligned bands (see [`ShardMap::new`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified builder with `.shards(n)`: \
+                `Run::algorithm(alg).engine(sim_config).trace(…).shards(n).execute()`"
+    )]
     pub fn run_sharded<S: TraceSource>(&self, trace: &mut S, n_shards: u32) -> ShardedSimReport {
-        self.run_sharded_inner(trace, n_shards, false).0
+        self.run_sharded_inner(trace, n_shards, false, false)
+            .expect("shardable geometry")
+            .0
     }
 
     /// As [`SimEngine::run_sharded`], with per-shard value-level fidelity
     /// checking: every shard's completed checkpoints must equal that
     /// shard's state at checkpoint start.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified builder with `.shards(n).fidelity_check(true)`: \
+                `Run::algorithm(alg).engine(sim_config).trace(…).shards(n).fidelity_check(true).execute()`"
+    )]
     pub fn run_sharded_checked<S: TraceSource>(
         &self,
         trace: &mut S,
         n_shards: u32,
     ) -> (ShardedSimReport, Vec<FidelityReport>) {
-        let (report, fidelity) = self.run_sharded_inner(trace, n_shards, true);
+        let (report, fidelity) = self
+            .run_sharded_inner(trace, n_shards, true, false)
+            .expect("shardable geometry");
         (report, fidelity.expect("fidelity checkers were installed"))
     }
 
+    /// The shared sharded run: the single definition every public entry
+    /// point — the unified builder and the deprecated wrappers — executes.
     fn run_sharded_inner<S: TraceSource>(
         &self,
         trace: &mut S,
         n_shards: u32,
         checked: bool,
-    ) -> (ShardedSimReport, Option<Vec<FidelityReport>>) {
+        batching: bool,
+    ) -> Result<(ShardedSimReport, Option<Vec<FidelityReport>>), CoreError> {
         let geometry = trace.geometry();
-        let map = ShardMap::new(geometry, n_shards).expect("shardable geometry");
+        let map = ShardMap::new(geometry, n_shards)?;
         let cost = CostModel::new(self.config.hardware, geometry.object_size);
         let spec = self
             .algorithm
@@ -316,12 +346,13 @@ impl SimEngine {
             })
             .collect();
 
-        let run = match ShardedDriver::new(TickDriver::new(spec), map.clone())
-            .run(trace, &mut backends)
-        {
-            Ok(run) => run,
-            Err(infallible) => match infallible {},
-        };
+        let run =
+            match ShardedDriver::new(TickDriver::new(spec).with_batching(batching), map.clone())
+                .run(trace, &mut backends)
+            {
+                Ok(run) => run,
+                Err(infallible) => match infallible {},
+            };
 
         let wall_clock_s = backends.iter().map(|b| b.clock).fold(0.0f64, f64::max);
         let fidelity = checked.then(|| {
@@ -361,7 +392,7 @@ impl SimEngine {
             shards,
             metrics,
         };
-        (report, fidelity)
+        Ok((report, fidelity))
     }
 
     fn build_report(
@@ -400,8 +431,103 @@ impl SimEngine {
     }
 }
 
+/// The cost-model simulator as a pluggable experiment engine: a
+/// `SimConfig` can be handed straight to
+/// [`Run::engine`](mmoc_core::Run::engine) (or wrapped in the facade's
+/// `Engine::Sim`). [`RunSpec::pacing_hz`] overrides the configured tick
+/// frequency; [`RunSpec::fidelity_check`] enables per-shard shadow-disk
+/// verification; recovery times in the report are the §4.2 analytic
+/// estimates.
+impl ExperimentEngine for SimConfig {
+    fn run_experiment<T: TraceSpec + ?Sized>(
+        &self,
+        spec: &RunSpec,
+        trace: &T,
+    ) -> Result<RunReport, RunError> {
+        let mut config = *self;
+        if let Some(hz) = spec.pacing_hz {
+            config.tick_freq_hz = hz;
+        }
+        config.hardware.validate().map_err(RunError::Config)?;
+        if !(config.tick_freq_hz > 0.0 && config.tick_freq_hz.is_finite()) {
+            return Err(RunError::Config(format!(
+                "tick frequency must be positive and finite, got {}",
+                config.tick_freq_hz
+            )));
+        }
+        let engine = SimEngine {
+            config,
+            algorithm: spec.algorithm,
+        };
+        let mut src = trace.open();
+        src.geometry().validate()?;
+        let (report, fidelity) =
+            engine.run_sharded_inner(&mut src, spec.shards, spec.fidelity_check, spec.batching)?;
+        Ok(into_run_report(&config, report, fidelity))
+    }
+}
+
+/// Map the simulator's sharded report into the unified cross-engine shape.
+fn into_run_report(
+    config: &SimConfig,
+    report: ShardedSimReport,
+    fidelity: Option<Vec<FidelityReport>>,
+) -> RunReport {
+    let mut fidelity: Vec<Option<FidelitySummary>> = match fidelity {
+        Some(v) => v
+            .into_iter()
+            .map(|f| {
+                Some(FidelitySummary {
+                    checks_passed: f.checks_passed,
+                    errors: f.errors,
+                })
+            })
+            .collect(),
+        None => vec![None; report.shards.len()],
+    };
+    let shards = report
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(s, r)| ShardReport {
+            shard: s as u32,
+            ticks: r.ticks,
+            updates: r.updates,
+            summary: RunSummary::from_metrics(r.metrics.clone(), Some(r.est_recovery_s)),
+            recovery: Some(RecoveryReport {
+                restore_s: r.est_restore_s,
+                replay_s: r.est_replay_s,
+                total_s: r.est_recovery_s,
+                measured: false,
+                restored_from_tick: None,
+                ticks_replayed: None,
+                updates_replayed: None,
+                state_matches: None,
+            }),
+            fidelity: fidelity[s].take(),
+        })
+        .collect();
+    RunReport {
+        algorithm: report.algorithm,
+        engine: "sim",
+        n_shards: report.n_shards,
+        ticks: report.ticks,
+        updates: report.updates,
+        world: RunSummary::from_metrics(report.metrics, Some(report.est_recovery_s)),
+        shards,
+        detail: EngineDetail::Sim(SimRunDetail {
+            wall_clock_s: report.wall_clock_s,
+            tick_period_s: config.tick_period_s(),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    // The legacy entry points stay exercised until they are removed; the
+    // builder/legacy equivalence lives in `tests/builder_equivalence.rs`.
+    #![allow(deprecated)]
+
     use super::*;
     use mmoc_core::StateGeometry;
     use mmoc_workload::{SyntheticConfig, TraceSource};
@@ -642,6 +768,110 @@ mod tests {
             sharded.avg_checkpoint_s,
             single.avg_checkpoint_s
         );
+    }
+
+    fn small_spec(ticks: u64, updates: u32, skew: f64) -> SyntheticConfig {
+        SyntheticConfig {
+            geometry: StateGeometry::test_small(),
+            ticks,
+            updates_per_tick: updates,
+            skew,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn builder_path_is_bit_identical_to_the_legacy_run() {
+        for alg in Algorithm::ALL {
+            let legacy =
+                SimEngine::new(SimConfig::default(), alg).run(&mut small_trace(60, 96, 0.7));
+            let report = mmoc_core::Run::algorithm(alg)
+                .engine(SimConfig::default())
+                .trace(small_spec(60, 96, 0.7))
+                .execute()
+                .expect("builder run");
+            assert_eq!(report.engine, "sim");
+            assert_eq!(report.n_shards, 1);
+            assert_eq!(report.shards.len(), 1, "{alg}: trivial shard breakdown");
+            assert_eq!(report.ticks, legacy.ticks, "{alg}");
+            assert_eq!(report.updates, legacy.updates, "{alg}");
+            // The virtual clock is deterministic: exact equality.
+            assert_eq!(report.world.metrics.ticks, legacy.metrics.ticks, "{alg}");
+            assert_eq!(
+                report.world.metrics.checkpoints, legacy.metrics.checkpoints,
+                "{alg}"
+            );
+            assert_eq!(report.world.avg_overhead_s, legacy.avg_overhead_s, "{alg}");
+            assert_eq!(
+                report.world.recovery_s,
+                Some(legacy.est_recovery_s),
+                "{alg}"
+            );
+            let rec = report.shards[0].recovery.as_ref().expect("estimate");
+            assert!(!rec.measured);
+            assert_eq!(rec.restore_s, legacy.est_restore_s, "{alg}");
+            assert_eq!(rec.replay_s, legacy.est_replay_s, "{alg}");
+        }
+    }
+
+    #[test]
+    fn builder_fidelity_check_runs_the_shadow_disk() {
+        let report = mmoc_core::Run::algorithm(Algorithm::CopyOnUpdate)
+            .engine(SimConfig::default())
+            .trace(small_spec(60, 96, 0.7))
+            .shards(4)
+            .fidelity_check(true)
+            .execute()
+            .expect("checked run");
+        assert_eq!(report.shards.len(), 4);
+        for s in &report.shards {
+            let f = s.fidelity.as_ref().expect("fidelity checked");
+            assert!(f.is_clean(), "shard {}: {:?}", s.shard, f.errors);
+            assert!(f.checks_passed > 0);
+        }
+        assert_eq!(report.verified_consistent(), Some(true));
+    }
+
+    #[test]
+    fn builder_pacing_overrides_the_tick_frequency() {
+        let at = |hz: f64| {
+            mmoc_core::Run::algorithm(Algorithm::NaiveSnapshot)
+                .engine(SimConfig::default())
+                .trace(small_spec(40, 32, 0.5))
+                .pacing(hz)
+                .execute()
+                .expect("paced run")
+        };
+        let fast = at(60.0);
+        let slow = at(10.0);
+        let wall = |r: &mmoc_core::RunReport| match r.detail {
+            mmoc_core::EngineDetail::Sim(d) => d.wall_clock_s,
+            _ => unreachable!("sim engine"),
+        };
+        assert!(
+            wall(&slow) > wall(&fast),
+            "10 Hz world must take longer than the 60 Hz world"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors_not_panics() {
+        let mut bad = SimConfig::default();
+        bad.hardware = bad.hardware.with_disk_bandwidth(-1.0);
+        let err = mmoc_core::Run::algorithm(Algorithm::CopyOnUpdate)
+            .engine(bad)
+            .trace(small_spec(10, 8, 0.5))
+            .execute()
+            .unwrap_err();
+        assert!(matches!(err, mmoc_core::RunError::Config(_)), "{err}");
+
+        let err = mmoc_core::Run::algorithm(Algorithm::CopyOnUpdate)
+            .engine(SimConfig::default())
+            .trace(small_spec(10, 8, 0.5))
+            .shards(1_000_000)
+            .execute()
+            .unwrap_err();
+        assert!(matches!(err, mmoc_core::RunError::Core(_)), "{err}");
     }
 
     #[test]

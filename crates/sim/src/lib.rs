@@ -15,17 +15,20 @@
 //!   `ΔT_recovery = ΔT_restore + ΔT_replay` of §4.2.
 //!
 //! ```
-//! use mmoc_sim::{SimConfig, SimEngine};
-//! use mmoc_core::Algorithm;
+//! use mmoc_core::{Algorithm, Run};
+//! use mmoc_sim::SimConfig;
 //! use mmoc_workload::SyntheticConfig;
 //!
 //! let trace = SyntheticConfig::paper_default()
 //!     .with_ticks(60)
 //!     .with_updates_per_tick(1_000);
-//! let report = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
-//!     .run(&mut trace.build());
-//! assert!(report.avg_overhead_s > 0.0);
-//! assert!(report.checkpoints_completed > 0);
+//! let report = Run::algorithm(Algorithm::CopyOnUpdate)
+//!     .engine(SimConfig::default())
+//!     .trace(trace)
+//!     .execute()
+//!     .expect("simulation runs");
+//! assert!(report.world.avg_overhead_s > 0.0);
+//! assert!(report.world.checkpoints_completed > 0);
 //! ```
 
 #![warn(missing_docs)]

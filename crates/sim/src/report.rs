@@ -41,11 +41,7 @@ impl SimReport {
     /// Tick length (base tick period + overhead) series in seconds, as
     /// plotted by Figure 3.
     pub fn tick_lengths_s(&self, tick_period_s: f64) -> Vec<f64> {
-        self.metrics
-            .ticks
-            .iter()
-            .map(|t| tick_period_s + t.overhead_s)
-            .collect()
+        self.metrics.tick_lengths_s(tick_period_s)
     }
 
     /// One-line human-readable summary.

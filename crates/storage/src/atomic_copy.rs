@@ -9,23 +9,29 @@
 //! sorted, offset-ordered writes.
 
 use crate::config::RealConfig;
-use crate::engine::run_algorithm;
+use crate::engine::run_single;
 use crate::report::RealReport;
 use mmoc_core::{Algorithm, TraceSource};
 use std::io;
 
 /// Run Atomic-Copy-Dirty-Objects over the trace produced by `make_trace`
 /// (replayable; the second instantiation drives recovery).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified builder: `Run::algorithm(Algorithm::AtomicCopyDirtyObjects).engine(real_config).trace(\u{2026}).execute()`"
+)]
 pub fn run_atomic_copy<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
 where
     S: TraceSource,
     F: Fn() -> S + Sync,
 {
-    run_algorithm(Algorithm::AtomicCopyDirtyObjects, config, make_trace)
+    run_single(Algorithm::AtomicCopyDirtyObjects, config, make_trace)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the wrappers stay exercised until removal
+
     use super::*;
     use mmoc_core::StateGeometry;
     use mmoc_workload::SyntheticConfig;

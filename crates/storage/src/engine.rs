@@ -24,10 +24,13 @@
 //!
 //! Adding the two algorithms the old per-algorithm engines never
 //! implemented (Dribble-and-Copy-on-Update, Atomic-Copy-Dirty-Objects)
-//! required no new orchestration — they are [`run_algorithm`] calls like
-//! the rest, which is the point of the refactor. The multi-shard entry
-//! point is [`crate::sharded::run_algorithm_sharded`]; [`run_algorithm`]
-//! is its single-shard specialization.
+//! required no new orchestration — they are one-line algorithm choices
+//! like the rest, which is the point of the refactor. Experiments reach
+//! this engine through the unified builder
+//! (`Run::algorithm(alg).engine(real_config).trace(…).execute()`, see
+//! [`crate::run`]); the historical entry points ([`run_algorithm`] and
+//! friends) remain as deprecated wrappers over the same shared sharded
+//! implementation, specialized to a single shard.
 
 use crate::config::RealConfig;
 use crate::files::BackupSet;
@@ -585,12 +588,12 @@ pub(crate) fn shard_report(
 /// produced by `make_trace`.
 ///
 /// `make_trace` must be replayable (calling it again yields an identical
-/// stream); the second instantiation drives recovery replay. This is the
-/// single entry point behind the per-algorithm wrappers
-/// ([`crate::run_naive_snapshot`], [`crate::run_copy_on_update`], …), and
-/// is itself the single-shard specialization of
-/// [`crate::sharded::run_algorithm_sharded`]: one shard served by a
-/// writer pool of one.
+/// stream); the second instantiation drives recovery replay.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified builder: \
+            `Run::algorithm(alg).engine(real_config).trace(…).execute()`"
+)]
 pub fn run_algorithm<S, F>(
     algorithm: Algorithm,
     config: &RealConfig,
@@ -600,7 +603,23 @@ where
     S: TraceSource,
     F: Fn() -> S + Sync,
 {
-    let mut report = crate::sharded::run_algorithm_sharded(algorithm, config, 1, make_trace)?;
+    run_single(algorithm, config, make_trace)
+}
+
+/// The single-shard specialization of
+/// [`crate::sharded::run_sharded_impl`]: one shard served by a writer
+/// pool of one. Shared by the deprecated wrappers and in-crate tests.
+pub(crate) fn run_single<S, F>(
+    algorithm: Algorithm,
+    config: &RealConfig,
+    make_trace: F,
+) -> io::Result<RealReport>
+where
+    S: TraceSource,
+    F: Fn() -> S + Sync,
+{
+    let mut report = crate::sharded::run_sharded_impl(algorithm, config, 1, false, make_trace)
+        .map_err(crate::sharded::run_error_to_io)?;
     Ok(report.shards.remove(0))
 }
 
@@ -670,7 +689,7 @@ mod tests {
     fn all_six_algorithms_run_and_recover() {
         for alg in Algorithm::ALL {
             let dir = tempfile::tempdir().unwrap();
-            let report = run_algorithm(alg, &config(dir.path()), || trace_config().build())
+            let report = run_single(alg, &config(dir.path()), || trace_config().build())
                 .unwrap_or_else(|e| panic!("{alg}: {e}"));
             assert_eq!(report.algorithm, alg);
             assert_eq!(report.ticks, 50);
@@ -688,7 +707,7 @@ mod tests {
         let g = trace_config().geometry;
         for alg in Algorithm::ALL {
             let dir = tempfile::tempdir().unwrap();
-            let report = run_algorithm(alg, &config(dir.path()).without_recovery(), || {
+            let report = run_single(alg, &config(dir.path()).without_recovery(), || {
                 trace_config().build()
             })
             .unwrap();
@@ -718,7 +737,7 @@ mod tests {
     fn overhead_shapes_match_copy_timing() {
         for alg in Algorithm::ALL {
             let dir = tempfile::tempdir().unwrap();
-            let report = run_algorithm(alg, &config(dir.path()).without_recovery(), || {
+            let report = run_single(alg, &config(dir.path()).without_recovery(), || {
                 trace_config().build()
             })
             .unwrap();
@@ -756,7 +775,7 @@ mod tests {
                 skew: 0.99,
                 seed: 5,
             };
-            let report = run_algorithm(alg, &config(dir.path()), || cfg.build()).unwrap();
+            let report = run_single(alg, &config(dir.path()), || cfg.build()).unwrap();
             let rec = report.recovery.expect("recovery measured");
             assert!(rec.state_matches, "{alg}: hot-contention recovery diverged");
             assert!(report.checkpoints_completed > 1, "{alg}");

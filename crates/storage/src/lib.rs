@@ -6,8 +6,12 @@
 //!
 //! The paper implemented only the two winners identified by the simulation
 //! (Naive-Snapshot and Copy-on-Update); this crate runs **all six**
-//! algorithms through one engine ([`engine::run_algorithm`]), built as a
-//! backend of the unified tick driver in `mmoc_core::driver`:
+//! algorithms through one engine, built as a backend of the unified tick
+//! driver in `mmoc_core::driver` and plugged into the unified experiment
+//! builder: [`RealConfig`] implements `mmoc_core::ExperimentEngine`, so
+//! `Run::algorithm(alg).engine(real_config).trace(…).execute()` is the one
+//! entry point (the historical free functions remain as deprecated
+//! wrappers for this release; see [`run`]):
 //!
 //! * the **mutator** executes each tick in three phases: *query* (random
 //!   lookups sized to fill the tick), *update* (apply the trace's updates
@@ -39,15 +43,28 @@ pub mod naive;
 pub mod partial_redo;
 pub mod recovery;
 pub mod report;
+pub mod run;
 pub mod sharded;
 pub mod shared;
 
-pub use atomic_copy::run_atomic_copy;
 pub use config::RealConfig;
-pub use cou::run_copy_on_update;
-pub use dribble::run_dribble;
-pub use engine::run_algorithm;
-pub use naive::run_naive_snapshot;
-pub use partial_redo::{run_cou_partial_redo, run_partial_redo};
 pub use report::{RealReport, RecoveryMeasurement};
-pub use sharded::{run_algorithm_sharded, shard_dir, ShardedRealReport, ShardedRecovery};
+pub use sharded::{shard_dir, ShardedRealReport, ShardedRecovery};
+
+// Deprecated legacy entry points, re-exported until their removal; every
+// one of them now delegates to the same implementation the unified
+// `mmoc_core::Run` builder executes.
+#[allow(deprecated)]
+pub use atomic_copy::run_atomic_copy;
+#[allow(deprecated)]
+pub use cou::run_copy_on_update;
+#[allow(deprecated)]
+pub use dribble::run_dribble;
+#[allow(deprecated)]
+pub use engine::run_algorithm;
+#[allow(deprecated)]
+pub use naive::run_naive_snapshot;
+#[allow(deprecated)]
+pub use partial_redo::{run_cou_partial_redo, run_partial_redo};
+#[allow(deprecated)]
+pub use sharded::run_algorithm_sharded;

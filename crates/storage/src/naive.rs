@@ -9,7 +9,7 @@
 //! file.
 
 use crate::config::RealConfig;
-use crate::engine::run_algorithm;
+use crate::engine::run_single;
 use crate::report::RealReport;
 use mmoc_core::{Algorithm, TraceSource};
 use std::io;
@@ -18,16 +18,22 @@ use std::io;
 ///
 /// `make_trace` must be replayable (calling it again yields an identical
 /// stream); the second instantiation drives recovery replay.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified builder: `Run::algorithm(Algorithm::NaiveSnapshot).engine(real_config).trace(\u{2026}).execute()`"
+)]
 pub fn run_naive_snapshot<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
 where
     S: TraceSource,
     F: Fn() -> S + Sync,
 {
-    run_algorithm(Algorithm::NaiveSnapshot, config, make_trace)
+    run_single(Algorithm::NaiveSnapshot, config, make_trace)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the wrappers stay exercised until removal
+
     use super::*;
     use mmoc_core::StateGeometry;
     use mmoc_workload::SyntheticConfig;

@@ -21,32 +21,42 @@
 //! back to the last full flush) and replays the update stream.
 
 use crate::config::RealConfig;
-use crate::engine::run_algorithm;
+use crate::engine::run_single;
 use crate::report::RealReport;
 use mmoc_core::{Algorithm, TraceSource};
 use std::io;
 
 /// Run the real Partial-Redo engine (eager dirty copies into a log).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified builder: `Run::algorithm(Algorithm::PartialRedo).engine(real_config).trace(\u{2026}).execute()`"
+)]
 pub fn run_partial_redo<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
 where
     S: TraceSource,
     F: Fn() -> S + Sync,
 {
-    run_algorithm(Algorithm::PartialRedo, config, make_trace)
+    run_single(Algorithm::PartialRedo, config, make_trace)
 }
 
 /// Run the real Copy-on-Update-Partial-Redo engine (copy-on-update into a
 /// log, with periodic Dribble-style full sweeps).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified builder: `Run::algorithm(Algorithm::CopyOnUpdatePartialRedo).engine(real_config).trace(\u{2026}).execute()`"
+)]
 pub fn run_cou_partial_redo<S, F>(config: &RealConfig, make_trace: F) -> io::Result<RealReport>
 where
     S: TraceSource,
     F: Fn() -> S + Sync,
 {
-    run_algorithm(Algorithm::CopyOnUpdatePartialRedo, config, make_trace)
+    run_single(Algorithm::CopyOnUpdatePartialRedo, config, make_trace)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the wrappers stay exercised until removal
+
     use super::*;
     use mmoc_core::algorithms::DEFAULT_FULL_FLUSH_PERIOD;
     use mmoc_core::StateGeometry;

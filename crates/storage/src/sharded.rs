@@ -20,6 +20,7 @@ use crate::engine::{
     live_fingerprint, make_shard, measure_recovery, shard_report, PoolJob, RealBackend, WriterPool,
 };
 use crate::report::{RealReport, RecoveryMeasurement};
+use mmoc_core::run::RunError;
 use mmoc_core::{Algorithm, RunMetrics, ShardFilter, ShardMap, ShardedDriver, TickDriver};
 use mmoc_workload::TraceSource;
 use std::io;
@@ -111,9 +112,11 @@ impl ShardedRealReport {
 /// fresh instantiation, in parallel, one thread per shard. With
 /// `n_shards == 1` this is exactly [`crate::run_algorithm`] (identity
 /// shard map, historical file layout, pool of one).
-///
-/// Pacing ([`RealConfig`]'s `paced`) applies only to single-shard runs;
-/// a multi-shard run executes its shards back to back.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified builder with `.shards(n)`: \
+            `Run::algorithm(alg).engine(real_config).trace(…).shards(n).execute()`"
+)]
 pub fn run_algorithm_sharded<S, F>(
     algorithm: Algorithm,
     config: &RealConfig,
@@ -124,9 +127,42 @@ where
     S: TraceSource,
     F: Fn() -> S + Sync,
 {
+    run_sharded_impl(algorithm, config, n_shards, false, make_trace).map_err(run_error_to_io)
+}
+
+/// Collapse a typed [`RunError`] into the historical `io::Error` surface
+/// of the deprecated entry points.
+pub(crate) fn run_error_to_io(e: RunError) -> io::Error {
+    match e {
+        RunError::Io(e) => e,
+        other => io::Error::other(other.to_string()),
+    }
+}
+
+/// The shared sharded run: the single definition of a real-engine
+/// experiment that every public entry point — the unified builder and the
+/// deprecated wrappers — executes.
+///
+/// When [`RealConfig::paced`] is set, a single-shard run paces inside the
+/// backend (the historical sleep phase), while a multi-shard run paces
+/// **once per global tick** through [`ShardedDriver::run_with`]: all
+/// shards execute the tick back to back, then the mutator sleeps out the
+/// remainder of the tick period — N per-shard sleeps would stretch the
+/// world's tick N-fold.
+pub(crate) fn run_sharded_impl<S, F>(
+    algorithm: Algorithm,
+    config: &RealConfig,
+    n_shards: u32,
+    batching: bool,
+    make_trace: F,
+) -> Result<ShardedRealReport, RunError>
+where
+    S: TraceSource,
+    F: Fn() -> S + Sync,
+{
     let mut trace = make_trace();
     let geometry = trace.geometry();
-    let map = ShardMap::new(geometry, n_shards).map_err(|e| io::Error::other(e.to_string()))?;
+    let map = ShardMap::new(geometry, n_shards)?;
     let n = map.n_shards();
     let spec = algorithm.spec();
     let pool_threads = config.effective_pool_threads(n);
@@ -155,9 +191,23 @@ where
     let mut backends: Vec<RealBackend> = built;
     drop(job_tx);
 
-    // Drive every shard in lockstep over the global trace.
-    let run =
-        ShardedDriver::new(TickDriver::new(spec), map.clone()).run(&mut trace, &mut backends)?;
+    // Drive every shard in lockstep over the global trace. Multi-shard
+    // pacing sleeps once per *global* tick (single-shard runs pace inside
+    // the backend, preserving the historical path exactly).
+    let driver = ShardedDriver::new(TickDriver::new(spec).with_batching(batching), map.clone());
+    let run = if config.paced && n > 1 {
+        let period = config.tick_period;
+        let mut tick_start = Instant::now();
+        driver.run_with(&mut trace, &mut backends, |_tick| {
+            let elapsed = tick_start.elapsed();
+            if elapsed < period {
+                std::thread::sleep(period.saturating_sub(elapsed));
+            }
+            tick_start = Instant::now();
+        })?
+    } else {
+        driver.run(&mut trace, &mut backends)?
+    };
 
     // All checkpoints drained: wind the pool down before measuring
     // recovery, so no worker races the files being read back.
@@ -274,9 +324,10 @@ mod tests {
     fn four_shards_run_and_recover_for_all_algorithms() {
         for alg in Algorithm::ALL {
             let dir = tempfile::tempdir().unwrap();
-            let report =
-                run_algorithm_sharded(alg, &config(dir.path()), 4, || trace_config().build())
-                    .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            let report = run_sharded_impl(alg, &config(dir.path()), 4, false, || {
+                trace_config().build()
+            })
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
             assert_eq!(report.n_shards, 4);
             assert_eq!(report.shards.len(), 4);
             assert_eq!(report.ticks, 40, "{alg}");
@@ -303,9 +354,13 @@ mod tests {
     #[test]
     fn one_shard_uses_the_historical_layout_and_counts() {
         let dir = tempfile::tempdir().unwrap();
-        let report = run_algorithm_sharded(Algorithm::CopyOnUpdate, &config(dir.path()), 1, || {
-            trace_config().build()
-        })
+        let report = run_sharded_impl(
+            Algorithm::CopyOnUpdate,
+            &config(dir.path()),
+            1,
+            false,
+            || trace_config().build(),
+        )
         .unwrap();
         assert_eq!(report.n_shards, 1);
         assert_eq!(report.pool_threads, 1, "single shard = pool of one");
@@ -319,9 +374,10 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let mut cfg = config(dir.path()).without_recovery();
         cfg.writer_pool_threads = 2; // 2 workers serving 4 shards
-        let report =
-            run_algorithm_sharded(Algorithm::NaiveSnapshot, &cfg, 4, || trace_config().build())
-                .unwrap();
+        let report = run_sharded_impl(Algorithm::NaiveSnapshot, &cfg, 4, false, || {
+            trace_config().build()
+        })
+        .unwrap();
         assert_eq!(report.pool_threads, 2);
         assert_eq!(report.shards.len(), 4);
         for shard in &report.shards {
@@ -332,10 +388,11 @@ mod tests {
     #[test]
     fn sharded_totals_conserve_work() {
         let dir = tempfile::tempdir().unwrap();
-        let report = run_algorithm_sharded(
+        let report = run_sharded_impl(
             Algorithm::CopyOnUpdate,
             &config(dir.path()).without_recovery(),
             4,
+            false,
             || trace_config().build(),
         )
         .unwrap();

@@ -4,6 +4,10 @@
 //! restorable, which is the whole point of making the recovery machinery
 //! shard-aware.
 
+// The legacy entry points stay exercised until their removal (the
+// unified-builder coverage lives in tests/builder_equivalence.rs).
+#![allow(deprecated)]
+
 use mmoc_core::{Algorithm, ShardFilter, ShardMap, StateGeometry, StateTable};
 use mmoc_storage::files::BackupSet;
 use mmoc_storage::recovery::{recover_and_replay, recover_and_replay_log};

@@ -25,6 +25,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use file::{read_trace_file, write_trace_file, TraceFileReader};
+pub use mmoc_core::run::{TraceFn, TraceSpec};
 pub use stats::TraceStats;
 pub use synthetic::{SyntheticConfig, ZipfTrace};
 pub use trace::{RecordedTrace, TraceSource};

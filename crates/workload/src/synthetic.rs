@@ -73,6 +73,17 @@ impl SyntheticConfig {
     }
 }
 
+/// A synthetic config is a replayable trace description: equal seeds give
+/// byte-identical streams, so it can feed `mmoc_core::Run` experiments
+/// directly (including real-engine recovery replay).
+impl mmoc_core::run::TraceSpec for SyntheticConfig {
+    type Source = ZipfTrace;
+
+    fn open(&self) -> ZipfTrace {
+        self.build()
+    }
+}
+
 /// Streaming Zipfian trace generator.
 #[derive(Debug)]
 pub struct ZipfTrace {

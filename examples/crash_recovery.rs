@@ -37,45 +37,61 @@ fn main() {
     );
 
     let config = RealConfig::new(&dir).with_query_ops(2_000);
-    let report = run_copy_on_update(&config, || trace.build()).expect("engine run");
+    let report = Run::algorithm(Algorithm::CopyOnUpdate)
+        .engine(Engine::Real(config))
+        .trace(trace)
+        .execute()
+        .expect("engine run");
 
     println!("\nwhile the game ran:");
-    println!("  checkpoints completed   {}", report.checkpoints_completed);
+    println!(
+        "  checkpoints completed   {}",
+        report.world.checkpoints_completed
+    );
     println!(
         "  avg overhead per tick   {:.4} ms",
-        report.avg_overhead_s * 1e3
+        report.world.avg_overhead_s * 1e3
     );
     println!(
         "  avg checkpoint time     {:.3} s  ({} objects avg)",
-        report.avg_checkpoint_s,
+        report.world.avg_checkpoint_s,
         report
+            .world
             .metrics
             .checkpoints
             .iter()
             .map(|c| u64::from(c.objects_written))
             .sum::<u64>()
-            / report.checkpoints_completed.max(1)
+            / report.world.checkpoints_completed.max(1)
     );
-    let copies: u64 = report.metrics.ticks.iter().map(|t| t.copies).sum();
+    let copies: u64 = report.world.metrics.ticks.iter().map(|t| t.copies).sum();
     println!("  copy-on-update copies   {copies}");
 
-    let rec = report.recovery.expect("recovery measured");
+    let rec = report.shards[0]
+        .recovery
+        .clone()
+        .expect("recovery measured");
     println!("\nafter the crash:");
-    println!("  restored from tick      {}", rec.restored_from_tick);
+    println!(
+        "  restored from tick      {}",
+        rec.restored_from_tick.unwrap_or(0)
+    );
     println!("  restore (read backup)   {:.3} s", rec.restore_s);
     println!(
         "  replay {:>6} ticks      {:.3} s ({} updates)",
-        rec.ticks_replayed, rec.replay_s, rec.updates_replayed
+        rec.ticks_replayed.unwrap_or(0),
+        rec.replay_s,
+        rec.updates_replayed.unwrap_or(0)
     );
     println!("  total recovery          {:.3} s", rec.total_s);
     println!(
         "  recovered state matches pre-crash state: {}",
-        if rec.state_matches {
+        if report.verified_consistent() == Some(true) {
             "YES"
         } else {
             "NO (bug!)"
         }
     );
-    assert!(rec.state_matches);
+    assert_eq!(report.verified_consistent(), Some(true));
     let _ = std::fs::remove_dir_all(&dir);
 }

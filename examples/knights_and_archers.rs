@@ -52,7 +52,11 @@ fn main() {
     // 3. Feed the recorded trace to the checkpoint simulator.
     println!("\ncheckpointing the battle:");
     for algorithm in [Algorithm::NaiveSnapshot, Algorithm::CopyOnUpdate] {
-        let report = SimEngine::new(SimConfig::default(), algorithm).run(&mut trace.replay());
+        let report = Run::algorithm(algorithm)
+            .engine(Engine::Sim(SimConfig::default()))
+            .trace_fn(|| trace.replay())
+            .execute()
+            .expect("simulation runs");
         println!("  {}", report.summary());
     }
     let _ = std::fs::remove_file(&path);

@@ -26,8 +26,12 @@ fn main() {
         Algorithm::CopyOnUpdate,
         Algorithm::DribbleAndCopyOnUpdate,
     ] {
-        let report = SimEngine::new(config, algorithm).run(&mut trace.build());
-        let lengths = report.tick_lengths_s(config.tick_period_s());
+        let report = Run::algorithm(algorithm)
+            .engine(Engine::Sim(config))
+            .trace(trace)
+            .execute()
+            .expect("simulation runs");
+        let lengths = report.world.metrics.tick_lengths_s(config.tick_period_s());
         println!("{}", algorithm.name());
         // ASCII strip for ticks 55..=110, one char per tick.
         let strip: String = lengths[55..110]
@@ -47,6 +51,7 @@ fn main() {
             .collect();
         println!("  ticks 55-110  [{strip}]");
         let over = report
+            .world
             .metrics
             .ticks
             .iter()
@@ -54,8 +59,8 @@ fn main() {
             .count();
         println!(
             "  avg {:.2} ms, peak {:.2} ms, ticks over limit: {over}/{}\n",
-            report.avg_overhead_s * 1e3 + base_ms,
-            report.max_overhead_s * 1e3 + base_ms,
+            report.world.avg_overhead_s * 1e3 + base_ms,
+            report.world.max_overhead_s * 1e3 + base_ms,
             report.ticks
         );
     }

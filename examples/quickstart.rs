@@ -1,5 +1,6 @@
 //! Quickstart: compare all six checkpoint-recovery algorithms on a
-//! synthetic MMO workload and print the paper's three metrics.
+//! synthetic MMO workload and print the paper's three metrics — every run
+//! described by the same `Run` builder.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -28,17 +29,22 @@ fn main() {
 
     let mut best: Option<(Algorithm, f64)> = None;
     for algorithm in Algorithm::ALL {
-        let report = SimEngine::new(SimConfig::default(), algorithm).run(&mut trace.build());
+        let report = Run::algorithm(algorithm)
+            .engine(Engine::Sim(SimConfig::default()))
+            .trace(trace)
+            .execute()
+            .expect("simulation runs");
+        let recovery_s = report.recovery_s().expect("sim estimates recovery");
         println!(
             "{:<28} {:>11.3} ms {:>11.3} ms {:>12.3} s {:>10.3} s",
             algorithm.name(),
-            report.avg_overhead_s * 1e3,
-            report.max_overhead_s * 1e3,
-            report.avg_checkpoint_s,
-            report.est_recovery_s,
+            report.world.avg_overhead_s * 1e3,
+            report.world.max_overhead_s * 1e3,
+            report.world.avg_checkpoint_s,
+            recovery_s,
         );
         // The paper's selection criterion: latency first, then recovery.
-        let score = report.max_overhead_s + report.est_recovery_s * 1e-3;
+        let score = report.world.max_overhead_s + recovery_s * 1e-3;
         if best.is_none_or(|(_, s)| score < s) {
             best = Some((algorithm, score));
         }

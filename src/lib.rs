@@ -21,6 +21,9 @@
 //!
 //! ## Quickstart
 //!
+//! Every experiment — any algorithm, either engine, any shard count — is
+//! described by one builder and returns one report type:
+//!
 //! ```
 //! use mmo_checkpoint::prelude::*;
 //!
@@ -28,11 +31,20 @@
 //! let trace = SyntheticConfig::paper_default()
 //!     .with_ticks(60)
 //!     .with_updates_per_tick(1_000);
-//! let report = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
-//!     .run(&mut trace.build());
+//! let report = Run::algorithm(Algorithm::CopyOnUpdate)
+//!     .engine(Engine::Sim(SimConfig::default()))
+//!     .trace(trace)
+//!     .execute()
+//!     .expect("simulation runs");
 //! println!("{}", report.summary());
-//! assert!(report.checkpoints_completed > 0);
+//! assert!(report.world.checkpoints_completed > 0);
 //! ```
+//!
+//! Swapping `Engine::Sim(…)` for `Engine::Real(RealConfig::new(dir))`
+//! reruns the identical experiment on the real disk-backed engine —
+//! that's the paper's §6 validation loop — and `.shards(n)`,
+//! `.batching(true)`, `.fidelity_check(true)` and `.pacing(hz)` apply to
+//! both engines. See [`run`] and [`mmoc_core::run`] for the full API.
 
 pub use mmoc_core as core;
 pub use mmoc_game as game;
@@ -40,18 +52,29 @@ pub use mmoc_sim as sim;
 pub use mmoc_storage as storage;
 pub use mmoc_workload as workload;
 
+pub mod run;
+
+pub use run::Engine;
+
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use crate::run::Engine;
     pub use mmoc_core::{
         recover, Algorithm, AlgorithmSpec, Bookkeeper, CellAddr, CellUpdate, CheckpointBackend,
-        CheckpointImage, CheckpointPlan, DiskOrg, ObjectId, RunMetrics, ShardFilter, ShardMap,
-        ShardedDriver, StateGeometry, StateTable, TickDriver,
+        CheckpointImage, CheckpointPlan, DiskOrg, EngineDetail, ExperimentEngine, FidelitySummary,
+        ObjectId, RecoveryReport, Run, RunError, RunMetrics, RunReport, RunSpec, RunSummary,
+        ShardFilter, ShardMap, ShardReport, ShardedDriver, StateGeometry, StateTable, TickDriver,
+        TraceFn, TraceSpec,
     };
     pub use mmoc_game::{GameConfig, GameServer, World};
     pub use mmoc_sim::{HardwareParams, ShardedSimReport, SimConfig, SimEngine, SimReport};
-    pub use mmoc_storage::{
-        run_algorithm, run_algorithm_sharded, run_copy_on_update, run_naive_snapshot, RealConfig,
-        RealReport, ShardedRealReport,
-    };
+    pub use mmoc_storage::{RealConfig, RealReport, ShardedRealReport};
     pub use mmoc_workload::{RecordedTrace, SyntheticConfig, TraceSource, TraceStats, ZipfTrace};
+
+    // The deprecated pre-builder entry points, kept importable for one
+    // release; each delegates to the implementation `Run` executes.
+    #[allow(deprecated)]
+    pub use mmoc_storage::{
+        run_algorithm, run_algorithm_sharded, run_copy_on_update, run_naive_snapshot,
+    };
 }

@@ -1,0 +1,302 @@
+//! Builder/legacy equivalence: before the deprecated entry points are
+//! removed, every (algorithm, engine, shard count) cell reached through
+//! `Run::…execute()` must report the same experiment the legacy path ran.
+//!
+//! * **Simulator**: virtual time is deterministic, so equality is *exact*
+//!   — the per-tick and per-checkpoint series, the derived averages and
+//!   the recovery estimates are bit-identical.
+//! * **Real engine**: wall-clock timings differ run to run, so the
+//!   comparison covers every deterministic output — tick/update totals,
+//!   the per-tick bookkeeping series (bit ops, locks, copies), the first
+//!   checkpoint's write set (fixed by the trace), and an exact recovery
+//!   round-trip on both paths.
+#![allow(deprecated)] // the whole point: exercising the legacy entry points
+
+use mmo_checkpoint::prelude::*;
+use mmo_checkpoint::storage;
+
+const SHARD_COUNTS: [u32; 2] = [1, 4];
+
+/// Deliberately small: this suite runs 6 algorithms × {1, 4} shards ×
+/// {legacy, builder} real-engine cells *concurrently with every other
+/// test binary*; a heavier workload's disk churn makes the
+/// timing-sensitive assertions elsewhere in the workspace flaky.
+fn trace_config() -> SyntheticConfig {
+    SyntheticConfig {
+        geometry: StateGeometry::test_small(),
+        ticks: 24,
+        updates_per_tick: 300,
+        skew: 0.8,
+        seed: 90,
+    }
+}
+
+fn builder(alg: Algorithm, engine: Engine, shards: u32) -> RunReport {
+    Run::algorithm(alg)
+        .engine(engine)
+        .trace(trace_config())
+        .shards(shards)
+        .execute()
+        .unwrap_or_else(|e| panic!("{alg} x{shards}: {e}"))
+}
+
+/// Simulator, shard count 1: `Run` vs `SimEngine::run` — exact equality
+/// of every metric, for all six algorithms.
+#[test]
+fn sim_builder_equals_legacy_single_shard() {
+    for alg in Algorithm::ALL {
+        let legacy = SimEngine::new(SimConfig::default(), alg).run(&mut trace_config().build());
+        let new = builder(alg, Engine::Sim(SimConfig::default()), 1);
+
+        assert_eq!(new.ticks, legacy.ticks, "{alg}");
+        assert_eq!(new.updates, legacy.updates, "{alg}");
+        assert_eq!(
+            new.world.checkpoints_completed, legacy.checkpoints_completed,
+            "{alg}"
+        );
+        // Bit-identical series and derived figures.
+        assert_eq!(new.world.metrics.ticks, legacy.metrics.ticks, "{alg}");
+        assert_eq!(
+            new.world.metrics.checkpoints, legacy.metrics.checkpoints,
+            "{alg}"
+        );
+        assert_eq!(new.world.avg_overhead_s, legacy.avg_overhead_s, "{alg}");
+        assert_eq!(new.world.max_overhead_s, legacy.max_overhead_s, "{alg}");
+        assert_eq!(new.world.avg_checkpoint_s, legacy.avg_checkpoint_s, "{alg}");
+        assert_eq!(new.world.recovery_s, Some(legacy.est_recovery_s), "{alg}");
+        let rec = new.shards[0].recovery.as_ref().expect("estimate");
+        assert_eq!(rec.restore_s, legacy.est_restore_s, "{alg}");
+        assert_eq!(rec.replay_s, legacy.est_replay_s, "{alg}");
+    }
+}
+
+/// Simulator, shard counts {1, 4}: `Run` vs `SimEngine::run_sharded` —
+/// exact equality of world aggregates and every per-shard series.
+#[test]
+fn sim_builder_equals_legacy_sharded() {
+    for alg in Algorithm::ALL {
+        for n in SHARD_COUNTS {
+            let legacy = SimEngine::new(SimConfig::default(), alg)
+                .run_sharded(&mut trace_config().build(), n);
+            let new = builder(alg, Engine::Sim(SimConfig::default()), n);
+
+            assert_eq!(new.n_shards, legacy.n_shards, "{alg} x{n}");
+            assert_eq!(new.ticks, legacy.ticks, "{alg} x{n}");
+            assert_eq!(new.updates, legacy.updates, "{alg} x{n}");
+            assert_eq!(
+                new.world.avg_overhead_s, legacy.avg_overhead_s,
+                "{alg} x{n}"
+            );
+            assert_eq!(
+                new.world.avg_checkpoint_s, legacy.avg_checkpoint_s,
+                "{alg} x{n}"
+            );
+            assert_eq!(
+                new.world.recovery_s,
+                Some(legacy.est_recovery_s),
+                "{alg} x{n}"
+            );
+            assert_eq!(new.world.metrics.ticks, legacy.metrics.ticks, "{alg} x{n}");
+            assert_eq!(
+                new.world.metrics.checkpoints, legacy.metrics.checkpoints,
+                "{alg} x{n}"
+            );
+            let wall = match new.detail {
+                EngineDetail::Sim(d) => d.wall_clock_s,
+                _ => unreachable!("sim detail"),
+            };
+            assert_eq!(wall, legacy.wall_clock_s, "{alg} x{n}");
+            assert_eq!(new.shards.len(), legacy.shards.len(), "{alg} x{n}");
+            for (b, l) in new.shards.iter().zip(&legacy.shards) {
+                assert_eq!(b.ticks, l.ticks, "{alg} x{n} shard {}", b.shard);
+                assert_eq!(b.updates, l.updates, "{alg} x{n} shard {}", b.shard);
+                assert_eq!(
+                    b.summary.metrics.ticks, l.metrics.ticks,
+                    "{alg} x{n} shard {}",
+                    b.shard
+                );
+                assert_eq!(
+                    b.summary.metrics.checkpoints, l.metrics.checkpoints,
+                    "{alg} x{n} shard {}",
+                    b.shard
+                );
+                assert_eq!(
+                    b.summary.recovery_s,
+                    Some(l.est_recovery_s),
+                    "{alg} x{n} shard {}",
+                    b.shard
+                );
+            }
+        }
+    }
+}
+
+/// Simulator with fidelity checking: `Run::…fidelity_check(true)` vs
+/// `SimEngine::run_sharded_checked` — same verification outcomes, same
+/// metrics.
+#[test]
+fn sim_builder_fidelity_equals_legacy_checked() {
+    for alg in Algorithm::ALL {
+        let engine = SimEngine::new(SimConfig::default(), alg);
+        let (legacy, legacy_fid) = engine.run_sharded_checked(&mut trace_config().build(), 4);
+        let new = Run::algorithm(alg)
+            .engine(Engine::Sim(SimConfig::default()))
+            .trace(trace_config())
+            .shards(4)
+            .fidelity_check(true)
+            .execute()
+            .unwrap();
+        assert_eq!(new.world.metrics.ticks, legacy.metrics.ticks, "{alg}");
+        assert_eq!(new.shards.len(), legacy_fid.len(), "{alg}");
+        for (shard, lf) in new.shards.iter().zip(&legacy_fid) {
+            let f = shard.fidelity.as_ref().expect("fidelity summary");
+            assert_eq!(f.checks_passed, lf.checks_passed, "{alg}");
+            assert_eq!(f.errors, lf.errors, "{alg}");
+            assert!(f.is_clean(), "{alg}");
+        }
+    }
+}
+
+/// Deterministic projection of a real-engine run: everything that is
+/// fixed by the trace and the bookkeeping, independent of wall-clock
+/// scheduling. (Lock/copy counts are *not* included: copy-on-update work
+/// depends on how far the real writer raced ahead, which varies run to
+/// run; bit operations are charged per update regardless.)
+fn real_deterministic(
+    metrics: &RunMetrics,
+    ticks: u64,
+    updates: u64,
+) -> (u64, u64, Vec<u64>, (u64, u64, u32)) {
+    let per_tick = metrics.ticks.iter().map(|t| t.bit_ops).collect();
+    let first = metrics.checkpoints.first().expect("a checkpoint");
+    (
+        ticks,
+        updates,
+        per_tick,
+        (first.seq, first.start_tick, first.objects_written),
+    )
+}
+
+/// Real engine, shard counts {1, 4}: `Run` vs `run_algorithm` /
+/// `run_algorithm_sharded` — identical deterministic outputs and an exact
+/// recovery round-trip on both paths, for all six algorithms.
+#[test]
+fn real_builder_equals_legacy_both_shard_counts() {
+    let dir = tempfile::tempdir().unwrap();
+    for alg in Algorithm::ALL {
+        for n in SHARD_COUNTS {
+            let legacy_dir = dir.path().join(format!("legacy_{}_{n}", alg.short_name()));
+            let new_dir = dir.path().join(format!("new_{}_{n}", alg.short_name()));
+            let legacy = storage::run_algorithm_sharded(
+                alg,
+                &RealConfig::new(&legacy_dir).with_query_ops(64),
+                n,
+                || trace_config().build(),
+            )
+            .unwrap_or_else(|e| panic!("{alg} x{n}: {e}"));
+            let new = builder(
+                alg,
+                Engine::Real(RealConfig::new(&new_dir).with_query_ops(64)),
+                n,
+            );
+
+            assert_eq!(new.n_shards, legacy.n_shards, "{alg} x{n}");
+            // World level: totals and the merged bookkeeping series are
+            // deterministic; the merged checkpoint *order* is not (it
+            // sorts by wall-clock completion tick), so checkpoints are
+            // compared per shard below.
+            assert_eq!(new.ticks, legacy.ticks, "{alg} x{n}");
+            assert_eq!(new.updates, legacy.updates, "{alg} x{n}");
+            let bit_ops = |m: &RunMetrics| m.ticks.iter().map(|t| t.bit_ops).collect::<Vec<u64>>();
+            assert_eq!(
+                bit_ops(&new.world.metrics),
+                bit_ops(&legacy.metrics),
+                "{alg} x{n}: merged bookkeeping series must be identical"
+            );
+            for (b, l) in new.shards.iter().zip(&legacy.shards) {
+                assert_eq!(
+                    real_deterministic(&b.summary.metrics, b.ticks, b.updates),
+                    real_deterministic(&l.metrics, l.ticks, l.updates),
+                    "{alg} x{n} shard {}",
+                    b.shard
+                );
+                // Both paths measured a real recovery and both matched.
+                assert_eq!(
+                    b.recovery.as_ref().and_then(|r| r.state_matches),
+                    Some(l.recovery.expect("legacy measurement").state_matches),
+                    "{alg} x{n} shard {}",
+                    b.shard
+                );
+            }
+            assert_eq!(new.verified_consistent(), Some(true), "{alg} x{n}");
+            assert!(
+                legacy.recovery.expect("legacy recovery").state_matches,
+                "{alg} x{n}"
+            );
+        }
+    }
+}
+
+/// The per-algorithm convenience wrappers delegate to the same
+/// implementation the builder executes.
+#[test]
+fn per_algorithm_wrappers_match_the_builder() {
+    let dir = tempfile::tempdir().unwrap();
+    let legacy = storage::run_copy_on_update(
+        &RealConfig::new(dir.path().join("legacy")).with_query_ops(64),
+        || trace_config().build(),
+    )
+    .unwrap();
+    let new = builder(
+        Algorithm::CopyOnUpdate,
+        Engine::Real(RealConfig::new(dir.path().join("new")).with_query_ops(64)),
+        1,
+    );
+    assert_eq!(
+        real_deterministic(&new.world.metrics, new.ticks, new.updates),
+        real_deterministic(&legacy.metrics, legacy.ticks, legacy.updates),
+    );
+}
+
+/// The paced-multi-shard fix: a paced 2-shard run must respect the global
+/// tick period — one sleep per *global* tick — and leave state untouched.
+#[test]
+fn paced_multi_shard_runs_pace_the_global_tick() {
+    let dir = tempfile::tempdir().unwrap();
+    let quick = SyntheticConfig {
+        ticks: 12,
+        updates_per_tick: 50,
+        ..trace_config()
+    };
+    let hz = 100.0;
+    let t0 = std::time::Instant::now();
+    let paced = Run::algorithm(Algorithm::CopyOnUpdate)
+        .engine(Engine::Real(
+            RealConfig::new(dir.path().join("paced")).with_query_ops(16),
+        ))
+        .trace(quick)
+        .shards(2)
+        .pacing(hz)
+        .execute()
+        .unwrap();
+    let elapsed = t0.elapsed().as_secs_f64();
+    // 12 ticks at 100 Hz: the run must take ≥ 120 ms. Historically pacing
+    // was silently *dropped* for multi-shard runs (the ROADMAP gap), so
+    // the floor alone catches the regression; no upper bound — CI noise
+    // makes one flaky.
+    assert!(
+        elapsed >= 12.0 / hz,
+        "paced run finished in {elapsed:.3}s, below the global tick floor"
+    );
+    assert_eq!(paced.verified_consistent(), Some(true));
+
+    let unpaced = Run::algorithm(Algorithm::CopyOnUpdate)
+        .engine(Engine::Real(
+            RealConfig::new(dir.path().join("unpaced")).with_query_ops(16),
+        ))
+        .trace(quick)
+        .shards(2)
+        .execute()
+        .unwrap();
+    assert_eq!(paced.updates, unpaced.updates, "pacing must not drop work");
+}

@@ -1,11 +1,16 @@
 //! Cross-engine integration: the cost-model simulator and the real
 //! disk-backed engine run the *same* trace through the *same* unified
-//! tick driver and must agree on behavioural invariants — and every
-//! (algorithm, engine) pair must recover byte-identical state.
+//! tick driver — described by the *same* [`Run`] builder — and must agree
+//! on behavioural invariants, with every (algorithm, engine, shard count)
+//! cell recovering byte-identical state.
+//!
+//! The matrix here is 6 algorithms × 2 engines × shard counts {1, 4},
+//! driven entirely through `Run::…execute()` and read entirely from the
+//! unified [`RunReport`]. Builder-vs-legacy equivalence lives in
+//! `tests/builder_equivalence.rs`.
 
 use mmo_checkpoint::core::CopyTiming;
 use mmo_checkpoint::prelude::*;
-use mmo_checkpoint::sim::{SimConfig, SimEngine};
 
 fn trace_config() -> SyntheticConfig {
     SyntheticConfig {
@@ -29,35 +34,46 @@ fn sharded_trace_config() -> SyntheticConfig {
     }
 }
 
+fn real_engine(dir: &std::path::Path) -> Engine {
+    Engine::Real(RealConfig::new(dir))
+}
+
 /// The full validation matrix the paper could not run (§6 implemented
 /// only Naive-Snapshot and Copy-on-Update): all six algorithms × both
-/// engines, with an exact recovery round-trip on the real engine and a
-/// byte-level fidelity check on the simulated one.
+/// engines through the one builder, with an exact recovery round-trip on
+/// the real engine and a byte-level fidelity check on the simulated one.
 #[test]
 fn all_six_algorithms_roundtrip_on_both_engines() {
     let dir = tempfile::tempdir().unwrap();
     for alg in Algorithm::ALL {
         // Real engine: run, crash, restore, replay; state must match.
-        let real = run_algorithm(
-            alg,
-            &RealConfig::new(dir.path().join(alg.short_name())),
-            || trace_config().build(),
-        )
-        .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        let real = Run::algorithm(alg)
+            .engine(real_engine(&dir.path().join(alg.short_name())))
+            .trace(trace_config())
+            .execute()
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
         assert_eq!(real.ticks, 60, "{alg}");
         assert_eq!(real.updates, 60 * 500, "{alg}");
-        assert!(real.checkpoints_completed > 0, "{alg}");
-        let rec = real.recovery.expect("recovery measured");
-        assert!(
-            rec.state_matches,
+        assert!(real.world.checkpoints_completed > 0, "{alg}");
+        assert_eq!(
+            real.verified_consistent(),
+            Some(true),
             "{alg}: real-engine recovery must reproduce the crash state exactly"
         );
 
         // Simulator: the value-level shadow disk must match the state at
         // every checkpoint start (the same invariant, virtually timed).
-        let (sim, fidelity) =
-            SimEngine::new(SimConfig::default(), alg).run_checked(&mut trace_config().build());
-        assert!(fidelity.errors.is_empty(), "{alg}: {:?}", fidelity.errors);
+        let sim = Run::algorithm(alg)
+            .engine(Engine::Sim(SimConfig::default()))
+            .trace(trace_config())
+            .fidelity_check(true)
+            .execute()
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        assert_eq!(
+            sim.verified_consistent(),
+            Some(true),
+            "{alg}: sim fidelity must hold"
+        );
         assert_eq!(sim.ticks, real.ticks, "{alg}: same trace, same ticks");
         assert_eq!(sim.updates, real.updates, "{alg}");
     }
@@ -70,16 +86,21 @@ fn all_six_algorithms_roundtrip_on_both_engines() {
 fn simulated_and_real_first_checkpoints_agree_on_write_sets() {
     let dir = tempfile::tempdir().unwrap();
     for alg in Algorithm::ALL {
-        let real = run_algorithm(
-            alg,
-            &RealConfig::new(dir.path().join(alg.short_name())).without_recovery(),
-            || trace_config().build(),
-        )
-        .unwrap();
-        let sim = SimEngine::new(SimConfig::default(), alg).run(&mut trace_config().build());
+        let real = Run::algorithm(alg)
+            .engine(Engine::Real(
+                RealConfig::new(dir.path().join(alg.short_name())).without_recovery(),
+            ))
+            .trace(trace_config())
+            .execute()
+            .unwrap();
+        let sim = Run::algorithm(alg)
+            .engine(Engine::Sim(SimConfig::default()))
+            .trace(trace_config())
+            .execute()
+            .unwrap();
 
-        let real_first = real.metrics.checkpoints.first().expect("real ckpt");
-        let sim_first = sim.metrics.checkpoints.first().expect("sim ckpt");
+        let real_first = real.world.metrics.checkpoints.first().expect("real ckpt");
+        let sim_first = sim.world.metrics.checkpoints.first().expect("sim ckpt");
         // The unified driver numbers ticks identically on both engines:
         // the first checkpoint starts at the end of tick 1.
         assert_eq!(real_first.start_tick, 1, "{alg}");
@@ -94,134 +115,88 @@ fn simulated_and_real_first_checkpoints_agree_on_write_sets() {
 
 /// The shard-count axis of the test matrix: every (algorithm, engine)
 /// pair must also round-trip with the world split into 4 shards — each
-/// shard recovering independently, in parallel, from its own files.
+/// shard recovering independently, in parallel, from its own files — via
+/// nothing but `.shards(4)` on the same builder.
 #[test]
 fn all_six_algorithms_roundtrip_on_both_engines_with_4_shards() {
     let dir = tempfile::tempdir().unwrap();
     for alg in Algorithm::ALL {
         // Real engine, 4 shards, shared writer pool: every shard's
         // recovered state must match its live slice at the crash tick.
-        let real = run_algorithm_sharded(
-            alg,
-            &RealConfig::new(dir.path().join(alg.short_name())),
-            4,
-            || sharded_trace_config().build(),
-        )
-        .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        let real = Run::algorithm(alg)
+            .engine(real_engine(&dir.path().join(alg.short_name())))
+            .trace(sharded_trace_config())
+            .shards(4)
+            .execute()
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
         assert_eq!(real.n_shards, 4, "{alg}");
         assert_eq!(real.ticks, 40, "{alg}");
         assert_eq!(real.updates, 40 * 500, "{alg}");
-        let rec = real.recovery.expect("recovery measured");
-        assert!(
-            rec.state_matches,
+        assert_eq!(
+            real.verified_consistent(),
+            Some(true),
             "{alg}: sharded real-engine recovery must reproduce every shard exactly"
         );
-        for (s, shard) in real.shards.iter().enumerate() {
-            assert!(shard.checkpoints_completed > 0, "{alg} shard {s}");
-            assert!(
-                shard.recovery.expect("per-shard measurement").state_matches,
-                "{alg} shard {s}"
-            );
+        for shard in &real.shards {
+            let s = shard.shard;
+            assert!(shard.summary.checkpoints_completed > 0, "{alg} shard {s}");
+            let rec = shard.recovery.as_ref().expect("per-shard measurement");
+            assert_eq!(rec.state_matches, Some(true), "{alg} shard {s}");
         }
 
         // Simulator, 4 shards on independent virtual clocks: every
         // shard's shadow disk must match its state at checkpoint starts.
-        let (sim, fidelity) = SimEngine::new(SimConfig::default(), alg)
-            .run_sharded_checked(&mut sharded_trace_config().build(), 4);
-        for (s, f) in fidelity.iter().enumerate() {
-            assert!(f.errors.is_empty(), "{alg} shard {s}: {:?}", f.errors);
+        let sim = Run::algorithm(alg)
+            .engine(Engine::Sim(SimConfig::default()))
+            .trace(sharded_trace_config())
+            .shards(4)
+            .fidelity_check(true)
+            .execute()
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        for shard in &sim.shards {
+            let f = shard.fidelity.as_ref().expect("fidelity checked");
+            assert!(f.is_clean(), "{alg} shard {}: {:?}", shard.shard, f.errors);
         }
         assert_eq!(sim.ticks, real.ticks, "{alg}: same trace, same ticks");
         assert_eq!(sim.updates, real.updates, "{alg}");
         // Both engines route through the identical shard map and
         // bookkeeping: their first checkpoints agree shard by shard.
         for s in 0..4 {
-            let real_first = real.shards[s].metrics.checkpoints.first().expect("ckpt");
-            let sim_first = sim.shards[s].metrics.checkpoints.first().expect("ckpt");
+            let first = |r: &RunReport| {
+                r.shards[s]
+                    .summary
+                    .metrics
+                    .checkpoints
+                    .first()
+                    .expect("ckpt")
+                    .objects_written
+            };
             assert_eq!(
-                real_first.objects_written, sim_first.objects_written,
+                first(&real),
+                first(&sim),
                 "{alg} shard {s}: first write sets must be identical"
             );
         }
     }
 }
 
-/// The acceptance criterion of the refactor: shard count 1 must behave
-/// identically to the pre-refactor single-driver path — exactly equal
-/// deterministic metrics on the simulator, identical write sets and
-/// recovery on the real engine.
-#[test]
-fn one_shard_is_identical_to_the_single_driver_path() {
-    let dir = tempfile::tempdir().unwrap();
-    for alg in Algorithm::ALL {
-        // Simulator: virtual time is deterministic, so equality is exact.
-        let engine = SimEngine::new(SimConfig::default(), alg);
-        let single = engine.run(&mut trace_config().build());
-        let sharded = engine.run_sharded(&mut trace_config().build(), 1);
-        assert_eq!(sharded.shards.len(), 1, "{alg}");
-        assert_eq!(
-            sharded.shards[0].metrics.ticks, single.metrics.ticks,
-            "{alg}: per-tick series must be bit-identical"
-        );
-        assert_eq!(
-            sharded.shards[0].metrics.checkpoints, single.metrics.checkpoints,
-            "{alg}: checkpoint series must be bit-identical"
-        );
-        assert_eq!(sharded.avg_overhead_s, single.avg_overhead_s, "{alg}");
-        assert_eq!(sharded.est_recovery_s, single.est_recovery_s, "{alg}");
-
-        // Real engine: checkpoint *boundaries* beyond the first depend
-        // on wall-clock fsync timing and differ run to run, so compare
-        // only the deterministic outputs — tick/update totals, the
-        // first checkpoint (it always starts at the end of tick 1, so
-        // its write set is fixed by the trace), and exact recovery.
-        let single = run_algorithm(
-            alg,
-            &RealConfig::new(dir.path().join(format!("single_{}", alg.short_name()))),
-            || sharded_trace_config().build(),
-        )
-        .unwrap();
-        let sharded = run_algorithm_sharded(
-            alg,
-            &RealConfig::new(dir.path().join(format!("sharded_{}", alg.short_name()))),
-            1,
-            || sharded_trace_config().build(),
-        )
-        .unwrap();
-        let shard = &sharded.shards[0];
-        assert_eq!(shard.ticks, single.ticks, "{alg}");
-        assert_eq!(shard.updates, single.updates, "{alg}");
-        let first = |r: &RealReport| {
-            let c = r.metrics.checkpoints.first().expect("a checkpoint");
-            (c.seq, c.start_tick, c.objects_written)
-        };
-        assert_eq!(first(shard), first(&single), "{alg}: first write set");
-        assert!(shard.recovery.unwrap().state_matches, "{alg}");
-        assert!(single.recovery.unwrap().state_matches, "{alg}");
-    }
-}
-
 #[test]
 fn real_cou_writes_less_than_naive_per_checkpoint() {
     let dir = tempfile::tempdir().unwrap();
-    let naive = run_naive_snapshot(
-        &RealConfig::new(dir.path().join("naive")).without_recovery(),
-        || trace_config().build(),
-    )
-    .unwrap();
-    let cou = run_copy_on_update(
-        &RealConfig::new(dir.path().join("cou")).without_recovery(),
-        || trace_config().build(),
-    )
-    .unwrap();
+    let run_real = |alg: Algorithm, sub: &str| {
+        Run::algorithm(alg)
+            .engine(Engine::Real(
+                RealConfig::new(dir.path().join(sub)).without_recovery(),
+            ))
+            .trace(trace_config())
+            .execute()
+            .unwrap()
+    };
+    let naive = run_real(Algorithm::NaiveSnapshot, "naive");
+    let cou = run_real(Algorithm::CopyOnUpdate, "cou");
 
-    let avg_bytes = |r: &RealReport| {
-        r.metrics
-            .checkpoints
-            .iter()
-            .map(|c| c.bytes_written)
-            .sum::<u64>() as f64
-            / r.checkpoints_completed.max(1) as f64
+    let avg_bytes = |r: &RunReport| {
+        r.world.metrics.total_bytes_written() as f64 / r.world.checkpoints_completed.max(1) as f64
     };
     // 500 updates/tick over 1024 objects leaves many objects clean per
     // checkpoint: COU must write less than a full image on average.
@@ -237,17 +212,21 @@ fn real_cou_writes_less_than_naive_per_checkpoint() {
 fn game_trace_runs_through_both_engines() {
     let mut cfg = GameConfig::small().with_ticks(40);
     cfg.units = 2_048;
-    let make_trace = || {
-        // The real engine needs a replayable source; regenerate the game
-        // deterministically.
-        GameServer::new(cfg)
-    };
+    // A GameConfig *is* a TraceSpec: the battle replays deterministically,
+    // so the same spec drives the real engine's recovery replay.
     let dir = tempfile::tempdir().unwrap();
-    let real = run_copy_on_update(&RealConfig::new(dir.path()), make_trace).unwrap();
-    assert!(real.recovery.unwrap().state_matches);
+    let real = Run::algorithm(Algorithm::CopyOnUpdate)
+        .engine(real_engine(dir.path()))
+        .trace(cfg)
+        .execute()
+        .unwrap();
+    assert_eq!(real.verified_consistent(), Some(true));
 
-    let sim = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
-        .run(&mut GameServer::new(cfg));
+    let sim = Run::algorithm(Algorithm::CopyOnUpdate)
+        .engine(Engine::Sim(SimConfig::default()))
+        .trace(cfg)
+        .execute()
+        .unwrap();
     assert_eq!(sim.ticks, real.ticks);
     assert_eq!(sim.updates, real.updates);
 }
@@ -258,21 +237,23 @@ fn game_trace_runs_through_both_engines() {
 fn game_trace_runs_sharded_through_both_engines() {
     let mut cfg = GameConfig::small().with_ticks(30);
     cfg.units = 2_048; // 16 object-aligned bands of 128 units
-    let make_trace = || GameServer::new(cfg);
 
     let dir = tempfile::tempdir().unwrap();
-    let real = run_algorithm_sharded(
-        Algorithm::CopyOnUpdate,
-        &RealConfig::new(dir.path()),
-        4,
-        make_trace,
-    )
-    .unwrap();
+    let real = Run::algorithm(Algorithm::CopyOnUpdate)
+        .engine(real_engine(dir.path()))
+        .trace(cfg)
+        .shards(4)
+        .execute()
+        .unwrap();
     assert_eq!(real.n_shards, 4);
-    assert!(real.recovery.unwrap().state_matches);
+    assert_eq!(real.verified_consistent(), Some(true));
 
-    let sim = SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate)
-        .run_sharded(&mut GameServer::new(cfg), 4);
+    let sim = Run::algorithm(Algorithm::CopyOnUpdate)
+        .engine(Engine::Sim(SimConfig::default()))
+        .trace(cfg)
+        .shards(4)
+        .execute()
+        .unwrap();
     assert_eq!(sim.ticks, real.ticks);
     assert_eq!(sim.updates, real.updates);
 
@@ -297,16 +278,20 @@ fn unpaced_and_paced_runs_apply_identical_updates() {
     // Pacing changes wall-clock behaviour but must not change state.
     let dir = tempfile::tempdir().unwrap();
     let quick = trace_config().with_ticks(15);
-    let unpaced =
-        run_naive_snapshot(&RealConfig::new(dir.path().join("a")), || quick.build()).unwrap();
-    let paced = run_naive_snapshot(
-        &RealConfig::new(dir.path().join("b")).paced_at_hz(400.0),
-        || quick.build(),
-    )
-    .unwrap();
+    let unpaced = Run::algorithm(Algorithm::NaiveSnapshot)
+        .engine(real_engine(&dir.path().join("a")))
+        .trace(quick)
+        .execute()
+        .unwrap();
+    let paced = Run::algorithm(Algorithm::NaiveSnapshot)
+        .engine(real_engine(&dir.path().join("b")))
+        .trace(quick)
+        .pacing(400.0)
+        .execute()
+        .unwrap();
     assert_eq!(unpaced.updates, paced.updates);
-    assert!(unpaced.recovery.unwrap().state_matches);
-    assert!(paced.recovery.unwrap().state_matches);
+    assert_eq!(unpaced.verified_consistent(), Some(true));
+    assert_eq!(paced.verified_consistent(), Some(true));
 }
 
 /// The design-space axes survive the trip through the shared driver on
@@ -317,28 +302,33 @@ fn design_space_shapes_hold_on_both_engines() {
     let dir = tempfile::tempdir().unwrap();
     for alg in Algorithm::ALL {
         let spec = alg.spec();
-        let real = run_algorithm(
-            alg,
-            &RealConfig::new(dir.path().join(alg.short_name())).without_recovery(),
-            || trace_config().build(),
-        )
-        .unwrap();
-        let sim = SimEngine::new(SimConfig::default(), alg).run(&mut trace_config().build());
+        let real = Run::algorithm(alg)
+            .engine(Engine::Real(
+                RealConfig::new(dir.path().join(alg.short_name())).without_recovery(),
+            ))
+            .trace(trace_config())
+            .execute()
+            .unwrap();
+        let sim = Run::algorithm(alg)
+            .engine(Engine::Sim(SimConfig::default()))
+            .trace(trace_config())
+            .execute()
+            .unwrap();
 
-        let real_pause: f64 = real.metrics.ticks.iter().map(|t| t.sync_pause_s).sum();
-        let sim_pause: f64 = sim.metrics.ticks.iter().map(|t| t.sync_pause_s).sum();
-        let real_copies: u64 = real.metrics.ticks.iter().map(|t| t.copies).sum();
-        let sim_copies: u64 = sim.metrics.ticks.iter().map(|t| t.copies).sum();
+        let pause =
+            |r: &RunReport| -> f64 { r.world.metrics.ticks.iter().map(|t| t.sync_pause_s).sum() };
+        let copies =
+            |r: &RunReport| -> u64 { r.world.metrics.ticks.iter().map(|t| t.copies).sum() };
         match spec.copy_timing {
             CopyTiming::Eager => {
-                assert!(real_pause > 0.0, "{alg}: real eager pause");
-                assert!(sim_pause > 0.0, "{alg}: sim eager pause");
+                assert!(pause(&real) > 0.0, "{alg}: real eager pause");
+                assert!(pause(&sim) > 0.0, "{alg}: sim eager pause");
             }
             CopyTiming::OnUpdate => {
-                assert_eq!(real_pause, 0.0, "{alg}: no real eager pause");
-                assert_eq!(sim_pause, 0.0, "{alg}: no sim eager pause");
-                assert!(real_copies > 0, "{alg}: real first-touch copies");
-                assert!(sim_copies > 0, "{alg}: sim first-touch copies");
+                assert_eq!(pause(&real), 0.0, "{alg}: no real eager pause");
+                assert_eq!(pause(&sim), 0.0, "{alg}: no sim eager pause");
+                assert!(copies(&real) > 0, "{alg}: real first-touch copies");
+                assert!(copies(&sim) > 0, "{alg}: sim first-touch copies");
             }
         }
     }

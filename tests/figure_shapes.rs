@@ -4,16 +4,39 @@
 //! ratios*, not absolute values (EXPERIMENTS.md records those).
 
 use mmo_checkpoint::prelude::*;
-use mmo_checkpoint::sim::{SimConfig, SimEngine, SimReport};
 
 const TICKS: u64 = 120;
 
-fn run(algorithm: Algorithm, updates_per_tick: u32, skew: f64) -> SimReport {
+/// The three figure quantities, projected out of the unified report.
+struct Shape {
+    avg_overhead_s: f64,
+    max_overhead_s: f64,
+    avg_checkpoint_s: f64,
+    est_recovery_s: f64,
+}
+
+impl From<RunReport> for Shape {
+    fn from(r: RunReport) -> Shape {
+        Shape {
+            avg_overhead_s: r.world.avg_overhead_s,
+            max_overhead_s: r.world.max_overhead_s,
+            avg_checkpoint_s: r.world.avg_checkpoint_s,
+            est_recovery_s: r.recovery_s().expect("sim runs estimate recovery"),
+        }
+    }
+}
+
+fn run(algorithm: Algorithm, updates_per_tick: u32, skew: f64) -> Shape {
     let trace = SyntheticConfig::paper_default()
         .with_updates_per_tick(updates_per_tick)
         .with_skew(skew)
         .with_ticks(TICKS);
-    SimEngine::new(SimConfig::default(), algorithm).run(&mut trace.build())
+    Run::algorithm(algorithm)
+        .engine(Engine::Sim(SimConfig::default()))
+        .trace(trace)
+        .execute()
+        .expect("simulation runs")
+        .into()
 }
 
 /// Finding 1: copy-on-update methods introduce several times less
@@ -156,8 +179,14 @@ fn copy_on_update_is_the_recommended_method() {
 fn game_trace_orderings() {
     let mut cfg = GameConfig::small().with_ticks(60);
     cfg.units = 4_096;
-    let run_game =
-        |alg: Algorithm| SimEngine::new(SimConfig::default(), alg).run(&mut GameServer::new(cfg));
+    let run_game = |alg: Algorithm| -> Shape {
+        Run::algorithm(alg)
+            .engine(Engine::Sim(SimConfig::default()))
+            .trace(cfg)
+            .execute()
+            .expect("simulation runs")
+            .into()
+    };
     let naive = run_game(Algorithm::NaiveSnapshot);
     let cou = run_game(Algorithm::CopyOnUpdate);
     let coupr = run_game(Algorithm::CopyOnUpdatePartialRedo);

@@ -3,7 +3,15 @@
 //! model outputs, independent of the host machine).
 
 use mmo_checkpoint::prelude::*;
-use mmo_checkpoint::sim::{SimConfig, SimEngine};
+
+/// One simulated run through the unified builder.
+fn sim(algorithm: Algorithm, trace: SyntheticConfig) -> RunReport {
+    Run::algorithm(algorithm)
+        .engine(Engine::Sim(SimConfig::default()))
+        .trace(trace)
+        .execute()
+        .expect("simulation runs")
+}
 
 /// "The average overhead of Naive-Snapshot is 0.85 msec per tick" and
 /// "this copy takes nearly 17 msec" (§5.1, §5.2).
@@ -12,14 +20,13 @@ fn naive_snapshot_headline_numbers() {
     let trace = SyntheticConfig::paper_default()
         .with_updates_per_tick(1_000)
         .with_ticks(150);
-    let report =
-        SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot).run(&mut trace.build());
-    let avg_ms = report.avg_overhead_s * 1e3;
+    let report = sim(Algorithm::NaiveSnapshot, trace);
+    let avg_ms = report.world.avg_overhead_s * 1e3;
     assert!(
         (0.75..0.95).contains(&avg_ms),
         "avg overhead {avg_ms} ms (paper: 0.85 ms)"
     );
-    let peak_ms = report.max_overhead_s * 1e3;
+    let peak_ms = report.world.max_overhead_s * 1e3;
     assert!(
         (16.0..18.5).contains(&peak_ms),
         "sync pause {peak_ms} ms (paper: nearly 17 ms)"
@@ -39,11 +46,11 @@ fn full_state_checkpoint_time_is_068s() {
         let trace = SyntheticConfig::paper_default()
             .with_updates_per_tick(4_000)
             .with_ticks(150);
-        let report = SimEngine::new(SimConfig::default(), alg).run(&mut trace.build());
+        let report = sim(alg, trace);
         assert!(
-            (0.64..0.70).contains(&report.avg_checkpoint_s),
+            (0.64..0.70).contains(&report.world.avg_checkpoint_s),
             "{alg}: checkpoint {} s (paper: ~0.68 s)",
-            report.avg_checkpoint_s
+            report.world.avg_checkpoint_s
         );
     }
 }
@@ -58,15 +65,14 @@ fn partial_redo_checkpoint_gain_at_1k() {
             .with_updates_per_tick(1_000)
             .with_ticks(150)
     };
-    let naive =
-        SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot).run(&mut trace().build());
-    let pr = SimEngine::new(SimConfig::default(), Algorithm::PartialRedo).run(&mut trace().build());
+    let naive = sim(Algorithm::NaiveSnapshot, trace());
+    let pr = sim(Algorithm::PartialRedo, trace());
     assert!(
-        (0.07..0.14).contains(&pr.avg_checkpoint_s),
+        (0.07..0.14).contains(&pr.world.avg_checkpoint_s),
         "PR checkpoint {} s (paper: 0.1 s)",
-        pr.avg_checkpoint_s
+        pr.world.avg_checkpoint_s
     );
-    let gain = naive.avg_checkpoint_s / pr.avg_checkpoint_s;
+    let gain = naive.world.avg_checkpoint_s / pr.world.avg_checkpoint_s;
     assert!((5.0..9.0).contains(&gain), "gain {gain} (paper: 6.8)");
 }
 
@@ -77,14 +83,13 @@ fn full_state_recovery_is_about_14s() {
     let trace = SyntheticConfig::paper_default()
         .with_updates_per_tick(4_000)
         .with_ticks(150);
-    let report =
-        SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate).run(&mut trace.build());
+    let report = sim(Algorithm::CopyOnUpdate, trace);
+    let recovery_s = report.recovery_s().expect("estimated");
     assert!(
-        (1.28..1.45).contains(&report.est_recovery_s),
-        "recovery {} s (paper: ~1.4 s)",
-        report.est_recovery_s
+        (1.28..1.45).contains(&recovery_s),
+        "recovery {recovery_s} s (paper: ~1.4 s)"
     );
-    let ratio = report.est_recovery_s / report.avg_checkpoint_s;
+    let ratio = recovery_s / report.world.avg_checkpoint_s;
     assert!((1.9..2.1).contains(&ratio), "recovery/checkpoint {ratio}");
 }
 
@@ -100,11 +105,9 @@ fn acdo_is_60_percent_worse_than_naive_at_256k() {
             .with_updates_per_tick(256_000)
             .with_ticks(60)
     };
-    let naive =
-        SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot).run(&mut trace().build());
-    let acdo = SimEngine::new(SimConfig::default(), Algorithm::AtomicCopyDirtyObjects)
-        .run(&mut trace().build());
-    let ratio = acdo.avg_overhead_s / naive.avg_overhead_s;
+    let naive = sim(Algorithm::NaiveSnapshot, trace());
+    let acdo = sim(Algorithm::AtomicCopyDirtyObjects, trace());
+    let ratio = acdo.world.avg_overhead_s / naive.world.avg_overhead_s;
     assert!(
         (1.4..1.8).contains(&ratio),
         "ACDO/Naive ratio {ratio} (paper: 1.6)"
@@ -117,16 +120,16 @@ fn acdo_is_60_percent_worse_than_naive_at_256k() {
 #[test]
 fn cou_latency_decays_after_checkpoint_start() {
     let trace = SyntheticConfig::paper_default().with_ticks(120);
-    let report =
-        SimEngine::new(SimConfig::default(), Algorithm::CopyOnUpdate).run(&mut trace.build());
+    let report = sim(Algorithm::CopyOnUpdate, trace);
     // Find a checkpoint that started mid-run and look at the next ticks.
     let ckpt = report
+        .world
         .metrics
         .checkpoints
         .iter()
         .find(|c| c.start_tick > 40 && c.start_tick + 5 < 120)
         .expect("a mid-run checkpoint");
-    let o = |i: u64| report.metrics.ticks[(ckpt.start_tick + i) as usize].overhead_s;
+    let o = |i: u64| report.world.metrics.ticks[(ckpt.start_tick + i) as usize].overhead_s;
     assert!(o(1) > o(2), "{} !> {}", o(1), o(2));
     assert!(o(2) > o(3), "{} !> {}", o(2), o(3));
     // Second tick (paper: 7 ms) and third (paper: 4 ms) within tolerance.

@@ -4,7 +4,6 @@
 //! for all six algorithms, under arbitrary update streams.
 
 use mmo_checkpoint::prelude::*;
-use mmo_checkpoint::sim::{SimConfig, SimEngine};
 use mmo_checkpoint::workload::trace::record;
 use proptest::prelude::*;
 
@@ -38,8 +37,13 @@ proptest! {
     #[test]
     fn checkpoint_images_are_tick_consistent(trace in arb_trace()) {
         for algorithm in Algorithm::ALL {
-            let (report, fidelity) = SimEngine::new(slow_disk_config(), algorithm)
-                .run_checked(&mut trace.replay());
+            let report = Run::algorithm(algorithm)
+                .engine(Engine::Sim(slow_disk_config()))
+                .trace_fn(|| trace.replay())
+                .fidelity_check(true)
+                .execute()
+                .expect("checked simulation runs");
+            let fidelity = report.shards[0].fidelity.as_ref().expect("checked");
             prop_assert!(
                 fidelity.errors.is_empty(),
                 "{algorithm}: {:?}",
@@ -47,7 +51,7 @@ proptest! {
             );
             prop_assert_eq!(
                 fidelity.checks_passed,
-                report.checkpoints_completed,
+                report.world.checkpoints_completed,
                 "{}: every completed checkpoint must be verified", algorithm
             );
         }
@@ -131,13 +135,13 @@ fn fidelity_with_fast_disk_and_bursty_updates() {
     }
     let trace = RecordedTrace::new(g, ticks);
     for algorithm in Algorithm::ALL {
-        let (report, fidelity) =
-            SimEngine::new(SimConfig::default(), algorithm).run_checked(&mut trace.replay());
-        assert!(
-            fidelity.errors.is_empty(),
-            "{algorithm}: {:?}",
-            fidelity.errors
-        );
-        assert!(report.checkpoints_completed > 0, "{algorithm}");
+        let report = Run::algorithm(algorithm)
+            .engine(Engine::Sim(SimConfig::default()))
+            .trace_fn(|| trace.replay())
+            .fidelity_check(true)
+            .execute()
+            .expect("checked simulation runs");
+        assert_eq!(report.verified_consistent(), Some(true), "{algorithm}");
+        assert!(report.world.checkpoints_completed > 0, "{algorithm}");
     }
 }
