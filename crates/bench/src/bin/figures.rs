@@ -14,6 +14,7 @@
 //!   fig6      Figure 6: simulation vs. real implementation
 //!   ablations ablation-objsize, ablation-sort, ext-hardware
 //!   shards    shard scaling: overhead + recovery vs N ∈ {1,2,4,8}
+//!   writers   writer backends: thread pool vs async batched submission
 //!   batching  driver-level update batching at 256k updates/tick
 //!
 //! OPTIONS
@@ -67,7 +68,7 @@ fn parse_args() -> Options {
             }
             "--quick" => opts.quick = true,
             "--help" | "-h" => {
-                println!("usage: figures [tables|table3|table5|fig2|fig3|fig4|fig5|fig6|ablations|shards|batching]* [--ticks N] [--out DIR] [--paced HZ] [--quick]");
+                println!("usage: figures [tables|table3|table5|fig2|fig3|fig4|fig5|fig6|ablations|shards|writers|batching]* [--ticks N] [--out DIR] [--paced HZ] [--quick]");
                 std::process::exit(0);
             }
             cmd => {
@@ -90,6 +91,7 @@ fn parse_args() -> Options {
             "fig6",
             "ablations",
             "shards",
+            "writers",
             "batching",
         ] {
             opts.commands.insert(c.to_string());
@@ -500,6 +502,67 @@ fn main() {
                 r.overhead_s * 1e3,
                 r.recovery_s,
                 r.serial_recovery_s
+            );
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+
+    if has("writers") {
+        let shard_counts = [1u32, 4];
+        let ticks = opts.ticks.min(if opts.quick { 30 } else { 60 });
+        println!(
+            "\n=== Writer backends: thread pool vs async batched submission \
+             ({ticks} ticks, shards {{1, 4}}, same bookkeeping) ==="
+        );
+        let scratch = std::env::temp_dir().join("mmoc_writers");
+        let rows = experiments::writer_backends(&shard_counts, ticks, &scratch)
+            .expect("writer backend comparison");
+        let header = [
+            "backend",
+            "algorithm",
+            "n_shards",
+            "overhead_s",
+            "checkpoint_s",
+            "recovery_s",
+            "run_wall_s",
+            "verified",
+        ];
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.backend.label().to_string(),
+                    r.algorithm.short_name().to_string(),
+                    r.n_shards.to_string(),
+                    csv::fnum(r.overhead_s),
+                    csv::fnum(r.checkpoint_s),
+                    csv::fnum(r.recovery_s),
+                    csv::fnum(r.run_wall_s),
+                    r.verified.to_string(),
+                ]
+            })
+            .collect();
+        csv::write_csv(&opts.out.join("writer_backends.csv"), &header, data).expect("write csv");
+        println!(
+            "{:>8} {:<16} {:<14} {:>14} {:>15} {:>13} {:>10}",
+            "shards",
+            "algorithm",
+            "backend",
+            "overhead [ms]",
+            "checkpoint [s]",
+            "recovery [s]",
+            "verified"
+        );
+        for r in &rows {
+            println!(
+                "{:>8} {:<16} {:<14} {:>14.4} {:>15.3} {:>13.3} {:>10}",
+                r.n_shards,
+                r.algorithm.short_name(),
+                r.backend.label(),
+                r.overhead_s * 1e3,
+                r.checkpoint_s,
+                r.recovery_s,
+                r.verified
             );
         }
         let _ = std::fs::remove_dir_all(&scratch);

@@ -5,7 +5,7 @@
 //! tick counts are overridable because the full 1,000-tick sweeps take
 //! minutes.
 
-use mmoc_core::run::{EngineDetail, RunReport, TraceSpec};
+use mmoc_core::run::{EngineDetail, RunReport, TraceSpec, WriterBackend};
 use mmoc_core::{Algorithm, Run};
 use mmoc_game::{GameConfig, GameServer};
 use mmoc_sim::{HardwareParams, SimConfig};
@@ -436,6 +436,76 @@ pub fn shard_scaling_real(
     Ok(rows)
 }
 
+/// One writer-backend comparison measurement: one algorithm at one shard
+/// count under one flush-writer implementation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WriterBackendRow {
+    /// Writer backend that executed the flush jobs.
+    pub backend: WriterBackend,
+    /// Algorithm measured.
+    pub algorithm: Algorithm,
+    /// Number of shards the world was split into.
+    pub n_shards: u32,
+    /// World average overhead per tick, seconds.
+    pub overhead_s: f64,
+    /// Average time to checkpoint, seconds.
+    pub checkpoint_s: f64,
+    /// Measured parallel recovery time, seconds.
+    pub recovery_s: f64,
+    /// Wall-clock duration of the whole run, seconds.
+    pub run_wall_s: f64,
+    /// Whether the end-of-run recovery reproduced the crash state.
+    pub verified: bool,
+}
+
+/// Writer-backend comparison: the thread pool vs the io_uring-style
+/// batched-submission engine, on the **same bookkeeping** — identical
+/// trace, identical algorithm spec, identical shard map per cell; only
+/// the flush-job scheduling differs. Runs every algorithm at each shard
+/// count under both backends on the real engine (scaled-down state so it
+/// fits test and CI budgets) and reports the paper's three metrics plus
+/// the run wall time and the recovery verification verdict.
+pub fn writer_backends(
+    shard_counts: &[u32],
+    ticks: u64,
+    scratch: &Path,
+) -> io::Result<Vec<WriterBackendRow>> {
+    let trace = SyntheticConfig {
+        geometry: mmoc_core::StateGeometry::small(8_192, 8), // 256 KB state, 4,096 objects
+        ticks,
+        updates_per_tick: 2_000,
+        skew: 0.8,
+        seed: 91,
+    };
+    let mut rows = Vec::new();
+    for &n in shard_counts {
+        for alg in Algorithm::ALL {
+            for backend in WriterBackend::ALL {
+                let dir = scratch.join(format!("{}_{n}_{}", alg.short_name(), backend.label()));
+                let t0 = std::time::Instant::now();
+                let report = Run::algorithm(alg)
+                    .engine(RealConfig::new(dir))
+                    .trace(trace)
+                    .shards(n)
+                    .writer(backend)
+                    .execute()
+                    .map_err(|e| io::Error::other(e.to_string()))?;
+                rows.push(WriterBackendRow {
+                    backend,
+                    algorithm: alg,
+                    n_shards: n,
+                    overhead_s: report.world.avg_overhead_s,
+                    checkpoint_s: report.world.avg_checkpoint_s,
+                    recovery_s: report.recovery_s().unwrap_or(f64::NAN),
+                    run_wall_s: t0.elapsed().as_secs_f64(),
+                    verified: report.verified_consistent() == Some(true),
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
 /// A reduced-scale geometry check used by tests: every figure function
 /// must run end to end on small inputs.
 #[cfg(test)]
@@ -533,6 +603,32 @@ mod tests {
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.recovery_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn writer_backends_compare_on_the_same_bookkeeping() {
+        let dir = tempfile::tempdir().unwrap();
+        let rows = writer_backends(&[1], 10, dir.path()).unwrap();
+        assert_eq!(rows.len(), 6 * 2, "6 algorithms x 2 backends");
+        for r in &rows {
+            assert!(
+                r.verified,
+                "{} [{}] must round-trip",
+                r.algorithm, r.backend
+            );
+            assert!(r.recovery_s > 0.0, "{r:?}");
+            assert!(r.checkpoint_s > 0.0, "{r:?}");
+        }
+        // Both backends appear for every algorithm.
+        for alg in Algorithm::ALL {
+            for backend in WriterBackend::ALL {
+                assert!(
+                    rows.iter()
+                        .any(|r| r.algorithm == alg && r.backend == backend),
+                    "{alg} [{backend}] missing"
+                );
+            }
         }
     }
 

@@ -74,7 +74,7 @@ pub use plan::{CheckpointPlan, CursorKind, FlushJob, SyncCopy};
 pub use recovery::{recover, CheckpointImage, RecoveryOutcome};
 pub use run::{
     EngineDetail, ExperimentEngine, FidelitySummary, RealRunDetail, RecoveryReport, Run, RunError,
-    RunReport, RunSpec, RunSummary, ShardReport, SimRunDetail, TraceFn, TraceSpec,
+    RunReport, RunSpec, RunSummary, ShardReport, SimRunDetail, TraceFn, TraceSpec, WriterBackend,
 };
 pub use sharding::{ShardFilter, ShardMap, ShardedDriver, ShardedRun};
 pub use table::StateTable;

@@ -104,6 +104,51 @@ impl<T: TraceSpec> TraceSpec for &T {
 // The experiment description
 // ---------------------------------------------------------------------------
 
+/// Selection of the asynchronous checkpoint-writer implementation an
+/// engine uses to flush checkpoints to stable storage.
+///
+/// The two backends are **recovery-equivalent by contract** — same files,
+/// same durability ordering (data sync before metadata commit), same
+/// published sweep frontier semantics — and differ only in how flush jobs
+/// are scheduled; `crates/storage/tests/writer_equivalence.rs` pins the
+/// equivalence differentially. The selection is interpreted by the real
+/// disk-backed engine; the cost-model simulator prices the writer
+/// analytically and ignores it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriterBackend {
+    /// A pool of writer worker threads, each executing one flush job at a
+    /// time end to end (the historical engine; a single-shard run is a
+    /// pool of one — the classic dedicated writer thread).
+    #[default]
+    ThreadPool,
+    /// An io_uring-style batched-submission engine: one loop coalesces
+    /// every queued flush job into a batch, issues all data writes in the
+    /// submission phase, then reaches each job's durability point and
+    /// acks completions **out of submission order** in the completion
+    /// phase (syncs coalesce at the batch tail).
+    AsyncBatched,
+}
+
+impl WriterBackend {
+    /// Both writer backends, for comparison matrices.
+    pub const ALL: [WriterBackend; 2] = [WriterBackend::ThreadPool, WriterBackend::AsyncBatched];
+
+    /// Stable label used in reports, CSV output and the
+    /// `MMOC_WRITER_BACKEND` environment override.
+    pub fn label(self) -> &'static str {
+        match self {
+            WriterBackend::ThreadPool => "thread-pool",
+            WriterBackend::AsyncBatched => "async-batched",
+        }
+    }
+}
+
+impl fmt::Display for WriterBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The engine-independent description of one experiment, assembled by
 /// [`Run`] and consumed by [`ExperimentEngine`] implementations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -126,6 +171,9 @@ pub struct RunSpec {
     /// real engine paces its mutator, sleeping out the remainder of every
     /// global tick. `None` keeps each engine's configured default.
     pub pacing_hz: Option<f64>,
+    /// Writer backend executing the flush jobs (see [`WriterBackend`]).
+    /// `None` keeps the engine's configured default.
+    pub writer: Option<WriterBackend>,
 }
 
 impl RunSpec {
@@ -138,6 +186,7 @@ impl RunSpec {
             batching: false,
             fidelity_check: false,
             pacing_hz: None,
+            writer: None,
         }
     }
 
@@ -246,6 +295,14 @@ impl<E, T> Run<E, T> {
     /// Run the world at `hz` ticks per second (see [`RunSpec::pacing_hz`]).
     pub fn pacing(mut self, hz: f64) -> Self {
         self.spec.pacing_hz = Some(hz);
+        self
+    }
+
+    /// Select the writer backend flushing checkpoints to stable storage
+    /// (see [`RunSpec::writer`]; interpreted by the real engine, ignored
+    /// by the simulator, default: the engine's configured backend).
+    pub fn writer(mut self, backend: WriterBackend) -> Self {
+        self.spec.writer = Some(backend);
         self
     }
 
@@ -421,7 +478,10 @@ pub struct SimRunDetail {
 /// Real-engine-specific run detail.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct RealRunDetail {
-    /// Writer-pool workers that served the shards' flush jobs.
+    /// Writer backend that executed the shards' flush jobs.
+    pub writer_backend: WriterBackend,
+    /// Writer threads that served the shards' flush jobs (pool workers,
+    /// or the batched engine's single submission/completion loop).
     pub pool_threads: usize,
     /// Wall-clock time of the parallel all-shard restore + replay, when
     /// recovery was measured.
@@ -690,13 +750,17 @@ mod tests {
             .shards(4)
             .batching(true)
             .fidelity_check(true)
-            .pacing(30.0);
+            .pacing(30.0)
+            .writer(WriterBackend::AsyncBatched);
         let spec = run.spec();
         assert_eq!(spec.algorithm, Algorithm::CopyOnUpdate);
         assert_eq!(spec.shards, 4);
         assert!(spec.batching);
         assert!(spec.fidelity_check);
         assert_eq!(spec.pacing_hz, Some(30.0));
+        assert_eq!(spec.writer, Some(WriterBackend::AsyncBatched));
+        assert_eq!(WriterBackend::default(), WriterBackend::ThreadPool);
+        assert_eq!(WriterBackend::AsyncBatched.to_string(), "async-batched");
     }
 
     #[test]

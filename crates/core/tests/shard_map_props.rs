@@ -1,0 +1,208 @@
+//! Property tests for [`ShardMap`]: for arbitrary valid geometries and
+//! shard counts, the partition's invariants — bands are disjoint,
+//! object-aligned, and cover the geometry exactly — must hold, and the
+//! routing functions must agree with each other.
+//!
+//! Geometries are generated constructively: pick cells-per-object and a
+//! column count, derive the object-aligned band quantum
+//! (`lcm(cells_per_object, cols) / cols` rows), and build the table from
+//! a whole number of quanta plus an optional ragged tail — which is how
+//! every real geometry in the workspace decomposes, including ones whose
+//! object boundaries do not fall on row boundaries.
+
+use mmoc_core::{CellUpdate, ShardMap, StateGeometry};
+use proptest::prelude::*;
+
+/// Cells-per-object choices covering co-prime, divisor and multiple
+/// relationships with the column counts below.
+const CELLS_PER_OBJECT: [u32; 6] = [1, 2, 4, 8, 16, 128];
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The smallest row count after which a row boundary coincides with an
+/// atomic-object boundary (mirrors the map's internal quantum).
+fn align_rows(g: &StateGeometry) -> u32 {
+    let per = u64::from(g.cells_per_object());
+    let cols = u64::from(g.cols);
+    (per / gcd(per, cols)) as u32
+}
+
+/// One generated case: a valid geometry plus a feasible shard count.
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    g: StateGeometry,
+    n_shards: u32,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        0usize..CELLS_PER_OBJECT.len(),
+        1u32..14,
+        1u32..40,
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(cpo_idx, cols, quanta, tail_seed, shard_seed)| {
+            let cpo = CELLS_PER_OBJECT[cpo_idx];
+            let g_probe = StateGeometry {
+                rows: 1,
+                cols,
+                cell_size: 4,
+                object_size: cpo * 4,
+            };
+            let quantum = align_rows(&g_probe);
+            // A whole number of aligned quanta, plus sometimes a ragged
+            // tail shorter than one quantum (the final partial block).
+            let tail = if quantum > 1 { tail_seed % quantum } else { 0 };
+            let rows = quanta * quantum + tail;
+            let g = StateGeometry {
+                rows,
+                cols,
+                cell_size: 4,
+                object_size: cpo * 4,
+            };
+            // Feasible shard counts: 1 ..= number of aligned blocks.
+            let blocks = (u64::from(rows)).div_ceil(u64::from(quantum)) as u32;
+            let n_shards = 1 + shard_seed % blocks;
+            Case { g, n_shards }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bands are disjoint, object-aligned, and cover the geometry
+    /// exactly: rows and objects both sum to the global totals, every
+    /// inner boundary starts a fresh atomic object, and per-shard object
+    /// ids are a dense renumbering.
+    #[test]
+    fn bands_are_disjoint_aligned_and_exhaustive(case in arb_case()) {
+        let Case { g, n_shards } = case;
+        g.validate().expect("generated geometry is valid");
+        let map = ShardMap::new(g, n_shards)
+            .unwrap_or_else(|e| panic!("{g:?} x{n_shards}: {e}"));
+        prop_assert_eq!(map.n_shards(), n_shards as usize);
+        prop_assert_eq!(map.global_geometry(), g);
+
+        let mut rows = 0u32;
+        let mut objects = 0u64;
+        for s in 0..map.n_shards() {
+            let sg = map.shard_geometry(s);
+            sg.validate().expect("shard geometry is valid");
+            prop_assert!(sg.rows > 0, "shard {} must own at least one row", s);
+            // Disjoint and contiguous: each band starts where the
+            // previous one ended.
+            prop_assert_eq!(map.row_start(s), rows);
+            // Object-aligned: the cells before this band fill a whole
+            // number of atomic objects, so the band starts a fresh one
+            // and `object_start` is the exact dense renumbering base.
+            let cells_before = u64::from(rows) * u64::from(g.cols);
+            prop_assert_eq!(
+                cells_before % u64::from(g.cells_per_object()),
+                0,
+                "shard {} boundary splits an atomic object",
+                s
+            );
+            prop_assert_eq!(u64::from(map.object_start(s)), objects);
+            rows += sg.rows;
+            objects += u64::from(sg.n_objects());
+        }
+        // Exhaustive cover.
+        prop_assert_eq!(rows, g.rows, "bands must cover every row");
+        prop_assert_eq!(objects, u64::from(g.n_objects()), "object ids must be dense");
+    }
+
+    /// The routing functions agree: `shard_of_row`, `shard_of_object`
+    /// and `route` name the same owner for any cell, the local rewrite
+    /// round-trips, and the shard-local object id is the global id minus
+    /// the shard's dense base.
+    #[test]
+    fn routing_agrees_with_ownership_and_round_trips(
+        case in arb_case(),
+        row_seed in any::<u32>(),
+        col_seed in any::<u32>(),
+        value in any::<u32>(),
+    ) {
+        let Case { g, n_shards } = case;
+        let map = ShardMap::new(g, n_shards).expect("feasible case");
+        let row = row_seed % g.rows;
+        let col = col_seed % g.cols;
+        let u = CellUpdate::new(row, col, value);
+
+        let shard = map.shard_of_row(row);
+        prop_assert!(shard < map.n_shards());
+        let obj = g.object_of(u.addr).expect("in-bounds address");
+        prop_assert_eq!(map.shard_of_object(obj), shard, "row/object routing disagree");
+
+        let (s, local) = map.route(u);
+        prop_assert_eq!(s, shard);
+        prop_assert!(local.addr.row < map.shard_geometry(s).rows);
+        prop_assert_eq!(local.addr.col, col);
+        prop_assert_eq!(local.value, value);
+        prop_assert_eq!(map.to_global(s, local), u, "route must round-trip");
+
+        let local_obj = map
+            .shard_geometry(s)
+            .object_of(local.addr)
+            .expect("local address in bounds");
+        prop_assert_eq!(
+            local_obj.0 + map.object_start(s),
+            obj.0,
+            "local object ids must be the dense renumbering"
+        );
+    }
+
+    /// Every tick's updates are routed to exactly one shard each:
+    /// `route_into` conserves the update count and each update lands in
+    /// the buffer of the shard that owns its row.
+    #[test]
+    fn route_into_partitions_updates_exactly(
+        case in arb_case(),
+        seeds in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..64),
+    ) {
+        let Case { g, n_shards } = case;
+        let map = ShardMap::new(g, n_shards).expect("feasible case");
+        let updates: Vec<CellUpdate> = seeds
+            .iter()
+            .map(|&(r, c, v)| CellUpdate::new(r % g.rows, c % g.cols, v))
+            .collect();
+        let mut bufs: Vec<Vec<CellUpdate>> = vec![Vec::new(); map.n_shards()];
+        map.route_into(&updates, &mut bufs);
+        let routed: usize = bufs.iter().map(Vec::len).sum();
+        prop_assert_eq!(routed, updates.len(), "no update may be dropped or duplicated");
+        for (s, buf) in bufs.iter().enumerate() {
+            for local in buf {
+                let global = map.to_global(s, *local);
+                prop_assert_eq!(
+                    map.shard_of_row(global.addr.row),
+                    s,
+                    "update landed in a shard that does not own its row"
+                );
+            }
+        }
+    }
+
+    /// Infeasible shard counts are rejected with a typed error, never a
+    /// panic or a silent mis-partition: one shard more than the number of
+    /// aligned blocks must fail.
+    #[test]
+    fn oversubscription_is_a_typed_error(case in arb_case()) {
+        let Case { g, .. } = case;
+        let quantum = align_rows(&g);
+        let blocks = (u64::from(g.rows)).div_ceil(u64::from(quantum)) as u32;
+        prop_assert!(ShardMap::new(g, blocks).is_ok(), "max feasible count must work");
+        prop_assert!(
+            ShardMap::new(g, blocks + 1).is_err(),
+            "{} shards over {} blocks must be rejected",
+            blocks + 1,
+            blocks
+        );
+        prop_assert!(ShardMap::new(g, 0).is_err(), "zero shards must be rejected");
+    }
+}

@@ -193,6 +193,11 @@ impl CheckpointBackend for SimBackend {
 }
 
 /// The simulator: drives one algorithm over one trace.
+///
+/// Constructed internally by the [`ExperimentEngine`] implementation on
+/// [`SimConfig`]; experiments go through the unified builder
+/// (`Run::algorithm(alg).engine(sim_config).trace(…).execute()`). The
+/// pre-builder `run*` methods were removed after one deprecation release.
 #[derive(Debug, Clone)]
 pub struct SimEngine {
     config: SimConfig,
@@ -218,29 +223,10 @@ impl SimEngine {
         &self.config
     }
 
-    /// Run the simulation over a trace and report the paper's metrics.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the unified builder: `Run::algorithm(alg).engine(sim_config).trace(…).execute()`"
-    )]
-    pub fn run<S: TraceSource>(&self, trace: &mut S) -> SimReport {
-        self.run_inner(trace, None).0
-    }
-
-    /// Run with value-level fidelity checking: every completed checkpoint's
-    /// disk image is verified to equal the state at checkpoint start.
-    /// Slower and memory-hungry; meant for tests and small geometries.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the unified builder with `.fidelity_check(true)`: \
-                `Run::algorithm(alg).engine(sim_config).trace(…).fidelity_check(true).execute()`"
-    )]
-    pub fn run_checked<S: TraceSource>(&self, trace: &mut S) -> (SimReport, FidelityReport) {
-        let checker = FidelityChecker::new(trace.geometry(), self.algorithm);
-        let (report, fidelity) = self.run_inner(trace, Some(checker));
-        (report, fidelity.expect("fidelity checker was installed"))
-    }
-
+    /// The unsharded run: the exact call sequence `run_sharded_inner`
+    /// performs per shard, on the single-driver path. Kept for the
+    /// in-crate N = 1 bit-equivalence tests.
+    #[cfg(test)]
     fn run_inner<S: TraceSource>(
         &self,
         trace: &mut S,
@@ -280,50 +266,11 @@ impl SimEngine {
         }
     }
 
-    /// Run the simulation over `n_shards` disjoint shards of the trace's
-    /// geometry: one bookkeeper and one **independent virtual clock** per
-    /// shard, advanced in lockstep over the global trace. The aggregate
-    /// wall clock is the max over shards — shards run in parallel, so the
-    /// world is as slow as its slowest shard.
-    ///
-    /// With `n_shards == 1` this is exactly [`SimEngine::run`] (same
-    /// backend call sequence, same metrics, wrapped in the sharded
-    /// report).
-    ///
-    /// Panics if the geometry cannot be split into `n_shards`
-    /// object-aligned bands (see [`ShardMap::new`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the unified builder with `.shards(n)`: \
-                `Run::algorithm(alg).engine(sim_config).trace(…).shards(n).execute()`"
-    )]
-    pub fn run_sharded<S: TraceSource>(&self, trace: &mut S, n_shards: u32) -> ShardedSimReport {
-        self.run_sharded_inner(trace, n_shards, false, false)
-            .expect("shardable geometry")
-            .0
-    }
-
-    /// As [`SimEngine::run_sharded`], with per-shard value-level fidelity
-    /// checking: every shard's completed checkpoints must equal that
-    /// shard's state at checkpoint start.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the unified builder with `.shards(n).fidelity_check(true)`: \
-                `Run::algorithm(alg).engine(sim_config).trace(…).shards(n).fidelity_check(true).execute()`"
-    )]
-    pub fn run_sharded_checked<S: TraceSource>(
-        &self,
-        trace: &mut S,
-        n_shards: u32,
-    ) -> (ShardedSimReport, Vec<FidelityReport>) {
-        let (report, fidelity) = self
-            .run_sharded_inner(trace, n_shards, true, false)
-            .expect("shardable geometry");
-        (report, fidelity.expect("fidelity checkers were installed"))
-    }
-
-    /// The shared sharded run: the single definition every public entry
-    /// point — the unified builder and the deprecated wrappers — executes.
+    /// The shared sharded run: the single definition the unified builder
+    /// executes — one bookkeeper and one **independent virtual clock**
+    /// per shard, advanced in lockstep over the global trace; the
+    /// aggregate wall clock (and the recovery estimate) is the max over
+    /// shards, because shards run — and restore — in parallel.
     fn run_sharded_inner<S: TraceSource>(
         &self,
         trace: &mut S,
@@ -524,10 +471,6 @@ fn into_run_report(
 
 #[cfg(test)]
 mod tests {
-    // The legacy entry points stay exercised until they are removed; the
-    // builder/legacy equivalence lives in `tests/builder_equivalence.rs`.
-    #![allow(deprecated)]
-
     use super::*;
     use mmoc_core::StateGeometry;
     use mmoc_workload::{SyntheticConfig, TraceSource};
@@ -543,8 +486,14 @@ mod tests {
         .build()
     }
 
+    /// The unsharded single-driver path (the call sequence the builder
+    /// executes per shard), reported in the simulator's native shape.
+    fn sim_run(config: SimConfig, alg: Algorithm, trace: &mut impl TraceSource) -> SimReport {
+        SimEngine::new(config, alg).run_inner(trace, None).0
+    }
+
     fn run(alg: Algorithm) -> SimReport {
-        SimEngine::new(SimConfig::default(), alg).run(&mut small_trace(60, 64, 0.5))
+        sim_run(SimConfig::default(), alg, &mut small_trace(60, 64, 0.5))
     }
 
     #[test]
@@ -603,10 +552,16 @@ mod tests {
     fn full_state_methods_have_constant_checkpoint_time() {
         // Naive writes n objects to the double backup every time: its
         // checkpoint duration is independent of the update rate.
-        let r1 = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
-            .run(&mut small_trace(40, 8, 0.5));
-        let r2 = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
-            .run(&mut small_trace(40, 512, 0.5));
+        let r1 = sim_run(
+            SimConfig::default(),
+            Algorithm::NaiveSnapshot,
+            &mut small_trace(40, 8, 0.5),
+        );
+        let r2 = sim_run(
+            SimConfig::default(),
+            Algorithm::NaiveSnapshot,
+            &mut small_trace(40, 512, 0.5),
+        );
         assert!(
             (r1.avg_checkpoint_s - r2.avg_checkpoint_s).abs() < 1e-9,
             "{} vs {}",
@@ -617,10 +572,16 @@ mod tests {
 
     #[test]
     fn partial_redo_checkpoints_faster_at_low_rates() {
-        let pr = SimEngine::new(SimConfig::default(), Algorithm::PartialRedo)
-            .run(&mut small_trace(60, 4, 0.5));
-        let naive = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
-            .run(&mut small_trace(60, 4, 0.5));
+        let pr = sim_run(
+            SimConfig::default(),
+            Algorithm::PartialRedo,
+            &mut small_trace(60, 4, 0.5),
+        );
+        let naive = sim_run(
+            SimConfig::default(),
+            Algorithm::NaiveSnapshot,
+            &mut small_trace(60, 4, 0.5),
+        );
         assert!(
             pr.avg_checkpoint_s < naive.avg_checkpoint_s,
             "PR {} !< Naive {}",
@@ -631,10 +592,16 @@ mod tests {
 
     #[test]
     fn partial_redo_recovery_is_worse_at_high_rates() {
-        let pr = SimEngine::new(SimConfig::default(), Algorithm::PartialRedo)
-            .run(&mut small_trace(60, 2048, 0.5));
-        let naive = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot)
-            .run(&mut small_trace(60, 2048, 0.5));
+        let pr = sim_run(
+            SimConfig::default(),
+            Algorithm::PartialRedo,
+            &mut small_trace(60, 2048, 0.5),
+        );
+        let naive = sim_run(
+            SimConfig::default(),
+            Algorithm::NaiveSnapshot,
+            &mut small_trace(60, 2048, 0.5),
+        );
         assert!(
             pr.est_recovery_s > naive.est_recovery_s,
             "PR {} !> Naive {}",
@@ -653,10 +620,16 @@ mod tests {
             hardware: HardwareParams::paper().with_disk_bandwidth(20e3),
             ..SimConfig::default()
         };
-        let naive =
-            SimEngine::new(config, Algorithm::NaiveSnapshot).run(&mut small_trace(60, 64, 0.5));
-        let cou =
-            SimEngine::new(config, Algorithm::CopyOnUpdate).run(&mut small_trace(60, 64, 0.5));
+        let naive = sim_run(
+            config,
+            Algorithm::NaiveSnapshot,
+            &mut small_trace(60, 64, 0.5),
+        );
+        let cou = sim_run(
+            config,
+            Algorithm::CopyOnUpdate,
+            &mut small_trace(60, 64, 0.5),
+        );
         // Naive's max tick is much larger relative to its average.
         let naive_ratio = naive.max_overhead_s / naive.avg_overhead_s.max(1e-30);
         let cou_ratio = cou.max_overhead_s / cou.avg_overhead_s.max(1e-30);
@@ -669,8 +642,7 @@ mod tests {
     #[test]
     fn zero_update_trace_still_checkpoints() {
         for alg in Algorithm::ALL {
-            let report =
-                SimEngine::new(SimConfig::default(), alg).run(&mut small_trace(30, 0, 0.0));
+            let report = sim_run(SimConfig::default(), alg, &mut small_trace(30, 0, 0.0));
             assert!(
                 report.checkpoints_completed > 0,
                 "{alg} must cycle empty checkpoints"
@@ -693,8 +665,11 @@ mod tests {
     fn one_shard_is_bit_identical_to_the_single_driver_path() {
         for alg in Algorithm::ALL {
             let engine = SimEngine::new(SimConfig::default(), alg);
-            let single = engine.run(&mut small_trace(60, 96, 0.7));
-            let sharded = engine.run_sharded(&mut small_trace(60, 96, 0.7), 1);
+            let single = engine.run_inner(&mut small_trace(60, 96, 0.7), None).0;
+            let sharded = engine
+                .run_sharded_inner(&mut small_trace(60, 96, 0.7), 1, false, false)
+                .expect("shardable geometry")
+                .0;
             assert_eq!(sharded.n_shards, 1);
             assert_eq!(sharded.shards.len(), 1);
             let shard = &sharded.shards[0];
@@ -719,7 +694,10 @@ mod tests {
     fn sharded_fidelity_holds_and_clocks_are_independent() {
         for alg in Algorithm::ALL {
             let engine = SimEngine::new(SimConfig::default(), alg);
-            let (report, fidelity) = engine.run_sharded_checked(&mut small_trace(60, 96, 0.7), 4);
+            let (report, fidelity) = engine
+                .run_sharded_inner(&mut small_trace(60, 96, 0.7), 4, true, false)
+                .expect("shardable geometry");
+            let fidelity = fidelity.expect("fidelity checkers were installed");
             assert_eq!(report.n_shards, 4);
             assert_eq!(report.shards.len(), 4);
             assert_eq!(fidelity.len(), 4);
@@ -760,8 +738,11 @@ mod tests {
         // Fixed total state split 4 ways: each shard flushes ~1/4 of the
         // full-state write, so Naive's per-shard checkpoint time drops.
         let engine = SimEngine::new(SimConfig::default(), Algorithm::NaiveSnapshot);
-        let single = engine.run(&mut small_trace(40, 64, 0.5));
-        let sharded = engine.run_sharded(&mut small_trace(40, 64, 0.5), 4);
+        let single = engine.run_inner(&mut small_trace(40, 64, 0.5), None).0;
+        let sharded = engine
+            .run_sharded_inner(&mut small_trace(40, 64, 0.5), 4, false, false)
+            .expect("shardable geometry")
+            .0;
         assert!(
             sharded.avg_checkpoint_s < single.avg_checkpoint_s,
             "sharded {} !< single {}",
@@ -781,10 +762,9 @@ mod tests {
     }
 
     #[test]
-    fn builder_path_is_bit_identical_to_the_legacy_run() {
+    fn builder_path_is_bit_identical_to_the_inner_run() {
         for alg in Algorithm::ALL {
-            let legacy =
-                SimEngine::new(SimConfig::default(), alg).run(&mut small_trace(60, 96, 0.7));
+            let legacy = sim_run(SimConfig::default(), alg, &mut small_trace(60, 96, 0.7));
             let report = mmoc_core::Run::algorithm(alg)
                 .engine(SimConfig::default())
                 .trace(small_spec(60, 96, 0.7))
@@ -877,8 +857,11 @@ mod tests {
     #[test]
     fn fidelity_holds_for_all_algorithms() {
         for alg in Algorithm::ALL {
-            let (report, fidelity) = SimEngine::new(SimConfig::default(), alg)
-                .run_checked(&mut small_trace(80, 96, 0.7));
+            let mut trace = small_trace(80, 96, 0.7);
+            let checker = FidelityChecker::new(trace.geometry(), alg);
+            let (report, fidelity) =
+                SimEngine::new(SimConfig::default(), alg).run_inner(&mut trace, Some(checker));
+            let fidelity = fidelity.expect("fidelity checker was installed");
             assert!(report.checkpoints_completed > 1, "{alg}");
             assert!(
                 fidelity.checks_passed >= report.checkpoints_completed,

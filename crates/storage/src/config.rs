@@ -1,5 +1,6 @@
 //! Configuration of the real engine.
 
+use mmoc_core::WriterBackend;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -30,8 +31,19 @@ pub struct RealConfig {
     /// runs. `0` (the default) picks `min(n_shards, 4)` — the pool is a
     /// shared resource sized to the storage device, not to the shard
     /// count. Single-shard runs always use one worker (the historical
-    /// dedicated writer thread).
+    /// dedicated writer thread). Only meaningful for
+    /// [`WriterBackend::ThreadPool`]; the batched engine always runs one
+    /// submission/completion loop.
     pub writer_pool_threads: usize,
+    /// The writer backend executing flush jobs: the worker-thread pool or
+    /// the io_uring-style batched-submission engine. Defaults to
+    /// [`WriterBackend::ThreadPool`], overridable process-wide through
+    /// the `MMOC_WRITER_BACKEND` environment variable (`thread-pool` /
+    /// `async-batched`) so whole test suites can run under either backend
+    /// — the CI backend matrix's lever. Explicit settings
+    /// ([`RealConfig::with_writer_backend`], the builder's `.writer(…)`)
+    /// always win over the environment.
+    pub writer_backend: WriterBackend,
 }
 
 impl RealConfig {
@@ -47,6 +59,7 @@ impl RealConfig {
             sync_data: true,
             measure_recovery: true,
             writer_pool_threads: 0,
+            writer_backend: writer_backend_from_env(),
         }
     }
 
@@ -56,14 +69,26 @@ impl RealConfig {
         self
     }
 
-    /// The writer-pool size actually used for an `n_shards`-way run.
+    /// Select the writer backend executing flush jobs.
+    pub fn with_writer_backend(mut self, backend: WriterBackend) -> Self {
+        self.writer_backend = backend;
+        self
+    }
+
+    /// The writer-thread count actually used for an `n_shards`-way run:
+    /// the sized pool, or one for the batched engine's single loop.
     pub fn effective_pool_threads(&self, n_shards: usize) -> usize {
-        if n_shards <= 1 {
-            1
-        } else if self.writer_pool_threads == 0 {
-            n_shards.min(4)
-        } else {
-            self.writer_pool_threads
+        match self.writer_backend {
+            WriterBackend::AsyncBatched => 1,
+            WriterBackend::ThreadPool => {
+                if n_shards <= 1 {
+                    1
+                } else if self.writer_pool_threads == 0 {
+                    n_shards.min(4)
+                } else {
+                    self.writer_pool_threads
+                }
+            }
         }
     }
 
@@ -88,6 +113,24 @@ impl RealConfig {
     }
 }
 
+/// The process-wide writer-backend default: `MMOC_WRITER_BACKEND` if
+/// set, the thread pool otherwise. Unrecognized values panic rather than
+/// fall back — a typo in a CI matrix leg must fail loudly, not silently
+/// re-run the default backend and report coverage that never happened.
+fn writer_backend_from_env() -> WriterBackend {
+    match std::env::var("MMOC_WRITER_BACKEND") {
+        Err(_) => WriterBackend::ThreadPool,
+        Ok(v) => match v.as_str() {
+            "" | "thread-pool" | "threads" => WriterBackend::ThreadPool,
+            "async-batched" | "async" => WriterBackend::AsyncBatched,
+            other => panic!(
+                "unrecognized MMOC_WRITER_BACKEND value {other:?}; \
+                 use \"thread-pool\" or \"async-batched\""
+            ),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +148,16 @@ mod tests {
         let cfg = RealConfig::new("/tmp/x").paced_at_hz(30.0);
         assert!(cfg.paced);
         assert!((cfg.tick_period.as_secs_f64() - 1.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writer_backend_is_selectable_and_sizes_the_writer() {
+        let cfg = RealConfig::new("/tmp/x").with_writer_backend(WriterBackend::AsyncBatched);
+        assert_eq!(cfg.writer_backend, WriterBackend::AsyncBatched);
+        assert_eq!(cfg.effective_pool_threads(4), 1, "batched engine: one loop");
+        let cfg = cfg.with_writer_backend(WriterBackend::ThreadPool);
+        assert_eq!(cfg.effective_pool_threads(1), 1);
+        assert_eq!(cfg.effective_pool_threads(8), 4, "auto pool caps at 4");
+        assert_eq!(cfg.with_writer_pool(2).effective_pool_threads(8), 2);
     }
 }

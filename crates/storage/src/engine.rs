@@ -11,13 +11,15 @@
 //!   lookups standing in for game logic), applying updates to the
 //!   [`Shared`] table with the copy-on-update slow path (lock, re-check,
 //!   arena save), and the paced sleep phase;
-//! * a **shared writer pool** executing every shard's flush jobs against
-//!   its disk organization — the [`BackupSet`] double backup (sorted
-//!   offset-ordered writes) or the [`LogStore`] (sequential segment
-//!   appends) — publishing each shard's sweep frontier for the
-//!   bookkeeper's copy-on-update decisions. A single-shard run is simply
-//!   a pool of one worker serving one shard, which is exactly the old
-//!   dedicated writer thread;
+//! * a **pluggable writer backend** ([`crate::writer`]) executing every
+//!   shard's flush jobs against its disk organization — the [`BackupSet`]
+//!   double backup (sorted offset-ordered writes) or the [`LogStore`]
+//!   (sequential segment appends) — publishing each shard's sweep
+//!   frontier for the bookkeeper's copy-on-update decisions. Two backends
+//!   exist behind the one seam: the shared worker-thread pool (a
+//!   single-shard run with one worker is exactly the old dedicated writer
+//!   thread) and the io_uring-style batched-submission engine, selected
+//!   by [`RealConfig::writer_backend`] or the builder's `.writer(…)`;
 //! * real **durability**: data `fsync` before metadata commit, and a
 //!   wall-clock recovery measurement (restore the newest consistent image,
 //!   replay the deterministic update stream).
@@ -28,9 +30,8 @@
 //! like the rest, which is the point of the refactor. Experiments reach
 //! this engine through the unified builder
 //! (`Run::algorithm(alg).engine(real_config).trace(…).execute()`, see
-//! [`crate::run`]); the historical entry points ([`run_algorithm`] and
-//! friends) remain as deprecated wrappers over the same shared sharded
-//! implementation, specialized to a single shard.
+//! [`crate::run`]); the pre-builder free functions were removed after one
+//! deprecation release.
 
 use crate::config::RealConfig;
 use crate::files::BackupSet;
@@ -39,6 +40,8 @@ use crate::recovery::{recover_and_replay, recover_and_replay_log};
 use crate::report::{RealReport, RecoveryMeasurement};
 use crate::shared::{Shared, SharedTable};
 use mmoc_core::driver::{CheckpointBackend, FlushCompletion, TickOps};
+#[cfg(test)]
+use mmoc_core::run::RunError;
 use mmoc_core::{
     Algorithm, Bookkeeper, CellUpdate, CheckpointPlan, CursorKind, DiskOrg, FlushCursor, FlushJob,
     ObjectId, StateGeometry, TraceSource, UpdateOps,
@@ -83,7 +86,10 @@ pub(crate) fn create_store(
     })
 }
 
-/// One checkpoint's flush job, handed to the writer pool.
+/// One checkpoint's flush job, handed to the writer backend.
+/// (`Clone` is test-only: the differential writer tests replay one
+/// deterministic job stream through every backend.)
+#[cfg_attr(test, derive(Clone))]
 pub(crate) enum Job {
     /// Write a privately buffered eager copy (`Write-Copies-To-Stable-
     /// Storage`): no coordination with the mutator is needed.
@@ -115,12 +121,12 @@ pub(crate) enum Job {
 
 /// Writer → mutator completion report.
 pub(crate) struct Done {
-    result: io::Result<f64>,
-    objects: u32,
-    bytes: u64,
+    pub(crate) result: io::Result<f64>,
+    pub(crate) objects: u32,
+    pub(crate) bytes: u64,
     /// Eager-job buffers handed back for reuse, so steady-state eager
     /// checkpoints allocate nothing on the mutator thread.
-    recycled: Option<(Vec<u32>, Vec<u8>)>,
+    pub(crate) recycled: Option<(Vec<u32>, Vec<u8>)>,
 }
 
 /// Everything a pool worker needs to execute one shard's flush jobs: the
@@ -140,172 +146,6 @@ pub(crate) struct ShardCtx {
 pub(crate) struct PoolJob {
     pub(crate) shard: usize,
     pub(crate) job: Job,
-}
-
-/// Execute one flush job against one shard's store. Runs on a pool
-/// worker; `buf` is the worker's reusable object buffer.
-fn execute_job(ctx: &ShardCtx, store: &mut Store, buf: &mut Vec<u8>, job: Job) -> Done {
-    let obj_size = ctx.geometry.object_size as usize;
-    buf.resize(obj_size, 0);
-    let sync_data = ctx.sync_data;
-    let shared = &ctx.shared;
-    let t0 = Instant::now();
-    let (objects, result, recycled) = match job {
-        Job::Eager {
-            ids,
-            data,
-            seq,
-            tick,
-            target,
-            full_image,
-        } => {
-            let count = ids.len() as u32;
-            let objects = ids
-                .iter()
-                .enumerate()
-                .map(|(i, &id)| (ObjectId(id), &data[i * obj_size..][..obj_size]));
-            let result = match store {
-                Store::Double(set) => (|| {
-                    set.invalidate(target)?;
-                    for (obj, bytes) in objects {
-                        // Sorted I/O: ids are in increasing offset order.
-                        set.write_object(target, obj, bytes)?;
-                    }
-                    if sync_data {
-                        set.sync(target)?;
-                    }
-                    set.commit(target, tick)
-                })(),
-                Store::Log(log) => log
-                    .append_segment(seq, tick, full_image, objects, sync_data)
-                    .map(|_| ()),
-            };
-            (count, result, Some((ids, data)))
-        }
-        Job::Sweep {
-            list,
-            cursor,
-            seq,
-            tick,
-            target,
-            full_image,
-        } => {
-            let count = list.len() as u32;
-            // Read one object under the copy-on-update protocol:
-            // lock, prefer the saved pre-update image, mark flushed.
-            let read_object = |o: u32, buf: &mut [u8]| {
-                let obj = ObjectId(o);
-                let _guard = shared.locks[o as usize].lock();
-                if shared.copied.get(o) {
-                    shared.read_arena_into(obj, buf);
-                } else {
-                    shared.table.read_object_into(obj, buf);
-                }
-                shared.flushed.set(o);
-            };
-            // Publish progress *after* the object is durably queued:
-            // the frontier must under-approximate what is flushed, so
-            // a racing update copies once too often, never too rarely.
-            let publish = |position: usize, o: u32| {
-                let slots = match cursor {
-                    CursorKind::ByIndex => u64::from(o) + 1,
-                    CursorKind::ByPosition => position as u64 + 1,
-                };
-                ctx.frontier.store(slots, Ordering::Release);
-            };
-            let result = match store {
-                Store::Double(set) => (|| {
-                    set.invalidate(target)?;
-                    for (p, &o) in list.iter().enumerate() {
-                        read_object(o, buf);
-                        set.write_object(target, ObjectId(o), buf)?;
-                        publish(p, o);
-                    }
-                    if sync_data {
-                        set.sync(target)?;
-                    }
-                    set.commit(target, tick)
-                })(),
-                Store::Log(log) => (|| {
-                    let mut seg = log.begin_segment(seq, tick, full_image)?;
-                    for (p, &o) in list.iter().enumerate() {
-                        read_object(o, buf);
-                        seg.write_object(ObjectId(o), buf)?;
-                        publish(p, o);
-                    }
-                    seg.finish(sync_data).map(|_| ())
-                })(),
-            };
-            (count, result, None)
-        }
-    };
-    Done {
-        result: result.map(|()| t0.elapsed().as_secs_f64()),
-        objects,
-        bytes: u64::from(objects) * u64::from(ctx.geometry.object_size),
-        recycled,
-    }
-}
-
-/// The shared pool of writer workers serving all shards' checkpoint work.
-///
-/// Workers pull tagged jobs off one queue; any worker can flush any
-/// shard (the shard's store sits behind an uncontended mutex). With one
-/// shard and one worker this degenerates to the classic dedicated writer
-/// thread. Capacity-wise the queue never backs up beyond one job per
-/// shard, because the driver keeps at most one checkpoint in flight per
-/// shard.
-pub(crate) struct WriterPool {
-    workers: Vec<std::thread::JoinHandle<()>>,
-}
-
-impl WriterPool {
-    /// Spawn `threads` workers draining `job_rx` over the given shard
-    /// contexts. Workers exit when every job sender has been dropped.
-    pub(crate) fn spawn(
-        ctxs: Arc<Vec<ShardCtx>>,
-        threads: usize,
-        job_rx: crossbeam::channel::Receiver<PoolJob>,
-    ) -> WriterPool {
-        // The shim's Receiver is not clonable; a mutex-guarded receiver
-        // gives the same one-waiter-at-a-time handoff a shared MPMC
-        // queue would.
-        let job_rx = Arc::new(parking_lot::Mutex::new(job_rx));
-        let workers = (0..threads.max(1))
-            .map(|_| {
-                let ctxs = Arc::clone(&ctxs);
-                let job_rx = Arc::clone(&job_rx);
-                std::thread::spawn(move || {
-                    let mut buf = Vec::new();
-                    loop {
-                        let next = { job_rx.lock().recv() };
-                        let Ok(PoolJob { shard, job }) = next else {
-                            break;
-                        };
-                        let ctx = &ctxs[shard];
-                        let mut store = ctx.store.lock();
-                        let done = execute_job(ctx, &mut store, &mut buf, job);
-                        let _ = ctx.done_tx.send(done);
-                    }
-                })
-            })
-            .collect();
-        WriterPool { workers }
-    }
-
-    /// Join every worker. Callers must have dropped every job sender
-    /// first (the backends' clones and the runner's original).
-    pub(crate) fn shutdown(&mut self) {
-        for w in self.workers.drain(..) {
-            w.join().expect("writer pool worker");
-        }
-    }
-}
-
-impl Drop for WriterPool {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
 }
 
 /// The mutator-side backend the [`mmoc_core::TickDriver`] (or, across
@@ -584,42 +424,20 @@ pub(crate) fn shard_report(
     }
 }
 
-/// Run one of the six algorithms on the real engine, over the trace
-/// produced by `make_trace`.
-///
-/// `make_trace` must be replayable (calling it again yields an identical
-/// stream); the second instantiation drives recovery replay.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the unified builder: \
-            `Run::algorithm(alg).engine(real_config).trace(…).execute()`"
-)]
-pub fn run_algorithm<S, F>(
-    algorithm: Algorithm,
-    config: &RealConfig,
-    make_trace: F,
-) -> io::Result<RealReport>
-where
-    S: TraceSource,
-    F: Fn() -> S + Sync,
-{
-    run_single(algorithm, config, make_trace)
-}
-
 /// The single-shard specialization of
-/// [`crate::sharded::run_sharded_impl`]: one shard served by a writer
-/// pool of one. Shared by the deprecated wrappers and in-crate tests.
+/// [`crate::sharded::run_sharded_impl`]: one shard served by a writer of
+/// one. Used by in-crate tests; experiments go through the `Run` builder.
+#[cfg(test)]
 pub(crate) fn run_single<S, F>(
     algorithm: Algorithm,
     config: &RealConfig,
     make_trace: F,
-) -> io::Result<RealReport>
+) -> Result<RealReport, RunError>
 where
     S: TraceSource,
     F: Fn() -> S + Sync,
 {
-    let mut report = crate::sharded::run_sharded_impl(algorithm, config, 1, false, make_trace)
-        .map_err(crate::sharded::run_error_to_io)?;
+    let mut report = crate::sharded::run_sharded_impl(algorithm, config, 1, false, make_trace)?;
     Ok(report.shards.remove(0))
 }
 

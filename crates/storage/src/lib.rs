@@ -10,17 +10,22 @@
 //! driver in `mmoc_core::driver` and plugged into the unified experiment
 //! builder: [`RealConfig`] implements `mmoc_core::ExperimentEngine`, so
 //! `Run::algorithm(alg).engine(real_config).trace(…).execute()` is the one
-//! entry point (the historical free functions remain as deprecated
-//! wrappers for this release; see [`run`]):
+//! entry point (see [`run`]; the pre-builder free functions were removed
+//! after one deprecation release):
 //!
 //! * the **mutator** executes each tick in three phases: *query* (random
 //!   lookups sized to fill the tick), *update* (apply the trace's updates
 //!   through the bookkeeper's `Handle-Update`), and *sleep* (pad to the
 //!   tick frequency when pacing is on);
-//! * an **asynchronous writer thread** flushes consistent checkpoints to
-//!   the algorithm's disk organization — a double-backup pair of files
-//!   with sorted (offset-ordered) writes, or an append-only segment log —
-//!   publishing its sweep frontier for copy-on-update coordination;
+//! * an **asynchronous writer** flushes consistent checkpoints to the
+//!   algorithm's disk organization — a double-backup pair of files with
+//!   sorted (offset-ordered) writes, or an append-only segment log —
+//!   publishing its sweep frontier for copy-on-update coordination. Two
+//!   interchangeable writer backends sit behind one seam ([`writer`]):
+//!   the worker-thread pool and an io_uring-style batched-submission
+//!   engine, selected by [`RealConfig::writer_backend`] or the builder's
+//!   `.writer(…)` and proven recovery-equivalent by the differential
+//!   matrix in `tests/writer_equivalence.rs`;
 //! * real **crash recovery**: read back the newest consistent image
 //!   (backup file or log reconstruction) and replay the deterministic
 //!   update stream to the crash tick.
@@ -32,39 +37,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod atomic_copy;
 pub mod config;
-pub mod cou;
-pub mod dribble;
 pub mod engine;
 pub mod files;
 pub mod log_store;
-pub mod naive;
-pub mod partial_redo;
 pub mod recovery;
 pub mod report;
 pub mod run;
 pub mod sharded;
 pub mod shared;
+pub mod writer;
 
 pub use config::RealConfig;
 pub use report::{RealReport, RecoveryMeasurement};
 pub use sharded::{shard_dir, ShardedRealReport, ShardedRecovery};
-
-// Deprecated legacy entry points, re-exported until their removal; every
-// one of them now delegates to the same implementation the unified
-// `mmoc_core::Run` builder executes.
-#[allow(deprecated)]
-pub use atomic_copy::run_atomic_copy;
-#[allow(deprecated)]
-pub use cou::run_copy_on_update;
-#[allow(deprecated)]
-pub use dribble::run_dribble;
-#[allow(deprecated)]
-pub use engine::run_algorithm;
-#[allow(deprecated)]
-pub use naive::run_naive_snapshot;
-#[allow(deprecated)]
-pub use partial_redo::{run_cou_partial_redo, run_partial_redo};
-#[allow(deprecated)]
-pub use sharded::run_algorithm_sharded;

@@ -230,6 +230,14 @@ impl LogStore {
         Ok((image, consistent_tick, bytes_read))
     }
 
+    /// Flush all appended segments to stable storage. Used by writer
+    /// backends that defer durability past [`SegmentWriter::finish`]
+    /// (`finish(false)` seals the segment in the page cache; a crash
+    /// before this sync leaves a torn tail that scans discard).
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
     /// Total log size in bytes.
     pub fn len(&self) -> u64 {
         self.len

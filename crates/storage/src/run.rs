@@ -25,7 +25,10 @@
 //! `.fidelity_check(true)` forces the end-of-run crash-recovery
 //! measurement on — restore, replay, byte-compare — which is the real
 //! engine's value-level verification; `.batching(true)` coalesces
-//! same-object updates before bookkeeping.
+//! same-object updates before bookkeeping; `.writer(backend)` selects the
+//! flush-writer implementation (worker-thread pool or the io_uring-style
+//! batched-submission engine, see [`crate::writer`] — recovery-equivalent
+//! by the differential tests in `tests/writer_equivalence.rs`).
 
 use crate::config::RealConfig;
 use crate::report::{RealReport, RecoveryMeasurement};
@@ -47,6 +50,9 @@ impl ExperimentEngine for RealConfig {
         }
         if spec.fidelity_check {
             config.measure_recovery = true;
+        }
+        if let Some(backend) = spec.writer {
+            config.writer_backend = backend;
         }
         // Geometry and shard-map validation happen inside the shared run
         // on the cursor the run actually uses; failures surface as typed
@@ -78,6 +84,7 @@ fn into_run_report(report: ShardedRealReport) -> RunReport {
         world: RunSummary::from_metrics(report.metrics, report.recovery.map(|r| r.wall_s)),
         shards,
         detail: EngineDetail::Real(RealRunDetail {
+            writer_backend: report.writer_backend,
             pool_threads: report.pool_threads,
             recovery_wall_s: report.recovery.map(|r| r.wall_s),
             serial_recovery_s: report.recovery.map(|r| r.sum_shard_total_s),

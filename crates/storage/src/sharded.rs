@@ -1,13 +1,15 @@
 //! The sharded real engine: N per-shard framework loops over one world,
-//! one shared writer pool, per-shard files, parallel recovery.
+//! one shared writer backend, per-shard files, parallel recovery.
 //!
-//! [`run_algorithm_sharded`] partitions the trace's geometry with a
+//! The shared sharded run (`run_sharded_impl`) partitions the trace's
+//! geometry with a
 //! [`ShardMap`], gives every shard its own live table, bookkeeper and
 //! disk organization (namespaced under `dir/shard<N>/`), and drives all
 //! shards in lockstep through [`mmoc_core::ShardedDriver`]. Checkpoint
-//! flush work from *all* shards is served by one shared writer pool —
-//! the scaling point: writer threads are a resource shared across the
-//! world, not one dedicated thread per shard.
+//! flush work from *all* shards is served by one shared writer backend
+//! ([`crate::writer`], selected by [`RealConfig::writer_backend`]) — the
+//! scaling point: writer threads are a resource shared across the world,
+//! not one dedicated thread per shard.
 //!
 //! Because every shard owns disjoint files, shards also **recover
 //! independently and in parallel**: the end-of-run measurement restores
@@ -17,11 +19,14 @@
 
 use crate::config::RealConfig;
 use crate::engine::{
-    live_fingerprint, make_shard, measure_recovery, shard_report, PoolJob, RealBackend, WriterPool,
+    live_fingerprint, make_shard, measure_recovery, shard_report, PoolJob, RealBackend,
 };
 use crate::report::{RealReport, RecoveryMeasurement};
+use crate::writer::spawn_writer;
 use mmoc_core::run::RunError;
-use mmoc_core::{Algorithm, RunMetrics, ShardFilter, ShardMap, ShardedDriver, TickDriver};
+use mmoc_core::{
+    Algorithm, RunMetrics, ShardFilter, ShardMap, ShardedDriver, TickDriver, WriterBackend,
+};
 use mmoc_workload::TraceSource;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -63,7 +68,10 @@ pub struct ShardedRealReport {
     pub algorithm: Algorithm,
     /// Number of shards the world was split into.
     pub n_shards: u32,
-    /// Writer-pool workers that served the shards' flush jobs.
+    /// Writer backend that executed the shards' flush jobs.
+    pub writer_backend: WriterBackend,
+    /// Writer threads that served the shards' flush jobs (pool workers,
+    /// or the batched engine's single submission/completion loop).
     pub pool_threads: usize,
     /// Global ticks executed.
     pub ticks: u64,
@@ -104,44 +112,9 @@ impl ShardedRealReport {
     }
 }
 
-/// Run one of the six algorithms over `n_shards` disjoint shards of the
-/// trace's geometry, all flush work served by one shared writer pool.
-///
-/// `make_trace` must be replayable (calling it again yields an identical
-/// stream); recovery replays each shard through a [`ShardFilter`] over a
-/// fresh instantiation, in parallel, one thread per shard. With
-/// `n_shards == 1` this is exactly [`crate::run_algorithm`] (identity
-/// shard map, historical file layout, pool of one).
-#[deprecated(
-    since = "0.2.0",
-    note = "use the unified builder with `.shards(n)`: \
-            `Run::algorithm(alg).engine(real_config).trace(…).shards(n).execute()`"
-)]
-pub fn run_algorithm_sharded<S, F>(
-    algorithm: Algorithm,
-    config: &RealConfig,
-    n_shards: u32,
-    make_trace: F,
-) -> io::Result<ShardedRealReport>
-where
-    S: TraceSource,
-    F: Fn() -> S + Sync,
-{
-    run_sharded_impl(algorithm, config, n_shards, false, make_trace).map_err(run_error_to_io)
-}
-
-/// Collapse a typed [`RunError`] into the historical `io::Error` surface
-/// of the deprecated entry points.
-pub(crate) fn run_error_to_io(e: RunError) -> io::Error {
-    match e {
-        RunError::Io(e) => e,
-        other => io::Error::other(other.to_string()),
-    }
-}
-
 /// The shared sharded run: the single definition of a real-engine
-/// experiment that every public entry point — the unified builder and the
-/// deprecated wrappers — executes.
+/// experiment that every public entry point — the unified builder, and
+/// with `n_shards == 1` the in-crate single-shard tests — executes.
 ///
 /// When [`RealConfig::paced`] is set, a single-shard run paces inside the
 /// backend (the historical sleep phase), while a multi-shard run paces
@@ -185,9 +158,14 @@ where
         built.push(backend);
     }
     let ctxs = Arc::new(ctxs);
-    let mut pool = WriterPool::spawn(Arc::clone(&ctxs), pool_threads, job_rx);
+    let mut pool = spawn_writer(
+        config.writer_backend,
+        Arc::clone(&ctxs),
+        pool_threads,
+        job_rx,
+    );
     // `backends` is declared after `pool`, so on an early `?` return it
-    // drops first, releasing its job senders before the pool joins.
+    // drops first, releasing its job senders before the writer joins.
     let mut backends: Vec<RealBackend> = built;
     drop(job_tx);
 
@@ -285,6 +263,7 @@ where
     Ok(ShardedRealReport {
         algorithm,
         n_shards,
+        writer_backend: config.writer_backend,
         pool_threads,
         ticks: run.ticks,
         updates: run.updates,

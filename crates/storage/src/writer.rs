@@ -1,0 +1,694 @@
+//! The writer seam: pluggable backends executing the shards' checkpoint
+//! flush jobs.
+//!
+//! The real engine's mutator side (`crate::engine::RealBackend`) and the
+//! asynchronous writer meet at exactly one interface: tagged flush jobs
+//! (`PoolJob`) go in through a bounded channel, one `Done` per job
+//! comes back through the owning shard's completion channel, and sweep
+//! progress is published through the shard's frontier. Everything a
+//! backend needs to execute a job lives in the shard's `ShardCtx`. The
+//! `WriterBackend` trait is that seam made explicit — extracted from the
+//! historical writer-pool worker loop so the scheduling policy can vary
+//! while `ShardCtx`/`Job` stay unchanged.
+//!
+//! Two backends implement it:
+//!
+//! * **`WriterPool`** (`thread-pool`): N worker threads pull jobs off
+//!   the shared queue and execute each one end to end — data writes, data
+//!   sync, metadata commit — before acking it. A single-shard run with one
+//!   worker is exactly the classic dedicated writer thread.
+//! * **`AsyncBatchedWriter`** (`async-batched`): an io_uring-style
+//!   submission/completion engine on a single loop thread. Each round it
+//!   coalesces *every* queued job into a batch, issues all data writes in
+//!   the **submission phase**, then — in the **completion phase** — brings
+//!   each job to its durability point (data `fsync`, then metadata commit)
+//!   and acks completions **out of submission order** (newest first).
+//!   Syncs thereby coalesce at the batch tail instead of interleaving with
+//!   writes, the way a ring's reaped CQEs trail its submitted SQEs.
+//!
+//! Both backends execute the *same* two phase functions (`submit_job`,
+//! `complete_job`); they differ only in scheduling. That shared core is
+//! what makes the recovery-equivalence contract auditable: identical job
+//! streams produce byte-identical files (pinned by the differential tests
+//! below and in `tests/writer_equivalence.rs`), because per shard the
+//! phases always run in order and the durability ordering — data sync
+//! *before* metadata commit — is a property of `complete_job`, not of
+//! the scheduler.
+//!
+//! Adding a third backend (real `io_uring` syscalls, a replicated remote
+//! store) means: implement `WriterBackend` over the two phase functions
+//! (or your own transport), add a `WriterBackendKind` variant, and wire
+//! it in `spawn_writer`; the facade, the builder's `.writer(…)` option
+//! and the comparison matrix pick it up. See DESIGN.md § "The writer
+//! backends".
+
+use crate::engine::{Done, Job, PoolJob, ShardCtx, Store};
+use mmoc_core::run::WriterBackend as WriterBackendKind;
+use mmoc_core::{CursorKind, ObjectId};
+use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The seam between the engine and its asynchronous writer: anything that
+/// drains tagged flush jobs over the shards' contexts, sends one [`Done`]
+/// per job on the owning shard's completion channel, and joins cleanly.
+///
+/// Lifecycle contract (shared with the historical pool): backends run
+/// until every job sender is dropped; callers drop their senders and then
+/// call [`WriterBackend::shutdown`] before touching the shards' files.
+pub(crate) trait WriterBackend: Send {
+    /// Join the backend's threads. Callers must have dropped every job
+    /// sender first, or this blocks forever.
+    fn shutdown(&mut self);
+}
+
+/// Spawn the writer backend `kind` selects, draining `job_rx` over the
+/// given shard contexts. `threads` sizes the thread pool; the batched
+/// engine always runs one submission/completion loop.
+pub(crate) fn spawn_writer(
+    kind: WriterBackendKind,
+    ctxs: Arc<Vec<ShardCtx>>,
+    threads: usize,
+    job_rx: crossbeam::channel::Receiver<PoolJob>,
+) -> Box<dyn WriterBackend> {
+    match kind {
+        WriterBackendKind::ThreadPool => Box::new(WriterPool::spawn(ctxs, threads, job_rx)),
+        WriterBackendKind::AsyncBatched => Box::new(AsyncBatchedWriter::spawn(ctxs, job_rx)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared execution core: submission and completion phases
+// ---------------------------------------------------------------------------
+
+/// A job whose data writes have been issued but whose durability point —
+/// data sync plus metadata commit (double backup) or log sync (log) — has
+/// not been reached yet. The window between [`submit_job`] and
+/// [`complete_job`] is exactly the "submitted but not completed" state
+/// the mid-batch crash-injection tests model: a crash here leaves the
+/// target backup invalidated (or the log tail torn) and recovery must
+/// fall back to the previous consistent image.
+pub(crate) struct InFlight {
+    shard: usize,
+    t0: Instant,
+    objects: u32,
+    recycled: Option<(Vec<u32>, Vec<u8>)>,
+    state: io::Result<PendingDurability>,
+}
+
+impl InFlight {
+    /// The shard whose store this job targets.
+    pub(crate) fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+/// What remains between a submitted job and its durability point.
+enum PendingDurability {
+    /// Double backup: objects written into `target`; the data sync and
+    /// the `commit(target, tick)` metadata write remain.
+    Double { target: usize, tick: u64 },
+    /// Log: the segment is sealed in the page cache; the log sync remains.
+    Log,
+}
+
+/// Submission phase: issue one flush job's data writes against one
+/// shard's store, durability deferred. Runs on a writer thread; `buf` is
+/// the thread's reusable object buffer. For sweep jobs the frontier is
+/// published object by object, exactly as in the historical single-phase
+/// path — frontier semantics are "read from live state and queued", not
+/// "durable", so deferral does not change the copy-on-update protocol.
+pub(crate) fn submit_job(
+    ctx: &ShardCtx,
+    store: &mut Store,
+    buf: &mut Vec<u8>,
+    shard: usize,
+    job: Job,
+) -> InFlight {
+    let obj_size = ctx.geometry.object_size as usize;
+    buf.resize(obj_size, 0);
+    let shared = &ctx.shared;
+    let t0 = Instant::now();
+    let (objects, state, recycled) = match job {
+        Job::Eager {
+            ids,
+            data,
+            seq,
+            tick,
+            target,
+            full_image,
+        } => {
+            let count = ids.len() as u32;
+            let objects = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (ObjectId(id), &data[i * obj_size..][..obj_size]));
+            let state = match store {
+                Store::Double(set) => (|| {
+                    set.invalidate(target)?;
+                    for (obj, bytes) in objects {
+                        // Sorted I/O: ids are in increasing offset order.
+                        set.write_object(target, obj, bytes)?;
+                    }
+                    Ok(PendingDurability::Double { target, tick })
+                })(),
+                Store::Log(log) => log
+                    .append_segment(seq, tick, full_image, objects, false)
+                    .map(|_| PendingDurability::Log),
+            };
+            (count, state, Some((ids, data)))
+        }
+        Job::Sweep {
+            list,
+            cursor,
+            seq,
+            tick,
+            target,
+            full_image,
+        } => {
+            let count = list.len() as u32;
+            // Read one object under the copy-on-update protocol:
+            // lock, prefer the saved pre-update image, mark flushed.
+            let read_object = |o: u32, buf: &mut [u8]| {
+                let obj = ObjectId(o);
+                let _guard = shared.locks[o as usize].lock();
+                if shared.copied.get(o) {
+                    shared.read_arena_into(obj, buf);
+                } else {
+                    shared.table.read_object_into(obj, buf);
+                }
+                shared.flushed.set(o);
+            };
+            // Publish progress *after* the object is read and queued:
+            // the frontier must under-approximate what is flushed, so
+            // a racing update copies once too often, never too rarely.
+            let publish = |position: usize, o: u32| {
+                let slots = match cursor {
+                    CursorKind::ByIndex => u64::from(o) + 1,
+                    CursorKind::ByPosition => position as u64 + 1,
+                };
+                ctx.frontier.store(slots, Ordering::Release);
+            };
+            let state = match store {
+                Store::Double(set) => (|| {
+                    set.invalidate(target)?;
+                    for (p, &o) in list.iter().enumerate() {
+                        read_object(o, buf);
+                        set.write_object(target, ObjectId(o), buf)?;
+                        publish(p, o);
+                    }
+                    Ok(PendingDurability::Double { target, tick })
+                })(),
+                Store::Log(log) => (|| {
+                    let mut seg = log.begin_segment(seq, tick, full_image)?;
+                    for (p, &o) in list.iter().enumerate() {
+                        read_object(o, buf);
+                        seg.write_object(ObjectId(o), buf)?;
+                        publish(p, o);
+                    }
+                    seg.finish(false).map(|_| PendingDurability::Log)
+                })(),
+            };
+            (count, state, None)
+        }
+    };
+    InFlight {
+        shard,
+        t0,
+        objects,
+        recycled,
+        state,
+    }
+}
+
+/// Completion phase: bring a submitted job to its durability point — data
+/// `fsync` *before* metadata commit, the ordering the double-backup
+/// correctness argument rests on — and assemble its [`Done`]. The job is
+/// only acked to the mutator after this returns.
+pub(crate) fn complete_job(ctx: &ShardCtx, store: &mut Store, inflight: InFlight) -> Done {
+    let InFlight {
+        shard: _,
+        t0,
+        objects,
+        recycled,
+        state,
+    } = inflight;
+    let result = state.and_then(|pending| match (pending, &mut *store) {
+        (PendingDurability::Double { target, tick }, Store::Double(set)) => {
+            if ctx.sync_data {
+                set.sync(target)?;
+            }
+            set.commit(target, tick)
+        }
+        (PendingDurability::Log, Store::Log(log)) => {
+            if ctx.sync_data {
+                log.sync()?;
+            }
+            Ok(())
+        }
+        _ => unreachable!("pending durability matches the shard's disk organization"),
+    });
+    Done {
+        result: result.map(|()| t0.elapsed().as_secs_f64()),
+        objects,
+        bytes: u64::from(objects) * u64::from(ctx.geometry.object_size),
+        recycled,
+    }
+}
+
+/// Both phases back to back: the thread-pool path, identical to the
+/// historical single-phase `execute_job`.
+pub(crate) fn execute_job(
+    ctx: &ShardCtx,
+    store: &mut Store,
+    buf: &mut Vec<u8>,
+    shard: usize,
+    job: Job,
+) -> Done {
+    let inflight = submit_job(ctx, store, buf, shard, job);
+    complete_job(ctx, store, inflight)
+}
+
+// ---------------------------------------------------------------------------
+// Backend 1: the thread pool
+// ---------------------------------------------------------------------------
+
+/// The shared pool of writer workers serving all shards' checkpoint work.
+///
+/// Workers pull tagged jobs off one queue; any worker can flush any
+/// shard (the shard's store sits behind an uncontended mutex). With one
+/// shard and one worker this degenerates to the classic dedicated writer
+/// thread. Capacity-wise the queue never backs up beyond one job per
+/// shard, because the driver keeps at most one checkpoint in flight per
+/// shard.
+pub(crate) struct WriterPool {
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WriterPool {
+    /// Spawn `threads` workers draining `job_rx` over the given shard
+    /// contexts. Workers exit when every job sender has been dropped.
+    pub(crate) fn spawn(
+        ctxs: Arc<Vec<ShardCtx>>,
+        threads: usize,
+        job_rx: crossbeam::channel::Receiver<PoolJob>,
+    ) -> WriterPool {
+        // The shim's Receiver is not clonable; a mutex-guarded receiver
+        // gives the same one-waiter-at-a-time handoff a shared MPMC
+        // queue would.
+        let job_rx = Arc::new(parking_lot::Mutex::new(job_rx));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let ctxs = Arc::clone(&ctxs);
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    loop {
+                        let next = { job_rx.lock().recv() };
+                        let Ok(PoolJob { shard, job }) = next else {
+                            break;
+                        };
+                        let ctx = &ctxs[shard];
+                        let mut store = ctx.store.lock();
+                        let done = execute_job(ctx, &mut store, &mut buf, shard, job);
+                        let _ = ctx.done_tx.send(done);
+                    }
+                })
+            })
+            .collect();
+        WriterPool { workers }
+    }
+}
+
+impl WriterBackend for WriterPool {
+    fn shutdown(&mut self) {
+        for w in self.workers.drain(..) {
+            w.join().expect("writer pool worker");
+        }
+    }
+}
+
+impl Drop for WriterPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend 2: the io_uring-style batched submission engine
+// ---------------------------------------------------------------------------
+
+/// Single-loop batched-submission writer: coalesce every queued job into
+/// a batch, submit all data writes, then complete (sync + commit) and ack
+/// out of submission order. See the module docs for the model.
+pub(crate) struct AsyncBatchedWriter {
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AsyncBatchedWriter {
+    /// Spawn the submission/completion loop draining `job_rx` over the
+    /// given shard contexts. The loop exits when every job sender has
+    /// been dropped and the queue is empty.
+    pub(crate) fn spawn(
+        ctxs: Arc<Vec<ShardCtx>>,
+        job_rx: crossbeam::channel::Receiver<PoolJob>,
+    ) -> AsyncBatchedWriter {
+        let handle = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            // Block for the first job, then coalesce everything that is
+            // already queued: one batch per loop round. The driver keeps
+            // at most one checkpoint in flight per shard, so a batch
+            // holds at most one job per shard and per-shard job order is
+            // trivially preserved.
+            while let Ok(first) = job_rx.recv() {
+                let mut batch = vec![first];
+                while let Ok(job) = job_rx.try_recv() {
+                    batch.push(job);
+                }
+                // Submission phase: issue every job's data writes;
+                // durability is deferred to the completion phase.
+                let mut completion_queue: Vec<InFlight> = batch
+                    .into_iter()
+                    .map(|PoolJob { shard, job }| {
+                        let ctx = &ctxs[shard];
+                        let mut store = ctx.store.lock();
+                        submit_job(ctx, &mut store, &mut buf, shard, job)
+                    })
+                    .collect();
+                // Completion phase: reap out of submission order (newest
+                // first — deliberately not FIFO, so consumers cannot grow
+                // an accidental ordering dependency), reaching each job's
+                // durability point before acking it.
+                while let Some(inflight) = completion_queue.pop() {
+                    let ctx = &ctxs[inflight.shard()];
+                    let mut store = ctx.store.lock();
+                    let done = complete_job(ctx, &mut store, inflight);
+                    let _ = ctx.done_tx.send(done);
+                }
+            }
+        });
+        AsyncBatchedWriter {
+            handle: Some(handle),
+        }
+    }
+}
+
+impl WriterBackend for AsyncBatchedWriter {
+    fn shutdown(&mut self) {
+        if let Some(h) = self.handle.take() {
+            h.join().expect("batched writer loop");
+        }
+    }
+}
+
+impl Drop for AsyncBatchedWriter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Deterministic differential tests at the job-stream level: both
+    //! backends are fed *identical* flush-job sequences over identical
+    //! shard contexts and must leave byte-identical files. (End-to-end
+    //! runs cannot pin file bytes — checkpoint cadence depends on
+    //! wall-clock races — so the byte-level half of the equivalence
+    //! matrix lives here, and the recovered-state half lives in
+    //! `tests/writer_equivalence.rs`.)
+
+    use super::*;
+    use crate::engine::create_store;
+    use crate::shared::{Shared, SharedTable};
+    use mmoc_core::{CellUpdate, DiskOrg, StateGeometry};
+    use std::path::Path;
+    use std::sync::atomic::AtomicU64;
+
+    fn geometry() -> StateGeometry {
+        StateGeometry::test_micro() // 4 objects of 64 B
+    }
+
+    /// Build one shard's context + store over `dir`, with a seeded live
+    /// table so sweep jobs read non-trivial bytes.
+    fn make_ctx(
+        dir: &Path,
+        disk_org: DiskOrg,
+        seed: u32,
+    ) -> (ShardCtx, crossbeam::channel::Receiver<Done>) {
+        let g = geometry();
+        let table = SharedTable::new(g);
+        for i in 0..g.rows {
+            for c in 0..g.cols {
+                table.write_cell(CellUpdate::new(i, c, seed.wrapping_mul(31) ^ (i * 8 + c)));
+            }
+        }
+        let shared = Arc::new(Shared::new(table));
+        let store = create_store(dir, g, disk_org).unwrap();
+        let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(1);
+        let ctx = ShardCtx {
+            store: parking_lot::Mutex::new(store),
+            shared,
+            frontier: Arc::new(AtomicU64::new(0)),
+            geometry: g,
+            sync_data: true,
+            done_tx,
+        };
+        (ctx, done_rx)
+    }
+
+    /// A deterministic job stream: alternating eager and sweep jobs per
+    /// shard, jobs for all shards interleaved so the batched engine sees
+    /// real multi-job batches.
+    fn job_stream(n_shards: usize) -> Vec<(usize, Job)> {
+        let g = geometry();
+        let obj_size = g.object_size as usize;
+        let mut jobs = Vec::new();
+        for round in 0u64..4 {
+            for shard in 0..n_shards {
+                let fill = (round as u8) * 16 + shard as u8 + 1;
+                let job = if round % 2 == 0 {
+                    let ids: Vec<u32> = (0..g.n_objects()).step_by(2).collect();
+                    let data = vec![fill; ids.len() * obj_size];
+                    Job::Eager {
+                        ids,
+                        data,
+                        seq: round,
+                        tick: round * 10 + 1,
+                        target: (round / 2 % 2) as usize,
+                        full_image: false,
+                    }
+                } else {
+                    Job::Sweep {
+                        list: (0..g.n_objects()).collect(),
+                        cursor: CursorKind::ByIndex,
+                        seq: round,
+                        tick: round * 10 + 1,
+                        target: (round / 2 % 2) as usize,
+                        full_image: true,
+                    }
+                };
+                jobs.push((shard, job));
+            }
+        }
+        jobs
+    }
+
+    /// Drive one backend over the stream: send each round's jobs (one per
+    /// shard — the driver's one-in-flight-per-shard invariant), then wait
+    /// for that round's completions before the next round.
+    fn drive(
+        kind: WriterBackendKind,
+        dirs: &[std::path::PathBuf],
+        disk_org: DiskOrg,
+    ) -> Vec<io::Result<f64>> {
+        let n = dirs.len();
+        let mut ctxs = Vec::new();
+        let mut done_rxs = Vec::new();
+        for (s, dir) in dirs.iter().enumerate() {
+            let (ctx, rx) = make_ctx(dir, disk_org, s as u32);
+            ctxs.push(ctx);
+            done_rxs.push(rx);
+        }
+        let ctxs = Arc::new(ctxs);
+        let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(n);
+        let mut backend = spawn_writer(kind, Arc::clone(&ctxs), 2, job_rx);
+        let mut results = Vec::new();
+        let stream = job_stream(n);
+        for round in stream.chunks(n) {
+            for (shard, job) in round {
+                // Reset per-checkpoint protocol state as the mutator would.
+                ctxs[*shard].shared.reset_for_checkpoint();
+                ctxs[*shard].frontier.store(0, Ordering::Release);
+                job_tx
+                    .send(PoolJob {
+                        shard: *shard,
+                        job: job.clone(),
+                    })
+                    .unwrap();
+            }
+            for rx in &done_rxs {
+                results.push(rx.recv().unwrap().result);
+            }
+        }
+        drop(job_tx);
+        backend.shutdown();
+        results
+    }
+
+    fn file_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// The differential core: identical job streams through both backends
+    /// leave byte-identical files (images, metadata, logs) on every shard,
+    /// for both disk organizations.
+    #[test]
+    fn identical_job_streams_leave_byte_identical_files() {
+        for disk_org in [DiskOrg::DoubleBackup, DiskOrg::Log] {
+            for n_shards in [1usize, 3] {
+                let root = tempfile::tempdir().unwrap();
+                let dirs_for = |label: &str| -> Vec<std::path::PathBuf> {
+                    (0..n_shards)
+                        .map(|s| root.path().join(format!("{label}_{s}")))
+                        .collect()
+                };
+                let pool_dirs = dirs_for("pool");
+                let batch_dirs = dirs_for("batch");
+                let pool_results = drive(WriterBackendKind::ThreadPool, &pool_dirs, disk_org);
+                let batch_results = drive(WriterBackendKind::AsyncBatched, &batch_dirs, disk_org);
+                for r in pool_results.iter().chain(&batch_results) {
+                    assert!(r.is_ok(), "{disk_org:?} x{n_shards}: {r:?}");
+                }
+                for s in 0..n_shards {
+                    let pool = file_bytes(&pool_dirs[s]);
+                    let batch = file_bytes(&batch_dirs[s]);
+                    assert_eq!(
+                        pool.len(),
+                        batch.len(),
+                        "{disk_org:?} x{n_shards} shard {s}: file sets differ"
+                    );
+                    for ((pn, pb), (bn, bb)) in pool.iter().zip(&batch) {
+                        assert_eq!(pn, bn, "{disk_org:?} shard {s}: file names");
+                        assert_eq!(
+                            pb, bb,
+                            "{disk_org:?} x{n_shards} shard {s}: {pn} bytes diverge"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The batched engine acks a multi-shard batch out of submission
+    /// order: submit jobs for 3 shards in one batch and observe shard 2's
+    /// completion arriving no later than shard 0's (newest-first reaping).
+    #[test]
+    fn batched_engine_acks_out_of_submission_order() {
+        let root = tempfile::tempdir().unwrap();
+        let n = 3usize;
+        let mut ctxs = Vec::new();
+        let mut done_rxs = Vec::new();
+        for s in 0..n {
+            let (ctx, rx) = make_ctx(
+                &root.path().join(format!("s{s}")),
+                DiskOrg::DoubleBackup,
+                s as u32,
+            );
+            ctxs.push(ctx);
+            done_rxs.push(rx);
+        }
+        let ctxs = Arc::new(ctxs);
+        let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(n);
+        // Queue the whole batch *before* spawning the loop, so one round
+        // provably coalesces all three jobs.
+        let g = geometry();
+        for (shard, _) in (0..n).map(|s| (s, ())) {
+            let ids: Vec<u32> = (0..g.n_objects()).collect();
+            let data = vec![shard as u8 + 1; ids.len() * g.object_size as usize];
+            job_tx
+                .send(PoolJob {
+                    shard,
+                    job: Job::Eager {
+                        ids,
+                        data,
+                        seq: 0,
+                        tick: 1,
+                        target: 0,
+                        full_image: true,
+                    },
+                })
+                .unwrap();
+        }
+        let mut backend = AsyncBatchedWriter::spawn(Arc::clone(&ctxs), job_rx);
+        // Completion within the batch is newest-first. Each job's
+        // reported duration spans its own submission through its own
+        // completion, so shard 0 — submitted first, completed last —
+        // spans the entire batch (three fsync-bound completions), while
+        // shard 2 — submitted last, completed first — spans roughly one.
+        // FIFO reaping would invert the relation.
+        let durations: Vec<f64> = done_rxs
+            .iter()
+            .map(|rx| rx.recv().unwrap().result.unwrap())
+            .collect();
+        assert!(
+            durations[2] < durations[0],
+            "newest-first reaping: shard 2's span ({}) must be shorter \
+             than shard 0's ({})",
+            durations[2],
+            durations[0]
+        );
+        drop(job_tx);
+        backend.shutdown();
+    }
+
+    /// A crash between submission and completion (the mid-batch window)
+    /// leaves the double-backup target invalidated but the *other* backup
+    /// untouched — the fallback the recovery path depends on. Modeled by
+    /// dropping the in-flight job without completing it.
+    #[test]
+    fn mid_batch_crash_window_preserves_the_other_backup() {
+        let root = tempfile::tempdir().unwrap();
+        let (ctx, _done_rx) = make_ctx(root.path(), DiskOrg::DoubleBackup, 7);
+        let g = geometry();
+        let ids: Vec<u32> = (0..g.n_objects()).collect();
+        let data = vec![0xAB; ids.len() * g.object_size as usize];
+        let mut store = ctx.store.lock();
+        let mut buf = Vec::new();
+        let inflight = submit_job(
+            &ctx,
+            &mut store,
+            &mut buf,
+            0,
+            Job::Eager {
+                ids,
+                data,
+                seq: 0,
+                tick: 9,
+                target: 1,
+                full_image: true,
+            },
+        );
+        // "Crash": the job is submitted, never completed.
+        drop(inflight);
+        drop(store);
+        drop(ctx);
+        let set = crate::files::BackupSet::open(root.path(), g).unwrap();
+        assert_eq!(
+            set.newest_consistent(),
+            Some((0, 0)),
+            "target 1 must be invalidated, backup 0 (boot image) intact"
+        );
+    }
+}

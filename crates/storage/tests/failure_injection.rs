@@ -3,17 +3,21 @@
 //! corrupted files — by falling back to the other (still consistent)
 //! backup. "Checkpoints alternate between the two backups to ensure that
 //! at all times there is at least one consistent image on the disk" (§3.2).
+//!
+//! The suite covers both writer backends: engine-level runs go through
+//! the unified `Run` builder (picking up the process-wide
+//! `MMOC_WRITER_BACKEND` default, which is how CI's backend matrix runs
+//! this whole file under each backend), and a dedicated matrix pins the
+//! async batched-submission engine's **mid-batch** crash window —
+//! submitted-but-not-completed jobs — for all six algorithms.
 
-// The legacy entry points stay exercised until their removal (the
-// unified-builder coverage lives in tests/builder_equivalence.rs).
-#![allow(deprecated)]
-
-use mmoc_core::{CellUpdate, ObjectId, StateGeometry, StateTable};
+use mmoc_core::{
+    Algorithm, CellUpdate, DiskOrg, ObjectId, Run, RunReport, ShardFilter, ShardMap, StateGeometry,
+    StateTable, TraceSpec, WriterBackend,
+};
 use mmoc_storage::files::BackupSet;
 use mmoc_storage::recovery::{recover_and_replay, recover_and_replay_log};
-use mmoc_storage::{
-    run_atomic_copy, run_copy_on_update, run_dribble, run_naive_snapshot, RealConfig,
-};
+use mmoc_storage::{shard_dir, RealConfig};
 use mmoc_workload::{RecordedTrace, SyntheticConfig, TraceSource};
 
 fn geometry() -> StateGeometry {
@@ -26,6 +30,29 @@ fn image_with(fill: u8) -> Vec<u8> {
 
 fn empty_trace(ticks: usize) -> RecordedTrace {
     RecordedTrace::new(geometry(), vec![Vec::new(); ticks])
+}
+
+/// Run one algorithm on the real engine through the builder (single
+/// shard, lightly paced so the fsync-bound writer completes several
+/// checkpoints within the run).
+fn run_real(alg: Algorithm, config: RealConfig, trace: impl TraceSpec) -> RunReport {
+    Run::algorithm(alg)
+        .engine(config)
+        .trace(trace)
+        .execute()
+        .unwrap_or_else(|e| panic!("{alg}: {e}"))
+}
+
+/// Ground truth: the state after applying the full trace.
+fn truth_of(mut src: impl TraceSource) -> StateTable {
+    let mut truth = StateTable::new(src.geometry()).unwrap();
+    let mut buf = Vec::new();
+    while src.next_tick(&mut buf) {
+        for &u in &buf {
+            truth.apply_unchecked(u);
+        }
+    }
+    truth
 }
 
 /// Crash *during* a checkpoint write: the target backup was invalidated
@@ -134,16 +161,17 @@ fn engine_recovers_after_losing_newest_checkpoint() {
         skew: 0.7,
         seed: 99,
     };
-    // Pace lightly so the fsync-bound writer completes several
-    // checkpoints within the run.
-    let report = run_copy_on_update(
-        &RealConfig::new(dir.path())
+    let report = run_real(
+        Algorithm::CopyOnUpdate,
+        RealConfig::new(dir.path())
             .without_recovery()
             .paced_at_hz(400.0),
-        || trace.build(),
-    )
-    .unwrap();
-    assert!(report.checkpoints_completed >= 2, "need two checkpoints");
+        trace,
+    );
+    assert!(
+        report.world.checkpoints_completed >= 2,
+        "need two checkpoints"
+    );
 
     // Identify and destroy the newest backup's metadata.
     let g = trace.geometry;
@@ -159,15 +187,10 @@ fn engine_recovers_after_losing_newest_checkpoint() {
     assert!(rec.from_tick < newest_tick);
 
     // Compare against the ground truth: apply the full trace.
-    let mut truth = StateTable::new(g).unwrap();
-    let mut src = trace.build();
-    let mut buf = Vec::new();
-    while src.next_tick(&mut buf) {
-        for &u in &buf {
-            truth.apply_unchecked(u);
-        }
-    }
-    assert_eq!(rec.table.fingerprint(), truth.fingerprint());
+    assert_eq!(
+        rec.table.fingerprint(),
+        truth_of(trace.build()).fingerprint()
+    );
 }
 
 /// The same resilience for the Naive engine.
@@ -181,14 +204,14 @@ fn naive_engine_recovers_after_meta_loss() {
         skew: 0.5,
         seed: 5,
     };
-    let report = run_naive_snapshot(
-        &RealConfig::new(dir.path())
+    let report = run_real(
+        Algorithm::NaiveSnapshot,
+        RealConfig::new(dir.path())
             .without_recovery()
             .paced_at_hz(400.0),
-        || trace.build(),
-    )
-    .unwrap();
-    assert!(report.checkpoints_completed >= 2);
+        trace,
+    );
+    assert!(report.world.checkpoints_completed >= 2);
 
     let g = trace.geometry;
     let set = BackupSet::open(dir.path(), g).unwrap();
@@ -197,15 +220,10 @@ fn naive_engine_recovers_after_meta_loss() {
     std::fs::remove_file(dir.path().join(format!("backup_{newest}.meta"))).unwrap();
 
     let rec = recover_and_replay(dir.path(), g, &mut trace.build(), 30).unwrap();
-    let mut truth = StateTable::new(g).unwrap();
-    let mut src = trace.build();
-    let mut buf = Vec::new();
-    while src.next_tick(&mut buf) {
-        for &u in &buf {
-            truth.apply_unchecked(u);
-        }
-    }
-    assert_eq!(rec.table.fingerprint(), truth.fingerprint());
+    assert_eq!(
+        rec.table.fingerprint(),
+        truth_of(trace.build()).fingerprint()
+    );
 }
 
 /// Crash injection for the real Atomic-Copy-Dirty-Objects engine (one of
@@ -222,14 +240,17 @@ fn acdo_engine_recovers_after_losing_newest_checkpoint() {
         skew: 0.7,
         seed: 77,
     };
-    let report = run_atomic_copy(
-        &RealConfig::new(dir.path())
+    let report = run_real(
+        Algorithm::AtomicCopyDirtyObjects,
+        RealConfig::new(dir.path())
             .without_recovery()
             .paced_at_hz(400.0),
-        || trace.build(),
-    )
-    .unwrap();
-    assert!(report.checkpoints_completed >= 2, "need two checkpoints");
+        trace,
+    );
+    assert!(
+        report.world.checkpoints_completed >= 2,
+        "need two checkpoints"
+    );
 
     let g = trace.geometry;
     let set = BackupSet::open(dir.path(), g).unwrap();
@@ -239,16 +260,10 @@ fn acdo_engine_recovers_after_losing_newest_checkpoint() {
 
     let rec = recover_and_replay(dir.path(), g, &mut trace.build(), 40).unwrap();
     assert!(rec.from_tick < newest_tick);
-
-    let mut truth = StateTable::new(g).unwrap();
-    let mut src = trace.build();
-    let mut buf = Vec::new();
-    while src.next_tick(&mut buf) {
-        for &u in &buf {
-            truth.apply_unchecked(u);
-        }
-    }
-    assert_eq!(rec.table.fingerprint(), truth.fingerprint());
+    assert_eq!(
+        rec.table.fingerprint(),
+        truth_of(trace.build()).fingerprint()
+    );
 }
 
 /// Crash injection for the real Dribble-and-Copy-on-Update engine (the
@@ -265,14 +280,14 @@ fn dribble_engine_recovers_after_torn_log_tail() {
         skew: 0.7,
         seed: 88,
     };
-    let report = run_dribble(
-        &RealConfig::new(dir.path())
+    let report = run_real(
+        Algorithm::DribbleAndCopyOnUpdate,
+        RealConfig::new(dir.path())
             .without_recovery()
             .paced_at_hz(400.0),
-        || trace.build(),
-    )
-    .unwrap();
-    assert!(report.checkpoints_completed >= 2, "need two sweeps");
+        trace,
+    );
+    assert!(report.world.checkpoints_completed >= 2, "need two sweeps");
 
     // Chop bytes off the log: the final segment becomes a torn tail, as
     // if the crash had hit mid-append.
@@ -284,18 +299,9 @@ fn dribble_engine_recovers_after_torn_log_tail() {
 
     let g = trace.geometry;
     let rec = recover_and_replay_log(dir.path(), g, &mut trace.build(), 40).unwrap();
-
-    let mut truth = StateTable::new(g).unwrap();
-    let mut src = trace.build();
-    let mut buf = Vec::new();
-    while src.next_tick(&mut buf) {
-        for &u in &buf {
-            truth.apply_unchecked(u);
-        }
-    }
     assert_eq!(
         rec.table.fingerprint(),
-        truth.fingerprint(),
+        truth_of(trace.build()).fingerprint(),
         "torn-tail recovery must still reach the crash state via replay"
     );
 }
@@ -306,32 +312,27 @@ fn dribble_engine_recovers_after_torn_log_tail() {
 /// anchor on the last complete full flush.)
 #[test]
 fn log_algorithms_recover_when_final_segments_are_torn() {
-    use mmoc_core::Algorithm;
     for alg in [
         Algorithm::DribbleAndCopyOnUpdate,
         Algorithm::CopyOnUpdatePartialRedo,
     ] {
         let name = alg.short_name();
         let dir = tempfile::tempdir().unwrap();
-        fn make_trace() -> mmoc_workload::ZipfTrace {
-            SyntheticConfig {
-                geometry: StateGeometry::small(256, 8),
-                ticks: 30,
-                updates_per_tick: 200,
-                skew: 0.6,
-                seed: 2024,
-            }
-            .build()
-        }
-        let report = mmoc_storage::run_algorithm(
+        let trace = SyntheticConfig {
+            geometry: StateGeometry::small(256, 8),
+            ticks: 30,
+            updates_per_tick: 200,
+            skew: 0.6,
+            seed: 2024,
+        };
+        let report = run_real(
             alg,
-            &RealConfig::new(dir.path())
+            RealConfig::new(dir.path())
                 .without_recovery()
                 .paced_at_hz(400.0),
-            make_trace,
-        )
-        .unwrap();
-        assert!(report.checkpoints_completed >= 2, "{name}");
+            trace,
+        );
+        assert!(report.world.checkpoints_completed >= 2, "{name}");
 
         // Tear a large tail chunk: possibly several segments.
         let path = dir.path().join("checkpoint.log");
@@ -340,18 +341,14 @@ fn log_algorithms_recover_when_final_segments_are_torn() {
         f.set_len(len.saturating_sub(len / 4).max(100)).unwrap();
         drop(f);
 
-        let g = make_trace().geometry();
-        let rec = recover_and_replay_log(dir.path(), g, &mut make_trace(), 30)
+        let g = trace.geometry;
+        let rec = recover_and_replay_log(dir.path(), g, &mut trace.build(), 30)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let mut truth = StateTable::new(g).unwrap();
-        let mut src = make_trace();
-        let mut buf = Vec::new();
-        while src.next_tick(&mut buf) {
-            for &u in &buf {
-                truth.apply_unchecked(u);
-            }
-        }
-        assert_eq!(rec.table.fingerprint(), truth.fingerprint(), "{name}");
+        assert_eq!(
+            rec.table.fingerprint(),
+            truth_of(trace.build()).fingerprint(),
+            "{name}"
+        );
     }
 }
 
@@ -370,7 +367,114 @@ fn object_boundary_updates_persist_correctly() {
         3
     ];
     let trace = RecordedTrace::new(g, ticks);
-    let report = run_copy_on_update(&RealConfig::new(dir.path()), || trace.replay()).unwrap();
-    let rec = report.recovery.unwrap();
-    assert!(rec.state_matches);
+    let report = run_real(
+        Algorithm::CopyOnUpdate,
+        RealConfig::new(dir.path()),
+        mmoc_core::TraceFn(|| trace.replay()),
+    );
+    assert_eq!(report.verified_consistent(), Some(true));
+}
+
+// ---------------------------------------------------------------------------
+// Mid-batch crash injection for the async batched-submission backend
+// ---------------------------------------------------------------------------
+
+/// The batched engine's crash window is the gap between a job's
+/// **submission** (data writes issued: the double-backup target is
+/// invalidated and overwritten, or a log segment is appended to the page
+/// cache) and its **completion** (data sync, then metadata commit /
+/// log sync). A crash inside a batch leaves every submitted-but-not-
+/// completed job in exactly the state these injections construct:
+///
+/// * double backup — the target's metadata is gone (invalidated at
+///   submission, never re-committed), its image torn;
+/// * log — the newest segment is a torn tail (sealed in the page cache,
+///   never synced; `set_len` models the partial writeback a crash
+///   leaves).
+///
+/// For all six algorithms, over a 4-shard world (so batches genuinely
+/// hold several shards' jobs), recovery must fall back to each shard's
+/// previous consistent image and replay to the exact crash state.
+#[test]
+fn async_backend_recovers_from_mid_batch_crashes_for_all_algorithms() {
+    let trace = SyntheticConfig {
+        geometry: StateGeometry::test_small(),
+        ticks: 30,
+        updates_per_tick: 300,
+        skew: 0.7,
+        seed: 616,
+    };
+    const N: usize = 4;
+    let map = ShardMap::new(trace.geometry, N as u32).unwrap();
+    for alg in Algorithm::ALL {
+        let dir = tempfile::tempdir().unwrap();
+        let report = Run::algorithm(alg)
+            .engine(
+                RealConfig::new(dir.path())
+                    .without_recovery()
+                    .with_query_ops(64),
+            )
+            .trace(trace)
+            .shards(N as u32)
+            .writer(WriterBackend::AsyncBatched)
+            .execute()
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        for (s, shard) in report.shards.iter().enumerate() {
+            assert!(
+                shard.summary.checkpoints_completed >= 1,
+                "{alg} shard {s} needs history"
+            );
+        }
+
+        // Inject the mid-batch crash on *every* shard: the whole batch
+        // was submitted, none of it completed.
+        for s in 0..N {
+            let sdir = shard_dir(dir.path(), s, N);
+            match alg.spec().disk_org {
+                DiskOrg::DoubleBackup => {
+                    let g = map.shard_geometry(s);
+                    let mut set = BackupSet::open(&sdir, g).unwrap();
+                    let (newest, _) = set.newest_consistent().expect("consistent backup");
+                    // The *older* backup is the next target: invalidate it
+                    // and scribble over its image, exactly what a
+                    // submitted-but-uncommitted eager/sweep job leaves.
+                    let target = 1 - newest;
+                    set.invalidate(target).unwrap();
+                    for obj in 0..g.n_objects() / 2 {
+                        set.write_object(target, ObjectId(obj), &[0xEEu8; 64])
+                            .unwrap();
+                    }
+                    drop(set);
+                }
+                DiskOrg::Log => {
+                    // A submitted-but-unsynced segment survives only
+                    // partially: tear the tail.
+                    let path = sdir.join("checkpoint.log");
+                    let len = std::fs::metadata(&path).unwrap().len();
+                    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+                    f.set_len(len.saturating_sub(90).max(10)).unwrap();
+                    drop(f);
+                }
+            }
+        }
+
+        // Every shard recovers alone from its previous consistent image
+        // plus replay of its slice, reaching the exact crash state.
+        for s in 0..N {
+            let sdir = shard_dir(dir.path(), s, N);
+            let g = map.shard_geometry(s);
+            let mut replay = ShardFilter::new(trace.build(), map.clone(), s);
+            let rec = match alg.spec().disk_org {
+                DiskOrg::DoubleBackup => recover_and_replay(&sdir, g, &mut replay, 30),
+                DiskOrg::Log => recover_and_replay_log(&sdir, g, &mut replay, 30),
+            }
+            .unwrap_or_else(|e| panic!("{alg} shard {s}: {e}"));
+            let truth = truth_of(ShardFilter::new(trace.build(), map.clone(), s));
+            assert_eq!(
+                rec.table.fingerprint(),
+                truth.fingerprint(),
+                "{alg} shard {s}: mid-batch crash recovery diverged"
+            );
+        }
+    }
 }

@@ -4,14 +4,10 @@
 //! restorable, which is the whole point of making the recovery machinery
 //! shard-aware.
 
-// The legacy entry points stay exercised until their removal (the
-// unified-builder coverage lives in tests/builder_equivalence.rs).
-#![allow(deprecated)]
-
-use mmoc_core::{Algorithm, ShardFilter, ShardMap, StateGeometry, StateTable};
+use mmoc_core::{Algorithm, Run, ShardFilter, ShardMap, StateGeometry, StateTable};
 use mmoc_storage::files::BackupSet;
 use mmoc_storage::recovery::{recover_and_replay, recover_and_replay_log};
-use mmoc_storage::{run_algorithm_sharded, shard_dir, RealConfig};
+use mmoc_storage::{shard_dir, RealConfig};
 use mmoc_workload::{SyntheticConfig, TraceSource};
 
 const N_SHARDS: usize = 4;
@@ -49,17 +45,19 @@ fn one_dead_shard_recovers_alone_on_double_backups() {
     let dir = tempfile::tempdir().unwrap();
     let map = ShardMap::new(trace_config().geometry, N_SHARDS as u32).unwrap();
 
-    let report = run_algorithm_sharded(
-        Algorithm::CopyOnUpdate,
-        &RealConfig::new(dir.path()).without_recovery(),
-        N_SHARDS as u32,
-        || trace_config().build(),
-    )
-    .unwrap();
+    let report = Run::algorithm(Algorithm::CopyOnUpdate)
+        .engine(RealConfig::new(dir.path()).without_recovery())
+        .trace(trace_config())
+        .shards(N_SHARDS as u32)
+        .execute()
+        .unwrap();
     // Every shard has committed at least its drained final checkpoint;
     // the boot-time image guarantees a fallback anchor either way.
     for (s, shard) in report.shards.iter().enumerate() {
-        assert!(shard.checkpoints_completed >= 1, "shard {s} needs history");
+        assert!(
+            shard.summary.checkpoints_completed >= 1,
+            "shard {s} needs history"
+        );
     }
 
     // Record every healthy shard's newest consistent tick before the
@@ -118,17 +116,19 @@ fn one_torn_log_shard_recovers_alone() {
     let dir = tempfile::tempdir().unwrap();
     let map = ShardMap::new(trace_config().geometry, N_SHARDS as u32).unwrap();
 
-    let report = run_algorithm_sharded(
-        Algorithm::DribbleAndCopyOnUpdate,
-        &RealConfig::new(dir.path()).without_recovery(),
-        N_SHARDS as u32,
-        || trace_config().build(),
-    )
-    .unwrap();
+    let report = Run::algorithm(Algorithm::DribbleAndCopyOnUpdate)
+        .engine(RealConfig::new(dir.path()).without_recovery())
+        .trace(trace_config())
+        .shards(N_SHARDS as u32)
+        .execute()
+        .unwrap();
     // At least the drained final sweep is in every shard's log, beyond
     // the boot-time full image that anchors worst-case recovery.
     for (s, shard) in report.shards.iter().enumerate() {
-        assert!(shard.checkpoints_completed >= 1, "shard {s} needs sweeps");
+        assert!(
+            shard.summary.checkpoints_completed >= 1,
+            "shard {s} needs sweeps"
+        );
     }
 
     // Chop bytes off shard 1's log only: a torn tail, as if the crash

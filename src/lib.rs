@@ -64,17 +64,14 @@ pub mod prelude {
         CheckpointImage, CheckpointPlan, DiskOrg, EngineDetail, ExperimentEngine, FidelitySummary,
         ObjectId, RecoveryReport, Run, RunError, RunMetrics, RunReport, RunSpec, RunSummary,
         ShardFilter, ShardMap, ShardReport, ShardedDriver, StateGeometry, StateTable, TickDriver,
-        TraceFn, TraceSpec,
+        TraceFn, TraceSpec, WriterBackend,
     };
     pub use mmoc_game::{GameConfig, GameServer, World};
-    pub use mmoc_sim::{HardwareParams, ShardedSimReport, SimConfig, SimEngine, SimReport};
-    pub use mmoc_storage::{RealConfig, RealReport, ShardedRealReport};
+    // Engine-native report types (SimReport, ShardedRealReport, …) left
+    // the prelude with the pre-builder entry points that returned them:
+    // `RunReport` is the one result shape. They remain reachable under
+    // `mmo_checkpoint::{sim, storage}` for code that inspects internals.
+    pub use mmoc_sim::{HardwareParams, SimConfig};
+    pub use mmoc_storage::RealConfig;
     pub use mmoc_workload::{RecordedTrace, SyntheticConfig, TraceSource, TraceStats, ZipfTrace};
-
-    // The deprecated pre-builder entry points, kept importable for one
-    // release; each delegates to the implementation `Run` executes.
-    #[allow(deprecated)]
-    pub use mmoc_storage::{
-        run_algorithm, run_algorithm_sharded, run_copy_on_update, run_naive_snapshot,
-    };
 }

@@ -33,9 +33,13 @@ use mmoc_storage::RealConfig;
 /// The backend executing an experiment: the cost-model simulator or the
 /// real disk-backed engine.
 ///
-/// Future backends (an async-I/O writer, a ReStore-style replicated
-/// store) appear either as new variants here or as standalone
+/// Future backends (a ReStore-style replicated store, an NVM-style
+/// arena) appear either as new variants here or as standalone
 /// [`ExperimentEngine`] implementations — the builder accepts both.
+/// Within the real engine, the flush-writer implementation is a further
+/// axis: `.writer(WriterBackend::AsyncBatched)` on the builder (or
+/// `RealConfig::with_writer_backend`) swaps the worker-thread pool for
+/// the io_uring-style batched-submission engine.
 #[derive(Debug, Clone)]
 pub enum Engine {
     /// The cost-model simulator (`mmoc-sim`): virtual time, Table 3

@@ -1,26 +1,30 @@
-//! Builder/legacy equivalence: before the deprecated entry points are
-//! removed, every (algorithm, engine, shard count) cell reached through
-//! `Run::…execute()` must report the same experiment the legacy path ran.
+//! Builder behaviour pins. The pre-builder entry points
+//! (`SimEngine::run*`, `run_algorithm*`, the per-algorithm `run_*`
+//! wrappers) are gone — `Run::…execute()` is the only path — so the
+//! builder-vs-legacy equivalence this file used to assert has collapsed
+//! into two kinds of coverage:
 //!
-//! * **Simulator**: virtual time is deterministic, so equality is *exact*
-//!   — the per-tick and per-checkpoint series, the derived averages and
-//!   the recovery estimates are bit-identical.
-//! * **Real engine**: wall-clock timings differ run to run, so the
-//!   comparison covers every deterministic output — tick/update totals,
-//!   the per-tick bookkeeping series (bit ops, locks, copies), the first
-//!   checkpoint's write set (fixed by the trace), and an exact recovery
-//!   round-trip on both paths.
-#![allow(deprecated)] // the whole point: exercising the legacy entry points
+//! * **Determinism pins**: executing the same described experiment twice
+//!   must reproduce every deterministic output — bit-identically on the
+//!   simulator's virtual clock, and for the real engine the full
+//!   deterministic projection (totals, bookkeeping series, first write
+//!   set) plus an exact recovery round-trip.
+//! * **Folded wrapper coverage**: the per-algorithm behavioural tests
+//!   that lived next to the removed wrappers (Naive's pure-pause
+//!   overhead, Copy-on-Update's bit-op accounting, Dribble's full
+//!   sweeps, Atomic-Copy's alternating-backup drain, the partial-redo
+//!   pair's flush cadence and pause shapes), re-expressed through the
+//!   builder.
 
+use mmo_checkpoint::core::algorithms::DEFAULT_FULL_FLUSH_PERIOD;
 use mmo_checkpoint::prelude::*;
-use mmo_checkpoint::storage;
 
 const SHARD_COUNTS: [u32; 2] = [1, 4];
 
-/// Deliberately small: this suite runs 6 algorithms × {1, 4} shards ×
-/// {legacy, builder} real-engine cells *concurrently with every other
-/// test binary*; a heavier workload's disk churn makes the
-/// timing-sensitive assertions elsewhere in the workspace flaky.
+/// Deliberately small: this suite runs many real-engine cells
+/// *concurrently with every other test binary*; a heavier workload's
+/// disk churn makes the timing-sensitive assertions elsewhere in the
+/// workspace flaky.
 fn trace_config() -> SyntheticConfig {
     SyntheticConfig {
         geometry: StateGeometry::test_small(),
@@ -40,119 +44,52 @@ fn builder(alg: Algorithm, engine: Engine, shards: u32) -> RunReport {
         .unwrap_or_else(|e| panic!("{alg} x{shards}: {e}"))
 }
 
-/// Simulator, shard count 1: `Run` vs `SimEngine::run` — exact equality
-/// of every metric, for all six algorithms.
-#[test]
-fn sim_builder_equals_legacy_single_shard() {
-    for alg in Algorithm::ALL {
-        let legacy = SimEngine::new(SimConfig::default(), alg).run(&mut trace_config().build());
-        let new = builder(alg, Engine::Sim(SimConfig::default()), 1);
-
-        assert_eq!(new.ticks, legacy.ticks, "{alg}");
-        assert_eq!(new.updates, legacy.updates, "{alg}");
-        assert_eq!(
-            new.world.checkpoints_completed, legacy.checkpoints_completed,
-            "{alg}"
-        );
-        // Bit-identical series and derived figures.
-        assert_eq!(new.world.metrics.ticks, legacy.metrics.ticks, "{alg}");
-        assert_eq!(
-            new.world.metrics.checkpoints, legacy.metrics.checkpoints,
-            "{alg}"
-        );
-        assert_eq!(new.world.avg_overhead_s, legacy.avg_overhead_s, "{alg}");
-        assert_eq!(new.world.max_overhead_s, legacy.max_overhead_s, "{alg}");
-        assert_eq!(new.world.avg_checkpoint_s, legacy.avg_checkpoint_s, "{alg}");
-        assert_eq!(new.world.recovery_s, Some(legacy.est_recovery_s), "{alg}");
-        let rec = new.shards[0].recovery.as_ref().expect("estimate");
-        assert_eq!(rec.restore_s, legacy.est_restore_s, "{alg}");
-        assert_eq!(rec.replay_s, legacy.est_replay_s, "{alg}");
-    }
+fn real_engine(dir: std::path::PathBuf) -> Engine {
+    Engine::Real(RealConfig::new(dir).with_query_ops(64))
 }
 
-/// Simulator, shard counts {1, 4}: `Run` vs `SimEngine::run_sharded` —
-/// exact equality of world aggregates and every per-shard series.
+/// Simulator, shard counts {1, 4}: the virtual clock is deterministic,
+/// so re-executing the same `Run` must reproduce every metric exactly —
+/// world aggregates and every per-shard series — for all six algorithms.
 #[test]
-fn sim_builder_equals_legacy_sharded() {
+fn sim_builder_is_bit_identical_across_executions() {
     for alg in Algorithm::ALL {
         for n in SHARD_COUNTS {
-            let legacy = SimEngine::new(SimConfig::default(), alg)
-                .run_sharded(&mut trace_config().build(), n);
-            let new = builder(alg, Engine::Sim(SimConfig::default()), n);
-
-            assert_eq!(new.n_shards, legacy.n_shards, "{alg} x{n}");
-            assert_eq!(new.ticks, legacy.ticks, "{alg} x{n}");
-            assert_eq!(new.updates, legacy.updates, "{alg} x{n}");
+            let a = builder(alg, Engine::Sim(SimConfig::default()), n);
+            let b = builder(alg, Engine::Sim(SimConfig::default()), n);
+            assert_eq!(a.ticks, b.ticks, "{alg} x{n}");
+            assert_eq!(a.updates, b.updates, "{alg} x{n}");
+            assert_eq!(a.world.avg_overhead_s, b.world.avg_overhead_s, "{alg} x{n}");
             assert_eq!(
-                new.world.avg_overhead_s, legacy.avg_overhead_s,
+                a.world.avg_checkpoint_s, b.world.avg_checkpoint_s,
                 "{alg} x{n}"
             );
+            assert_eq!(a.world.recovery_s, b.world.recovery_s, "{alg} x{n}");
+            assert_eq!(a.world.metrics.ticks, b.world.metrics.ticks, "{alg} x{n}");
             assert_eq!(
-                new.world.avg_checkpoint_s, legacy.avg_checkpoint_s,
+                a.world.metrics.checkpoints, b.world.metrics.checkpoints,
                 "{alg} x{n}"
             );
-            assert_eq!(
-                new.world.recovery_s,
-                Some(legacy.est_recovery_s),
-                "{alg} x{n}"
-            );
-            assert_eq!(new.world.metrics.ticks, legacy.metrics.ticks, "{alg} x{n}");
-            assert_eq!(
-                new.world.metrics.checkpoints, legacy.metrics.checkpoints,
-                "{alg} x{n}"
-            );
-            let wall = match new.detail {
-                EngineDetail::Sim(d) => d.wall_clock_s,
-                _ => unreachable!("sim detail"),
-            };
-            assert_eq!(wall, legacy.wall_clock_s, "{alg} x{n}");
-            assert_eq!(new.shards.len(), legacy.shards.len(), "{alg} x{n}");
-            for (b, l) in new.shards.iter().zip(&legacy.shards) {
-                assert_eq!(b.ticks, l.ticks, "{alg} x{n} shard {}", b.shard);
-                assert_eq!(b.updates, l.updates, "{alg} x{n} shard {}", b.shard);
+            assert_eq!(a.shards.len(), b.shards.len(), "{alg} x{n}");
+            for (x, y) in a.shards.iter().zip(&b.shards) {
+                assert_eq!(x.ticks, y.ticks, "{alg} x{n} shard {}", x.shard);
+                assert_eq!(x.updates, y.updates, "{alg} x{n} shard {}", x.shard);
                 assert_eq!(
-                    b.summary.metrics.ticks, l.metrics.ticks,
+                    x.summary.metrics.ticks, y.summary.metrics.ticks,
                     "{alg} x{n} shard {}",
-                    b.shard
+                    x.shard
                 );
                 assert_eq!(
-                    b.summary.metrics.checkpoints, l.metrics.checkpoints,
+                    x.summary.metrics.checkpoints, y.summary.metrics.checkpoints,
                     "{alg} x{n} shard {}",
-                    b.shard
+                    x.shard
                 );
                 assert_eq!(
-                    b.summary.recovery_s,
-                    Some(l.est_recovery_s),
+                    x.summary.recovery_s, y.summary.recovery_s,
                     "{alg} x{n} shard {}",
-                    b.shard
+                    x.shard
                 );
             }
-        }
-    }
-}
-
-/// Simulator with fidelity checking: `Run::…fidelity_check(true)` vs
-/// `SimEngine::run_sharded_checked` — same verification outcomes, same
-/// metrics.
-#[test]
-fn sim_builder_fidelity_equals_legacy_checked() {
-    for alg in Algorithm::ALL {
-        let engine = SimEngine::new(SimConfig::default(), alg);
-        let (legacy, legacy_fid) = engine.run_sharded_checked(&mut trace_config().build(), 4);
-        let new = Run::algorithm(alg)
-            .engine(Engine::Sim(SimConfig::default()))
-            .trace(trace_config())
-            .shards(4)
-            .fidelity_check(true)
-            .execute()
-            .unwrap();
-        assert_eq!(new.world.metrics.ticks, legacy.metrics.ticks, "{alg}");
-        assert_eq!(new.shards.len(), legacy_fid.len(), "{alg}");
-        for (shard, lf) in new.shards.iter().zip(&legacy_fid) {
-            let f = shard.fidelity.as_ref().expect("fidelity summary");
-            assert_eq!(f.checks_passed, lf.checks_passed, "{alg}");
-            assert_eq!(f.errors, lf.errors, "{alg}");
-            assert!(f.is_clean(), "{alg}");
         }
     }
 }
@@ -177,85 +114,197 @@ fn real_deterministic(
     )
 }
 
-/// Real engine, shard counts {1, 4}: `Run` vs `run_algorithm` /
-/// `run_algorithm_sharded` — identical deterministic outputs and an exact
-/// recovery round-trip on both paths, for all six algorithms.
+/// Real engine, shard counts {1, 4}: two executions of the same described
+/// experiment agree on every deterministic output, and both recover
+/// byte-identical state, for all six algorithms.
 #[test]
-fn real_builder_equals_legacy_both_shard_counts() {
+fn real_builder_is_deterministic_across_executions() {
     let dir = tempfile::tempdir().unwrap();
     for alg in Algorithm::ALL {
         for n in SHARD_COUNTS {
-            let legacy_dir = dir.path().join(format!("legacy_{}_{n}", alg.short_name()));
-            let new_dir = dir.path().join(format!("new_{}_{n}", alg.short_name()));
-            let legacy = storage::run_algorithm_sharded(
-                alg,
-                &RealConfig::new(&legacy_dir).with_query_ops(64),
-                n,
-                || trace_config().build(),
-            )
-            .unwrap_or_else(|e| panic!("{alg} x{n}: {e}"));
-            let new = builder(
-                alg,
-                Engine::Real(RealConfig::new(&new_dir).with_query_ops(64)),
-                n,
-            );
-
-            assert_eq!(new.n_shards, legacy.n_shards, "{alg} x{n}");
-            // World level: totals and the merged bookkeeping series are
-            // deterministic; the merged checkpoint *order* is not (it
-            // sorts by wall-clock completion tick), so checkpoints are
-            // compared per shard below.
-            assert_eq!(new.ticks, legacy.ticks, "{alg} x{n}");
-            assert_eq!(new.updates, legacy.updates, "{alg} x{n}");
+            let run = |sub: &str| {
+                builder(
+                    alg,
+                    real_engine(dir.path().join(format!("{sub}_{}_{n}", alg.short_name()))),
+                    n,
+                )
+            };
+            let a = run("a");
+            let b = run("b");
+            assert_eq!(a.n_shards, b.n_shards, "{alg} x{n}");
+            assert_eq!(a.ticks, b.ticks, "{alg} x{n}");
+            assert_eq!(a.updates, b.updates, "{alg} x{n}");
             let bit_ops = |m: &RunMetrics| m.ticks.iter().map(|t| t.bit_ops).collect::<Vec<u64>>();
             assert_eq!(
-                bit_ops(&new.world.metrics),
-                bit_ops(&legacy.metrics),
+                bit_ops(&a.world.metrics),
+                bit_ops(&b.world.metrics),
                 "{alg} x{n}: merged bookkeeping series must be identical"
             );
-            for (b, l) in new.shards.iter().zip(&legacy.shards) {
+            for (x, y) in a.shards.iter().zip(&b.shards) {
                 assert_eq!(
-                    real_deterministic(&b.summary.metrics, b.ticks, b.updates),
-                    real_deterministic(&l.metrics, l.ticks, l.updates),
+                    real_deterministic(&x.summary.metrics, x.ticks, x.updates),
+                    real_deterministic(&y.summary.metrics, y.ticks, y.updates),
                     "{alg} x{n} shard {}",
-                    b.shard
-                );
-                // Both paths measured a real recovery and both matched.
-                assert_eq!(
-                    b.recovery.as_ref().and_then(|r| r.state_matches),
-                    Some(l.recovery.expect("legacy measurement").state_matches),
-                    "{alg} x{n} shard {}",
-                    b.shard
+                    x.shard
                 );
             }
-            assert_eq!(new.verified_consistent(), Some(true), "{alg} x{n}");
-            assert!(
-                legacy.recovery.expect("legacy recovery").state_matches,
-                "{alg} x{n}"
-            );
+            assert_eq!(a.verified_consistent(), Some(true), "{alg} x{n}");
+            assert_eq!(b.verified_consistent(), Some(true), "{alg} x{n}");
         }
     }
 }
 
-/// The per-algorithm convenience wrappers delegate to the same
-/// implementation the builder executes.
+/// Folded from the removed `naive.rs` wrapper tests: Naive-Snapshot's
+/// entire overhead is the synchronous full-state copy — no dirty bits,
+/// no copy-on-update work, overhead equals the pause on every tick.
 #[test]
-fn per_algorithm_wrappers_match_the_builder() {
+fn naive_overhead_is_the_copy_pause() {
     let dir = tempfile::tempdir().unwrap();
-    let legacy = storage::run_copy_on_update(
-        &RealConfig::new(dir.path().join("legacy")).with_query_ops(64),
-        || trace_config().build(),
-    )
-    .unwrap();
-    let new = builder(
-        Algorithm::CopyOnUpdate,
-        Engine::Real(RealConfig::new(dir.path().join("new")).with_query_ops(64)),
+    let report = builder(
+        Algorithm::NaiveSnapshot,
+        real_engine(dir.path().to_path_buf()),
         1,
     );
-    assert_eq!(
-        real_deterministic(&new.world.metrics, new.ticks, new.updates),
-        real_deterministic(&legacy.metrics, legacy.ticks, legacy.updates),
+    for t in &report.world.metrics.ticks {
+        assert_eq!(t.bit_ops, 0);
+        assert_eq!(t.copies, 0);
+        assert!((t.overhead_s - t.sync_pause_s).abs() < 1e-12);
+    }
+    assert!(report.world.max_overhead_s > 0.0, "some tick paid a pause");
+    let n = trace_config().geometry.n_objects();
+    for c in &report.world.metrics.checkpoints {
+        assert_eq!(c.objects_written, n, "every naive checkpoint is full");
+    }
+}
+
+/// Folded from the removed `cou.rs` wrapper tests: Copy-on-Update charges
+/// exactly one dirty-bit operation per update, copies under contention,
+/// and writes partial checkpoints.
+#[test]
+fn cou_bit_ops_copies_and_write_sets() {
+    let dir = tempfile::tempdir().unwrap();
+    let report = builder(
+        Algorithm::CopyOnUpdate,
+        real_engine(dir.path().to_path_buf()),
+        1,
     );
+    let copies: u64 = report.world.metrics.ticks.iter().map(|t| t.copies).sum();
+    let bit_ops: u64 = report.world.metrics.ticks.iter().map(|t| t.bit_ops).sum();
+    assert_eq!(bit_ops, report.updates, "one bit op per update");
+    assert!(copies > 0, "some first-touch copies must happen");
+    assert!(copies <= report.updates);
+    let g = trace_config().geometry;
+    assert!(
+        report
+            .world
+            .metrics
+            .checkpoints
+            .iter()
+            .any(|c| c.objects_written < g.n_objects()),
+        "300 updates/tick over 256 objects must leave clean objects"
+    );
+}
+
+/// Folded from the removed `dribble.rs` wrapper tests: every Dribble
+/// checkpoint sweeps the full state asynchronously — no eager pauses,
+/// racing updates save pre-update images.
+#[test]
+fn dribble_sweeps_full_state_without_pauses() {
+    let dir = tempfile::tempdir().unwrap();
+    let report = builder(
+        Algorithm::DribbleAndCopyOnUpdate,
+        real_engine(dir.path().to_path_buf()),
+        1,
+    );
+    let n = trace_config().geometry.n_objects();
+    for c in &report.world.metrics.checkpoints {
+        assert_eq!(c.objects_written, n, "every dribble checkpoint is full");
+    }
+    let pauses: f64 = report
+        .world
+        .metrics
+        .ticks
+        .iter()
+        .map(|t| t.sync_pause_s)
+        .sum();
+    assert_eq!(pauses, 0.0, "dribble never copies eagerly");
+}
+
+/// Folded from the removed `atomic_copy.rs` wrapper tests: alternating
+/// backups each owe their own dirty sets — an object updated once must be
+/// written by the next checkpoint of *both* backups, so recovery still
+/// matches after the update stream goes quiet.
+#[test]
+fn acdo_alternating_backups_recover_after_updates_stop() {
+    let dir = tempfile::tempdir().unwrap();
+    // A trace whose updates stop halfway: the tail checkpoints drain
+    // both backups' dirty sets and recovery still matches.
+    let g = StateGeometry::small(128, 8);
+    let mut ticks: Vec<Vec<CellUpdate>> = (0..30u32)
+        .map(|t| {
+            (0..50u32)
+                .map(|i| CellUpdate::new((t * 7 + i) % 128, i % 8, t * 1000 + i))
+                .collect()
+        })
+        .collect();
+    ticks.extend(std::iter::repeat_with(Vec::new).take(30));
+    let trace = RecordedTrace::new(g, ticks);
+    let report = Run::algorithm(Algorithm::AtomicCopyDirtyObjects)
+        .engine(real_engine(dir.path().to_path_buf()))
+        .trace(TraceFn(|| trace.replay()))
+        .execute()
+        .unwrap();
+    assert_eq!(report.verified_consistent(), Some(true));
+}
+
+/// Folded from the removed `partial_redo.rs` wrapper tests: the
+/// log-structured pair's full-flush cadence sits on the configured
+/// period, Partial-Redo pays eager pauses, and its copy-on-update twin
+/// copies instead.
+#[test]
+fn partial_redo_pair_cadence_and_overhead_shapes() {
+    let dir = tempfile::tempdir().unwrap();
+    let pr = builder(
+        Algorithm::PartialRedo,
+        real_engine(dir.path().join("pr")),
+        1,
+    );
+    let coupr = builder(
+        Algorithm::CopyOnUpdatePartialRedo,
+        real_engine(dir.path().join("coupr")),
+        1,
+    );
+    for s in coupr
+        .world
+        .metrics
+        .checkpoints
+        .iter()
+        .filter(|c| c.full_flush)
+        .map(|c| c.seq)
+    {
+        assert_eq!(
+            (s + 1) % u64::from(DEFAULT_FULL_FLUSH_PERIOD),
+            0,
+            "seq {s} must sit on the period boundary"
+        );
+    }
+    let pause =
+        |r: &RunReport| -> f64 { r.world.metrics.ticks.iter().map(|t| t.sync_pause_s).sum() };
+    assert!(pause(&pr) > 0.0, "PR must pay eager copy pauses");
+    assert_eq!(pause(&coupr), 0.0, "COUPR never copies eagerly");
+    let coupr_copies: u64 = coupr.world.metrics.ticks.iter().map(|t| t.copies).sum();
+    assert!(coupr_copies > 0, "COUPR must copy on update");
+    // Between full flushes, PR writes dirty objects only.
+    let g = trace_config().geometry;
+    let normal: Vec<_> = pr
+        .world
+        .metrics
+        .checkpoints
+        .iter()
+        .filter(|c| !c.full_flush)
+        .collect();
+    assert!(!normal.is_empty());
+    assert!(normal.iter().any(|c| c.objects_written < g.n_objects()));
 }
 
 /// The paced-multi-shard fix: a paced 2-shard run must respect the global
