@@ -14,7 +14,7 @@
 //!   fig6      Figure 6: simulation vs. real implementation
 //!   ablations ablation-objsize, ablation-sort, ext-hardware
 //!   shards    shard scaling: overhead + recovery vs N ∈ {1,2,4,8}
-//!   writers   writer backends: thread pool vs async batched submission
+//!   writers   writer durability: backends × shard counts × batch windows
 //!   batching  driver-level update batching at 256k updates/tick
 //!
 //! OPTIONS
@@ -22,6 +22,8 @@
 //!   --out DIR   CSV output directory (default results/)
 //!   --paced HZ  pace the fig6 real engine at HZ ticks/sec (default unpaced)
 //!   --quick     shorthand for --ticks 120 and a reduced fig6 grid
+//!   --json      also write machine-readable perf results
+//!               (writers -> OUT/BENCH_writers.json)
 //! ```
 
 use mmoc_bench::experiments::{self, SweepRow};
@@ -37,6 +39,7 @@ struct Options {
     out: PathBuf,
     paced_hz: Option<f64>,
     quick: bool,
+    json: bool,
 }
 
 fn parse_args() -> Options {
@@ -46,6 +49,7 @@ fn parse_args() -> Options {
         out: PathBuf::from("results"),
         paced_hz: None,
         quick: false,
+        json: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,8 +71,9 @@ fn parse_args() -> Options {
                 );
             }
             "--quick" => opts.quick = true,
+            "--json" => opts.json = true,
             "--help" | "-h" => {
-                println!("usage: figures [tables|table3|table5|fig2|fig3|fig4|fig5|fig6|ablations|shards|writers|batching]* [--ticks N] [--out DIR] [--paced HZ] [--quick]");
+                println!("usage: figures [tables|table3|table5|fig2|fig3|fig4|fig5|fig6|ablations|shards|writers|batching]* [--ticks N] [--out DIR] [--paced HZ] [--quick] [--json]");
                 std::process::exit(0);
             }
             cmd => {
@@ -509,22 +514,35 @@ fn main() {
 
     if has("writers") {
         let shard_counts = [1u32, 4];
+        let windows_us: &[u64] = if opts.quick {
+            &[0, 500]
+        } else {
+            &[0, 250, 1000]
+        };
         let ticks = opts.ticks.min(if opts.quick { 30 } else { 60 });
         println!(
-            "\n=== Writer backends: thread pool vs async batched submission \
-             ({ticks} ticks, shards {{1, 4}}, same bookkeeping) ==="
+            "\n=== Writer durability: backends x shards {{1, 4}} x batch windows \
+             {windows_us:?} us ({ticks} ticks, same bookkeeping) ==="
         );
         let scratch = std::env::temp_dir().join("mmoc_writers");
-        let rows = experiments::writer_backends(&shard_counts, ticks, &scratch)
+        let rows = experiments::writer_backends(&shard_counts, windows_us, ticks, &scratch)
             .expect("writer backend comparison");
         let header = [
             "backend",
             "algorithm",
             "n_shards",
+            "window_us",
             "overhead_s",
             "checkpoint_s",
             "recovery_s",
             "run_wall_s",
+            "checkpoints",
+            "data_fsyncs",
+            "fsyncs_per_checkpoint",
+            "avg_batch_jobs",
+            "ack_p50_s",
+            "ack_p99_s",
+            "throughput_cps",
             "verified",
         ];
         let data: Vec<Vec<String>> = rows
@@ -534,34 +552,53 @@ fn main() {
                     r.backend.label().to_string(),
                     r.algorithm.short_name().to_string(),
                     r.n_shards.to_string(),
+                    r.window_us.to_string(),
                     csv::fnum(r.overhead_s),
                     csv::fnum(r.checkpoint_s),
                     csv::fnum(r.recovery_s),
                     csv::fnum(r.run_wall_s),
+                    r.checkpoints.to_string(),
+                    r.data_fsyncs.to_string(),
+                    csv::fnum(r.fsyncs_per_checkpoint),
+                    csv::fnum(r.avg_batch_jobs),
+                    csv::fnum(r.ack_p50_s),
+                    csv::fnum(r.ack_p99_s),
+                    csv::fnum(r.throughput_cps),
                     r.verified.to_string(),
                 ]
             })
             .collect();
         csv::write_csv(&opts.out.join("writer_backends.csv"), &header, data).expect("write csv");
+        if opts.json {
+            let path = opts.out.join("BENCH_writers.json");
+            experiments::write_writers_json(&path, &rows).expect("write BENCH_writers.json");
+            println!("wrote {}", path.display());
+        }
         println!(
-            "{:>8} {:<16} {:<14} {:>14} {:>15} {:>13} {:>10}",
+            "{:>8} {:<16} {:<14} {:>7} {:>13} {:>11} {:>11} {:>11} {:>11} {:>9}",
             "shards",
             "algorithm",
             "backend",
-            "overhead [ms]",
-            "checkpoint [s]",
-            "recovery [s]",
+            "win[us]",
+            "fsync/ckpt",
+            "batch occ",
+            "p50 [ms]",
+            "p99 [ms]",
+            "ckpt/s",
             "verified"
         );
         for r in &rows {
             println!(
-                "{:>8} {:<16} {:<14} {:>14.4} {:>15.3} {:>13.3} {:>10}",
+                "{:>8} {:<16} {:<14} {:>7} {:>13.3} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>9}",
                 r.n_shards,
                 r.algorithm.short_name(),
                 r.backend.label(),
-                r.overhead_s * 1e3,
-                r.checkpoint_s,
-                r.recovery_s,
+                r.window_us,
+                r.fsyncs_per_checkpoint,
+                r.avg_batch_jobs,
+                r.ack_p50_s * 1e3,
+                r.ack_p99_s * 1e3,
+                r.throughput_cps,
                 r.verified
             );
         }

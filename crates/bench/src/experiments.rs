@@ -436,8 +436,8 @@ pub fn shard_scaling_real(
     Ok(rows)
 }
 
-/// One writer-backend comparison measurement: one algorithm at one shard
-/// count under one flush-writer implementation.
+/// One writer-durability measurement: one algorithm at one shard count
+/// under one flush-writer implementation and one adaptive batch window.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct WriterBackendRow {
     /// Writer backend that executed the flush jobs.
@@ -446,6 +446,9 @@ pub struct WriterBackendRow {
     pub algorithm: Algorithm,
     /// Number of shards the world was split into.
     pub n_shards: u32,
+    /// Adaptive batch window, microseconds (always 0 for the thread
+    /// pool, which has no batches).
+    pub window_us: u64,
     /// World average overhead per tick, seconds.
     pub overhead_s: f64,
     /// Average time to checkpoint, seconds.
@@ -454,19 +457,45 @@ pub struct WriterBackendRow {
     pub recovery_s: f64,
     /// Wall-clock duration of the whole run, seconds.
     pub run_wall_s: f64,
+    /// Completed checkpoints (identical to the writer's flush jobs).
+    pub checkpoints: u64,
+    /// Data `fsync` calls the writer issued across the run.
+    pub data_fsyncs: u64,
+    /// Data fsync calls per completed checkpoint: 1.0 under per-job
+    /// durability, below 1.0 when the scheduler coalesced targets.
+    pub fsyncs_per_checkpoint: f64,
+    /// Job-weighted average batch occupancy (1.0 for the thread pool).
+    pub avg_batch_jobs: f64,
+    /// Median checkpoint ack latency, seconds: from the flush job's
+    /// enqueue at the writer to its durable ack (the record's duration
+    /// minus the mutator-side synchronous pause), so a batched run's
+    /// figure includes any channel wait and adaptive-window hold — the
+    /// latency the window trades away — without charging the writer for
+    /// eager copy pauses it never sees.
+    pub ack_p50_s: f64,
+    /// 99th-percentile checkpoint ack latency, seconds.
+    pub ack_p99_s: f64,
+    /// Checkpoints acked durable per second of *run* wall-clock (the
+    /// end-of-run recovery measurement is excluded, so the tracked
+    /// figure moves only when the checkpoint path does).
+    pub throughput_cps: f64,
     /// Whether the end-of-run recovery reproduced the crash state.
     pub verified: bool,
 }
 
-/// Writer-backend comparison: the thread pool vs the io_uring-style
-/// batched-submission engine, on the **same bookkeeping** — identical
-/// trace, identical algorithm spec, identical shard map per cell; only
-/// the flush-job scheduling differs. Runs every algorithm at each shard
-/// count under both backends on the real engine (scaled-down state so it
-/// fits test and CI budgets) and reports the paper's three metrics plus
-/// the run wall time and the recovery verification verdict.
+/// Writer-durability comparison: the thread pool vs the io_uring-style
+/// batched-submission engine across a (shard count × batch window) grid,
+/// on the **same bookkeeping** — identical trace, identical algorithm
+/// spec, identical shard map per cell; only flush-job scheduling and
+/// durability policy differ. Runs every algorithm per cell on the real
+/// engine (scaled-down state so it fits test and CI budgets) and reports
+/// the paper's three metrics plus the durability-scheduler
+/// instrumentation: fsyncs per checkpoint, batch occupancy, ack-latency
+/// percentiles, and checkpoint throughput. The thread pool has no
+/// batches, so it runs only at window 0.
 pub fn writer_backends(
     shard_counts: &[u32],
+    windows_us: &[u64],
     ticks: u64,
     scratch: &Path,
 ) -> io::Result<Vec<WriterBackendRow>> {
@@ -481,29 +510,133 @@ pub fn writer_backends(
     for &n in shard_counts {
         for alg in Algorithm::ALL {
             for backend in WriterBackend::ALL {
-                let dir = scratch.join(format!("{}_{n}_{}", alg.short_name(), backend.label()));
-                let t0 = std::time::Instant::now();
-                let report = Run::algorithm(alg)
-                    .engine(RealConfig::new(dir))
-                    .trace(trace)
-                    .shards(n)
-                    .writer(backend)
-                    .execute()
-                    .map_err(|e| io::Error::other(e.to_string()))?;
-                rows.push(WriterBackendRow {
-                    backend,
-                    algorithm: alg,
-                    n_shards: n,
-                    overhead_s: report.world.avg_overhead_s,
-                    checkpoint_s: report.world.avg_checkpoint_s,
-                    recovery_s: report.recovery_s().unwrap_or(f64::NAN),
-                    run_wall_s: t0.elapsed().as_secs_f64(),
-                    verified: report.verified_consistent() == Some(true),
-                });
+                for &window_us in windows_us {
+                    if window_us != 0 && (backend == WriterBackend::ThreadPool || n == 1) {
+                        // The pool has no batches to hold open, and a
+                        // 1-shard batch is full from its first job (the
+                        // window waits only while batch < shards), so
+                        // these cells would duplicate the window-0 row.
+                        continue;
+                    }
+                    let dir = scratch.join(format!(
+                        "{}_{n}_{}_{window_us}",
+                        alg.short_name(),
+                        backend.label()
+                    ));
+                    let t0 = std::time::Instant::now();
+                    let report = Run::algorithm(alg)
+                        .engine(RealConfig::new(dir))
+                        .trace(trace)
+                        .shards(n)
+                        .writer(backend)
+                        .batch_window(std::time::Duration::from_micros(window_us))
+                        .execute()
+                        .map_err(|e| io::Error::other(e.to_string()))?;
+                    let run_wall_s = t0.elapsed().as_secs_f64();
+                    let EngineDetail::Real(detail) = report.detail else {
+                        return Err(io::Error::other("real-engine detail expected"));
+                    };
+                    // Writer-side ack latency: the record's duration spans
+                    // enqueue → durable ack plus the mutator's synchronous
+                    // pause (driver adds sync_pause_s); strip the pause so
+                    // the percentiles isolate the writer path.
+                    let mut acks: Vec<f64> = report
+                        .world
+                        .metrics
+                        .checkpoints
+                        .iter()
+                        .map(|c| (c.duration_s - c.sync_pause_s).max(0.0))
+                        .collect();
+                    let checkpoints = report.world.checkpoints_completed;
+                    // Throughput over the run itself: execute() also spans
+                    // the end-of-run recovery measurement, which says
+                    // nothing about the writer.
+                    let run_only_s = run_wall_s - detail.recovery_wall_s.unwrap_or(0.0);
+                    rows.push(WriterBackendRow {
+                        backend,
+                        algorithm: alg,
+                        n_shards: n,
+                        window_us,
+                        overhead_s: report.world.avg_overhead_s,
+                        checkpoint_s: report.world.avg_checkpoint_s,
+                        recovery_s: report.recovery_s().unwrap_or(f64::NAN),
+                        run_wall_s,
+                        checkpoints,
+                        data_fsyncs: detail.data_fsyncs,
+                        fsyncs_per_checkpoint: if checkpoints == 0 {
+                            0.0
+                        } else {
+                            detail.data_fsyncs as f64 / checkpoints as f64
+                        },
+                        avg_batch_jobs: detail.avg_batch_jobs,
+                        ack_p99_s: mmoc_core::sample_quantile(&mut acks, 0.99),
+                        ack_p50_s: mmoc_core::sample_quantile(&mut acks, 0.50),
+                        throughput_cps: if run_only_s > 0.0 {
+                            checkpoints as f64 / run_only_s
+                        } else {
+                            0.0
+                        },
+                        verified: report.verified_consistent() == Some(true),
+                    });
+                }
             }
         }
     }
     Ok(rows)
+}
+
+/// Render one JSON value for a float: JSON has no NaN/∞, so non-finite
+/// measurements (e.g. recovery when it was not measured) become `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Write the machine-readable perf results of [`writer_backends`] as
+/// `BENCH_writers.json`: one object per (backend, algorithm, shards,
+/// window) cell with throughput, fsyncs per checkpoint and ack-latency
+/// percentiles — the artifact CI uploads so the repo's writer-path perf
+/// trajectory is tracked release over release. Hand-rolled JSON because
+/// the offline build's serde is a no-op shim.
+pub fn write_writers_json(path: &Path, rows: &[WriterBackendRow]) -> io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{\n  \"bench\": \"writers\",\n  \"rows\": [")?;
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"backend\": \"{}\", \"algorithm\": \"{}\", \"n_shards\": {}, \
+             \"window_us\": {}, \"throughput_cps\": {}, \"checkpoints\": {}, \
+             \"data_fsyncs\": {}, \"fsyncs_per_checkpoint\": {}, \"avg_batch_jobs\": {}, \
+             \"ack_p50_s\": {}, \"ack_p99_s\": {}, \"overhead_s\": {}, \"checkpoint_s\": {}, \
+             \"recovery_s\": {}, \"run_wall_s\": {}, \"verified\": {}}}{sep}",
+            r.backend.label(),
+            r.algorithm.short_name(),
+            r.n_shards,
+            r.window_us,
+            json_num(r.throughput_cps),
+            r.checkpoints,
+            r.data_fsyncs,
+            json_num(r.fsyncs_per_checkpoint),
+            json_num(r.avg_batch_jobs),
+            json_num(r.ack_p50_s),
+            json_num(r.ack_p99_s),
+            json_num(r.overhead_s),
+            json_num(r.checkpoint_s),
+            json_num(r.recovery_s),
+            json_num(r.run_wall_s),
+            r.verified,
+        )?;
+    }
+    writeln!(f, "  ]\n}}")?;
+    Ok(())
 }
 
 /// A reduced-scale geometry check used by tests: every figure function
@@ -609,8 +742,13 @@ mod tests {
     #[test]
     fn writer_backends_compare_on_the_same_bookkeeping() {
         let dir = tempfile::tempdir().unwrap();
-        let rows = writer_backends(&[1], 10, dir.path()).unwrap();
-        assert_eq!(rows.len(), 6 * 2, "6 algorithms x 2 backends");
+        let rows = writer_backends(&[1, 2], &[0, 500], 10, dir.path()).unwrap();
+        assert_eq!(
+            rows.len(),
+            6 * (2 + 3),
+            "6 algorithms x (x1: pool@0 + batched@0; x2: pool@0 + batched@{{0,500us}}) \
+             — windowed 1-shard cells are duplicates and must be skipped"
+        );
         for r in &rows {
             assert!(
                 r.verified,
@@ -619,17 +757,68 @@ mod tests {
             );
             assert!(r.recovery_s > 0.0, "{r:?}");
             assert!(r.checkpoint_s > 0.0, "{r:?}");
+            // The instrumentation invariants: one flush job per completed
+            // checkpoint, fsyncs never exceed jobs, and the pool pays
+            // exactly one data fsync per job (sync_data defaults on).
+            assert!(r.checkpoints > 0, "{r:?}");
+            assert!(r.data_fsyncs <= r.checkpoints, "{r:?}");
+            assert!(r.ack_p99_s >= r.ack_p50_s, "{r:?}");
+            assert!(r.throughput_cps > 0.0, "{r:?}");
+            match r.backend {
+                WriterBackend::ThreadPool => {
+                    assert_eq!(r.window_us, 0, "pool runs only at window 0");
+                    assert_eq!(r.data_fsyncs, r.checkpoints, "{r:?}");
+                    assert!((r.avg_batch_jobs - 1.0).abs() < 1e-12, "{r:?}");
+                }
+                WriterBackend::AsyncBatched => {
+                    assert!(r.avg_batch_jobs >= 1.0, "{r:?}");
+                }
+            }
         }
-        // Both backends appear for every algorithm.
+        // Every cell of the grid appears (the windowed cell at 2 shards,
+        // where the window can actually engage).
         for alg in Algorithm::ALL {
-            for backend in WriterBackend::ALL {
+            for (backend, n, window) in [
+                (WriterBackend::ThreadPool, 1u32, 0u64),
+                (WriterBackend::AsyncBatched, 1, 0),
+                (WriterBackend::ThreadPool, 2, 0),
+                (WriterBackend::AsyncBatched, 2, 0),
+                (WriterBackend::AsyncBatched, 2, 500),
+            ] {
                 assert!(
-                    rows.iter()
-                        .any(|r| r.algorithm == alg && r.backend == backend),
-                    "{alg} [{backend}] missing"
+                    rows.iter().any(|r| r.algorithm == alg
+                        && r.backend == backend
+                        && r.n_shards == n
+                        && r.window_us == window),
+                    "{alg} [{backend} x{n} @{window}us] missing"
                 );
             }
         }
+    }
+
+    #[test]
+    fn writers_json_is_written_and_wellformed() {
+        let dir = tempfile::tempdir().unwrap();
+        let rows = writer_backends(&[1], &[0], 8, dir.path()).unwrap();
+        let path = dir.path().join("BENCH_writers.json");
+        write_writers_json(&path, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert_eq!(
+            text.matches("\"backend\"").count(),
+            rows.len(),
+            "one object per row"
+        );
+        for key in [
+            "\"throughput_cps\"",
+            "\"fsyncs_per_checkpoint\"",
+            "\"ack_p50_s\"",
+            "\"ack_p99_s\"",
+            "\"window_us\"",
+        ] {
+            assert!(text.contains(key), "{key} missing from {text}");
+        }
+        assert!(!text.contains("NaN"), "JSON must not carry NaN");
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use driver::{CheckpointBackend, DriverRun, DriverStep, FlushCompletion, Tick
 pub use error::CoreError;
 pub use geometry::{CellAddr, CellUpdate, ObjectId, StateGeometry};
 pub use log::ActionLog;
-pub use metrics::{CheckpointRecord, RunMetrics, TickMetrics};
+pub use metrics::{sample_quantile, CheckpointRecord, RunMetrics, TickMetrics};
 pub use plan::{CheckpointPlan, CursorKind, FlushJob, SyncCopy};
 pub use recovery::{recover, CheckpointImage, RecoveryOutcome};
 pub use run::{

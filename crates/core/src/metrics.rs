@@ -132,13 +132,8 @@ impl RunMetrics {
 
     /// The `q`-quantile (0..=1) of per-tick overhead, in seconds.
     pub fn overhead_quantile(&self, q: f64) -> f64 {
-        if self.ticks.is_empty() {
-            return 0.0;
-        }
         let mut v: Vec<f64> = self.ticks.iter().map(|t| t.overhead_s).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("overheads are finite"));
-        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        v[idx]
+        sample_quantile(&mut v, q)
     }
 
     /// Total bytes written to stable storage by completed checkpoints.
@@ -160,6 +155,20 @@ impl RunMetrics {
             .map(|t| tick_period_s + t.overhead_s)
             .collect()
     }
+}
+
+/// The `q`-quantile (0..=1, nearest rank) of a sample, sorting it in
+/// place; 0.0 for an empty sample. The one quantile definition shared by
+/// every consumer (per-tick overhead above, the bench harness's
+/// ack-latency percentiles), so tie-breaking and clamping cannot drift
+/// between copies.
+pub fn sample_quantile(values: &mut [f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let idx = ((values.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    values[idx]
 }
 
 fn mean(iter: impl Iterator<Item = f64>) -> f64 {

@@ -174,6 +174,12 @@ pub struct RunSpec {
     /// Writer backend executing the flush jobs (see [`WriterBackend`]).
     /// `None` keeps the engine's configured default.
     pub writer: Option<WriterBackend>,
+    /// Adaptive batch window of the batched writer, in microseconds: the
+    /// latency bound under which a shallow batch waits for straggler
+    /// flush jobs so their durability points coalesce (see
+    /// [`Run::batch_window`]). `Some(0)` pins "everything currently
+    /// queued" batches; `None` keeps the engine's configured default.
+    pub batch_window_us: Option<u64>,
 }
 
 impl RunSpec {
@@ -187,6 +193,7 @@ impl RunSpec {
             fidelity_check: false,
             pacing_hz: None,
             writer: None,
+            batch_window_us: None,
         }
     }
 
@@ -303,6 +310,19 @@ impl<E, T> Run<E, T> {
     /// by the simulator, default: the engine's configured backend).
     pub fn writer(mut self, backend: WriterBackend) -> Self {
         self.spec.writer = Some(backend);
+        self
+    }
+
+    /// Bound the batched writer's adaptive batch window: when the job
+    /// queue is shallow, the submission loop waits up to `window` for
+    /// straggler flush jobs before closing the batch, trading up to
+    /// `window` of ack latency for durability-point (fsync) coalescing.
+    /// `Duration::ZERO` pins today's "everything currently queued"
+    /// batches. Interpreted by the real engine's async-batched writer,
+    /// ignored by the thread pool and the simulator; default: the
+    /// engine's configured window.
+    pub fn batch_window(mut self, window: std::time::Duration) -> Self {
+        self.spec.batch_window_us = Some(u64::try_from(window.as_micros()).unwrap_or(u64::MAX));
         self
     }
 
@@ -483,12 +503,38 @@ pub struct RealRunDetail {
     /// Writer threads that served the shards' flush jobs (pool workers,
     /// or the batched engine's single submission/completion loop).
     pub pool_threads: usize,
+    /// Flush jobs the writer completed across the run (all shards).
+    pub flush_jobs: u64,
+    /// Data `fsync` calls the writer issued across the run. The
+    /// durability scheduler attributes every call to exactly one job, so
+    /// this is the true call count: equal to [`RealRunDetail::flush_jobs`]
+    /// under per-job durability (the thread pool with data syncing on),
+    /// lower when cross-shard fsync coalescing merged same-file targets.
+    pub data_fsyncs: u64,
+    /// Job-weighted average occupancy of the batches jobs completed in
+    /// (1.0 for the thread pool, which completes jobs one by one).
+    pub avg_batch_jobs: f64,
+    /// Largest batch any flush job completed in.
+    pub max_batch_jobs: u32,
     /// Wall-clock time of the parallel all-shard restore + replay, when
     /// recovery was measured.
     pub recovery_wall_s: Option<f64>,
     /// What a serial shard-after-shard recovery would have cost (the
     /// per-shard totals summed), when recovery was measured.
     pub serial_recovery_s: Option<f64>,
+}
+
+impl RealRunDetail {
+    /// Data fsync calls per completed flush job — 1.0 under per-job
+    /// durability, below 1.0 when the durability scheduler coalesced
+    /// same-file targets, 0.0 when data syncing was off.
+    pub fn fsyncs_per_job(&self) -> f64 {
+        if self.flush_jobs == 0 {
+            0.0
+        } else {
+            self.data_fsyncs as f64 / self.flush_jobs as f64
+        }
+    }
 }
 
 /// The unified result of one experiment, identical in shape across
@@ -751,7 +797,8 @@ mod tests {
             .batching(true)
             .fidelity_check(true)
             .pacing(30.0)
-            .writer(WriterBackend::AsyncBatched);
+            .writer(WriterBackend::AsyncBatched)
+            .batch_window(std::time::Duration::from_micros(250));
         let spec = run.spec();
         assert_eq!(spec.algorithm, Algorithm::CopyOnUpdate);
         assert_eq!(spec.shards, 4);
@@ -759,6 +806,7 @@ mod tests {
         assert!(spec.fidelity_check);
         assert_eq!(spec.pacing_hz, Some(30.0));
         assert_eq!(spec.writer, Some(WriterBackend::AsyncBatched));
+        assert_eq!(spec.batch_window_us, Some(250));
         assert_eq!(WriterBackend::default(), WriterBackend::ThreadPool);
         assert_eq!(WriterBackend::AsyncBatched.to_string(), "async-batched");
     }

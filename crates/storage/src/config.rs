@@ -44,6 +44,29 @@ pub struct RealConfig {
     /// ([`RealConfig::with_writer_backend`], the builder's `.writer(…)`)
     /// always win over the environment.
     pub writer_backend: WriterBackend,
+    /// Adaptive batch window of the async-batched writer: when the job
+    /// queue holds fewer jobs than there are shards, the submission loop
+    /// waits up to this long for stragglers before closing the batch, so
+    /// their durability points coalesce — trading up to one window of ack
+    /// latency per checkpoint for fewer fsyncs. `Duration::ZERO` (the
+    /// default) reproduces the historical "everything currently queued"
+    /// batches exactly. Defaults to the `MMOC_WRITER_BATCH_WINDOW`
+    /// environment variable when set (`250us`, `2ms`, `1s`, or a bare
+    /// integer in microseconds); explicit settings
+    /// ([`RealConfig::with_batch_window`], the builder's
+    /// `.batch_window(…)`) win over the environment. Ignored by the
+    /// thread pool, which has no batches.
+    pub batch_window: Duration,
+    /// Cross-shard fsync coalescing in the async-batched writer's
+    /// durability scheduler: when true (the default), a batch issues one
+    /// data `fsync` per **distinct target file** — all pending data syncs
+    /// before any metadata commit — instead of one per job. Recovery-
+    /// equivalent by construction (the data-sync-before-metadata-commit
+    /// invariant holds batch-globally) and pinned differentially; turn
+    /// off via [`RealConfig::with_fsync_coalescing`] to reproduce the
+    /// historical per-job completion bit for bit. Ignored by the thread
+    /// pool, which completes jobs one at a time.
+    pub coalesce_fsync: bool,
 }
 
 impl RealConfig {
@@ -60,6 +83,8 @@ impl RealConfig {
             measure_recovery: true,
             writer_pool_threads: 0,
             writer_backend: writer_backend_from_env(),
+            batch_window: batch_window_from_env(),
+            coalesce_fsync: true,
         }
     }
 
@@ -72,6 +97,20 @@ impl RealConfig {
     /// Select the writer backend executing flush jobs.
     pub fn with_writer_backend(mut self, backend: WriterBackend) -> Self {
         self.writer_backend = backend;
+        self
+    }
+
+    /// Bound the async-batched writer's adaptive batch window (see
+    /// [`RealConfig::batch_window`]; `Duration::ZERO` = no waiting).
+    pub fn with_batch_window(mut self, window: Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+
+    /// Enable or disable cross-shard fsync coalescing in the
+    /// async-batched writer (see [`RealConfig::coalesce_fsync`]).
+    pub fn with_fsync_coalescing(mut self, on: bool) -> Self {
+        self.coalesce_fsync = on;
         self
     }
 
@@ -131,6 +170,40 @@ fn writer_backend_from_env() -> WriterBackend {
     }
 }
 
+/// The process-wide adaptive-batch-window default:
+/// `MMOC_WRITER_BATCH_WINDOW` if set, zero (no waiting) otherwise.
+/// Accepts `us`/`ms`/`s` suffixes or a bare integer in microseconds;
+/// like the backend variable, garbage panics rather than silently
+/// running the default window.
+fn batch_window_from_env() -> Duration {
+    match std::env::var("MMOC_WRITER_BATCH_WINDOW") {
+        Err(_) => Duration::ZERO,
+        Ok(v) => parse_window(&v).unwrap_or_else(|| {
+            panic!(
+                "unrecognized MMOC_WRITER_BATCH_WINDOW value {v:?}; \
+                 use e.g. \"0\", \"250us\", \"2ms\" or \"1s\""
+            )
+        }),
+    }
+}
+
+/// Parse a window spec: `250us`, `2ms`, `1s`, or a bare integer
+/// (microseconds).
+fn parse_window(v: &str) -> Option<Duration> {
+    let v = v.trim();
+    let (digits, scale_us) = if let Some(n) = v.strip_suffix("us") {
+        (n, 1u64)
+    } else if let Some(n) = v.strip_suffix("ms") {
+        (n, 1_000)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1_000_000)
+    } else {
+        (v, 1)
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    Some(Duration::from_micros(n.checked_mul(scale_us)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +214,27 @@ mod tests {
         assert!(!cfg.paced);
         assert!(cfg.measure_recovery);
         assert!(cfg.sync_data);
+        assert!(cfg.coalesce_fsync, "coalescing is the default scheduler");
+    }
+
+    #[test]
+    fn batch_window_specs_parse() {
+        assert_eq!(parse_window("0"), Some(Duration::ZERO));
+        assert_eq!(parse_window("250"), Some(Duration::from_micros(250)));
+        assert_eq!(parse_window("250us"), Some(Duration::from_micros(250)));
+        assert_eq!(parse_window(" 2ms "), Some(Duration::from_millis(2)));
+        assert_eq!(parse_window("1s"), Some(Duration::from_secs(1)));
+        assert_eq!(parse_window("fast"), None);
+        assert_eq!(parse_window("1.5ms"), None, "whole numbers only");
+    }
+
+    #[test]
+    fn batch_window_and_coalescing_are_configurable() {
+        let cfg = RealConfig::new("/tmp/x")
+            .with_batch_window(Duration::from_micros(500))
+            .with_fsync_coalescing(false);
+        assert_eq!(cfg.batch_window, Duration::from_micros(500));
+        assert!(!cfg.coalesce_fsync);
     }
 
     #[test]

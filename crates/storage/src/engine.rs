@@ -37,7 +37,7 @@ use crate::config::RealConfig;
 use crate::files::BackupSet;
 use crate::log_store::LogStore;
 use crate::recovery::{recover_and_replay, recover_and_replay_log};
-use crate::report::{RealReport, RecoveryMeasurement};
+use crate::report::{RealReport, RecoveryMeasurement, WriterStats};
 use crate::shared::{Shared, SharedTable};
 use mmoc_core::driver::{CheckpointBackend, FlushCompletion, TickOps};
 #[cfg(test)]
@@ -127,6 +127,12 @@ pub(crate) struct Done {
     /// Eager-job buffers handed back for reuse, so steady-state eager
     /// checkpoints allocate nothing on the mutator thread.
     pub(crate) recycled: Option<(Vec<u32>, Vec<u8>)>,
+    /// Data `fsync` calls attributed to this job by the durability
+    /// scheduler (0 when riding a coalesced call or syncing is off, so
+    /// the per-job sum is the true call count).
+    pub(crate) data_syncs: u32,
+    /// Occupancy of the batch this job completed in (1 for the pool).
+    pub(crate) batch_jobs: u32,
 }
 
 /// Everything a pool worker needs to execute one shard's flush jobs: the
@@ -142,10 +148,16 @@ pub(crate) struct ShardCtx {
     pub(crate) done_tx: crossbeam::channel::Sender<Done>,
 }
 
-/// A flush job tagged with the shard it belongs to.
+/// A flush job tagged with the shard it belongs to and the instant the
+/// mutator handed it to the writer. Every backend backdates the job's
+/// duration clock to `queued_at`, so reported checkpoint durations and
+/// ack latencies span the full queue wait — the pool's channel wait and
+/// the batched engine's adaptive-window hold alike — measured the same
+/// way under every scheduler.
 pub(crate) struct PoolJob {
     pub(crate) shard: usize,
     pub(crate) job: Job,
+    pub(crate) queued_at: Instant,
 }
 
 /// The mutator-side backend the [`mmoc_core::TickDriver`] (or, across
@@ -170,6 +182,9 @@ pub(crate) struct RealBackend {
     /// Recycled eager-copy buffers (ids, data), cycled through the
     /// writer so the steady state allocates nothing per checkpoint.
     spare: Option<(Vec<u32>, Vec<u8>)>,
+    /// Writer-side durability instrumentation accumulated from this
+    /// shard's completions (fsync calls, batch occupancy).
+    writer_stats: WriterStats,
 }
 
 impl RealBackend {
@@ -180,6 +195,7 @@ impl RealBackend {
             .send(PoolJob {
                 shard: self.shard,
                 job,
+                queued_at: Instant::now(),
             })
             .expect("writer pool alive");
     }
@@ -187,6 +203,21 @@ impl RealBackend {
     /// Drop this backend's job sender so the pool can shut down.
     pub(crate) fn release_writer(&mut self) {
         self.job_tx = None;
+    }
+
+    /// Fold one completion's writer instrumentation into the shard's
+    /// running stats.
+    fn note_done(&mut self, done: &Done) {
+        let s = &mut self.writer_stats;
+        s.flush_jobs += 1;
+        s.data_fsyncs += u64::from(done.data_syncs);
+        s.batch_jobs_sum += u64::from(done.batch_jobs);
+        s.max_batch_jobs = s.max_batch_jobs.max(done.batch_jobs);
+    }
+
+    /// The shard's accumulated writer instrumentation.
+    pub(crate) fn writer_stats(&self) -> WriterStats {
+        self.writer_stats
     }
 }
 
@@ -253,9 +284,10 @@ impl CheckpointBackend for RealBackend {
 
     fn poll_completion(&mut self, _bk: &Bookkeeper) -> io::Result<Option<FlushCompletion>> {
         match self.done_rx.try_recv() {
-            Ok(done) => {
+            Ok(mut done) => {
+                self.note_done(&done);
                 if done.recycled.is_some() {
-                    self.spare = done.recycled;
+                    self.spare = done.recycled.take();
                 }
                 Ok(Some(FlushCompletion {
                     duration_s: done.result?,
@@ -333,6 +365,7 @@ impl CheckpointBackend for RealBackend {
 
     fn drain(&mut self, _bk: &Bookkeeper) -> io::Result<Option<FlushCompletion>> {
         let done = self.done_rx.recv().expect("writer alive");
+        self.note_done(&done);
         Ok(Some(FlushCompletion {
             duration_s: done.result?,
             objects_written: done.objects,
@@ -396,6 +429,7 @@ pub(crate) fn make_shard(
         tick_start: Instant::now(),
         slow_path_s: 0.0,
         spare: None,
+        writer_stats: WriterStats::default(),
     };
     Ok((ctx, backend))
 }
@@ -409,6 +443,7 @@ pub(crate) fn live_fingerprint(backend: &RealBackend) -> u64 {
 pub(crate) fn shard_report(
     algorithm: Algorithm,
     run: mmoc_core::DriverRun,
+    writer: WriterStats,
     recovery: Option<RecoveryMeasurement>,
 ) -> RealReport {
     RealReport {
@@ -420,6 +455,7 @@ pub(crate) fn shard_report(
         max_overhead_s: run.metrics.max_overhead_s(),
         avg_checkpoint_s: run.metrics.avg_checkpoint_s(),
         metrics: run.metrics,
+        writer,
         recovery,
     }
 }

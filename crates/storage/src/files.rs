@@ -19,6 +19,30 @@ use std::path::{Path, PathBuf};
 
 const META_MAGIC: u64 = 0x4d4d_4f43_4d45_5441; // "MMOCMETA"
 
+/// Stable identity of an on-disk durability target: the `(device, inode)`
+/// pair of the file a data `fsync` would flush. The batched writer's
+/// durability scheduler collects every pending target in a batch and
+/// issues **one** data sync per distinct identity — two handles naming
+/// the same underlying file (however they were opened) coalesce into one
+/// `fsync` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncTarget {
+    dev: u64,
+    ino: u64,
+}
+
+impl SyncTarget {
+    /// Identity of an open file, from its metadata.
+    pub fn of(file: &File) -> io::Result<SyncTarget> {
+        use std::os::unix::fs::MetadataExt;
+        let meta = file.metadata()?;
+        Ok(SyncTarget {
+            dev: meta.dev(),
+            ino: meta.ino(),
+        })
+    }
+}
+
 /// One backup file plus its consistency metadata.
 #[derive(Debug)]
 pub struct Backup {
@@ -26,6 +50,9 @@ pub struct Backup {
     meta_path: PathBuf,
     /// Tick this backup is consistent as of, if it holds a complete image.
     consistent_tick: Option<u64>,
+    /// Cached identity of `file` (stable for the open handle's lifetime),
+    /// so the durability scheduler's dedupe costs no syscall per job.
+    sync_target: SyncTarget,
 }
 
 /// A pair of alternating backups.
@@ -57,10 +84,12 @@ impl BackupSet {
                 .open(&path)?;
             file.write_all(initial)?;
             file.sync_all()?;
+            let sync_target = SyncTarget::of(&file)?;
             let mut b = Backup {
                 file,
                 meta_path: dir.join(format!("backup_{idx}.meta")),
                 consistent_tick: None,
+                sync_target,
             };
             b.commit(0)?;
             Ok(b)
@@ -78,10 +107,12 @@ impl BackupSet {
             let file = OpenOptions::new().read(true).write(true).open(&path)?;
             let meta_path = dir.join(format!("backup_{idx}.meta"));
             let consistent_tick = read_meta(&meta_path);
+            let sync_target = SyncTarget::of(&file)?;
             Ok(Backup {
                 file,
                 meta_path,
                 consistent_tick,
+                sync_target,
             })
         };
         Ok(BackupSet {
@@ -116,6 +147,13 @@ impl BackupSet {
     /// Flush backup `idx`'s data to stable storage.
     pub fn sync(&self, idx: usize) -> io::Result<()> {
         self.backups[idx].file.sync_data()
+    }
+
+    /// Identity of backup `idx`'s image file, for the durability
+    /// scheduler's per-distinct-file sync deduplication (cached at
+    /// create/open — the handle never changes underneath it).
+    pub fn sync_target(&self, idx: usize) -> SyncTarget {
+        self.backups[idx].sync_target
     }
 
     /// Declare backup `idx` consistent as of `tick` (writes and syncs the

@@ -49,5 +49,5 @@ pub mod shared;
 pub mod writer;
 
 pub use config::RealConfig;
-pub use report::{RealReport, RecoveryMeasurement};
+pub use report::{RealReport, RecoveryMeasurement, WriterStats};
 pub use sharded::{shard_dir, ShardedRealReport, ShardedRecovery};

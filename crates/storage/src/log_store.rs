@@ -36,6 +36,9 @@ pub struct LogStore {
     geometry: StateGeometry,
     /// Bytes appended so far (including header).
     len: u64,
+    /// Cached identity of `file` (stable for the open handle's lifetime),
+    /// so the durability scheduler's dedupe costs no syscall per job.
+    sync_target: crate::files::SyncTarget,
 }
 
 /// Summary of one appended segment.
@@ -65,10 +68,12 @@ impl LogStore {
             .open(dir.join("checkpoint.log"))?;
         file.write_all(FILE_MAGIC)?;
         file.sync_all()?;
+        let sync_target = crate::files::SyncTarget::of(&file)?;
         Ok(LogStore {
             file,
             geometry,
             len: FILE_MAGIC.len() as u64,
+            sync_target,
         })
     }
 
@@ -87,10 +92,12 @@ impl LogStore {
             ));
         }
         let len = file.metadata()?.len();
+        let sync_target = crate::files::SyncTarget::of(&file)?;
         Ok(LogStore {
             file,
             geometry,
             len,
+            sync_target,
         })
     }
 
@@ -236,6 +243,15 @@ impl LogStore {
     /// before this sync leaves a torn tail that scans discard).
     pub fn sync(&self) -> io::Result<()> {
         self.file.sync_data()
+    }
+
+    /// Identity of the log file, for the durability scheduler's
+    /// per-distinct-file sync deduplication: one [`LogStore::sync`]
+    /// covers every segment appended before it, so several segments
+    /// pending in one batch coalesce into a single `fsync`. Cached at
+    /// create/open — the handle never changes underneath it.
+    pub fn sync_target(&self) -> crate::files::SyncTarget {
+        self.sync_target
     }
 
     /// Total log size in bytes.

@@ -24,6 +24,47 @@ pub struct RecoveryMeasurement {
     pub state_matches: bool,
 }
 
+/// Writer-side instrumentation of one run (or one shard's slice of it):
+/// how many flush jobs completed, how many data `fsync` calls reaching
+/// their durability points actually cost, and how full the batches they
+/// completed in were. Threaded from the writer backend through each
+/// job's completion report, so the counts are exact, not sampled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriterStats {
+    /// Flush jobs completed.
+    pub flush_jobs: u64,
+    /// Data `fsync` calls issued. The durability scheduler attributes
+    /// every call to exactly one job (the one that triggered it), so the
+    /// per-job sum is the true call count: `flush_jobs` under per-job
+    /// durability with data syncing on, fewer when cross-shard fsync
+    /// coalescing merged same-file targets, zero with syncing off.
+    pub data_fsyncs: u64,
+    /// Sum over jobs of the occupancy of the batch each completed in
+    /// (thread-pool jobs count as batches of one).
+    pub batch_jobs_sum: u64,
+    /// Largest batch any job completed in.
+    pub max_batch_jobs: u32,
+}
+
+impl WriterStats {
+    /// Fold another stats block (e.g. a shard's) into this one.
+    pub fn merge(&mut self, other: WriterStats) {
+        self.flush_jobs += other.flush_jobs;
+        self.data_fsyncs += other.data_fsyncs;
+        self.batch_jobs_sum += other.batch_jobs_sum;
+        self.max_batch_jobs = self.max_batch_jobs.max(other.max_batch_jobs);
+    }
+
+    /// Job-weighted average batch occupancy (1.0 for the thread pool).
+    pub fn avg_batch_jobs(&self) -> f64 {
+        if self.flush_jobs == 0 {
+            0.0
+        } else {
+            self.batch_jobs_sum as f64 / self.flush_jobs as f64
+        }
+    }
+}
+
 /// Result of one real engine run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RealReport {
@@ -44,6 +85,8 @@ pub struct RealReport {
     pub avg_checkpoint_s: f64,
     /// Raw per-tick and per-checkpoint series.
     pub metrics: RunMetrics,
+    /// Writer-side durability instrumentation for this run's flush jobs.
+    pub writer: WriterStats,
     /// Crash-recovery measurement, when enabled.
     pub recovery: Option<RecoveryMeasurement>,
 }

@@ -28,7 +28,10 @@
 //! same-object updates before bookkeeping; `.writer(backend)` selects the
 //! flush-writer implementation (worker-thread pool or the io_uring-style
 //! batched-submission engine, see [`crate::writer`] — recovery-equivalent
-//! by the differential tests in `tests/writer_equivalence.rs`).
+//! by the differential tests in `tests/writer_equivalence.rs`);
+//! `.batch_window(d)` bounds the batched writer's adaptive batch window
+//! (how long a shallow batch waits for straggler flush jobs so their
+//! durability points coalesce, see [`RealConfig::batch_window`]).
 
 use crate::config::RealConfig;
 use crate::report::{RealReport, RecoveryMeasurement};
@@ -53,6 +56,9 @@ impl ExperimentEngine for RealConfig {
         }
         if let Some(backend) = spec.writer {
             config.writer_backend = backend;
+        }
+        if let Some(us) = spec.batch_window_us {
+            config.batch_window = std::time::Duration::from_micros(us);
         }
         // Geometry and shard-map validation happen inside the shared run
         // on the cursor the run actually uses; failures surface as typed
@@ -86,6 +92,10 @@ fn into_run_report(report: ShardedRealReport) -> RunReport {
         detail: EngineDetail::Real(RealRunDetail {
             writer_backend: report.writer_backend,
             pool_threads: report.pool_threads,
+            flush_jobs: report.writer.flush_jobs,
+            data_fsyncs: report.writer.data_fsyncs,
+            avg_batch_jobs: report.writer.avg_batch_jobs(),
+            max_batch_jobs: report.writer.max_batch_jobs,
             recovery_wall_s: report.recovery.map(|r| r.wall_s),
             serial_recovery_s: report.recovery.map(|r| r.sum_shard_total_s),
         }),

@@ -21,8 +21,8 @@ use crate::config::RealConfig;
 use crate::engine::{
     live_fingerprint, make_shard, measure_recovery, shard_report, PoolJob, RealBackend,
 };
-use crate::report::{RealReport, RecoveryMeasurement};
-use crate::writer::spawn_writer;
+use crate::report::{RealReport, RecoveryMeasurement, WriterStats};
+use crate::writer::{spawn_writer, DurabilityConfig};
 use mmoc_core::run::RunError;
 use mmoc_core::{
     Algorithm, RunMetrics, ShardFilter, ShardMap, ShardedDriver, TickDriver, WriterBackend,
@@ -89,6 +89,9 @@ pub struct ShardedRealReport {
     /// Merged per-tick and per-checkpoint series
     /// ([`RunMetrics::merge_shards`]).
     pub metrics: RunMetrics,
+    /// Writer-side durability instrumentation summed over shards: flush
+    /// jobs, data fsync calls, batch occupancy.
+    pub writer: WriterStats,
     /// One report per shard (each with its own recovery measurement).
     pub shards: Vec<RealReport>,
     /// The parallel-recovery measurement, when enabled.
@@ -163,6 +166,10 @@ where
         Arc::clone(&ctxs),
         pool_threads,
         job_rx,
+        DurabilityConfig {
+            batch_window: config.batch_window,
+            coalesce_fsync: config.coalesce_fsync,
+        },
     );
     // `backends` is declared after `pool`, so on an early `?` return it
     // drops first, releasing its job senders before the writer joins.
@@ -253,11 +260,16 @@ where
     };
 
     let metrics = run.merged_metrics();
+    let writer_stats: Vec<WriterStats> = backends.iter().map(RealBackend::writer_stats).collect();
+    let mut writer = WriterStats::default();
+    for s in &writer_stats {
+        writer.merge(*s);
+    }
     let shards: Vec<RealReport> = run
         .shards
         .into_iter()
         .enumerate()
-        .map(|(s, r)| shard_report(algorithm, r, per_shard_rec[s].take()))
+        .map(|(s, r)| shard_report(algorithm, r, writer_stats[s], per_shard_rec[s].take()))
         .collect();
 
     Ok(ShardedRealReport {
@@ -265,6 +277,7 @@ where
         n_shards,
         writer_backend: config.writer_backend,
         pool_threads,
+        writer,
         ticks: run.ticks,
         updates: run.updates,
         checkpoints_completed: metrics.checkpoints.len() as u64,

@@ -2,16 +2,21 @@
 //! writer must be **recovery-equivalent** to the historical thread pool.
 //!
 //! For every cell of the (algorithm × shard count) matrix, the same trace
-//! runs under both writer backends, then every shard of both runs is
+//! runs under every writer configuration — the thread pool, the batched
+//! engine under its default durability scheduler (cross-shard fsync
+//! coalescing), and the batched engine with coalescing plus a nonzero
+//! adaptive batch window — then every shard of every run is
 //! independently crash-recovered from its files and the recovered states
 //! are compared **byte for byte** — against each other and against the
 //! ground truth of replaying the full trace. Wall-clock checkpoint
 //! cadence is scheduler-dependent, so raw file bytes differ run to run
 //! under *either* backend; the byte-identical-files half of the
 //! equivalence matrix therefore lives at the deterministic job-stream
-//! level in `src/writer.rs`'s differential unit tests, and this suite
-//! pins the end-to-end property the acceptance criterion names: identical
-//! recovered state across the full 6 × {1, 4}-shard matrix.
+//! level in `src/writer.rs`'s differential unit tests (which also pin
+//! that window 0 + coalescing off reproduces the historical files bit
+//! for bit), and this suite pins the end-to-end property the acceptance
+//! criterion names: identical recovered state across the full
+//! 6 × {1, 4}-shard matrix under every durability policy.
 
 use mmoc_core::{
     Algorithm, DiskOrg, EngineDetail, ObjectId, Run, RunReport, ShardFilter, ShardMap, StateTable,
@@ -38,14 +43,54 @@ fn trace_config() -> SyntheticConfig {
     }
 }
 
-fn run_with(backend: WriterBackend, alg: Algorithm, shards: u32, dir: &Path) -> RunReport {
+/// One writer configuration of the differential matrix: a backend plus
+/// the durability-scheduler policy it runs under.
+#[derive(Clone, Copy)]
+struct WriterConfig {
+    label: &'static str,
+    backend: WriterBackend,
+    window_us: u64,
+    coalesce: bool,
+}
+
+/// The matrix's writer axis: the historical pool, the batched engine
+/// under its default policy (fsync coalescing on, no window), and the
+/// batched engine with coalescing *and* a nonzero adaptive batch window
+/// — every durability-scheduler path must recover identical state.
+const WRITER_CONFIGS: [WriterConfig; 3] = [
+    WriterConfig {
+        label: "pool",
+        backend: WriterBackend::ThreadPool,
+        window_us: 0,
+        coalesce: false,
+    },
+    WriterConfig {
+        label: "batched-coalesced",
+        backend: WriterBackend::AsyncBatched,
+        window_us: 0,
+        coalesce: true,
+    },
+    WriterConfig {
+        label: "batched-windowed",
+        backend: WriterBackend::AsyncBatched,
+        window_us: 400,
+        coalesce: true,
+    },
+];
+
+fn run_with(cfg: WriterConfig, alg: Algorithm, shards: u32, dir: &Path) -> RunReport {
     Run::algorithm(alg)
-        .engine(RealConfig::new(dir).with_query_ops(64))
+        .engine(
+            RealConfig::new(dir)
+                .with_query_ops(64)
+                .with_fsync_coalescing(cfg.coalesce),
+        )
         .trace(trace_config())
         .shards(shards)
-        .writer(backend)
+        .writer(cfg.backend)
+        .batch_window(std::time::Duration::from_micros(cfg.window_us))
         .execute()
-        .unwrap_or_else(|e| panic!("{alg} x{shards} [{backend}]: {e}"))
+        .unwrap_or_else(|e| panic!("{alg} x{shards} [{}]: {e}", cfg.label))
 }
 
 /// Crash-recover one shard of a finished run directly from its files:
@@ -91,7 +136,9 @@ fn assert_tables_byte_identical(a: &StateTable, b: &StateTable, label: &str) {
 }
 
 /// The full differential matrix: every (algorithm, shard count) cell runs
-/// under both backends and recovers to byte-identical state.
+/// under every writer configuration — pool, batched with coalescing, and
+/// batched with coalescing plus a nonzero batch window — and recovers to
+/// byte-identical state.
 #[test]
 fn every_matrix_cell_recovers_identically_under_both_backends() {
     let root = tempfile::tempdir().unwrap();
@@ -100,41 +147,65 @@ fn every_matrix_cell_recovers_identically_under_both_backends() {
         for n in SHARD_COUNTS {
             let map = ShardMap::new(trace_config().geometry, n).unwrap();
             let mut recovered: Vec<Vec<StateTable>> = Vec::new();
-            for backend in WriterBackend::ALL {
+            for cfg in WRITER_CONFIGS {
+                let label = cfg.label;
                 let dir = root
                     .path()
-                    .join(format!("{}_{n}_{backend}", alg.short_name()));
-                let report = run_with(backend, alg, n, &dir);
+                    .join(format!("{}_{n}_{label}", alg.short_name()));
+                let report = run_with(cfg, alg, n, &dir);
                 // The engine's own end-of-run measurement must round-trip…
-                assert_eq!(report.ticks, TICKS, "{alg} x{n} [{backend}]");
+                assert_eq!(report.ticks, TICKS, "{alg} x{n} [{label}]");
                 assert!(
                     report.world.checkpoints_completed > 0,
-                    "{alg} x{n} [{backend}]"
+                    "{alg} x{n} [{label}]"
                 );
                 assert_eq!(
                     report.verified_consistent(),
                     Some(true),
-                    "{alg} x{n} [{backend}]: recovery must reproduce the crash state"
+                    "{alg} x{n} [{label}]: recovery must reproduce the crash state"
                 );
                 match report.detail {
                     EngineDetail::Real(d) => {
-                        assert_eq!(d.writer_backend, backend, "{alg} x{n}: reported backend");
+                        assert_eq!(
+                            d.writer_backend, cfg.backend,
+                            "{alg} x{n}: reported backend"
+                        );
+                        // The durability instrumentation holds across the
+                        // whole matrix: every checkpoint is one flush job,
+                        // and coalescing can only ever *save* fsyncs.
+                        assert_eq!(
+                            d.flush_jobs, report.world.checkpoints_completed,
+                            "{alg} x{n} [{label}]: one flush job per checkpoint"
+                        );
+                        assert!(
+                            d.data_fsyncs <= d.flush_jobs,
+                            "{alg} x{n} [{label}]: fsyncs cannot exceed jobs"
+                        );
+                        if cfg.backend == WriterBackend::ThreadPool {
+                            assert_eq!(
+                                d.data_fsyncs, d.flush_jobs,
+                                "{alg} x{n} [{label}]: the pool pays one fsync per job"
+                            );
+                        }
                     }
                     _ => panic!("real detail expected"),
                 }
                 // …and an independent recovery straight from the files
-                // gives us the state to diff across backends.
+                // gives us the state to diff across configurations.
                 recovered.push(
                     (0..n as usize)
                         .map(|s| recover_shard(&dir, disk_org, &map, s))
                         .collect(),
                 );
             }
-            let (pool, batched) = (&recovered[0], &recovered[1]);
+            let pool = &recovered[0];
             for s in 0..n as usize {
-                let label = format!("{alg} x{n} shard {s}");
-                assert_tables_byte_identical(&pool[s], &batched[s], &label);
-                assert_tables_byte_identical(&pool[s], &shard_truth(&map, s), &label);
+                let truth = shard_truth(&map, s);
+                for (c, tables) in recovered.iter().enumerate() {
+                    let label = format!("{alg} x{n} [{}] shard {s}", WRITER_CONFIGS[c].label);
+                    assert_tables_byte_identical(&pool[s], &tables[s], &label);
+                    assert_tables_byte_identical(&tables[s], &truth, &label);
+                }
             }
         }
     }

@@ -9,7 +9,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Create a bounded channel of the given capacity.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
@@ -47,6 +47,12 @@ pub mod channel {
         /// Return a pending message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Block until a message arrives, the timeout elapses, or all
+        /// senders dropped (the batched writer's adaptive batch window).
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Iterate over messages, blocking, until all senders drop.
@@ -92,6 +98,23 @@ mod tests {
         }
         writer.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        let timeout = std::time::Duration::from_millis(1);
+        assert!(matches!(
+            rx.recv_timeout(timeout),
+            Err(channel::RecvTimeoutError::Timeout)
+        ));
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(timeout).unwrap(), 3);
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(timeout),
+            Err(channel::RecvTimeoutError::Disconnected)
+        ));
     }
 
     #[test]

@@ -39,7 +39,11 @@ use mmoc_storage::RealConfig;
 /// Within the real engine, the flush-writer implementation is a further
 /// axis: `.writer(WriterBackend::AsyncBatched)` on the builder (or
 /// `RealConfig::with_writer_backend`) swaps the worker-thread pool for
-/// the io_uring-style batched-submission engine.
+/// the io_uring-style batched-submission engine, whose durability
+/// scheduler coalesces a batch's data fsyncs per distinct target file
+/// and whose adaptive batch window (`.batch_window(d)` /
+/// `RealConfig::with_batch_window`) trades bounded ack latency for
+/// deeper batches.
 #[derive(Debug, Clone)]
 pub enum Engine {
     /// The cost-model simulator (`mmoc-sim`): virtual time, Table 3
