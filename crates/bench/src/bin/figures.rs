@@ -519,25 +519,29 @@ fn main() {
         } else {
             &[0, 250, 1000]
         };
+        let depths: &[u32] = if opts.quick { &[1, 4] } else { &[1, 2, 4] };
         let ticks = opts.ticks.min(if opts.quick { 30 } else { 60 });
         println!(
             "\n=== Writer durability: backends x shards {{1, 4}} x batch windows \
-             {windows_us:?} us ({ticks} ticks, same bookkeeping) ==="
+             {windows_us:?} us x pipeline depths {depths:?} ({ticks} ticks, same \
+             bookkeeping) ==="
         );
         let scratch = std::env::temp_dir().join("mmoc_writers");
-        let rows = experiments::writer_backends(&shard_counts, windows_us, ticks, &scratch)
+        let rows = experiments::writer_backends(&shard_counts, windows_us, depths, ticks, &scratch)
             .expect("writer backend comparison");
         let header = [
             "backend",
             "algorithm",
             "n_shards",
             "window_us",
+            "pipeline_depth",
             "overhead_s",
             "checkpoint_s",
             "recovery_s",
             "run_wall_s",
             "checkpoints",
             "data_fsyncs",
+            "device_syncs",
             "fsyncs_per_checkpoint",
             "avg_batch_jobs",
             "ack_p50_s",
@@ -553,12 +557,14 @@ fn main() {
                     r.algorithm.short_name().to_string(),
                     r.n_shards.to_string(),
                     r.window_us.to_string(),
+                    r.pipeline_depth.to_string(),
                     csv::fnum(r.overhead_s),
                     csv::fnum(r.checkpoint_s),
                     csv::fnum(r.recovery_s),
                     csv::fnum(r.run_wall_s),
                     r.checkpoints.to_string(),
                     r.data_fsyncs.to_string(),
+                    r.device_syncs.to_string(),
                     csv::fnum(r.fsyncs_per_checkpoint),
                     csv::fnum(r.avg_batch_jobs),
                     csv::fnum(r.ack_p50_s),
@@ -575,11 +581,12 @@ fn main() {
             println!("wrote {}", path.display());
         }
         println!(
-            "{:>8} {:<16} {:<14} {:>7} {:>13} {:>11} {:>11} {:>11} {:>11} {:>9}",
+            "{:>8} {:<16} {:<14} {:>7} {:>5} {:>13} {:>11} {:>11} {:>11} {:>11} {:>9}",
             "shards",
             "algorithm",
             "backend",
             "win[us]",
+            "depth",
             "fsync/ckpt",
             "batch occ",
             "p50 [ms]",
@@ -589,11 +596,12 @@ fn main() {
         );
         for r in &rows {
             println!(
-                "{:>8} {:<16} {:<14} {:>7} {:>13.3} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>9}",
+                "{:>8} {:<16} {:<14} {:>7} {:>5} {:>13.3} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>9}",
                 r.n_shards,
                 r.algorithm.short_name(),
                 r.backend.label(),
                 r.window_us,
+                r.pipeline_depth,
                 r.fsyncs_per_checkpoint,
                 r.avg_batch_jobs,
                 r.ack_p50_s * 1e3,

@@ -6,7 +6,7 @@
 //! minutes.
 
 use mmoc_core::run::{EngineDetail, RunReport, TraceSpec, WriterBackend};
-use mmoc_core::{Algorithm, Run};
+use mmoc_core::{Algorithm, DiskOrg, Run};
 use mmoc_game::{GameConfig, GameServer};
 use mmoc_sim::{HardwareParams, SimConfig};
 use mmoc_storage::RealConfig;
@@ -449,6 +449,9 @@ pub struct WriterBackendRow {
     /// Adaptive batch window, microseconds (always 0 for the thread
     /// pool, which has no batches).
     pub window_us: u64,
+    /// Checkpoint pipeline depth the run executed at (1 = the historical
+    /// stop-and-wait write path).
+    pub pipeline_depth: u32,
     /// World average overhead per tick, seconds.
     pub overhead_s: f64,
     /// Average time to checkpoint, seconds.
@@ -461,6 +464,9 @@ pub struct WriterBackendRow {
     pub checkpoints: u64,
     /// Data `fsync` calls the writer issued across the run.
     pub data_fsyncs: u64,
+    /// `syncfs`-style whole-device barriers issued in place of per-file
+    /// fsyncs (zero unless the device barrier is enabled and usable).
+    pub device_syncs: u64,
     /// Data fsync calls per completed checkpoint: 1.0 under per-job
     /// durability, below 1.0 when the scheduler coalesced targets.
     pub fsyncs_per_checkpoint: f64,
@@ -484,18 +490,21 @@ pub struct WriterBackendRow {
 }
 
 /// Writer-durability comparison: the thread pool vs the io_uring-style
-/// batched-submission engine across a (shard count × batch window) grid,
-/// on the **same bookkeeping** — identical trace, identical algorithm
-/// spec, identical shard map per cell; only flush-job scheduling and
-/// durability policy differ. Runs every algorithm per cell on the real
-/// engine (scaled-down state so it fits test and CI budgets) and reports
-/// the paper's three metrics plus the durability-scheduler
+/// batched-submission engine across a (shard count × batch window ×
+/// pipeline depth) grid, on the **same bookkeeping** — identical trace,
+/// identical algorithm spec, identical shard map per cell; only flush-job
+/// scheduling and durability policy differ. Runs every algorithm per cell
+/// on the real engine (scaled-down state so it fits test and CI budgets)
+/// and reports the paper's three metrics plus the durability-scheduler
 /// instrumentation: fsyncs per checkpoint, batch occupancy, ack-latency
 /// percentiles, and checkpoint throughput. The thread pool has no
-/// batches, so it runs only at window 0.
+/// batches, so it runs only at window 0; depths above 1 run only the
+/// log-organized algorithms (the driver clamps copy-organized checkpoints
+/// to one in flight, so those cells would duplicate depth 1).
 pub fn writer_backends(
     shard_counts: &[u32],
     windows_us: &[u64],
+    depths: &[u32],
     ticks: u64,
     scratch: &Path,
 ) -> io::Result<Vec<WriterBackendRow>> {
@@ -511,73 +520,90 @@ pub fn writer_backends(
         for alg in Algorithm::ALL {
             for backend in WriterBackend::ALL {
                 for &window_us in windows_us {
-                    if window_us != 0 && (backend == WriterBackend::ThreadPool || n == 1) {
-                        // The pool has no batches to hold open, and a
-                        // 1-shard batch is full from its first job (the
-                        // window waits only while batch < shards), so
-                        // these cells would duplicate the window-0 row.
-                        continue;
+                    for &depth in depths {
+                        if depth != 1 && alg.spec().disk_org != DiskOrg::Log {
+                            // Copy-organized checkpoints never overlap
+                            // (the driver caps them at one in flight), so
+                            // a deep cell repeats the depth-1 measurement.
+                            continue;
+                        }
+                        if window_us != 0
+                            && (backend == WriterBackend::ThreadPool || (n == 1 && depth == 1))
+                        {
+                            // The pool has no batches to hold open, and a
+                            // 1-shard depth-1 batch is full from its first
+                            // job (the window waits while batch < shards ×
+                            // depth), so these cells would duplicate the
+                            // window-0 row. At depth > 1 a 1-shard window
+                            // can hold several of the shard's segments, so
+                            // those cells stay.
+                            continue;
+                        }
+                        let dir = scratch.join(format!(
+                            "{}_{n}_{}_{window_us}_d{depth}",
+                            alg.short_name(),
+                            backend.label()
+                        ));
+                        let t0 = std::time::Instant::now();
+                        let report = Run::algorithm(alg)
+                            .engine(RealConfig::new(dir))
+                            .trace(trace)
+                            .shards(n)
+                            .writer(backend)
+                            .batch_window(std::time::Duration::from_micros(window_us))
+                            .pipeline_depth(depth)
+                            .execute()
+                            .map_err(|e| io::Error::other(e.to_string()))?;
+                        let run_wall_s = t0.elapsed().as_secs_f64();
+                        let EngineDetail::Real(detail) = report.detail else {
+                            return Err(io::Error::other("real-engine detail expected"));
+                        };
+                        // Writer-side ack latency: the record's duration
+                        // spans enqueue → durable ack plus the mutator's
+                        // synchronous pause (driver adds sync_pause_s);
+                        // strip the pause so the percentiles isolate the
+                        // writer path.
+                        let mut acks: Vec<f64> = report
+                            .world
+                            .metrics
+                            .checkpoints
+                            .iter()
+                            .map(|c| (c.duration_s - c.sync_pause_s).max(0.0))
+                            .collect();
+                        let checkpoints = report.world.checkpoints_completed;
+                        // Throughput over the run itself: execute() also
+                        // spans the end-of-run recovery measurement, which
+                        // says nothing about the writer.
+                        let run_only_s = run_wall_s - detail.recovery_wall_s.unwrap_or(0.0);
+                        rows.push(WriterBackendRow {
+                            backend,
+                            algorithm: alg,
+                            n_shards: n,
+                            window_us,
+                            pipeline_depth: detail.pipeline_depth,
+                            overhead_s: report.world.avg_overhead_s,
+                            checkpoint_s: report.world.avg_checkpoint_s,
+                            recovery_s: report.recovery_s().unwrap_or(f64::NAN),
+                            run_wall_s,
+                            checkpoints,
+                            data_fsyncs: detail.data_fsyncs,
+                            device_syncs: detail.device_syncs,
+                            fsyncs_per_checkpoint: if checkpoints == 0 {
+                                0.0
+                            } else {
+                                detail.data_fsyncs as f64 / checkpoints as f64
+                            },
+                            avg_batch_jobs: detail.avg_batch_jobs,
+                            ack_p99_s: mmoc_core::sample_quantile(&mut acks, 0.99),
+                            ack_p50_s: mmoc_core::sample_quantile(&mut acks, 0.50),
+                            throughput_cps: if run_only_s > 0.0 {
+                                checkpoints as f64 / run_only_s
+                            } else {
+                                0.0
+                            },
+                            verified: report.verified_consistent() == Some(true),
+                        });
                     }
-                    let dir = scratch.join(format!(
-                        "{}_{n}_{}_{window_us}",
-                        alg.short_name(),
-                        backend.label()
-                    ));
-                    let t0 = std::time::Instant::now();
-                    let report = Run::algorithm(alg)
-                        .engine(RealConfig::new(dir))
-                        .trace(trace)
-                        .shards(n)
-                        .writer(backend)
-                        .batch_window(std::time::Duration::from_micros(window_us))
-                        .execute()
-                        .map_err(|e| io::Error::other(e.to_string()))?;
-                    let run_wall_s = t0.elapsed().as_secs_f64();
-                    let EngineDetail::Real(detail) = report.detail else {
-                        return Err(io::Error::other("real-engine detail expected"));
-                    };
-                    // Writer-side ack latency: the record's duration spans
-                    // enqueue → durable ack plus the mutator's synchronous
-                    // pause (driver adds sync_pause_s); strip the pause so
-                    // the percentiles isolate the writer path.
-                    let mut acks: Vec<f64> = report
-                        .world
-                        .metrics
-                        .checkpoints
-                        .iter()
-                        .map(|c| (c.duration_s - c.sync_pause_s).max(0.0))
-                        .collect();
-                    let checkpoints = report.world.checkpoints_completed;
-                    // Throughput over the run itself: execute() also spans
-                    // the end-of-run recovery measurement, which says
-                    // nothing about the writer.
-                    let run_only_s = run_wall_s - detail.recovery_wall_s.unwrap_or(0.0);
-                    rows.push(WriterBackendRow {
-                        backend,
-                        algorithm: alg,
-                        n_shards: n,
-                        window_us,
-                        overhead_s: report.world.avg_overhead_s,
-                        checkpoint_s: report.world.avg_checkpoint_s,
-                        recovery_s: report.recovery_s().unwrap_or(f64::NAN),
-                        run_wall_s,
-                        checkpoints,
-                        data_fsyncs: detail.data_fsyncs,
-                        fsyncs_per_checkpoint: if checkpoints == 0 {
-                            0.0
-                        } else {
-                            detail.data_fsyncs as f64 / checkpoints as f64
-                        },
-                        avg_batch_jobs: detail.avg_batch_jobs,
-                        ack_p99_s: mmoc_core::sample_quantile(&mut acks, 0.99),
-                        ack_p50_s: mmoc_core::sample_quantile(&mut acks, 0.50),
-                        throughput_cps: if run_only_s > 0.0 {
-                            checkpoints as f64 / run_only_s
-                        } else {
-                            0.0
-                        },
-                        verified: report.verified_consistent() == Some(true),
-                    });
                 }
             }
         }
@@ -597,10 +623,10 @@ fn json_num(v: f64) -> String {
 
 /// Write the machine-readable perf results of [`writer_backends`] as
 /// `BENCH_writers.json`: one object per (backend, algorithm, shards,
-/// window) cell with throughput, fsyncs per checkpoint and ack-latency
-/// percentiles — the artifact CI uploads so the repo's writer-path perf
-/// trajectory is tracked release over release. Hand-rolled JSON because
-/// the offline build's serde is a no-op shim.
+/// window, depth) cell with throughput, fsyncs per checkpoint and
+/// ack-latency percentiles — the artifact CI uploads so the repo's
+/// writer-path perf trajectory is tracked release over release.
+/// Hand-rolled JSON because the offline build's serde is a no-op shim.
 pub fn write_writers_json(path: &Path, rows: &[WriterBackendRow]) -> io::Result<()> {
     use std::io::Write;
     if let Some(parent) = path.parent() {
@@ -613,17 +639,20 @@ pub fn write_writers_json(path: &Path, rows: &[WriterBackendRow]) -> io::Result<
         writeln!(
             f,
             "    {{\"backend\": \"{}\", \"algorithm\": \"{}\", \"n_shards\": {}, \
-             \"window_us\": {}, \"throughput_cps\": {}, \"checkpoints\": {}, \
-             \"data_fsyncs\": {}, \"fsyncs_per_checkpoint\": {}, \"avg_batch_jobs\": {}, \
+             \"window_us\": {}, \"pipeline_depth\": {}, \"throughput_cps\": {}, \
+             \"checkpoints\": {}, \"data_fsyncs\": {}, \"device_syncs\": {}, \
+             \"fsyncs_per_checkpoint\": {}, \"avg_batch_jobs\": {}, \
              \"ack_p50_s\": {}, \"ack_p99_s\": {}, \"overhead_s\": {}, \"checkpoint_s\": {}, \
              \"recovery_s\": {}, \"run_wall_s\": {}, \"verified\": {}}}{sep}",
             r.backend.label(),
             r.algorithm.short_name(),
             r.n_shards,
             r.window_us,
+            r.pipeline_depth,
             json_num(r.throughput_cps),
             r.checkpoints,
             r.data_fsyncs,
+            r.device_syncs,
             json_num(r.fsyncs_per_checkpoint),
             json_num(r.avg_batch_jobs),
             json_num(r.ack_p50_s),
@@ -742,12 +771,15 @@ mod tests {
     #[test]
     fn writer_backends_compare_on_the_same_bookkeeping() {
         let dir = tempfile::tempdir().unwrap();
-        let rows = writer_backends(&[1, 2], &[0, 500], 10, dir.path()).unwrap();
+        let rows = writer_backends(&[1, 2], &[0, 500], &[1, 2], 10, dir.path()).unwrap();
         assert_eq!(
             rows.len(),
-            6 * (2 + 3),
-            "6 algorithms x (x1: pool@0 + batched@0; x2: pool@0 + batched@{{0,500us}}) \
-             — windowed 1-shard cells are duplicates and must be skipped"
+            6 * (2 + 3) + 3 * (3 + 3),
+            "depth 1: 6 algorithms x (x1: pool@0 + batched@0; x2: pool@0 + \
+             batched@{{0,500us}}); depth 2: 3 log algorithms x (x1 and x2 each: \
+             pool@0 + batched@{{0,500us}}) — windowed 1-shard cells duplicate \
+             window 0 only at depth 1, and copy-organized algorithms never \
+             pipeline, so their deep cells are skipped"
         );
         for r in &rows {
             assert!(
@@ -789,8 +821,29 @@ mod tests {
                     rows.iter().any(|r| r.algorithm == alg
                         && r.backend == backend
                         && r.n_shards == n
-                        && r.window_us == window),
+                        && r.window_us == window
+                        && r.pipeline_depth == 1),
                     "{alg} [{backend} x{n} @{window}us] missing"
+                );
+            }
+            let deep = alg.spec().disk_org == DiskOrg::Log;
+            for (backend, n, window) in [
+                (WriterBackend::ThreadPool, 1u32, 0u64),
+                (WriterBackend::AsyncBatched, 1, 0),
+                (WriterBackend::AsyncBatched, 1, 500),
+                (WriterBackend::ThreadPool, 2, 0),
+                (WriterBackend::AsyncBatched, 2, 0),
+                (WriterBackend::AsyncBatched, 2, 500),
+            ] {
+                assert_eq!(
+                    rows.iter().any(|r| r.algorithm == alg
+                        && r.backend == backend
+                        && r.n_shards == n
+                        && r.window_us == window
+                        && r.pipeline_depth == 2),
+                    deep,
+                    "{alg} [{backend} x{n} @{window}us d2]: deep cells exist \
+                     exactly for log-organized algorithms"
                 );
             }
         }
@@ -799,7 +852,7 @@ mod tests {
     #[test]
     fn writers_json_is_written_and_wellformed() {
         let dir = tempfile::tempdir().unwrap();
-        let rows = writer_backends(&[1], &[0], 8, dir.path()).unwrap();
+        let rows = writer_backends(&[1], &[0], &[1], 8, dir.path()).unwrap();
         let path = dir.path().join("BENCH_writers.json");
         write_writers_json(&path, &rows).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
@@ -815,6 +868,8 @@ mod tests {
             "\"ack_p50_s\"",
             "\"ack_p99_s\"",
             "\"window_us\"",
+            "\"pipeline_depth\"",
+            "\"device_syncs\"",
         ] {
             assert!(text.contains(key), "{key} missing from {text}");
         }

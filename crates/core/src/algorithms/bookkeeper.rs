@@ -30,6 +30,8 @@
 //! property tests in `tests/` exercise this invariant with a value-level
 //! shadow disk.
 
+use std::collections::VecDeque;
+
 use crate::algorithms::{Algorithm, AlgorithmSpec, DiskOrg};
 use crate::bitmap::BitVec;
 use crate::geometry::ObjectId;
@@ -112,10 +114,15 @@ pub struct Bookkeeper {
     flush_list: Vec<u32>,
     /// Backup the in-flight (or next) checkpoint targets.
     target: usize,
-    /// Completed checkpoint count; also the sequence number of the next
-    /// checkpoint to start.
+    /// Completed checkpoint count; the sequence number of the next
+    /// checkpoint to *start* is `seq + in_flight.len()`.
     seq: u64,
-    in_flight: Option<InFlight>,
+    /// Checkpoints begun but not yet finished, oldest first. More than
+    /// one entry only under checkpoint pipelining, which
+    /// [`Bookkeeper::can_pipeline_next`] restricts to log-organized
+    /// no-sweep checkpoints; sweeps and double-backup checkpoints are
+    /// pipeline barriers.
+    in_flight: VecDeque<InFlight>,
 }
 
 impl Bookkeeper {
@@ -138,7 +145,7 @@ impl Bookkeeper {
             flush_list: Vec::new(),
             target: 0,
             seq: 0,
-            in_flight: None,
+            in_flight: VecDeque::new(),
         }
     }
 
@@ -152,7 +159,8 @@ impl Bookkeeper {
         self.n_objects
     }
 
-    /// Sequence number of the next checkpoint to start (= completed count).
+    /// Completed checkpoint count (the sequence number of the next
+    /// checkpoint to start when nothing is in flight).
     pub fn seq(&self) -> u64 {
         self.seq
     }
@@ -165,7 +173,54 @@ impl Bookkeeper {
 
     /// Is a checkpoint currently being written?
     pub fn is_in_flight(&self) -> bool {
-        self.in_flight.is_some()
+        !self.in_flight.is_empty()
+    }
+
+    /// Checkpoints begun but not yet finished.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Whether another checkpoint may safely begin while the current
+    /// in-flight queue is non-empty.
+    ///
+    /// Pipelining is sound only when neither the queued checkpoints nor
+    /// the next one coordinate with concurrent updates through shared
+    /// sweep state: log-organized *eager* (no-sweep) checkpoints carry a
+    /// private copy of their write set, and successive log segments
+    /// coalesce under one sync. Everything else is a barrier:
+    ///
+    /// * double-backup checkpoints alternate targets at finish, so an
+    ///   overlapping write could tear the fallback image;
+    /// * sweeps share `handled`/`flush_set`/`flush_list` and the writer
+    ///   frontier, which exist once per bookkeeper.
+    pub fn can_pipeline_next(&self) -> bool {
+        self.spec.disk_org == DiskOrg::Log
+            && self.in_flight.iter().all(|f| f.sweep == SweepKind::NoSweep)
+            && !self.next_plan_sweeps()
+    }
+
+    /// Would [`Bookkeeper::begin_checkpoint`], called now, produce a
+    /// sweep? Mirrors the plan construction below without mutating.
+    fn next_plan_sweeps(&self) -> bool {
+        let next_seq = self.seq + self.in_flight.len() as u64;
+        let full_flush = self
+            .spec
+            .full_flush_period
+            .is_some_and(|c| (next_seq + 1).is_multiple_of(u64::from(c)));
+        match (self.spec.algorithm, full_flush) {
+            (Algorithm::NaiveSnapshot | Algorithm::AtomicCopyDirtyObjects, _)
+            | (Algorithm::PartialRedo, false) => false,
+            (Algorithm::DribbleAndCopyOnUpdate, _)
+            | (Algorithm::PartialRedo | Algorithm::CopyOnUpdatePartialRedo, true) => true,
+            (Algorithm::CopyOnUpdate, _) => self
+                .dirty_double
+                .as_ref()
+                .is_some_and(|d| d.count_dirty(self.target) > 0),
+            (Algorithm::CopyOnUpdatePartialRedo, false) => {
+                self.dirty_log.as_ref().is_some_and(|d| d.count_ones() > 0)
+            }
+        }
     }
 
     /// Number of objects currently dirty with respect to the given backup
@@ -181,13 +236,16 @@ impl Bookkeeper {
         }
     }
 
-    /// Start a checkpoint at a tick boundary. Panics if one is in flight.
+    /// Start a checkpoint at a tick boundary. Panics if one is in flight
+    /// and overlapping it would be unsound (see
+    /// [`Bookkeeper::can_pipeline_next`]); the driver enforces the
+    /// configured pipeline depth on top of this safety gate.
     pub fn begin_checkpoint(&mut self) -> CheckpointPlan {
         assert!(
-            self.in_flight.is_none(),
+            self.in_flight.is_empty() || self.can_pipeline_next(),
             "begin_checkpoint while a checkpoint is in flight"
         );
-        let seq = self.seq;
+        let seq = self.seq + self.in_flight.len() as u64;
         let full_flush = self
             .spec
             .full_flush_period
@@ -304,7 +362,7 @@ impl Bookkeeper {
             }
         };
 
-        self.in_flight = Some(InFlight { full_flush, sweep });
+        self.in_flight.push_back(InFlight { full_flush, sweep });
         CheckpointPlan {
             seq,
             full_flush,
@@ -313,11 +371,11 @@ impl Bookkeeper {
         }
     }
 
-    /// Record that the asynchronous flush completed; the bookkeeper is
-    /// ready for the next [`Bookkeeper::begin_checkpoint`].
+    /// Record that the *oldest* in-flight flush completed; completions
+    /// drain in begin order.
     pub fn finish_checkpoint(&mut self) {
         assert!(
-            self.in_flight.take().is_some(),
+            self.in_flight.pop_front().is_some(),
             "finish_checkpoint without a checkpoint in flight"
         );
         if self.spec.disk_org == DiskOrg::DoubleBackup {
@@ -344,7 +402,11 @@ impl Bookkeeper {
             ops.bit_ops = 1;
         }
 
-        let Some(in_flight) = &self.in_flight else {
+        // Only sweeps coordinate with updates, and a sweep is always the
+        // *sole* in-flight checkpoint (sweeps are pipeline barriers), so
+        // inspecting the queue front covers every case: pipelined queues
+        // hold only no-sweep entries, which return early below.
+        let Some(in_flight) = self.in_flight.front() else {
             return ops;
         };
 
@@ -385,7 +447,7 @@ impl Bookkeeper {
     /// per dirty-list entry. Engines use this to maintain value-accurate
     /// shadow disks and to drive the real writer.
     pub fn sweep_object_at(&self, slot: u64) -> Option<ObjectId> {
-        let in_flight = self.in_flight.as_ref()?;
+        let in_flight = self.in_flight.front()?;
         match in_flight.sweep {
             SweepKind::NoSweep => None,
             SweepKind::AllByIndex => {
@@ -405,7 +467,7 @@ impl Bookkeeper {
     /// Total slots of the in-flight sweep (`None` if no sweep is active):
     /// the frontier runs from 0 to this value.
     pub fn sweep_slots(&self) -> Option<u64> {
-        let in_flight = self.in_flight.as_ref()?;
+        let in_flight = self.in_flight.front()?;
         match in_flight.sweep {
             SweepKind::NoSweep => None,
             SweepKind::AllByIndex | SweepKind::DirtyByIndex => Some(u64::from(self.n_objects)),
@@ -413,9 +475,10 @@ impl Bookkeeper {
         }
     }
 
-    /// Whether the in-flight checkpoint is a periodic full flush.
+    /// Whether the in-flight checkpoint is a periodic full flush. (Full
+    /// flushes are sweeps, hence always the sole in-flight entry.)
     pub fn in_flight_full_flush(&self) -> bool {
-        self.in_flight.as_ref().is_some_and(|f| f.full_flush)
+        self.in_flight.front().is_some_and(|f| f.full_flush)
     }
 
     /// The set of objects the in-flight checkpoint writes (all bits set
@@ -707,6 +770,44 @@ mod tests {
     fn finish_without_begin_panics() {
         let mut b = bk(Algorithm::NaiveSnapshot);
         b.finish_checkpoint();
+    }
+
+    #[test]
+    fn log_eager_checkpoints_pipeline_with_queued_seqs() {
+        let mut b = bk(Algorithm::PartialRedo);
+        b.on_update(ObjectId(1), FlushCursor::START);
+        assert!(!b.is_in_flight());
+        let p0 = b.begin_checkpoint();
+        assert_eq!(p0.seq, 0);
+        assert!(b.can_pipeline_next(), "eager log checkpoints may overlap");
+        b.on_update(ObjectId(2), FlushCursor::START);
+        let p1 = b.begin_checkpoint();
+        assert_eq!(p1.seq, 1, "queued begin gets the next sequence number");
+        assert_eq!(b.in_flight_count(), 2);
+        b.finish_checkpoint();
+        b.finish_checkpoint();
+        assert_eq!(b.seq(), 2);
+        assert!(!b.is_in_flight());
+    }
+
+    #[test]
+    fn full_flush_boundary_is_a_pipeline_barrier() {
+        let spec = Algorithm::PartialRedo.spec_with_flush_period(2);
+        let mut b = Bookkeeper::new(spec, N);
+        b.on_update(ObjectId(1), FlushCursor::START);
+        let p0 = b.begin_checkpoint();
+        assert!(!p0.full_flush);
+        // Checkpoint 1 would be the periodic full flush (a sweep): it must
+        // not begin while checkpoint 0 is still in flight.
+        assert!(!b.can_pipeline_next());
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_checkpoint while a checkpoint is in flight")]
+    fn sweep_begin_while_in_flight_panics() {
+        let mut b = bk(Algorithm::DribbleAndCopyOnUpdate);
+        b.begin_checkpoint();
+        b.begin_checkpoint();
     }
 
     #[test]

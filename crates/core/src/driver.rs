@@ -31,14 +31,20 @@
 //!         ops = bookkeeper.on_update(obj(u), cursor)   // Handle-Update
 //!         backend.apply_update(u, obj(u), ops)          // do + price it
 //!     backend.end_updates(...)                 // stretch the tick
-//!     if a checkpoint is in flight and backend.poll_completion():
-//!         record it; bookkeeper.finish_checkpoint()
-//!     if no checkpoint is in flight:
+//!     while checkpoints are in flight and backend.poll_completion():
+//!         record the oldest; bookkeeper.finish_checkpoint()
+//!     if fewer than pipeline_depth in flight (and overlap is sound):
 //!         plan = bookkeeper.begin_checkpoint() // Copy-To-Memory decision
 //!         backend.start_checkpoint(plan)       // sync copy + async flush
 //!     backend.end_tick(t)                      // pacing / sleep phase
-//! drain the final in-flight checkpoint
+//! drain the remaining in-flight checkpoints, oldest first
 //! ```
+//!
+//! At the default `pipeline_depth = 1` this is exactly the paper's loop:
+//! at most one checkpoint in flight, a new one started only when the
+//! previous completed. Depths above one let the driver run ahead of a
+//! slow writer for checkpoints the [`Bookkeeper`] certifies as safe to
+//! overlap (log-organized, no sweep); everything else still serializes.
 
 use crate::algorithms::bookkeeper::{Bookkeeper, FlushCursor, UpdateOps};
 use crate::algorithms::AlgorithmSpec;
@@ -171,6 +177,7 @@ struct Pending {
 pub struct TickDriver {
     spec: AlgorithmSpec,
     batching: bool,
+    pipeline_depth: u32,
 }
 
 impl TickDriver {
@@ -179,6 +186,7 @@ impl TickDriver {
         TickDriver {
             spec,
             batching: false,
+            pipeline_depth: 1,
         }
     }
 
@@ -209,6 +217,24 @@ impl TickDriver {
         self.batching
     }
 
+    /// Set the checkpoint pipeline depth: the maximum number of
+    /// checkpoints in flight per shard. The default of 1 reproduces the
+    /// historical one-at-a-time loop exactly. Depths above 1 only take
+    /// effect where overlap is sound ([`Bookkeeper::can_pipeline_next`]):
+    /// log-organized no-sweep checkpoints; sweeps and double-backup
+    /// checkpoints remain serialized regardless of the setting. Panics on
+    /// a depth of 0.
+    pub fn with_pipeline_depth(mut self, depth: u32) -> Self {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// The configured checkpoint pipeline depth.
+    pub fn pipeline_depth(&self) -> u32 {
+        self.pipeline_depth
+    }
+
     /// Start a resumable run over a state of the given geometry. The
     /// sharded driver uses this to interleave N per-shard loops over one
     /// global trace; [`TickDriver::run`] is the single-shard convenience
@@ -219,7 +245,8 @@ impl TickDriver {
             geometry,
             bk: Bookkeeper::new(self.spec, geometry.n_objects()),
             metrics: RunMetrics::default(),
-            pending: None,
+            pending: std::collections::VecDeque::new(),
+            pipeline_depth: self.pipeline_depth,
             tick: 0,
             total_updates: 0,
             seen_at_tick: if self.batching {
@@ -260,7 +287,10 @@ pub struct DriverStep {
     geometry: StateGeometry,
     bk: Bookkeeper,
     metrics: RunMetrics,
-    pending: Option<Pending>,
+    /// Checkpoints handed to the backend and not yet completed, oldest
+    /// first (mirrors the bookkeeper's in-flight queue).
+    pending: std::collections::VecDeque<Pending>,
+    pipeline_depth: u32,
     tick: u64,
     total_updates: u64,
     /// Batching state: per object, the last (1-based) tick that touched
@@ -314,21 +344,29 @@ impl DriverStep {
         self.total_updates += updates.len() as u64;
         let update_overhead_s = backend.end_updates(&self.bk, &ops_total)?;
 
-        // --- Tick boundary: harvest a completed checkpoint...
-        if self.pending.is_some() {
-            if let Some(done) = backend.poll_completion(&self.bk)? {
-                let p = self.pending.take().expect("pending checkpoint");
-                self.metrics.checkpoints.push(record(p, done, tick));
-                self.bk.finish_checkpoint();
-            }
+        // --- Tick boundary: harvest completed checkpoints, oldest first.
+        // Completions arrive in begin order (the backend preserves
+        // per-shard FIFO), so each poll settles the queue front.
+        while !self.pending.is_empty() {
+            let Some(done) = backend.poll_completion(&self.bk)? else {
+                break;
+            };
+            let p = self.pending.pop_front().expect("pending checkpoint");
+            self.metrics.checkpoints.push(record(p, done, tick));
+            self.bk.finish_checkpoint();
         }
 
-        // ...and start the next one if the writer is free.
+        // ...and start the next one if there is pipeline room: always
+        // when the writer is idle, and otherwise only up to the
+        // configured depth for checkpoints the bookkeeper certifies as
+        // safe to overlap (log-organized, no sweep).
         let mut sync_pause_s = 0.0f64;
-        if self.pending.is_none() {
+        let may_start = self.pending.is_empty()
+            || (self.pending.len() < self.pipeline_depth as usize && self.bk.can_pipeline_next());
+        if may_start {
             let plan = self.bk.begin_checkpoint();
             sync_pause_s = backend.start_checkpoint(&self.bk, &plan, tick)?;
-            self.pending = Some(Pending {
+            self.pending.push_back(Pending {
                 seq: plan.seq,
                 start_tick: tick,
                 sync_pause_s,
@@ -347,10 +385,11 @@ impl DriverStep {
         backend.end_tick(tick)
     }
 
-    /// The trace is exhausted: drain the final in-flight checkpoint so
-    /// recovery sees a committed image, and assemble the run result.
+    /// The trace is exhausted: drain every in-flight checkpoint (oldest
+    /// first) so recovery sees committed images, and assemble the run
+    /// result.
     pub fn finish<B: CheckpointBackend>(mut self, backend: &mut B) -> Result<DriverRun, B::Error> {
-        if let Some(p) = self.pending.take() {
+        while let Some(p) = self.pending.pop_front() {
             if let Some(done) = backend.drain(&self.bk)? {
                 self.metrics.checkpoints.push(record(p, done, self.tick));
                 self.bk.finish_checkpoint();
@@ -696,6 +735,134 @@ mod tests {
         assert_eq!(whole.updates, stepped.updates);
         assert_eq!(whole.metrics.ticks, stepped.metrics.ticks);
         assert_eq!(whole.metrics.checkpoints, stepped.metrics.checkpoints);
+    }
+
+    /// A backend whose writer never completes during the run: completions
+    /// only surface at drain time, so the pending queue grows to whatever
+    /// the driver allows.
+    #[derive(Default)]
+    struct StallBackend {
+        in_flight: std::collections::VecDeque<u32>,
+        started: Vec<u64>,
+    }
+
+    impl CheckpointBackend for StallBackend {
+        type Error = Infallible;
+
+        fn begin_tick(&mut self, _tick: u64) -> Result<(), Infallible> {
+            Ok(())
+        }
+
+        fn cursor(&mut self) -> FlushCursor {
+            FlushCursor::START
+        }
+
+        fn apply_update(
+            &mut self,
+            _update: CellUpdate,
+            _obj: ObjectId,
+            _ops: UpdateOps,
+        ) -> Result<(), Infallible> {
+            Ok(())
+        }
+
+        fn end_updates(&mut self, _bk: &Bookkeeper, _ops: &TickOps) -> Result<f64, Infallible> {
+            Ok(0.0)
+        }
+
+        fn poll_completion(
+            &mut self,
+            _bk: &Bookkeeper,
+        ) -> Result<Option<FlushCompletion>, Infallible> {
+            Ok(None)
+        }
+
+        fn start_checkpoint(
+            &mut self,
+            _bk: &Bookkeeper,
+            plan: &CheckpointPlan,
+            tick: u64,
+        ) -> Result<f64, Infallible> {
+            self.in_flight.push_back(plan.flush.objects());
+            self.started.push(tick);
+            Ok(0.0)
+        }
+
+        fn end_tick(&mut self, _tick: u64) -> Result<(), Infallible> {
+            Ok(())
+        }
+
+        fn drain(&mut self, _bk: &Bookkeeper) -> Result<Option<FlushCompletion>, Infallible> {
+            let objects = self.in_flight.pop_front().expect("flush in flight");
+            Ok(Some(FlushCompletion {
+                duration_s: 0.001,
+                objects_written: objects,
+                bytes_written: u64::from(objects) * 64,
+            }))
+        }
+    }
+
+    #[test]
+    fn pipeline_depth_caps_in_flight_checkpoints_for_log_algorithms() {
+        // Partial-redo (log-organized, eager): with depth 3 and a stalled
+        // writer the driver runs three checkpoints ahead, then waits.
+        let g = StateGeometry::small(64, 4);
+        let mut trace = FakeTrace {
+            g,
+            ticks: 10,
+            per_tick: 8,
+            next: 0,
+        };
+        let mut backend = StallBackend::default();
+        let run = TickDriver::new(Algorithm::PartialRedo.spec_with_flush_period(100))
+            .with_pipeline_depth(3)
+            .run(&mut trace, &mut backend)
+            .expect("infallible");
+        assert_eq!(backend.started, vec![1, 2, 3], "three in flight, then full");
+        let seqs: Vec<u64> = run.metrics.checkpoints.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "drained oldest first");
+    }
+
+    #[test]
+    fn double_backup_algorithms_serialize_regardless_of_depth() {
+        let g = StateGeometry::small(64, 4);
+        let mut trace = FakeTrace {
+            g,
+            ticks: 10,
+            per_tick: 8,
+            next: 0,
+        };
+        let mut backend = StallBackend::default();
+        let run = TickDriver::new(Algorithm::NaiveSnapshot.spec())
+            .with_pipeline_depth(3)
+            .run(&mut trace, &mut backend)
+            .expect("infallible");
+        assert_eq!(backend.started, vec![1], "copy-org never overlaps");
+        assert_eq!(run.metrics.checkpoints.len(), 1);
+    }
+
+    #[test]
+    fn depth_one_pipelined_driver_matches_the_historical_loop() {
+        for alg in Algorithm::ALL {
+            let (baseline, _) = run(alg, 3, 30);
+            let g = StateGeometry::small(64, 4);
+            let mut trace = FakeTrace {
+                g,
+                ticks: 30,
+                per_tick: 8,
+                next: 0,
+            };
+            let mut backend = MockBackend::new(3);
+            let explicit = TickDriver::new(alg.spec())
+                .with_pipeline_depth(1)
+                .run(&mut trace, &mut backend)
+                .expect("infallible");
+            assert_eq!(baseline.metrics.ticks, explicit.metrics.ticks, "{alg}");
+            assert_eq!(
+                baseline.metrics.checkpoints, explicit.metrics.checkpoints,
+                "{alg}"
+            );
+        }
     }
 
     #[test]

@@ -180,6 +180,11 @@ pub struct RunSpec {
     /// [`Run::batch_window`]). `Some(0)` pins "everything currently
     /// queued" batches; `None` keeps the engine's configured default.
     pub batch_window_us: Option<u64>,
+    /// Checkpoint pipeline depth: how many of a shard's checkpoints may
+    /// be in flight in the writer at once (see [`Run::pipeline_depth`]).
+    /// Depth 1 is the historical stop-and-wait write path; `None` keeps
+    /// the engine's configured default.
+    pub pipeline_depth: Option<u32>,
 }
 
 impl RunSpec {
@@ -194,6 +199,7 @@ impl RunSpec {
             pacing_hz: None,
             writer: None,
             batch_window_us: None,
+            pipeline_depth: None,
         }
     }
 
@@ -210,6 +216,11 @@ impl RunSpec {
                     "pacing frequency must be positive and finite, got {hz}"
                 )));
             }
+        }
+        if self.pipeline_depth == Some(0) {
+            return Err(RunError::Config(
+                "checkpoint pipeline depth must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -323,6 +334,21 @@ impl<E, T> Run<E, T> {
     /// engine's configured window.
     pub fn batch_window(mut self, window: std::time::Duration) -> Self {
         self.spec.batch_window_us = Some(u64::try_from(window.as_micros()).unwrap_or(u64::MAX));
+        self
+    }
+
+    /// Allow up to `depth` of a shard's checkpoints in flight in the
+    /// writer at once (default 1, the historical stop-and-wait write
+    /// path). At depth ≥ 2 the real engine's driver starts the next
+    /// checkpoint while the previous one's flush is still queued or
+    /// batching — for the algorithm/flush combinations whose jobs carry
+    /// private copies (log-organized eager plans); sweeping and
+    /// double-backup checkpoints still drain the pipe first. Interpreted
+    /// by the real engine; the simulator rejects depths above 1 as
+    /// unsupported rather than silently pricing a pipeline it does not
+    /// model.
+    pub fn pipeline_depth(mut self, depth: u32) -> Self {
+        self.spec.pipeline_depth = Some(depth);
         self
     }
 
@@ -503,6 +529,10 @@ pub struct RealRunDetail {
     /// Writer threads that served the shards' flush jobs (pool workers,
     /// or the batched engine's single submission/completion loop).
     pub pool_threads: usize,
+    /// Checkpoint pipeline depth the run executed at: how many of a
+    /// shard's checkpoints the writer could hold in flight at once
+    /// (1 = the historical stop-and-wait write path).
+    pub pipeline_depth: u32,
     /// Flush jobs the writer completed across the run (all shards).
     pub flush_jobs: u64,
     /// Data `fsync` calls the writer issued across the run. The
@@ -511,6 +541,10 @@ pub struct RealRunDetail {
     /// under per-job durability (the thread pool with data syncing on),
     /// lower when cross-shard fsync coalescing merged same-file targets.
     pub data_fsyncs: u64,
+    /// `syncfs`-style whole-device barriers the durability scheduler
+    /// issued in place of per-file data fsyncs (zero when the device
+    /// barrier is off or the platform probe found `syncfs` unusable).
+    pub device_syncs: u64,
     /// Job-weighted average occupancy of the batches jobs completed in
     /// (1.0 for the thread pool, which completes jobs one by one).
     pub avg_batch_jobs: f64,
@@ -527,7 +561,10 @@ pub struct RealRunDetail {
 impl RealRunDetail {
     /// Data fsync calls per completed flush job — 1.0 under per-job
     /// durability, below 1.0 when the durability scheduler coalesced
-    /// same-file targets, 0.0 when data syncing was off.
+    /// same-file targets (pipelined same-shard jobs share one target, so
+    /// depth ≥ 2 log runs drop below 1.0), 0.0 when data syncing was
+    /// off. Device barriers ([`RealRunDetail::device_syncs`]) are not
+    /// counted: they replace per-file calls wholesale.
     pub fn fsyncs_per_job(&self) -> f64 {
         if self.flush_jobs == 0 {
             0.0
@@ -798,7 +835,8 @@ mod tests {
             .fidelity_check(true)
             .pacing(30.0)
             .writer(WriterBackend::AsyncBatched)
-            .batch_window(std::time::Duration::from_micros(250));
+            .batch_window(std::time::Duration::from_micros(250))
+            .pipeline_depth(2);
         let spec = run.spec();
         assert_eq!(spec.algorithm, Algorithm::CopyOnUpdate);
         assert_eq!(spec.shards, 4);
@@ -807,6 +845,7 @@ mod tests {
         assert_eq!(spec.pacing_hz, Some(30.0));
         assert_eq!(spec.writer, Some(WriterBackend::AsyncBatched));
         assert_eq!(spec.batch_window_us, Some(250));
+        assert_eq!(spec.pipeline_depth, Some(2));
         assert_eq!(WriterBackend::default(), WriterBackend::ThreadPool);
         assert_eq!(WriterBackend::AsyncBatched.to_string(), "async-batched");
     }
@@ -828,6 +867,14 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, RunError::Config(_)), "{err}");
         assert!(err.to_string().contains("pacing"));
+        let err = Run::algorithm(Algorithm::NaiveSnapshot)
+            .engine(CountingEngine)
+            .trace(tiny_spec())
+            .pipeline_depth(0)
+            .execute()
+            .unwrap_err();
+        assert!(matches!(err, RunError::Config(_)), "{err}");
+        assert!(err.to_string().contains("pipeline depth"));
     }
 
     #[test]

@@ -402,6 +402,17 @@ impl ExperimentEngine for SimConfig {
                 config.tick_freq_hz
             )));
         }
+        // The cost model prices one outstanding flush per shard; pricing
+        // a deeper pipeline it does not model would silently misstate
+        // the paper's comparison, so depth > 1 is refused instead.
+        if let Some(depth) = spec.pipeline_depth {
+            if depth > 1 {
+                return Err(RunError::Unsupported {
+                    engine: "sim",
+                    feature: format!("checkpoint pipeline depth {depth} (the cost model prices one in-flight checkpoint per shard)"),
+                });
+            }
+        }
         let engine = SimEngine {
             config,
             algorithm: spec.algorithm,

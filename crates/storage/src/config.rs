@@ -51,12 +51,23 @@ pub struct RealConfig {
     /// latency per checkpoint for fewer fsyncs. `Duration::ZERO` (the
     /// default) reproduces the historical "everything currently queued"
     /// batches exactly. Defaults to the `MMOC_WRITER_BATCH_WINDOW`
-    /// environment variable when set (`250us`, `2ms`, `1s`, or a bare
-    /// integer in microseconds); explicit settings
+    /// environment variable when set (`250us`, `2ms`, `1s`, a bare
+    /// integer in microseconds, or `auto` — see
+    /// [`RealConfig::auto_window`]); explicit settings
     /// ([`RealConfig::with_batch_window`], the builder's
-    /// `.batch_window(…)`) win over the environment. Ignored by the
-    /// thread pool, which has no batches.
+    /// `.batch_window(…)`) win over the environment. An unparseable
+    /// value is **not** a panic: it is deferred into
+    /// [`RealConfig::env_error`] and surfaced as a typed
+    /// `RunError::Config` when a run starts. Ignored by the thread pool,
+    /// which has no batches.
     pub batch_window: Duration,
+    /// Occupancy-driven window auto-tuning (`batch_window = auto`):
+    /// ignore the fixed window and derive each round's window from the
+    /// job inter-arrival EWMA the batched writer observes — zero while
+    /// batches close full, the scaled EWMA (capped at 2 ms) otherwise.
+    /// Off by default; enabled by `MMOC_WRITER_BATCH_WINDOW=auto` or
+    /// [`RealConfig::with_auto_window`].
+    pub auto_window: bool,
     /// Cross-shard fsync coalescing in the async-batched writer's
     /// durability scheduler: when true (the default), a batch issues one
     /// data `fsync` per **distinct target file** — all pending data syncs
@@ -67,12 +78,40 @@ pub struct RealConfig {
     /// historical per-job completion bit for bit. Ignored by the thread
     /// pool, which completes jobs one at a time.
     pub coalesce_fsync: bool,
+    /// Device-level sync barriers in the async-batched writer: when a
+    /// batch holds two or more distinct target files on one device,
+    /// collapse their per-file fsyncs into a single `syncfs` on that
+    /// device. Capability-probed at first use; where `syncfs` is
+    /// unavailable the scheduler silently falls back to per-file fsync.
+    /// Off by default (per-file counts stay exact for the instrumented
+    /// tests); enable via [`RealConfig::with_device_sync`] or
+    /// `MMOC_WRITER_DEVICE_SYNC=1`. Requires `coalesce_fsync`.
+    pub device_sync: bool,
+    /// Checkpoint pipeline depth: how many checkpoints the driver may
+    /// have in flight per shard before it must wait for the oldest to
+    /// complete. Only log-organization checkpoints without a sweep
+    /// actually overlap (the bookkeeper's safety gate serializes
+    /// everything else regardless of this setting); `1` (the default)
+    /// reproduces the historical one-in-flight engine exactly. Defaults
+    /// to the `MMOC_WRITER_PIPELINE_DEPTH` environment variable when
+    /// set; explicit settings ([`RealConfig::with_pipeline_depth`], the
+    /// builder's `.pipeline_depth(…)`) win over the environment.
+    pub pipeline_depth: u32,
+    /// Deferred environment-parsing failure: when one of the
+    /// `MMOC_WRITER_*` variables holds garbage, construction still
+    /// succeeds (so `RealConfig::new` stays infallible) and the message
+    /// is surfaced as a typed `RunError::Config` the moment the config
+    /// is used to execute a run.
+    pub env_error: Option<String>,
 }
 
 impl RealConfig {
     /// A configuration rooted at `dir` with test-friendly defaults:
     /// unpaced ticks, light query phase, recovery measurement on.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
+        let (batch_window, auto_window, window_err) = batch_window_from_env();
+        let (pipeline_depth, depth_err) = pipeline_depth_from_env();
+        let (device_sync, device_err) = device_sync_from_env();
         RealConfig {
             dir: dir.into(),
             tick_period: Duration::from_nanos(33_333_333),
@@ -83,8 +122,12 @@ impl RealConfig {
             measure_recovery: true,
             writer_pool_threads: 0,
             writer_backend: writer_backend_from_env(),
-            batch_window: batch_window_from_env(),
+            batch_window,
+            auto_window,
             coalesce_fsync: true,
+            device_sync,
+            pipeline_depth,
+            env_error: window_err.or(depth_err).or(device_err),
         }
     }
 
@@ -111,6 +154,28 @@ impl RealConfig {
     /// async-batched writer (see [`RealConfig::coalesce_fsync`]).
     pub fn with_fsync_coalescing(mut self, on: bool) -> Self {
         self.coalesce_fsync = on;
+        self
+    }
+
+    /// Enable or disable occupancy-driven window auto-tuning (see
+    /// [`RealConfig::auto_window`]). Overrides any fixed window.
+    pub fn with_auto_window(mut self, on: bool) -> Self {
+        self.auto_window = on;
+        self
+    }
+
+    /// Enable or disable `syncfs`-style device barriers in the batched
+    /// writer's durability scheduler (see [`RealConfig::device_sync`]).
+    pub fn with_device_sync(mut self, on: bool) -> Self {
+        self.device_sync = on;
+        self
+    }
+
+    /// Set the checkpoint pipeline depth (see
+    /// [`RealConfig::pipeline_depth`]; must be at least 1).
+    pub fn with_pipeline_depth(mut self, depth: u32) -> Self {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        self.pipeline_depth = depth;
         self
     }
 
@@ -170,20 +235,81 @@ fn writer_backend_from_env() -> WriterBackend {
     }
 }
 
+/// A parsed `MMOC_WRITER_BATCH_WINDOW` value: a fixed window, or the
+/// auto-tuning sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WindowSpec {
+    /// Occupancy-driven auto-tuning (`batch_window = auto`).
+    Auto,
+    /// A fixed window (zero = close batches immediately).
+    Fixed(Duration),
+}
+
+/// Parse a `MMOC_WRITER_BATCH_WINDOW` value: `auto`, `250us`, `2ms`,
+/// `1s`, or a bare integer in microseconds. Garbage is a typed error
+/// message (surfaced as `RunError::Config` at run time), not a panic.
+pub(crate) fn window_spec(v: &str) -> Result<WindowSpec, String> {
+    if v.trim() == "auto" {
+        return Ok(WindowSpec::Auto);
+    }
+    parse_window(v).map(WindowSpec::Fixed).ok_or_else(|| {
+        format!(
+            "unrecognized MMOC_WRITER_BATCH_WINDOW value {v:?}; \
+             use e.g. \"0\", \"250us\", \"2ms\", \"1s\" or \"auto\""
+        )
+    })
+}
+
 /// The process-wide adaptive-batch-window default:
 /// `MMOC_WRITER_BATCH_WINDOW` if set, zero (no waiting) otherwise.
-/// Accepts `us`/`ms`/`s` suffixes or a bare integer in microseconds;
-/// like the backend variable, garbage panics rather than silently
-/// running the default window.
-fn batch_window_from_env() -> Duration {
+/// Returns `(window, auto, deferred_error)`.
+fn batch_window_from_env() -> (Duration, bool, Option<String>) {
     match std::env::var("MMOC_WRITER_BATCH_WINDOW") {
-        Err(_) => Duration::ZERO,
-        Ok(v) => parse_window(&v).unwrap_or_else(|| {
-            panic!(
-                "unrecognized MMOC_WRITER_BATCH_WINDOW value {v:?}; \
-                 use e.g. \"0\", \"250us\", \"2ms\" or \"1s\""
-            )
-        }),
+        Err(_) => (Duration::ZERO, false, None),
+        Ok(v) => match window_spec(&v) {
+            Ok(WindowSpec::Auto) => (Duration::ZERO, true, None),
+            Ok(WindowSpec::Fixed(d)) => (d, false, None),
+            Err(msg) => (Duration::ZERO, false, Some(msg)),
+        },
+    }
+}
+
+/// The process-wide pipeline-depth default: `MMOC_WRITER_PIPELINE_DEPTH`
+/// if set, 1 (the historical one-in-flight engine) otherwise. Returns
+/// `(depth, deferred_error)`.
+fn pipeline_depth_from_env() -> (u32, Option<String>) {
+    match std::env::var("MMOC_WRITER_PIPELINE_DEPTH") {
+        Err(_) => (1, None),
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(d) if d >= 1 => (d, None),
+            _ => (
+                1,
+                Some(format!(
+                    "unrecognized MMOC_WRITER_PIPELINE_DEPTH value {v:?}; \
+                     use an integer of at least 1"
+                )),
+            ),
+        },
+    }
+}
+
+/// The process-wide device-barrier default: `MMOC_WRITER_DEVICE_SYNC` if
+/// set (`1`/`true` or `0`/`false`), off otherwise. Returns
+/// `(device_sync, deferred_error)`.
+fn device_sync_from_env() -> (bool, Option<String>) {
+    match std::env::var("MMOC_WRITER_DEVICE_SYNC") {
+        Err(_) => (false, None),
+        Ok(v) => match v.trim() {
+            "1" | "true" => (true, None),
+            "" | "0" | "false" => (false, None),
+            _ => (
+                false,
+                Some(format!(
+                    "unrecognized MMOC_WRITER_DEVICE_SYNC value {v:?}; \
+                     use \"1\"/\"true\" or \"0\"/\"false\""
+                )),
+            ),
+        },
     }
 }
 
@@ -226,6 +352,58 @@ mod tests {
         assert_eq!(parse_window("1s"), Some(Duration::from_secs(1)));
         assert_eq!(parse_window("fast"), None);
         assert_eq!(parse_window("1.5ms"), None, "whole numbers only");
+    }
+
+    /// The env-facing spec: every accepted suffix maps to the right
+    /// window, `auto` selects auto-tuning, and garbage is a typed error
+    /// message — not a panic — naming the variable and the accepted
+    /// forms.
+    #[test]
+    fn window_spec_accepts_every_suffix_and_rejects_garbage() {
+        assert_eq!(
+            window_spec("250"),
+            Ok(WindowSpec::Fixed(Duration::from_micros(250))),
+            "bare integer = microseconds"
+        );
+        assert_eq!(
+            window_spec("250us"),
+            Ok(WindowSpec::Fixed(Duration::from_micros(250)))
+        );
+        assert_eq!(
+            window_spec("2ms"),
+            Ok(WindowSpec::Fixed(Duration::from_millis(2)))
+        );
+        assert_eq!(
+            window_spec("1s"),
+            Ok(WindowSpec::Fixed(Duration::from_secs(1)))
+        );
+        assert_eq!(window_spec(" auto "), Ok(WindowSpec::Auto));
+        let err = window_spec("fast").expect_err("garbage must be rejected");
+        assert!(
+            err.contains("MMOC_WRITER_BATCH_WINDOW") && err.contains("fast"),
+            "error names the variable and the offending value: {err}"
+        );
+    }
+
+    #[test]
+    fn pipeline_depth_defaults_to_one_and_is_configurable() {
+        let cfg = RealConfig::new("/tmp/x");
+        assert_eq!(cfg.pipeline_depth, 1, "historical engine by default");
+        assert!(!cfg.auto_window);
+        assert!(!cfg.device_sync);
+        let cfg = cfg
+            .with_pipeline_depth(4)
+            .with_auto_window(true)
+            .with_device_sync(true);
+        assert_eq!(cfg.pipeline_depth, 4);
+        assert!(cfg.auto_window);
+        assert!(cfg.device_sync);
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline depth must be at least 1")]
+    fn zero_pipeline_depth_is_rejected() {
+        let _ = RealConfig::new("/tmp/x").with_pipeline_depth(0);
     }
 
     #[test]

@@ -131,14 +131,55 @@ pub(crate) struct Done {
     /// scheduler (0 when riding a coalesced call or syncing is off, so
     /// the per-job sum is the true call count).
     pub(crate) data_syncs: u32,
+    /// `syncfs`-style whole-device barriers attributed to this job (0
+    /// when riding another job's barrier or the barrier is off).
+    pub(crate) device_syncs: u32,
     /// Occupancy of the batch this job completed in (1 for the pool).
     pub(crate) batch_jobs: u32,
 }
 
+/// Per-shard execution ordering for fungible pool workers. Jobs of one
+/// shard must hit the store in submission order — under checkpoint
+/// pipelining two of a shard's jobs can sit in the queue at once, and
+/// two workers could otherwise race them into the store out of order
+/// (interleaving log segments, acking completions backwards). Each job
+/// carries its shard-local submission index ([`PoolJob::order`]); a
+/// worker waits its turn before touching the store and advances the
+/// gate after acking. At pipeline depth 1 the gate never waits.
+pub(crate) struct TurnGate {
+    // std::sync directly: the workspace's parking_lot shim has no Condvar.
+    turn: std::sync::Mutex<u64>,
+    ready: std::sync::Condvar,
+}
+
+impl TurnGate {
+    pub(crate) fn new() -> Self {
+        TurnGate {
+            turn: std::sync::Mutex::new(0),
+            ready: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until it is `order`'s turn to execute.
+    pub(crate) fn wait_for(&self, order: u64) {
+        let mut turn = self.turn.lock().unwrap_or_else(|e| e.into_inner());
+        while *turn != order {
+            turn = self.ready.wait(turn).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The current job is fully acked; release the next one.
+    pub(crate) fn advance(&self) {
+        *self.turn.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        self.ready.notify_all();
+    }
+}
+
 /// Everything a pool worker needs to execute one shard's flush jobs: the
-/// shard's store (a mutex because workers are fungible, uncontended
-/// because a shard has at most one checkpoint in flight), its shared
-/// table/protocol state, and its frontier + completion channel.
+/// shard's store (a mutex because workers are fungible; contended only
+/// when pipelining queues several of the shard's checkpoints at once),
+/// its shared table/protocol state, and its frontier + completion
+/// channel.
 pub(crate) struct ShardCtx {
     pub(crate) store: parking_lot::Mutex<Store>,
     pub(crate) shared: Arc<Shared>,
@@ -146,6 +187,7 @@ pub(crate) struct ShardCtx {
     pub(crate) geometry: StateGeometry,
     pub(crate) sync_data: bool,
     pub(crate) done_tx: crossbeam::channel::Sender<Done>,
+    pub(crate) turn: TurnGate,
 }
 
 /// A flush job tagged with the shard it belongs to and the instant the
@@ -158,6 +200,9 @@ pub(crate) struct PoolJob {
     pub(crate) shard: usize,
     pub(crate) job: Job,
     pub(crate) queued_at: Instant,
+    /// Shard-local submission index (0, 1, 2, …), consumed by the
+    /// pool's [`TurnGate`] to keep same-shard jobs in order.
+    pub(crate) order: u64,
 }
 
 /// The mutator-side backend the [`mmoc_core::TickDriver`] (or, across
@@ -185,10 +230,14 @@ pub(crate) struct RealBackend {
     /// Writer-side durability instrumentation accumulated from this
     /// shard's completions (fsync calls, batch occupancy).
     writer_stats: WriterStats,
+    /// Shard-local submission counter stamping [`PoolJob::order`].
+    jobs_sent: u64,
 }
 
 impl RealBackend {
-    fn send(&self, job: Job) {
+    fn send(&mut self, job: Job) {
+        let order = self.jobs_sent;
+        self.jobs_sent += 1;
         self.job_tx
             .as_ref()
             .expect("writer pool running")
@@ -196,6 +245,7 @@ impl RealBackend {
                 shard: self.shard,
                 job,
                 queued_at: Instant::now(),
+                order,
             })
             .expect("writer pool alive");
     }
@@ -211,6 +261,7 @@ impl RealBackend {
         let s = &mut self.writer_stats;
         s.flush_jobs += 1;
         s.data_fsyncs += u64::from(done.data_syncs);
+        s.device_syncs += u64::from(done.device_syncs);
         s.batch_jobs_sum += u64::from(done.batch_jobs);
         s.max_batch_jobs = s.max_batch_jobs.max(done.batch_jobs);
     }
@@ -399,7 +450,11 @@ pub(crate) fn make_shard(
     let shared = Arc::new(Shared::with_protocol(SharedTable::new(geometry), sweeps));
     let store = create_store(dir, geometry, spec.disk_org)?;
     let frontier = Arc::new(AtomicU64::new(0));
-    let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(1);
+    // The completion channel must hold one ack per in-flight checkpoint,
+    // or a worker acking checkpoint N would block the mutator from ever
+    // polling (deadlock at pipeline depth > 1).
+    let depth = config.pipeline_depth.max(1) as usize;
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(depth);
 
     let mut shard_config = config.clone();
     // Pacing is a per-world concern (one sleep per global tick); a
@@ -415,6 +470,7 @@ pub(crate) fn make_shard(
         geometry,
         sync_data: config.sync_data,
         done_tx,
+        turn: TurnGate::new(),
     };
     let backend = RealBackend {
         config: shard_config,
@@ -430,6 +486,7 @@ pub(crate) fn make_shard(
         slow_path_s: 0.0,
         spare: None,
         writer_stats: WriterStats::default(),
+        jobs_sent: 0,
     };
     Ok((ctx, backend))
 }

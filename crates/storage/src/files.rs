@@ -41,6 +41,12 @@ impl SyncTarget {
             ino: meta.ino(),
         })
     }
+
+    /// The device the target lives on. Targets sharing a device can be
+    /// flushed together by one `syncfs`-style whole-device barrier.
+    pub fn dev(&self) -> u64 {
+        self.dev
+    }
 }
 
 /// One backup file plus its consistency metadata.
@@ -154,6 +160,13 @@ impl BackupSet {
     /// create/open — the handle never changes underneath it).
     pub fn sync_target(&self, idx: usize) -> SyncTarget {
         self.backups[idx].sync_target
+    }
+
+    /// Raw descriptor of backup `idx`'s image file, for the `syncfs`
+    /// device barrier (any fd on the device names it).
+    pub fn sync_fd(&self, idx: usize) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.backups[idx].file.as_raw_fd()
     }
 
     /// Declare backup `idx` consistent as of `tick` (writes and syncs the

@@ -38,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+mod device_sync;
 pub mod engine;
 pub mod files;
 pub mod log_store;

@@ -254,6 +254,13 @@ impl LogStore {
         self.sync_target
     }
 
+    /// Raw descriptor of the log file, for the `syncfs` device barrier
+    /// (any fd on the device names it).
+    pub fn sync_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.file.as_raw_fd()
+    }
+
     /// Total log size in bytes.
     pub fn len(&self) -> u64 {
         self.len

@@ -39,6 +39,12 @@ pub struct WriterStats {
     /// durability with data syncing on, fewer when cross-shard fsync
     /// coalescing merged same-file targets, zero with syncing off.
     pub data_fsyncs: u64,
+    /// `syncfs`-style whole-device barriers issued, attributed the same
+    /// way (exactly one job per call). A barrier replaces the per-file
+    /// fsyncs of every same-device file in its batch, so runs with the
+    /// device barrier engaged report fewer `data_fsyncs` and a nonzero
+    /// count here. Zero when the barrier is off or `syncfs` unavailable.
+    pub device_syncs: u64,
     /// Sum over jobs of the occupancy of the batch each completed in
     /// (thread-pool jobs count as batches of one).
     pub batch_jobs_sum: u64,
@@ -51,6 +57,7 @@ impl WriterStats {
     pub fn merge(&mut self, other: WriterStats) {
         self.flush_jobs += other.flush_jobs;
         self.data_fsyncs += other.data_fsyncs;
+        self.device_syncs += other.device_syncs;
         self.batch_jobs_sum += other.batch_jobs_sum;
         self.max_batch_jobs = self.max_batch_jobs.max(other.max_batch_jobs);
     }

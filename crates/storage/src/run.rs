@@ -47,6 +47,13 @@ impl ExperimentEngine for RealConfig {
         spec: &RunSpec,
         trace: &T,
     ) -> Result<RunReport, RunError> {
+        // Environment overrides are parsed when the config is built;
+        // garbage surfaces here as a typed error instead of a panic, so
+        // `MMOC_WRITER_BATCH_WINDOW=fast cargo bench` fails with a
+        // message naming the variable rather than a backtrace.
+        if let Some(msg) = &self.env_error {
+            return Err(RunError::Config(msg.clone()));
+        }
         let mut config = self.clone();
         if let Some(hz) = spec.pacing_hz {
             config = config.paced_at_hz(hz);
@@ -59,6 +66,10 @@ impl ExperimentEngine for RealConfig {
         }
         if let Some(us) = spec.batch_window_us {
             config.batch_window = std::time::Duration::from_micros(us);
+        }
+        if let Some(depth) = spec.pipeline_depth {
+            // validate() rejected 0, so the builder's assert cannot fire.
+            config = config.with_pipeline_depth(depth);
         }
         // Geometry and shard-map validation happen inside the shared run
         // on the cursor the run actually uses; failures surface as typed
@@ -92,8 +103,10 @@ fn into_run_report(report: ShardedRealReport) -> RunReport {
         detail: EngineDetail::Real(RealRunDetail {
             writer_backend: report.writer_backend,
             pool_threads: report.pool_threads,
+            pipeline_depth: report.pipeline_depth,
             flush_jobs: report.writer.flush_jobs,
             data_fsyncs: report.writer.data_fsyncs,
+            device_syncs: report.writer.device_syncs,
             avg_batch_jobs: report.writer.avg_batch_jobs(),
             max_batch_jobs: report.writer.max_batch_jobs,
             recovery_wall_s: report.recovery.map(|r| r.wall_s),
@@ -203,6 +216,30 @@ mod tests {
             .execute()
             .unwrap_err();
         assert!(matches!(err, RunError::Core(_)), "{err}");
+    }
+
+    /// Garbage in a `MMOC_WRITER_*` environment override is recorded in
+    /// the config when it is built and must surface as a typed
+    /// [`RunError::Config`] at execute time — never a panic, and never a
+    /// silently ignored run. Injected directly (instead of via
+    /// `std::env::set_var`) so parallel tests don't race on the process
+    /// environment.
+    #[test]
+    fn deferred_env_parse_errors_surface_as_typed_config_errors() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut engine = config(dir.path());
+        engine.env_error =
+            Some("MMOC_WRITER_BATCH_WINDOW: could not parse \"fast\" as a window".into());
+        let err = Run::algorithm(Algorithm::CopyOnUpdate)
+            .engine(engine)
+            .trace(trace_spec())
+            .execute()
+            .unwrap_err();
+        assert!(matches!(err, RunError::Config(_)), "{err}");
+        assert!(
+            err.to_string().contains("MMOC_WRITER_BATCH_WINDOW"),
+            "{err}"
+        );
     }
 
     #[test]

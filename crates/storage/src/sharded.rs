@@ -73,6 +73,9 @@ pub struct ShardedRealReport {
     /// Writer threads that served the shards' flush jobs (pool workers,
     /// or the batched engine's single submission/completion loop).
     pub pool_threads: usize,
+    /// Checkpoint pipeline depth the driver ran at (1 = the historical
+    /// one-in-flight engine).
+    pub pipeline_depth: u32,
     /// Global ticks executed.
     pub ticks: u64,
     /// Total updates routed across all shards.
@@ -142,9 +145,12 @@ where
     let n = map.n_shards();
     let spec = algorithm.spec();
     let pool_threads = config.effective_pool_threads(n);
+    let pipeline_depth = config.pipeline_depth.max(1);
 
-    // Per-shard live state, stores and backends, sharing one job queue.
-    let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(n);
+    // Per-shard live state, stores and backends, sharing one job queue
+    // sized to the deepest possible backlog: every shard pipelined to
+    // the configured depth.
+    let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(n * pipeline_depth as usize);
     let mut ctxs = Vec::with_capacity(n);
     let mut built = Vec::with_capacity(n);
     for s in 0..n {
@@ -168,7 +174,10 @@ where
         job_rx,
         DurabilityConfig {
             batch_window: config.batch_window,
+            auto_window: config.auto_window,
             coalesce_fsync: config.coalesce_fsync,
+            device_sync: config.device_sync,
+            pipeline_depth,
         },
     );
     // `backends` is declared after `pool`, so on an early `?` return it
@@ -179,7 +188,12 @@ where
     // Drive every shard in lockstep over the global trace. Multi-shard
     // pacing sleeps once per *global* tick (single-shard runs pace inside
     // the backend, preserving the historical path exactly).
-    let driver = ShardedDriver::new(TickDriver::new(spec).with_batching(batching), map.clone());
+    let driver = ShardedDriver::new(
+        TickDriver::new(spec)
+            .with_batching(batching)
+            .with_pipeline_depth(pipeline_depth),
+        map.clone(),
+    );
     let run = if config.paced && n > 1 {
         let period = config.tick_period;
         let mut tick_start = Instant::now();
@@ -277,6 +291,7 @@ where
         n_shards,
         writer_backend: config.writer_backend,
         pool_threads,
+        pipeline_depth,
         writer,
         ticks: run.ticks,
         updates: run.updates,

@@ -24,11 +24,14 @@
 //!   is shallow — issues all data writes in the **submission phase**,
 //!   then hands the batch to the **durability scheduler**: collect every
 //!   pending durability target across the batch, issue **one data
-//!   `fsync` per distinct target file**, then run all metadata commits
-//!   and ack completions **out of submission order** (newest first).
-//!   Syncs thereby coalesce at the batch tail instead of interleaving
-//!   with writes, the way a ring's reaped CQEs trail its submitted SQEs,
-//!   and same-file targets within a batch pay a single call.
+//!   `fsync` per distinct target file** — or, when several distinct
+//!   files share a device and `syncfs` is available, **one device
+//!   barrier per device** — then run all metadata commits and ack
+//!   completions **out of submission order** (newest shard first, FIFO
+//!   within a shard so pipelined checkpoints ack in order). Syncs
+//!   thereby coalesce at the batch tail instead of interleaving with
+//!   writes, the way a ring's reaped CQEs trail its submitted SQEs, and
+//!   same-file targets within a batch pay a single call.
 //!
 //! Both backends execute the *same* two phase functions (`submit_job`,
 //! `complete_job`); they differ only in scheduling. That shared core is
@@ -67,10 +70,29 @@ pub(crate) struct DurabilityConfig {
     /// shards) waits for stragglers before closing. Zero = close
     /// immediately (the historical "everything currently queued" batch).
     pub(crate) batch_window: Duration,
+    /// Occupancy-driven window auto-tuning (`batch_window = auto`):
+    /// ignore the fixed window and derive each round's window from the
+    /// observed job inter-arrival EWMA — zero after a full batch (the
+    /// queue is keeping up; waiting buys nothing), otherwise the EWMA
+    /// times the full-batch size (`n_shards × pipeline_depth`), capped.
+    /// See DESIGN.md § "Checkpoint pipelining".
+    pub(crate) auto_window: bool,
     /// Cross-shard fsync coalescing: issue one data sync per distinct
     /// target file per batch (all data syncs before any metadata commit)
     /// instead of one per job.
     pub(crate) coalesce_fsync: bool,
+    /// Device-level sync barriers: when a batch holds two or more
+    /// distinct target files on one device, collapse their per-file
+    /// fsyncs into a single `syncfs` on that device (capability-probed;
+    /// falls back to per-file fsync where `syncfs` is unavailable).
+    /// Requires `coalesce_fsync`.
+    pub(crate) device_sync: bool,
+    /// Checkpoint pipeline depth the engine runs at. The batched writer
+    /// considers a batch *full* at `n_shards × pipeline_depth` jobs —
+    /// everything the driver can possibly have in flight — so at depth
+    /// ≥ 2 the window keeps a batch open past one-job-per-shard and
+    /// same-file (same-shard) jobs coalesce under one fsync.
+    pub(crate) pipeline_depth: u32,
 }
 
 impl DurabilityConfig {
@@ -79,10 +101,21 @@ impl DurabilityConfig {
     pub(crate) fn legacy() -> Self {
         DurabilityConfig {
             batch_window: Duration::ZERO,
+            auto_window: false,
             coalesce_fsync: false,
+            device_sync: false,
+            pipeline_depth: 1,
         }
     }
 }
+
+/// Upper bound on the auto-tuned batch window, so a stalling mutator
+/// (long pauses between checkpoints) cannot teach the writer to hold
+/// acks hostage for the whole inter-checkpoint gap.
+const MAX_AUTO_WINDOW: Duration = Duration::from_millis(2);
+
+/// EWMA smoothing factor for the observed job inter-arrival gap.
+const ARRIVAL_EWMA_ALPHA: f64 = 0.25;
 
 /// The seam between the engine and its asynchronous writer: anything that
 /// drains tagged flush jobs over the shards' contexts, sends one [`Done`]
@@ -146,13 +179,16 @@ impl InFlight {
 /// Outcome of a scheduled (batch-global) data sync for one job.
 struct Presync {
     /// The sync result this job's durability depends on. Jobs sharing a
-    /// coalesced `fsync` share its outcome: if the call failed, none of
-    /// them may commit metadata.
+    /// coalesced `fsync` (or a whole-device barrier) share its outcome:
+    /// if the call failed, none of them may commit metadata.
     result: io::Result<()>,
     /// Data `fsync` calls attributed to this job: 1 for the job that
     /// triggered the call, 0 for jobs riding on a coalesced one. Summing
     /// over jobs therefore counts actual calls.
     data_syncs: u32,
+    /// `syncfs` device barriers attributed to this job, counted the same
+    /// way: 1 for the triggering job, 0 for riders.
+    device_syncs: u32,
 }
 
 /// What remains between a submitted job and its durability point.
@@ -170,6 +206,16 @@ fn sync_target_of(store: &Store, pending: &PendingDurability) -> SyncTarget {
     match (pending, store) {
         (PendingDurability::Double { target, .. }, Store::Double(set)) => set.sync_target(*target),
         (PendingDurability::Log, Store::Log(log)) => log.sync_target(),
+        _ => unreachable!("pending durability matches the shard's disk organization"),
+    }
+}
+
+/// Raw descriptor of the file a pending job's data sync targets, for the
+/// `syncfs` device barrier (any fd on the device names the filesystem).
+fn sync_fd_of(store: &Store, pending: &PendingDurability) -> std::os::unix::io::RawFd {
+    match (pending, store) {
+        (PendingDurability::Double { target, .. }, Store::Double(set)) => set.sync_fd(*target),
+        (PendingDurability::Log, Store::Log(log)) => log.sync_fd(),
         _ => unreachable!("pending durability matches the shard's disk organization"),
     }
 }
@@ -348,10 +394,12 @@ pub(crate) fn complete_job(
         presync,
     } = inflight;
     let mut data_syncs = 0;
+    let mut device_syncs = 0;
     let result = state.and_then(|pending| {
         match presync {
             Some(p) => {
                 data_syncs = p.data_syncs;
+                device_syncs = p.device_syncs;
                 p.result?;
             }
             None if ctx.sync_data => {
@@ -368,6 +416,7 @@ pub(crate) fn complete_job(
         bytes: u64::from(objects) * u64::from(ctx.geometry.object_size),
         recycled,
         data_syncs,
+        device_syncs,
         batch_jobs,
     }
 }
@@ -394,12 +443,20 @@ pub(crate) fn execute_job(
 
 /// The shared pool of writer workers serving all shards' checkpoint work.
 ///
-/// Workers pull tagged jobs off one queue; any worker can flush any
-/// shard (the shard's store sits behind an uncontended mutex). With one
-/// shard and one worker this degenerates to the classic dedicated writer
-/// thread. Capacity-wise the queue never backs up beyond one job per
-/// shard, because the driver keeps at most one checkpoint in flight per
-/// shard.
+/// Workers pull tagged jobs off one MPMC queue (the channel's `Receiver`
+/// is clonable; each worker owns a clone and they compete for messages
+/// directly, with no external mutex serializing the handoff). Any worker
+/// can flush any shard. With one shard and one worker this degenerates
+/// to the classic dedicated writer thread. The queue backs up at most
+/// `pipeline_depth` jobs per shard; when a shard has more than one job
+/// queued, the channel's FIFO guarantees worker *pickup* order but not
+/// *execution* order, so each worker holds the shard's [`TurnGate`]
+/// slot for its job's submission index — store mutation and the ack both
+/// happen in submission order, which the log organization's
+/// scan-forward recovery and the driver's FIFO completion draining
+/// depend on. At depth 1 the gate never waits.
+///
+/// [`TurnGate`]: crate::engine::TurnGate
 pub(crate) struct WriterPool {
     workers: Vec<std::thread::JoinHandle<()>>,
 }
@@ -412,30 +469,32 @@ impl WriterPool {
         threads: usize,
         job_rx: crossbeam::channel::Receiver<PoolJob>,
     ) -> WriterPool {
-        // The shim's Receiver is not clonable; a mutex-guarded receiver
-        // gives the same one-waiter-at-a-time handoff a shared MPMC
-        // queue would.
-        let job_rx = Arc::new(parking_lot::Mutex::new(job_rx));
         let workers = (0..threads.max(1))
             .map(|_| {
                 let ctxs = Arc::clone(&ctxs);
-                let job_rx = Arc::clone(&job_rx);
+                let job_rx = job_rx.clone();
                 std::thread::spawn(move || {
                     let mut buf = Vec::new();
-                    loop {
-                        let next = { job_rx.lock().recv() };
-                        let Ok(PoolJob {
-                            shard,
-                            job,
-                            queued_at,
-                        }) = next
-                        else {
-                            break;
-                        };
+                    while let Ok(PoolJob {
+                        shard,
+                        job,
+                        queued_at,
+                        order,
+                    }) = job_rx.recv()
+                    {
                         let ctx = &ctxs[shard];
+                        // Deadlock-free: the channel is FIFO, so a
+                        // worker holding order N was dispatched before
+                        // any worker holding order N+1 of the same
+                        // shard, and the done channel holds one slot
+                        // per in-flight checkpoint — the gate's owner
+                        // can always finish.
+                        ctx.turn.wait_for(order);
                         let mut store = ctx.store.lock();
                         let done = execute_job(ctx, &mut store, &mut buf, shard, job, queued_at);
+                        drop(store);
                         let _ = ctx.done_tx.send(done);
+                        ctx.turn.advance();
                     }
                 })
             })
@@ -489,24 +548,56 @@ impl AsyncBatchedWriter {
             let mut batch: Vec<PoolJob> = Vec::new();
             let mut completion_queue: Vec<InFlight> = Vec::new();
             let mut synced: Vec<(SyncTarget, io::Result<()>)> = Vec::new();
+            // Per-device barrier outcomes: (dev, shared syncfs result,
+            // already attributed to a job).
+            let mut device_synced: Vec<(u64, io::Result<()>, bool)> = Vec::new();
+            // Distinct targets of the current batch, for the barrier's
+            // ≥ 2-files-per-device engagement test.
+            let mut batch_targets: Vec<(SyncTarget, std::os::unix::io::RawFd)> = Vec::new();
+            // Reap-order scratch (indices into the completion queue).
+            let mut reap_order: Vec<usize> = Vec::new();
+            let mut reaped: Vec<Option<InFlight>> = Vec::new();
+            // Auto-window state: EWMA of the observed job inter-arrival
+            // gap, and whether the previous batch closed full.
+            let mut ewma_gap_s: Option<f64> = None;
+            let mut prev_arrival: Option<Instant> = None;
+            let mut last_batch_full = false;
+            // A batch is full when it holds everything the driver can
+            // possibly have in flight: one job per shard at depth 1 (the
+            // historical notion), `depth` per shard when pipelining.
+            let full_batch = ctxs.len() * sched.pipeline_depth.max(1) as usize;
             // Block for the first job, then coalesce everything that is
-            // already queued: one batch per loop round. The driver keeps
-            // at most one checkpoint in flight per shard, so a batch
-            // holds at most one job per shard and per-shard job order is
-            // trivially preserved.
+            // already queued: one batch per loop round. Within a shard
+            // the channel is FIFO and this loop is single-threaded, so a
+            // pipelined shard's jobs enter the batch — and hit its store
+            // — in submission order.
             while let Ok(first) = job_rx.recv() {
                 batch.push(first);
                 while let Ok(job) = job_rx.try_recv() {
                     batch.push(job);
                 }
-                // Adaptive batch window: a full batch (one job per shard)
-                // can never grow, but a shallow one may — wait briefly
+                // Adaptive batch window: a full batch (`depth` jobs per
+                // shard) can never grow, but a shallow one may — wait briefly
                 // for stragglers so their durability points coalesce,
                 // trading bounded ack latency for fewer fsyncs. Zero
                 // reproduces the historical close-immediately policy.
-                if !sched.batch_window.is_zero() {
-                    let deadline = Instant::now() + sched.batch_window;
-                    while batch.len() < ctxs.len() {
+                // Auto-tuning derives the window from the occupancy
+                // counters: zero while batches close full (the queue is
+                // keeping up), else the inter-arrival EWMA scaled to the
+                // shard count, capped at MAX_AUTO_WINDOW.
+                let window = if sched.auto_window {
+                    match ewma_gap_s {
+                        Some(gap) if !last_batch_full => Duration::from_secs_f64(
+                            (gap * full_batch as f64).min(MAX_AUTO_WINDOW.as_secs_f64()),
+                        ),
+                        _ => Duration::ZERO,
+                    }
+                } else {
+                    sched.batch_window
+                };
+                if !window.is_zero() {
+                    let deadline = Instant::now() + window;
+                    while batch.len() < full_batch {
                         let Some(left) = deadline.checked_duration_since(Instant::now()) else {
                             break;
                         };
@@ -516,6 +607,20 @@ impl AsyncBatchedWriter {
                         }
                     }
                 }
+                // Feed the auto-window estimator from the enqueue
+                // timestamps the jobs already carry (no extra clock
+                // reads on the mutator side).
+                for job in &batch {
+                    if let Some(prev) = prev_arrival {
+                        let gap = job.queued_at.saturating_duration_since(prev).as_secs_f64();
+                        ewma_gap_s = Some(match ewma_gap_s {
+                            Some(e) => e + ARRIVAL_EWMA_ALPHA * (gap - e),
+                            None => gap,
+                        });
+                    }
+                    prev_arrival = Some(job.queued_at);
+                }
+                last_batch_full = batch.len() >= full_batch;
                 let occupancy = batch.len() as u32;
                 // Submission phase: issue every job's data writes;
                 // durability is deferred past the whole batch.
@@ -523,6 +628,7 @@ impl AsyncBatchedWriter {
                     shard,
                     job,
                     queued_at,
+                    order: _,
                 } in batch.drain(..)
                 {
                     let ctx = &ctxs[shard];
@@ -539,8 +645,47 @@ impl AsyncBatchedWriter {
                 // distinct file, jobs sharing a file sharing the call
                 // (and its outcome). Runs before any metadata commit, so
                 // the sync-before-commit invariant holds batch-globally.
+                //
+                // Device barriers strengthen the collapse one level:
+                // when the batch holds ≥ 2 distinct files on one device
+                // and `syncfs` is available, a single whole-device call
+                // replaces all of that device's per-file fsyncs (it
+                // flushes a superset of their dirty pages, so the
+                // sync-before-commit ordering is preserved a fortiori).
                 if sched.coalesce_fsync {
                     synced.clear();
+                    device_synced.clear();
+                    if sched.device_sync {
+                        batch_targets.clear();
+                        for inflight in &completion_queue {
+                            let ctx = &ctxs[inflight.shard];
+                            let Ok(pending) = &inflight.state else {
+                                continue;
+                            };
+                            if !ctx.sync_data {
+                                continue;
+                            }
+                            let store = ctx.store.lock();
+                            let target = sync_target_of(&store, pending);
+                            if !batch_targets.iter().any(|(t, _)| *t == target) {
+                                batch_targets.push((target, sync_fd_of(&store, pending)));
+                            }
+                        }
+                        for i in 0..batch_targets.len() {
+                            let (target, fd) = batch_targets[i];
+                            let dev = target.dev();
+                            let distinct =
+                                batch_targets.iter().filter(|(t, _)| t.dev() == dev).count();
+                            if distinct < 2 || device_synced.iter().any(|(d, ..)| *d == dev) {
+                                continue;
+                            }
+                            match crate::device_sync::sync_device(fd) {
+                                Ok(true) => device_synced.push((dev, Ok(()), false)),
+                                Ok(false) => {} // unavailable: per-file fallback
+                                Err(e) => device_synced.push((dev, Err(e), false)),
+                            }
+                        }
+                    }
                     for inflight in &mut completion_queue {
                         let ctx = &ctxs[inflight.shard];
                         let Ok(pending) = &inflight.state else {
@@ -551,16 +696,30 @@ impl AsyncBatchedWriter {
                         }
                         let store = ctx.store.lock();
                         let target = sync_target_of(&store, pending);
+                        if let Some((_, outcome, charged)) =
+                            device_synced.iter_mut().find(|(d, ..)| *d == target.dev())
+                        {
+                            let device_syncs = u32::from(!*charged);
+                            *charged = true;
+                            inflight.presync = Some(Presync {
+                                result: share_sync_result(outcome),
+                                data_syncs: 0,
+                                device_syncs,
+                            });
+                            continue;
+                        }
                         inflight.presync = Some(match synced.iter().find(|(t, _)| *t == target) {
                             Some((_, outcome)) => Presync {
                                 result: share_sync_result(outcome),
                                 data_syncs: 0,
+                                device_syncs: 0,
                             },
                             None => {
                                 let outcome = sync_pending(&store, pending);
                                 let presync = Presync {
                                     result: share_sync_result(&outcome),
                                     data_syncs: 1,
+                                    device_syncs: 0,
                                 };
                                 synced.push((target, outcome));
                                 presync
@@ -569,14 +728,40 @@ impl AsyncBatchedWriter {
                     }
                 }
                 // Durability scheduler, phase two: metadata commits +
-                // acks, reaped out of submission order (newest first —
-                // deliberately not FIFO, so consumers cannot grow an
-                // accidental ordering dependency). With coalescing off
-                // each job also syncs inline here, the historical path.
-                while let Some(inflight) = completion_queue.pop() {
+                // acks, reaped newest shard first (deliberately not
+                // batch-FIFO, so consumers cannot grow an accidental
+                // cross-shard ordering dependency) but in submission
+                // order *within* a shard — a pipelined shard's acks must
+                // arrive FIFO for the driver's completion draining.
+                // With one job per shard this is exactly the historical
+                // newest-first reap. With coalescing off each job also
+                // syncs inline here, the historical path.
+                // Wave ordering: every shard's k-th job acks (newest
+                // shard first) before any shard's (k+1)-th, so a
+                // pipelined shard never monopolizes the ack stream while
+                // other shards' completion channels sit full.
+                reap_order.clear();
+                reap_order.extend(0..completion_queue.len());
+                reap_order.sort_by_key(|&i| {
+                    let shard = completion_queue[i].shard();
+                    let wave = completion_queue[..i]
+                        .iter()
+                        .filter(|f| f.shard() == shard)
+                        .count();
+                    let newest = completion_queue
+                        .iter()
+                        .rposition(|f| f.shard() == shard)
+                        .expect("index i itself matches");
+                    (wave, std::cmp::Reverse(newest), i)
+                });
+                reaped.clear();
+                reaped.extend(completion_queue.drain(..).map(Some));
+                for &i in &reap_order {
+                    let inflight = reaped[i].take().expect("each job reaped once");
                     let ctx = &ctxs[inflight.shard()];
                     let mut store = ctx.store.lock();
                     let done = complete_job(ctx, &mut store, inflight, occupancy);
+                    drop(store);
                     let _ = ctx.done_tx.send(done);
                 }
             }
@@ -612,7 +797,7 @@ mod tests {
     //! `tests/writer_equivalence.rs`.)
 
     use super::*;
-    use crate::engine::create_store;
+    use crate::engine::{create_store, TurnGate};
     use crate::shared::{Shared, SharedTable};
     use mmoc_core::{CellUpdate, DiskOrg, StateGeometry};
     use std::path::Path;
@@ -646,6 +831,7 @@ mod tests {
             geometry: g,
             sync_data: true,
             done_tx,
+            turn: TurnGate::new(),
         };
         (ctx, done_rx)
     }
@@ -709,7 +895,7 @@ mod tests {
         let mut backend = spawn_writer(kind, Arc::clone(&ctxs), 2, job_rx, sched);
         let mut results = Vec::new();
         let stream = job_stream(n);
-        for round in stream.chunks(n) {
+        for (round_idx, round) in stream.chunks(n).enumerate() {
             for (shard, job) in round {
                 // Reset per-checkpoint protocol state as the mutator would.
                 ctxs[*shard].shared.reset_for_checkpoint();
@@ -719,6 +905,7 @@ mod tests {
                         shard: *shard,
                         job: job.clone(),
                         queued_at: Instant::now(),
+                        order: round_idx as u64,
                     })
                     .unwrap();
             }
@@ -735,7 +922,10 @@ mod tests {
     fn coalescing(window: Duration) -> DurabilityConfig {
         DurabilityConfig {
             batch_window: window,
+            auto_window: false,
             coalesce_fsync: true,
+            device_sync: false,
+            pipeline_depth: 1,
         }
     }
 
@@ -759,15 +949,16 @@ mod tests {
 
     /// The differential core: identical job streams through both backends
     /// — and through the batched engine under every durability policy
-    /// (legacy per-job, coalesced, coalesced + window) — leave
-    /// byte-identical files (images, metadata, logs) on every shard, for
-    /// both disk organizations. Coalescing only reorders syncs, never
-    /// bytes, and `window=0` + coalescing off *is* the historical
-    /// engine, so all four configurations must agree with the pool.
+    /// (legacy per-job, coalesced, coalesced + window, auto-tuned
+    /// window, device barrier) — leave byte-identical files (images,
+    /// metadata, logs) on every shard, for both disk organizations.
+    /// Scheduling only reorders syncs, never bytes, and `window=0` +
+    /// coalescing off *is* the historical engine, so every
+    /// configuration must agree with the pool.
     #[test]
     fn identical_job_streams_leave_byte_identical_files() {
         let batched = WriterBackendKind::AsyncBatched;
-        let configs: [(&str, WriterBackendKind, DurabilityConfig); 4] = [
+        let configs: [(&str, WriterBackendKind, DurabilityConfig); 6] = [
             (
                 "pool",
                 WriterBackendKind::ThreadPool,
@@ -779,6 +970,22 @@ mod tests {
                 "batch_window",
                 batched,
                 coalescing(Duration::from_micros(300)),
+            ),
+            (
+                "batch_auto",
+                batched,
+                DurabilityConfig {
+                    auto_window: true,
+                    ..coalescing(Duration::ZERO)
+                },
+            ),
+            (
+                "batch_device",
+                batched,
+                DurabilityConfig {
+                    device_sync: true,
+                    ..coalescing(Duration::ZERO)
+                },
             ),
         ];
         for disk_org in [DiskOrg::DoubleBackup, DiskOrg::Log] {
@@ -860,6 +1067,7 @@ mod tests {
                         full_image: true,
                     },
                     queued_at: Instant::now(),
+                    order: 0,
                 })
                 .unwrap();
         }
@@ -934,6 +1142,7 @@ mod tests {
                                 full_image: true,
                             },
                             queued_at: Instant::now(),
+                            order: round,
                         })
                         .unwrap();
                 }
@@ -1017,6 +1226,7 @@ mod tests {
                         full_image: true,
                     },
                     queued_at: Instant::now(),
+                    order: 0,
                 })
                 .unwrap();
         }
@@ -1031,6 +1241,144 @@ mod tests {
         }
         drop(job_tx);
         backend.shutdown();
+    }
+
+    /// Two pipelined jobs of *one* shard, raced by two pool workers,
+    /// must hit the store and ack in submission order: the shard's
+    /// [`TurnGate`] serializes them even when the second worker wins the
+    /// race to its channel pickup. The jobs are distinguishable by
+    /// object count, and the log must hold their segments in seq order.
+    #[test]
+    fn pipelined_same_shard_jobs_ack_in_submission_order() {
+        for _attempt in 0..20 {
+            let root = tempfile::tempdir().unwrap();
+            let g = geometry();
+            let table = SharedTable::new(g);
+            let shared = Arc::new(Shared::new(table));
+            let store = create_store(root.path(), g, DiskOrg::Log).unwrap();
+            // Depth-2 completion channel, as make_shard sizes it.
+            let (done_tx, done_rx) = crossbeam::channel::bounded::<Done>(2);
+            let ctx = ShardCtx {
+                store: parking_lot::Mutex::new(store),
+                shared,
+                frontier: Arc::new(AtomicU64::new(0)),
+                geometry: g,
+                sync_data: true,
+                done_tx,
+                turn: TurnGate::new(),
+            };
+            let ctxs = Arc::new(vec![ctx]);
+            let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(2);
+            // Queue both jobs *before* spawning, so both workers grab one
+            // immediately and genuinely race.
+            let obj_size = g.object_size as usize;
+            for (order, count) in [(0u64, g.n_objects()), (1, 2)] {
+                let ids: Vec<u32> = (0..count).collect();
+                let data = vec![order as u8 + 1; ids.len() * obj_size];
+                job_tx
+                    .send(PoolJob {
+                        shard: 0,
+                        job: Job::Eager {
+                            ids,
+                            data,
+                            seq: order,
+                            tick: order * 10 + 1,
+                            target: 0,
+                            full_image: order == 0,
+                        },
+                        queued_at: Instant::now(),
+                        order,
+                    })
+                    .unwrap();
+            }
+            let mut backend = WriterPool::spawn(Arc::clone(&ctxs), 2, job_rx);
+            let first = done_rx.recv().unwrap();
+            let second = done_rx.recv().unwrap();
+            assert_eq!(first.objects, g.n_objects(), "order-0 job acks first");
+            assert_eq!(second.objects, 2, "order-1 job acks second");
+            first.result.unwrap();
+            second.result.unwrap();
+            drop(job_tx);
+            backend.shutdown();
+            drop(ctxs);
+            let mut log = crate::log_store::LogStore::open(root.path(), g).unwrap();
+            let segs = log.segments().unwrap();
+            // Boot image + the two jobs, appended in submission order.
+            let seqs: Vec<u64> = segs.iter().map(|s| s.seq).collect();
+            assert_eq!(seqs, vec![0, 0, 1], "segments in submission order");
+            let (_, tick, _) = log.reconstruct().unwrap();
+            assert_eq!(tick, 11, "newest segment wins");
+        }
+    }
+
+    /// The device barrier collapses a multi-file batch to one `syncfs`
+    /// where the syscall is available, and falls back to per-file fsync
+    /// where it is not — never to an error. Four shards' logs are four
+    /// distinct files on one tempdir device.
+    #[test]
+    fn device_barrier_collapses_same_device_files_or_falls_back() {
+        let g = geometry();
+        let root = tempfile::tempdir().unwrap();
+        let n = 4usize;
+        let mut ctxs = Vec::new();
+        let mut done_rxs = Vec::new();
+        let mut dirs = Vec::new();
+        for s in 0..n {
+            let dir = root.path().join(format!("s{s}"));
+            let (ctx, rx) = make_ctx(&dir, DiskOrg::Log, s as u32);
+            ctxs.push(ctx);
+            done_rxs.push(rx);
+            dirs.push(dir);
+        }
+        let ctxs = Arc::new(ctxs);
+        let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(n);
+        for shard in 0..n {
+            let ids: Vec<u32> = (0..g.n_objects()).collect();
+            let data = vec![shard as u8 + 1; ids.len() * g.object_size as usize];
+            job_tx
+                .send(PoolJob {
+                    shard,
+                    job: Job::Eager {
+                        ids,
+                        data,
+                        seq: 0,
+                        tick: 1,
+                        target: 0,
+                        full_image: true,
+                    },
+                    queued_at: Instant::now(),
+                    order: 0,
+                })
+                .unwrap();
+        }
+        let sched = DurabilityConfig {
+            device_sync: true,
+            ..coalescing(Duration::ZERO)
+        };
+        let mut backend = AsyncBatchedWriter::spawn(Arc::clone(&ctxs), job_rx, sched);
+        let mut fsyncs = 0u64;
+        let mut device_syncs = 0u64;
+        for rx in &done_rxs {
+            let done = rx.recv().unwrap();
+            done.result.as_ref().unwrap();
+            assert_eq!(done.batch_jobs, 4, "all four jobs share one batch");
+            fsyncs += u64::from(done.data_syncs);
+            device_syncs += u64::from(done.device_syncs);
+        }
+        drop(job_tx);
+        backend.shutdown();
+        match device_syncs {
+            1 => assert_eq!(fsyncs, 0, "barrier replaces every per-file fsync"),
+            0 => assert_eq!(fsyncs, 4, "fallback pays one fsync per distinct file"),
+            other => panic!("at most one device barrier per batch, got {other}"),
+        }
+        // Durability reached either way: every shard's log reconstructs.
+        drop(ctxs);
+        for (s, dir) in dirs.iter().enumerate() {
+            let mut log = crate::log_store::LogStore::open(dir, g).unwrap();
+            let (_, tick, _) = log.reconstruct().unwrap();
+            assert_eq!(tick, 1, "shard {s}: segment consistent");
+        }
     }
 
     /// A crash between submission and completion (the mid-batch window)

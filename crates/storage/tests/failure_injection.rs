@@ -573,3 +573,127 @@ fn coalesced_sync_without_commit_falls_back_to_previous_image() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Crash windows of the pipelined write path (two checkpoints in flight)
+// ---------------------------------------------------------------------------
+
+/// Which of a shard's two in-flight segments the simulated crash loses.
+#[derive(Clone, Copy)]
+enum PipelineCrash {
+    /// The older checkpoint reached stable storage; the newer one's
+    /// segment survives only as a torn tail (writeback never finished).
+    NewerTorn,
+    /// The *newer* segment's bytes made it to stable storage but the
+    /// older one's writeback was lost mid-page: its end marker is gone.
+    /// The log's prefix-consistency scan must discard the intact newer
+    /// segment too — it cannot be applied without its predecessor.
+    OlderCorrupt,
+}
+
+/// Checkpoint pipelining opens a crash window that cannot exist at depth
+/// one: **two** of a shard's checkpoints in flight at once, and a crash
+/// that persists them asymmetrically. Both directions are injected here
+/// — newest segment torn with the older intact, and the older segment's
+/// writeback lost under an intact newer one — for every log-organized
+/// algorithm under both writer backends, after a genuine depth-2 run.
+/// Recovery must anchor on the newest consistent *prefix* of the log and
+/// replay to the exact crash state.
+#[test]
+fn pipelined_crash_windows_recover_to_newest_consistent_checkpoint() {
+    let trace = SyntheticConfig {
+        geometry: StateGeometry::test_small(),
+        ticks: 40,
+        updates_per_tick: 300,
+        skew: 0.7,
+        seed: 1337,
+    };
+    const N: usize = 4;
+    let map = ShardMap::new(trace.geometry, N as u32).unwrap();
+    let log_algorithms = Algorithm::ALL
+        .into_iter()
+        .filter(|a| a.spec().disk_org == DiskOrg::Log);
+    for alg in log_algorithms {
+        for backend in WriterBackend::ALL {
+            for crash in [PipelineCrash::NewerTorn, PipelineCrash::OlderCorrupt] {
+                let dir = tempfile::tempdir().unwrap();
+                let report = Run::algorithm(alg)
+                    .engine(
+                        RealConfig::new(dir.path())
+                            .without_recovery()
+                            .with_query_ops(64),
+                    )
+                    .trace(trace)
+                    .shards(N as u32)
+                    .writer(backend)
+                    .pipeline_depth(2)
+                    // Lightly paced so even the full-sweep algorithms
+                    // (whose checkpoints never overlap) complete several
+                    // checkpoints — the injections below need at least
+                    // two segments beyond the boot image per shard.
+                    .pacing(400.0)
+                    .execute()
+                    .unwrap_or_else(|e| panic!("{alg} [{backend}]: {e}"));
+                assert!(report.world.checkpoints_completed >= 1, "{alg} [{backend}]");
+
+                for s in 0..N {
+                    let sdir = shard_dir(dir.path(), s, N);
+                    let g = map.shard_geometry(s);
+                    let path = sdir.join("checkpoint.log");
+                    let mut log = mmoc_storage::log_store::LogStore::open(&sdir, g).unwrap();
+                    let segs = log.segments().unwrap();
+                    drop(log);
+                    assert!(
+                        segs.len() >= 3,
+                        "{alg} [{backend}] shard {s}: needs a boot image plus two \
+                         pipelined segments, got {}",
+                        segs.len()
+                    );
+                    let len = std::fs::metadata(&path).unwrap().len();
+                    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+                    match crash {
+                        PipelineCrash::NewerTorn => {
+                            // Tear into the newest segment's body, leaving
+                            // everything before it durable and complete.
+                            let last = segs.last().unwrap().bytes;
+                            f.set_len(len - last / 2).unwrap();
+                        }
+                        PipelineCrash::OlderCorrupt => {
+                            use std::io::{Seek, SeekFrom, Write};
+                            // Overwrite the second-newest segment's end
+                            // marker: its writeback never completed, while
+                            // the newest segment's bytes all survive.
+                            let last = segs.last().unwrap().bytes;
+                            let mut f = f;
+                            f.seek(SeekFrom::Start(len - last - 4)).unwrap();
+                            f.write_all(&[0xBD; 4]).unwrap();
+                            f.sync_data().unwrap();
+                        }
+                    }
+
+                    let mut replay = ShardFilter::new(trace.build(), map.clone(), s);
+                    let rec = recover_and_replay_log(&sdir, g, &mut replay, 40)
+                        .unwrap_or_else(|e| panic!("{alg} [{backend}] shard {s}: {e}"));
+                    // The anchor must be the newest consistent prefix: at
+                    // most the segments preceding the damaged one.
+                    let damaged_from = match crash {
+                        PipelineCrash::NewerTorn => segs.len() - 1,
+                        PipelineCrash::OlderCorrupt => segs.len() - 2,
+                    };
+                    let newest_consistent = segs[damaged_from - 1].consistent_tick;
+                    assert_eq!(
+                        rec.from_tick, newest_consistent,
+                        "{alg} [{backend}] shard {s}: recovery must anchor on the \
+                         newest consistent checkpoint before the damage"
+                    );
+                    let truth = truth_of(ShardFilter::new(trace.build(), map.clone(), s));
+                    assert_eq!(
+                        rec.table.fingerprint(),
+                        truth.fingerprint(),
+                        "{alg} [{backend}] shard {s}: pipelined crash recovery diverged"
+                    );
+                }
+            }
+        }
+    }
+}

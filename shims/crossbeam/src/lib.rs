@@ -1,81 +1,234 @@
 //! Minimal `crossbeam` shim for the offline build.
 //!
-//! Only `crossbeam::channel::bounded` is used by the workspace (one-slot
-//! job/done queues between the mutator and the writer thread); it is
-//! implemented over `std::sync::mpsc::sync_channel`, which has the same
-//! bounded-rendezvous semantics for a single producer/consumer pair.
+//! Only `crossbeam::channel::bounded` is used by the workspace (the
+//! job/done queues between the mutator and the writer threads). It is
+//! implemented as a genuinely multi-producer **multi-consumer** bounded
+//! queue — `Sender` *and* `Receiver` are clonable, like the real crate —
+//! over a mutex-guarded `VecDeque` with two condvars (`not_empty` /
+//! `not_full`). The error types are re-exported from `std::sync::mpsc`
+//! so call sites keep matching on the names they already use.
 
-/// Bounded MPSC channels in the crossbeam API shape.
+/// Bounded MPMC channels in the crossbeam API shape.
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
-    /// Create a bounded channel of the given capacity.
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        cap: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Create a bounded channel of the given capacity (at least one slot:
+    /// the rendezvous case is not needed by this workspace).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        assert!(cap >= 1, "bounded(0) rendezvous channels are unsupported");
+        let shared = Arc::new(Shared {
+            cap,
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     /// The sending half of a bounded channel.
-    #[derive(Debug)]
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender")
+        }
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.state.lock().expect("channel poisoned").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.not_empty.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
         /// Block until the message is enqueued (or all receivers dropped).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < self.0.cap {
+                    st.queue.push_back(value);
+                    drop(st);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).expect("channel poisoned");
+            }
         }
     }
 
-    /// The receiving half of a bounded channel.
-    #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// The receiving half of a bounded channel. Clonable: every clone
+    /// competes for messages from the same queue (MPMC semantics), which
+    /// is what lets a pool of writer workers share one job queue without
+    /// an external mutex.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel poisoned").receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
 
     impl<T> Receiver<T> {
+        fn pop(&self, st: &mut State<T>) -> Option<T> {
+            let v = st.queue.pop_front();
+            if v.is_some() {
+                self.0.not_full.notify_one();
+            }
+            v
+        }
+
         /// Block until a message arrives (or all senders dropped).
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = self.pop(&mut st) {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).expect("channel poisoned");
+            }
         }
 
         /// Return a pending message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            if let Some(v) = self.pop(&mut st) {
+                Ok(v)
+            } else if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
         }
 
         /// Block until a message arrives, the timeout elapses, or all
         /// senders dropped (the batched writer's adaptive batch window).
-        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout)
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = self.pop(&mut st) {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(st, left)
+                    .expect("channel poisoned");
+                st = guard;
+            }
         }
 
         /// Iterate over messages, blocking, until all senders drop.
-        pub fn iter(&self) -> mpsc::Iter<'_, T> {
-            self.0.iter()
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator borrowed from a [`Receiver`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Blocking iterator that owns its [`Receiver`].
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
         }
     }
 
     impl<T> IntoIterator for Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
+        type IntoIter = IntoIter<T>;
 
         fn into_iter(self) -> Self::IntoIter {
-            self.0.into_iter()
+            IntoIter { rx: self }
         }
     }
 
     impl<'a, T> IntoIterator for &'a Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::Iter<'a, T>;
+        type IntoIter = Iter<'a, T>;
 
         fn into_iter(self) -> Self::IntoIter {
-            self.0.iter()
+            self.iter()
         }
     }
 }
@@ -128,5 +281,28 @@ mod tests {
             rx.try_recv(),
             Err(channel::TryRecvError::Disconnected)
         ));
+    }
+
+    #[test]
+    fn cloned_receivers_compete_for_messages() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let rx2 = rx.clone();
+        let a = std::thread::spawn(move || rx.iter().count());
+        let b = std::thread::spawn(move || rx2.iter().count());
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let (ca, cb) = (a.join().unwrap(), b.join().unwrap());
+        assert_eq!(ca + cb, 200, "every message delivered exactly once");
+    }
+
+    #[test]
+    fn send_fails_once_all_receivers_drop() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        let rx2 = rx.clone();
+        drop(rx);
+        drop(rx2);
+        assert!(tx.send(1).is_err());
     }
 }
