@@ -531,6 +531,7 @@ fn main() {
             .expect("writer backend comparison");
         let header = [
             "backend",
+            "effective_backend",
             "algorithm",
             "n_shards",
             "window_us",
@@ -544,6 +545,8 @@ fn main() {
             "device_syncs",
             "fsyncs_per_checkpoint",
             "avg_batch_jobs",
+            "avg_sqe_batch",
+            "bytes_written",
             "ack_p50_s",
             "ack_p99_s",
             "throughput_cps",
@@ -554,6 +557,7 @@ fn main() {
             .map(|r| {
                 vec![
                     r.backend.label().to_string(),
+                    r.effective_backend.label().to_string(),
                     r.algorithm.short_name().to_string(),
                     r.n_shards.to_string(),
                     r.window_us.to_string(),
@@ -567,6 +571,8 @@ fn main() {
                     r.device_syncs.to_string(),
                     csv::fnum(r.fsyncs_per_checkpoint),
                     csv::fnum(r.avg_batch_jobs),
+                    csv::fnum(r.avg_sqe_batch),
+                    r.bytes_written.to_string(),
                     csv::fnum(r.ack_p50_s),
                     csv::fnum(r.ack_p99_s),
                     csv::fnum(r.throughput_cps),
@@ -581,7 +587,7 @@ fn main() {
             println!("wrote {}", path.display());
         }
         println!(
-            "{:>8} {:<16} {:<14} {:>7} {:>5} {:>13} {:>11} {:>11} {:>11} {:>11} {:>9}",
+            "{:>8} {:<16} {:<14} {:>7} {:>5} {:>13} {:>11} {:>9} {:>11} {:>11} {:>11} {:>9}",
             "shards",
             "algorithm",
             "backend",
@@ -589,25 +595,40 @@ fn main() {
             "depth",
             "fsync/ckpt",
             "batch occ",
+            "sqe occ",
             "p50 [ms]",
             "p99 [ms]",
             "ckpt/s",
             "verified"
         );
         for r in &rows {
+            // A trailing `*` marks a cell the probe-gated ring handed to
+            // its batched fallback (effective backend in the CSV).
+            let backend = if r.effective_backend == r.backend {
+                r.backend.label().to_string()
+            } else {
+                format!("{}*", r.backend.label())
+            };
             println!(
-                "{:>8} {:<16} {:<14} {:>7} {:>5} {:>13.3} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>9}",
+                "{:>8} {:<16} {:<14} {:>7} {:>5} {:>13.3} {:>11.2} {:>9.2} {:>11.2} {:>11.2} {:>11.2} {:>9}",
                 r.n_shards,
                 r.algorithm.short_name(),
-                r.backend.label(),
+                backend,
                 r.window_us,
                 r.pipeline_depth,
                 r.fsyncs_per_checkpoint,
                 r.avg_batch_jobs,
+                r.avg_sqe_batch,
                 r.ack_p50_s * 1e3,
                 r.ack_p99_s * 1e3,
                 r.throughput_cps,
                 r.verified
+            );
+        }
+        if rows.iter().any(|r| r.effective_backend != r.backend) {
+            println!(
+                "* io_uring unavailable on this kernel: ring cells ran under \
+                 the async-batched fallback (effective_backend column in the CSV)"
             );
         }
         let _ = std::fs::remove_dir_all(&scratch);

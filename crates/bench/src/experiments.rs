@@ -440,8 +440,13 @@ pub fn shard_scaling_real(
 /// under one flush-writer implementation and one adaptive batch window.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct WriterBackendRow {
-    /// Writer backend that executed the flush jobs.
+    /// Writer backend this grid cell requested.
     pub backend: WriterBackend,
+    /// Backend that actually executed the flush jobs: equal to `backend`
+    /// except when the probe-gated io_uring ring fell back to the batched
+    /// engine on a kernel without `io_uring`, so a fallback never
+    /// masquerades as a ring measurement in the tracked artifact.
+    pub effective_backend: WriterBackend,
     /// Algorithm measured.
     pub algorithm: Algorithm,
     /// Number of shards the world was split into.
@@ -472,6 +477,13 @@ pub struct WriterBackendRow {
     pub fsyncs_per_checkpoint: f64,
     /// Job-weighted average batch occupancy (1.0 for the thread pool).
     pub avg_batch_jobs: f64,
+    /// Job-weighted average occupancy of the io_uring submission rounds
+    /// that carried each job's data writes — 0.0 for the
+    /// syscall-per-write backends, so a nonzero value doubles as ground
+    /// truth that the ring actually ran.
+    pub avg_sqe_batch: f64,
+    /// Checkpoint payload bytes the writer flushed across the run.
+    pub bytes_written: u64,
     /// Median checkpoint ack latency, seconds: from the flush job's
     /// enqueue at the writer to its durable ack (the record's duration
     /// minus the mutator-side synchronous pause), so a batched run's
@@ -489,9 +501,9 @@ pub struct WriterBackendRow {
     pub verified: bool,
 }
 
-/// Writer-durability comparison: the thread pool vs the io_uring-style
-/// batched-submission engine across a (shard count × batch window ×
-/// pipeline depth) grid, on the **same bookkeeping** — identical trace,
+/// Writer-durability comparison: the thread pool, the batched-submission
+/// engine, and the real io_uring ring across a (shard count × batch
+/// window × pipeline depth) grid, on the **same bookkeeping** — identical trace,
 /// identical algorithm spec, identical shard map per cell; only flush-job
 /// scheduling and durability policy differ. Runs every algorithm per cell
 /// on the real engine (scaled-down state so it fits test and CI budgets)
@@ -577,6 +589,7 @@ pub fn writer_backends(
                         let run_only_s = run_wall_s - detail.recovery_wall_s.unwrap_or(0.0);
                         rows.push(WriterBackendRow {
                             backend,
+                            effective_backend: detail.writer_backend,
                             algorithm: alg,
                             n_shards: n,
                             window_us,
@@ -594,6 +607,8 @@ pub fn writer_backends(
                                 detail.data_fsyncs as f64 / checkpoints as f64
                             },
                             avg_batch_jobs: detail.avg_batch_jobs,
+                            avg_sqe_batch: detail.avg_sqe_batch,
+                            bytes_written: detail.bytes_written,
                             ack_p99_s: mmoc_core::sample_quantile(&mut acks, 0.99),
                             ack_p50_s: mmoc_core::sample_quantile(&mut acks, 0.50),
                             throughput_cps: if run_only_s > 0.0 {
@@ -638,13 +653,16 @@ pub fn write_writers_json(path: &Path, rows: &[WriterBackendRow]) -> io::Result<
         let sep = if i + 1 == rows.len() { "" } else { "," };
         writeln!(
             f,
-            "    {{\"backend\": \"{}\", \"algorithm\": \"{}\", \"n_shards\": {}, \
+            "    {{\"backend\": \"{}\", \"effective_backend\": \"{}\", \
+             \"algorithm\": \"{}\", \"n_shards\": {}, \
              \"window_us\": {}, \"pipeline_depth\": {}, \"throughput_cps\": {}, \
              \"checkpoints\": {}, \"data_fsyncs\": {}, \"device_syncs\": {}, \
              \"fsyncs_per_checkpoint\": {}, \"avg_batch_jobs\": {}, \
+             \"avg_sqe_batch\": {}, \"bytes_written\": {}, \
              \"ack_p50_s\": {}, \"ack_p99_s\": {}, \"overhead_s\": {}, \"checkpoint_s\": {}, \
              \"recovery_s\": {}, \"run_wall_s\": {}, \"verified\": {}}}{sep}",
             r.backend.label(),
+            r.effective_backend.label(),
             r.algorithm.short_name(),
             r.n_shards,
             r.window_us,
@@ -655,6 +673,8 @@ pub fn write_writers_json(path: &Path, rows: &[WriterBackendRow]) -> io::Result<
             r.device_syncs,
             json_num(r.fsyncs_per_checkpoint),
             json_num(r.avg_batch_jobs),
+            json_num(r.avg_sqe_batch),
+            r.bytes_written,
             json_num(r.ack_p50_s),
             json_num(r.ack_p99_s),
             json_num(r.overhead_s),
@@ -774,12 +794,13 @@ mod tests {
         let rows = writer_backends(&[1, 2], &[0, 500], &[1, 2], 10, dir.path()).unwrap();
         assert_eq!(
             rows.len(),
-            6 * (2 + 3) + 3 * (3 + 3),
-            "depth 1: 6 algorithms x (x1: pool@0 + batched@0; x2: pool@0 + \
-             batched@{{0,500us}}); depth 2: 3 log algorithms x (x1 and x2 each: \
-             pool@0 + batched@{{0,500us}}) — windowed 1-shard cells duplicate \
-             window 0 only at depth 1, and copy-organized algorithms never \
-             pipeline, so their deep cells are skipped"
+            6 * (3 + 5) + 3 * (5 + 5),
+            "depth 1: 6 algorithms x (x1: pool/batched/uring@0; x2: pool@0 + \
+             batched@{{0,500us}} + uring@{{0,500us}}); depth 2: 3 log \
+             algorithms x (x1 and x2 each: pool@0 + batched@{{0,500us}} + \
+             uring@{{0,500us}}) — windowed 1-shard cells duplicate window 0 \
+             only at depth 1, and copy-organized algorithms never pipeline, \
+             so their deep cells are skipped"
         );
         for r in &rows {
             assert!(
@@ -796,14 +817,37 @@ mod tests {
             assert!(r.data_fsyncs <= r.checkpoints, "{r:?}");
             assert!(r.ack_p99_s >= r.ack_p50_s, "{r:?}");
             assert!(r.throughput_cps > 0.0, "{r:?}");
+            assert!(r.bytes_written > 0, "checkpoints moved bytes: {r:?}");
             match r.backend {
                 WriterBackend::ThreadPool => {
                     assert_eq!(r.window_us, 0, "pool runs only at window 0");
                     assert_eq!(r.data_fsyncs, r.checkpoints, "{r:?}");
                     assert!((r.avg_batch_jobs - 1.0).abs() < 1e-12, "{r:?}");
+                    assert_eq!(r.effective_backend, r.backend, "{r:?}");
+                    assert_eq!(r.avg_sqe_batch, 0.0, "{r:?}");
                 }
                 WriterBackend::AsyncBatched => {
                     assert!(r.avg_batch_jobs >= 1.0, "{r:?}");
+                    assert_eq!(r.effective_backend, r.backend, "{r:?}");
+                    assert_eq!(r.avg_sqe_batch, 0.0, "{r:?}");
+                }
+                WriterBackend::IoUring => {
+                    assert!(r.avg_batch_jobs >= 1.0, "{r:?}");
+                    match r.effective_backend {
+                        // On kernels with io_uring the ring must actually
+                        // run — nonzero SQE occupancy is the ground truth.
+                        WriterBackend::IoUring => {
+                            assert!(r.avg_sqe_batch > 0.0, "ring never ran: {r:?}");
+                        }
+                        // The probe-gated fallback is the one permitted
+                        // substitution, and it must be surfaced, not hidden.
+                        WriterBackend::AsyncBatched => {
+                            assert_eq!(r.avg_sqe_batch, 0.0, "{r:?}");
+                        }
+                        WriterBackend::ThreadPool => {
+                            panic!("ring can only fall back to batched: {r:?}")
+                        }
+                    }
                 }
             }
         }
@@ -813,9 +857,12 @@ mod tests {
             for (backend, n, window) in [
                 (WriterBackend::ThreadPool, 1u32, 0u64),
                 (WriterBackend::AsyncBatched, 1, 0),
+                (WriterBackend::IoUring, 1, 0),
                 (WriterBackend::ThreadPool, 2, 0),
                 (WriterBackend::AsyncBatched, 2, 0),
                 (WriterBackend::AsyncBatched, 2, 500),
+                (WriterBackend::IoUring, 2, 0),
+                (WriterBackend::IoUring, 2, 500),
             ] {
                 assert!(
                     rows.iter().any(|r| r.algorithm == alg
@@ -831,9 +878,13 @@ mod tests {
                 (WriterBackend::ThreadPool, 1u32, 0u64),
                 (WriterBackend::AsyncBatched, 1, 0),
                 (WriterBackend::AsyncBatched, 1, 500),
+                (WriterBackend::IoUring, 1, 0),
+                (WriterBackend::IoUring, 1, 500),
                 (WriterBackend::ThreadPool, 2, 0),
                 (WriterBackend::AsyncBatched, 2, 0),
                 (WriterBackend::AsyncBatched, 2, 500),
+                (WriterBackend::IoUring, 2, 0),
+                (WriterBackend::IoUring, 2, 500),
             ] {
                 assert_eq!(
                     rows.iter().any(|r| r.algorithm == alg
@@ -870,6 +921,9 @@ mod tests {
             "\"window_us\"",
             "\"pipeline_depth\"",
             "\"device_syncs\"",
+            "\"effective_backend\"",
+            "\"avg_sqe_batch\"",
+            "\"bytes_written\"",
         ] {
             assert!(text.contains(key), "{key} missing from {text}");
         }

@@ -107,7 +107,7 @@ impl<T: TraceSpec> TraceSpec for &T {
 /// Selection of the asynchronous checkpoint-writer implementation an
 /// engine uses to flush checkpoints to stable storage.
 ///
-/// The two backends are **recovery-equivalent by contract** — same files,
+/// The backends are **recovery-equivalent by contract** — same files,
 /// same durability ordering (data sync before metadata commit), same
 /// published sweep frontier semantics — and differ only in how flush jobs
 /// are scheduled; `crates/storage/tests/writer_equivalence.rs` pins the
@@ -127,11 +127,22 @@ pub enum WriterBackend {
     /// acks completions **out of submission order** in the completion
     /// phase (syncs coalesce at the batch tail).
     AsyncBatched,
+    /// The real `io_uring(7)` ring: the batched engine's scheduling with
+    /// the data writes submitted as `IORING_OP_WRITEV` SQEs and reaped
+    /// out of order from the completion queue. Requires kernel support;
+    /// a one-shot capability probe falls back permanently to
+    /// [`WriterBackend::AsyncBatched`] on kernels without io_uring (the
+    /// report names the backend that actually ran).
+    IoUring,
 }
 
 impl WriterBackend {
-    /// Both writer backends, for comparison matrices.
-    pub const ALL: [WriterBackend; 2] = [WriterBackend::ThreadPool, WriterBackend::AsyncBatched];
+    /// Every writer backend, for comparison matrices.
+    pub const ALL: [WriterBackend; 3] = [
+        WriterBackend::ThreadPool,
+        WriterBackend::AsyncBatched,
+        WriterBackend::IoUring,
+    ];
 
     /// Stable label used in reports, CSV output and the
     /// `MMOC_WRITER_BACKEND` environment override.
@@ -139,6 +150,7 @@ impl WriterBackend {
         match self {
             WriterBackend::ThreadPool => "thread-pool",
             WriterBackend::AsyncBatched => "async-batched",
+            WriterBackend::IoUring => "io-uring",
         }
     }
 }
@@ -524,8 +536,17 @@ pub struct SimRunDetail {
 /// Real-engine-specific run detail.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct RealRunDetail {
-    /// Writer backend that executed the shards' flush jobs.
+    /// Writer backend that **actually executed** the shards' flush jobs.
+    /// Normally the backend the run requested; when a requested backend's
+    /// kernel capability probe failed (io_uring on a kernel without it),
+    /// this is the fallback that ran instead and
+    /// [`RealRunDetail::writer_fallback_from`] names the request — the
+    /// report never silently claims a backend that did not run.
     pub writer_backend: WriterBackend,
+    /// The requested backend this run *fell back from* when its
+    /// capability probe found the kernel lacking (`Some(IoUring)` on a
+    /// kernel without io_uring). `None` when the requested backend ran.
+    pub writer_fallback_from: Option<WriterBackend>,
     /// Writer threads that served the shards' flush jobs (pool workers,
     /// or the batched engine's single submission/completion loop).
     pub pool_threads: usize,
@@ -550,6 +571,18 @@ pub struct RealRunDetail {
     pub avg_batch_jobs: f64,
     /// Largest batch any flush job completed in.
     pub max_batch_jobs: u32,
+    /// Checkpoint payload bytes the writer put on disk across the run
+    /// (object data and segment records, not metadata commits) — the
+    /// write-amplification numerator next to the trace's logical update
+    /// volume.
+    pub bytes_written: u64,
+    /// Submission-queue entries the io_uring backend pushed per
+    /// `io_uring_enter` round, job-weighted average (0.0 for backends
+    /// that never touch a ring).
+    pub avg_sqe_batch: f64,
+    /// Largest single submission-queue batch any ring round pushed
+    /// (0 for backends that never touch a ring).
+    pub max_sqe_batch: u32,
     /// Wall-clock time of the parallel all-shard restore + replay, when
     /// recovery was measured.
     pub recovery_wall_s: Option<f64>,
@@ -848,6 +881,8 @@ mod tests {
         assert_eq!(spec.pipeline_depth, Some(2));
         assert_eq!(WriterBackend::default(), WriterBackend::ThreadPool);
         assert_eq!(WriterBackend::AsyncBatched.to_string(), "async-batched");
+        assert_eq!(WriterBackend::IoUring.to_string(), "io-uring");
+        assert_eq!(WriterBackend::ALL.len(), 3);
     }
 
     #[test]

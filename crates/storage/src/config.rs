@@ -35,12 +35,15 @@ pub struct RealConfig {
     /// [`WriterBackend::ThreadPool`]; the batched engine always runs one
     /// submission/completion loop.
     pub writer_pool_threads: usize,
-    /// The writer backend executing flush jobs: the worker-thread pool or
-    /// the io_uring-style batched-submission engine. Defaults to
-    /// [`WriterBackend::ThreadPool`], overridable process-wide through
-    /// the `MMOC_WRITER_BACKEND` environment variable (`thread-pool` /
-    /// `async-batched`) so whole test suites can run under either backend
-    /// — the CI backend matrix's lever. Explicit settings
+    /// The writer backend executing flush jobs: the worker-thread pool,
+    /// the io_uring-style batched-submission engine, or the real
+    /// `io_uring` ring. Defaults to [`WriterBackend::ThreadPool`],
+    /// overridable process-wide through the `MMOC_WRITER_BACKEND`
+    /// environment variable (`thread-pool` / `async-batched` /
+    /// `io-uring`) so whole test suites can run under any backend — the
+    /// CI backend matrix's lever. An unparseable value is **not** a
+    /// panic: it is deferred into [`RealConfig::env_error`] and surfaced
+    /// as a typed `RunError::Config` when a run starts. Explicit settings
     /// ([`RealConfig::with_writer_backend`], the builder's `.writer(…)`)
     /// always win over the environment.
     pub writer_backend: WriterBackend,
@@ -112,6 +115,7 @@ impl RealConfig {
         let (batch_window, auto_window, window_err) = batch_window_from_env();
         let (pipeline_depth, depth_err) = pipeline_depth_from_env();
         let (device_sync, device_err) = device_sync_from_env();
+        let (writer_backend, backend_err) = writer_backend_from_env();
         RealConfig {
             dir: dir.into(),
             tick_period: Duration::from_nanos(33_333_333),
@@ -121,13 +125,13 @@ impl RealConfig {
             sync_data: true,
             measure_recovery: true,
             writer_pool_threads: 0,
-            writer_backend: writer_backend_from_env(),
+            writer_backend,
             batch_window,
             auto_window,
             coalesce_fsync: true,
             device_sync,
             pipeline_depth,
-            env_error: window_err.or(depth_err).or(device_err),
+            env_error: backend_err.or(window_err).or(depth_err).or(device_err),
         }
     }
 
@@ -183,7 +187,7 @@ impl RealConfig {
     /// the sized pool, or one for the batched engine's single loop.
     pub fn effective_pool_threads(&self, n_shards: usize) -> usize {
         match self.writer_backend {
-            WriterBackend::AsyncBatched => 1,
+            WriterBackend::AsyncBatched | WriterBackend::IoUring => 1,
             WriterBackend::ThreadPool => {
                 if n_shards <= 1 {
                     1
@@ -218,20 +222,33 @@ impl RealConfig {
 }
 
 /// The process-wide writer-backend default: `MMOC_WRITER_BACKEND` if
-/// set, the thread pool otherwise. Unrecognized values panic rather than
-/// fall back — a typo in a CI matrix leg must fail loudly, not silently
-/// re-run the default backend and report coverage that never happened.
-fn writer_backend_from_env() -> WriterBackend {
+/// set, the thread pool otherwise. Returns `(backend, deferred_error)`:
+/// an unrecognized value is a typed error surfaced as `RunError::Config`
+/// when the config executes a run — like the other `MMOC_WRITER_*`
+/// variables — so a typo in a CI matrix leg still fails loudly (the run
+/// errors, it never silently re-runs the default backend) without making
+/// `RealConfig::new` panic in library code.
+fn writer_backend_from_env() -> (WriterBackend, Option<String>) {
     match std::env::var("MMOC_WRITER_BACKEND") {
-        Err(_) => WriterBackend::ThreadPool,
-        Ok(v) => match v.as_str() {
-            "" | "thread-pool" | "threads" => WriterBackend::ThreadPool,
-            "async-batched" | "async" => WriterBackend::AsyncBatched,
-            other => panic!(
-                "unrecognized MMOC_WRITER_BACKEND value {other:?}; \
-                 use \"thread-pool\" or \"async-batched\""
-            ),
+        Err(_) => (WriterBackend::ThreadPool, None),
+        Ok(v) => match writer_backend_spec(&v) {
+            Ok(backend) => (backend, None),
+            Err(msg) => (WriterBackend::ThreadPool, Some(msg)),
         },
+    }
+}
+
+/// Parse a `MMOC_WRITER_BACKEND` value. Garbage is a typed error message
+/// naming the variable and the accepted forms, not a panic.
+pub(crate) fn writer_backend_spec(v: &str) -> Result<WriterBackend, String> {
+    match v.trim() {
+        "" | "thread-pool" | "threads" => Ok(WriterBackend::ThreadPool),
+        "async-batched" | "async" => Ok(WriterBackend::AsyncBatched),
+        "io-uring" | "io_uring" | "uring" => Ok(WriterBackend::IoUring),
+        other => Err(format!(
+            "unrecognized MMOC_WRITER_BACKEND value {other:?}; \
+             use \"thread-pool\", \"async-batched\" or \"io-uring\""
+        )),
     }
 }
 
@@ -427,9 +444,44 @@ mod tests {
         let cfg = RealConfig::new("/tmp/x").with_writer_backend(WriterBackend::AsyncBatched);
         assert_eq!(cfg.writer_backend, WriterBackend::AsyncBatched);
         assert_eq!(cfg.effective_pool_threads(4), 1, "batched engine: one loop");
+        let cfg = cfg.with_writer_backend(WriterBackend::IoUring);
+        assert_eq!(cfg.effective_pool_threads(4), 1, "ring engine: one loop");
         let cfg = cfg.with_writer_backend(WriterBackend::ThreadPool);
         assert_eq!(cfg.effective_pool_threads(1), 1);
         assert_eq!(cfg.effective_pool_threads(8), 4, "auto pool caps at 4");
         assert_eq!(cfg.with_writer_pool(2).effective_pool_threads(8), 2);
+    }
+
+    /// The env-facing spec for backend selection: every label round-trips
+    /// (including the io-uring spellings), and garbage is a typed error
+    /// message — not a panic — naming the variable and the accepted forms.
+    #[test]
+    fn writer_backend_spec_accepts_labels_and_rejects_garbage() {
+        assert_eq!(writer_backend_spec(""), Ok(WriterBackend::ThreadPool));
+        assert_eq!(
+            writer_backend_spec("thread-pool"),
+            Ok(WriterBackend::ThreadPool)
+        );
+        assert_eq!(
+            writer_backend_spec("async-batched"),
+            Ok(WriterBackend::AsyncBatched)
+        );
+        for spelling in ["io-uring", "io_uring", "uring", " io-uring "] {
+            assert_eq!(
+                writer_backend_spec(spelling),
+                Ok(WriterBackend::IoUring),
+                "{spelling:?}"
+            );
+        }
+        for backend in WriterBackend::ALL {
+            assert_eq!(writer_backend_spec(backend.label()), Ok(backend));
+        }
+        let err = writer_backend_spec("turbo").expect_err("garbage must be rejected");
+        assert!(
+            err.contains("MMOC_WRITER_BACKEND")
+                && err.contains("turbo")
+                && err.contains("io-uring"),
+            "error names the variable, the offending value and the accepted forms: {err}"
+        );
     }
 }

@@ -38,27 +38,42 @@ static CAPABILITY: AtomicU8 = AtomicU8::new(UNKNOWN);
 /// is unavailable on this system (caller must fall back to per-file
 /// `fsync`), and `Err` only for real I/O failures on a working `syncfs`.
 pub(crate) fn sync_device(fd: RawFd) -> io::Result<bool> {
-    if CAPABILITY.load(Ordering::Relaxed) == UNAVAILABLE {
+    sync_device_impl(&CAPABILITY, || {
+        // SAFETY: `fd` is a live descriptor owned by the caller's store
+        // for the duration of the call; syncfs reads nothing from user
+        // memory.
+        let rc = unsafe { syncfs(fd) };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    })
+}
+
+/// The capability ladder around one barrier attempt, with the latch and
+/// the syscall injected so the contract is testable without racing the
+/// process-global verdict from parallel tests.
+fn sync_device_impl(cap: &AtomicU8, barrier: impl FnOnce() -> io::Result<()>) -> io::Result<bool> {
+    if cap.load(Ordering::Relaxed) == UNAVAILABLE {
         return Ok(false);
     }
-    // SAFETY: `fd` is a live descriptor owned by the caller's store for
-    // the duration of the call; syncfs reads nothing from user memory.
-    let rc = unsafe { syncfs(fd) };
-    if rc == 0 {
-        CAPABILITY.store(AVAILABLE, Ordering::Relaxed);
-        return Ok(true);
-    }
-    let err = io::Error::last_os_error();
-    match err.raw_os_error() {
-        // Capability failures: the syscall is filtered, unimplemented, or
-        // rejects this fd class. Latch unavailable and fall back.
-        Some(libc_errno::ENOSYS | libc_errno::EPERM | libc_errno::EINVAL) => {
-            CAPABILITY.store(UNAVAILABLE, Ordering::Relaxed);
-            Ok(false)
+    match barrier() {
+        Ok(()) => {
+            cap.store(AVAILABLE, Ordering::Relaxed);
+            Ok(true)
         }
-        // A working syncfs reporting an I/O error is a real durability
-        // failure — surface it like a failed fsync.
-        _ => Err(err),
+        Err(err) => match err.raw_os_error() {
+            // Capability failures: the syscall is filtered, unimplemented,
+            // or rejects this fd class. Latch unavailable and fall back.
+            Some(libc_errno::ENOSYS | libc_errno::EPERM | libc_errno::EINVAL) => {
+                cap.store(UNAVAILABLE, Ordering::Relaxed);
+                Ok(false)
+            }
+            // A working syncfs reporting an I/O error is a real durability
+            // failure — surface it like a failed fsync.
+            _ => Err(err),
+        },
     }
 }
 
@@ -105,5 +120,36 @@ mod tests {
                 "a bad fd must not latch the capability off"
             );
         }
+    }
+
+    /// The permanent-fallback contract the batched engine's device-sync
+    /// arm relies on: one `ENOSYS` from the kernel latches the barrier
+    /// off for good — every later batch gets `Ok(false)` *without
+    /// re-probing* and resumes per-file fsyncs (the scheduler's
+    /// `Ok(false)` arm records no device barrier, so `device_syncs`
+    /// stays 0) — while a real I/O error on a working `syncfs` surfaces
+    /// as `Err` and leaves the capability alone. Driven against a local
+    /// latch so parallel tests cannot race the process-global verdict.
+    #[test]
+    fn forced_enosys_latches_permanent_per_file_fallback() {
+        let cap = AtomicU8::new(UNKNOWN);
+        let first = sync_device_impl(&cap, || {
+            Err(io::Error::from_raw_os_error(libc_errno::ENOSYS))
+        })
+        .expect("capability failure is not an I/O error");
+        assert!(!first, "ENOSYS must report the barrier unavailable");
+        assert_eq!(cap.load(Ordering::Relaxed), UNAVAILABLE);
+        // A later batch — even one whose syncfs would succeed — must not
+        // re-probe: the verdict is permanent for the process.
+        let again = sync_device_impl(&cap, || panic!("latched-off probe must not call syncfs"))
+            .expect("latched fallback cannot fail");
+        assert!(!again, "per-file fsyncs resume for every later batch");
+
+        // EIO on a working syncfs is a durability failure, not a missing
+        // capability: it surfaces and the barrier stays available.
+        let cap = AtomicU8::new(AVAILABLE);
+        let err = sync_device_impl(&cap, || Err(io::Error::from_raw_os_error(5)));
+        assert!(err.is_err(), "real I/O failures must surface");
+        assert_eq!(cap.load(Ordering::Relaxed), AVAILABLE);
     }
 }

@@ -136,6 +136,10 @@ pub(crate) struct Done {
     pub(crate) device_syncs: u32,
     /// Occupancy of the batch this job completed in (1 for the pool).
     pub(crate) batch_jobs: u32,
+    /// SQEs in the ring submission round that carried this job's data
+    /// writes (0 for the syscall-per-write backends), reporting how well
+    /// the io_uring backend packs the ring.
+    pub(crate) sqe_batch: u32,
 }
 
 /// Per-shard execution ordering for fungible pool workers. Jobs of one
@@ -264,6 +268,9 @@ impl RealBackend {
         s.device_syncs += u64::from(done.device_syncs);
         s.batch_jobs_sum += u64::from(done.batch_jobs);
         s.max_batch_jobs = s.max_batch_jobs.max(done.batch_jobs);
+        s.bytes_written += done.bytes;
+        s.sqe_batch_sum += u64::from(done.sqe_batch);
+        s.max_sqe_batch = s.max_sqe_batch.max(done.sqe_batch);
     }
 
     /// The shard's accumulated writer instrumentation.

@@ -261,6 +261,21 @@ impl LogStore {
         self.file.as_raw_fd()
     }
 
+    /// The offset the next appended segment will start at. Writer
+    /// backends that bypass [`LogStore::begin_segment`] (the uring
+    /// backend serializes segments with [`serialize_segment`] and
+    /// submits them as ring writes) position their writes here.
+    pub(crate) fn append_offset(&self) -> u64 {
+        self.len
+    }
+
+    /// Record that `bytes` were appended at [`LogStore::append_offset`]
+    /// by an out-of-band write (a reaped ring completion). The next
+    /// segment stacks after them.
+    pub(crate) fn note_appended(&mut self, bytes: u64) {
+        self.len += bytes;
+    }
+
     /// Total log size in bytes.
     pub fn len(&self) -> u64 {
         self.len
@@ -317,6 +332,32 @@ impl SegmentWriter<'_> {
             bytes: end - self.start,
         })
     }
+}
+
+/// Serialize one complete checkpoint segment into `out` — byte-for-byte
+/// what [`LogStore::append_segment`] would write through the file handle,
+/// for backends that submit the segment as a single ring write instead.
+/// `objects` must come in increasing id order (sorted I/O).
+pub(crate) fn serialize_segment<'a>(
+    seq: u64,
+    consistent_tick: u64,
+    full_flush: bool,
+    objects: impl Iterator<Item = (ObjectId, &'a [u8])>,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&consistent_tick.to_le_bytes());
+    out.push(u8::from(full_flush));
+    out.extend_from_slice(&0u32.to_le_bytes()); // count, patched below
+    let mut count = 0u32;
+    for (id, bytes) in objects {
+        out.extend_from_slice(&id.0.to_le_bytes());
+        out.extend_from_slice(bytes);
+        count += 1;
+    }
+    out[17..21].copy_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(SEG_END);
 }
 
 fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
@@ -513,6 +554,63 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         std::fs::write(dir.path().join("checkpoint.log"), b"not a log at all").unwrap();
         assert!(LogStore::open(dir.path(), geometry()).is_err());
+    }
+
+    /// The uring backend's out-of-band append path must produce the
+    /// exact bytes the streamed writer does — serialize a segment, write
+    /// it raw at `append_offset`, and the store must scan/reconstruct it
+    /// as if `append_segment` had written it.
+    #[test]
+    fn serialized_segment_is_byte_identical_to_streamed_append() {
+        let streamed_dir = tempfile::tempdir().unwrap();
+        let raw_dir = tempfile::tempdir().unwrap();
+        let full: Vec<(ObjectId, Vec<u8>)> = (0..4).map(|i| (ObjectId(i), obj(i as u8))).collect();
+        let dirty = [(ObjectId(1), obj(9)), (ObjectId(3), obj(8))];
+
+        let mut streamed = LogStore::create(streamed_dir.path(), geometry()).unwrap();
+        streamed
+            .append_segment(
+                0,
+                5,
+                true,
+                full.iter().map(|(i, b)| (*i, b.as_slice())),
+                true,
+            )
+            .unwrap();
+        streamed
+            .append_segment(
+                1,
+                9,
+                false,
+                dirty.iter().map(|(i, b)| (*i, b.as_slice())),
+                true,
+            )
+            .unwrap();
+
+        let mut raw = LogStore::create(raw_dir.path(), geometry()).unwrap();
+        let mut buf = Vec::new();
+        for (seq, tick, is_full, objs) in [(0u64, 5u64, true, &full[..]), (1, 9, false, &dirty[..])]
+        {
+            serialize_segment(
+                seq,
+                tick,
+                is_full,
+                objs.iter().map(|(i, b)| (*i, b.as_slice())),
+                &mut buf,
+            );
+            let offset = raw.append_offset();
+            crate::uring::pwrite_all(raw.sync_fd(), &buf, offset).unwrap();
+            raw.note_appended(buf.len() as u64);
+        }
+        raw.sync().unwrap();
+
+        let a = std::fs::read(streamed_dir.path().join("checkpoint.log")).unwrap();
+        let b = std::fs::read(raw_dir.path().join("checkpoint.log")).unwrap();
+        assert_eq!(a, b, "serialized path must be byte-identical");
+        assert_eq!(raw.len(), a.len() as u64, "note_appended tracks length");
+        let (image, tick, _) = raw.reconstruct().unwrap();
+        assert_eq!(tick, 9);
+        assert!(image[64..128].iter().all(|&v| v == 9));
     }
 
     #[test]

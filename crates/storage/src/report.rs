@@ -50,6 +50,16 @@ pub struct WriterStats {
     pub batch_jobs_sum: u64,
     /// Largest batch any job completed in.
     pub max_batch_jobs: u32,
+    /// Checkpoint payload bytes the writer flushed (object images /
+    /// serialized log segments; excludes metadata commits).
+    pub bytes_written: u64,
+    /// Sum over jobs of the SQE count of the ring submission round that
+    /// carried each job's data writes. Zero for the syscall-per-write
+    /// backends — nonzero only when the real io_uring backend ran, which
+    /// makes it double as ground truth that the ring was actually used.
+    pub sqe_batch_sum: u64,
+    /// Largest ring submission round any job's writes rode in.
+    pub max_sqe_batch: u32,
 }
 
 impl WriterStats {
@@ -60,6 +70,9 @@ impl WriterStats {
         self.device_syncs += other.device_syncs;
         self.batch_jobs_sum += other.batch_jobs_sum;
         self.max_batch_jobs = self.max_batch_jobs.max(other.max_batch_jobs);
+        self.bytes_written += other.bytes_written;
+        self.sqe_batch_sum += other.sqe_batch_sum;
+        self.max_sqe_batch = self.max_sqe_batch.max(other.max_sqe_batch);
     }
 
     /// Job-weighted average batch occupancy (1.0 for the thread pool).
@@ -68,6 +81,16 @@ impl WriterStats {
             0.0
         } else {
             self.batch_jobs_sum as f64 / self.flush_jobs as f64
+        }
+    }
+
+    /// Job-weighted average ring submission-round occupancy (0.0 for the
+    /// syscall-per-write backends and for empty runs).
+    pub fn avg_sqe_batch(&self) -> f64 {
+        if self.flush_jobs == 0 {
+            0.0
+        } else {
+            self.sqe_batch_sum as f64 / self.flush_jobs as f64
         }
     }
 }

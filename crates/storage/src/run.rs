@@ -102,6 +102,7 @@ fn into_run_report(report: ShardedRealReport) -> RunReport {
         shards,
         detail: EngineDetail::Real(RealRunDetail {
             writer_backend: report.writer_backend,
+            writer_fallback_from: report.writer_fallback_from,
             pool_threads: report.pool_threads,
             pipeline_depth: report.pipeline_depth,
             flush_jobs: report.writer.flush_jobs,
@@ -109,6 +110,9 @@ fn into_run_report(report: ShardedRealReport) -> RunReport {
             device_syncs: report.writer.device_syncs,
             avg_batch_jobs: report.writer.avg_batch_jobs(),
             max_batch_jobs: report.writer.max_batch_jobs,
+            bytes_written: report.writer.bytes_written,
+            avg_sqe_batch: report.writer.avg_sqe_batch(),
+            max_sqe_batch: report.writer.max_sqe_batch,
             recovery_wall_s: report.recovery.map(|r| r.wall_s),
             serial_recovery_s: report.recovery.map(|r| r.sum_shard_total_s),
         }),

@@ -68,8 +68,15 @@ pub struct ShardedRealReport {
     pub algorithm: Algorithm,
     /// Number of shards the world was split into.
     pub n_shards: u32,
-    /// Writer backend that executed the shards' flush jobs.
+    /// Writer backend that actually executed the shards' flush jobs.
+    /// Where the requested backend was unavailable (io_uring on a kernel
+    /// without it), this is the substitute, not the request.
     pub writer_backend: WriterBackend,
+    /// The originally requested backend, when the run fell back to a
+    /// different one ([`ShardedRealReport::writer_backend`]); `None`
+    /// when the request was honored. Surfaced so reports never silently
+    /// attribute results to a backend that did not run.
+    pub writer_fallback_from: Option<WriterBackend>,
     /// Writer threads that served the shards' flush jobs (pool workers,
     /// or the batched engine's single submission/completion loop).
     pub pool_threads: usize,
@@ -167,7 +174,7 @@ where
         built.push(backend);
     }
     let ctxs = Arc::new(ctxs);
-    let mut pool = spawn_writer(
+    let (mut pool, effective_backend) = spawn_writer(
         config.writer_backend,
         Arc::clone(&ctxs),
         pool_threads,
@@ -289,7 +296,9 @@ where
     Ok(ShardedRealReport {
         algorithm,
         n_shards,
-        writer_backend: config.writer_backend,
+        writer_backend: effective_backend,
+        writer_fallback_from: (config.writer_backend != effective_backend)
+            .then_some(config.writer_backend),
         pool_threads,
         pipeline_depth,
         writer,

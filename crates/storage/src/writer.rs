@@ -11,7 +11,7 @@
 //! historical writer-pool worker loop so the scheduling policy can vary
 //! while `ShardCtx`/`Job` stay unchanged.
 //!
-//! Two backends implement it:
+//! Three backends implement it:
 //!
 //! * **`WriterPool`** (`thread-pool`): N worker threads pull jobs off
 //!   the shared queue and execute each one end to end — data writes, data
@@ -32,9 +32,25 @@
 //!   thereby coalesce at the batch tail instead of interleaving with
 //!   writes, the way a ring's reaped CQEs trail its submitted SQEs, and
 //!   same-file targets within a batch pay a single call.
+//! * **`UringWriter`** (`io-uring`): the same batching discipline driven
+//!   through a **real kernel ring** (`crate::uring`, raw
+//!   `io_uring_setup`/`io_uring_enter` syscalls). Each batch is processed
+//!   in per-shard FIFO *waves* (wave *k* holds every shard's *k*-th job);
+//!   a wave's data writes become `IORING_OP_WRITEV` SQEs — contiguous-id
+//!   runs for the double-backup files, whole serialized segments for the
+//!   log — reaped out of order by `user_data`. Durability either rides
+//!   the ring too (`IORING_OP_FSYNC` SQEs: chained per job via
+//!   `IOSQE_IO_LINK` with coalescing off, one per distinct target file
+//!   per wave with coalescing on) or falls back to the synchronous
+//!   per-job fsync in the completion phase. Availability is probed once
+//!   per process; where the kernel has no io_uring the selection seam
+//!   silently substitutes `AsyncBatchedWriter` and reports the fallback.
 //!
-//! Both backends execute the *same* two phase functions (`submit_job`,
-//! `complete_job`); they differ only in scheduling. That shared core is
+//! The first two backends execute the *same* two phase functions
+//! (`submit_job`, `complete_job`); they differ only in scheduling, and
+//! the ring backend shares the completion phase (and reproduces the
+//! submission phase's bytes exactly — pinned by the differential tests
+//! and `log_store`'s serializer test). That shared core is
 //! what makes the recovery-equivalence contract auditable: identical job
 //! streams produce byte-identical files (pinned by the differential tests
 //! below and in `tests/writer_equivalence.rs`), because per shard the
@@ -45,12 +61,12 @@
 //! its metadata commits, so the invariant holds batch-globally instead of
 //! per job (see DESIGN.md § "Durability scheduling").
 //!
-//! Adding a third backend (real `io_uring` syscalls, a replicated remote
-//! store) means: implement `WriterBackend` over the two phase functions
-//! (or your own transport), add a `WriterBackendKind` variant, and wire
-//! it in `spawn_writer`; the facade, the builder's `.writer(…)` option
-//! and the comparison matrix pick it up. See DESIGN.md § "The writer
-//! backends".
+//! Adding a fourth backend (a replicated remote store, `O_DIRECT`
+//! preallocated images) means: implement `WriterBackend` over the two
+//! phase functions (or your own transport), add a `WriterBackendKind`
+//! variant, and wire it in `spawn_writer`; the facade, the builder's
+//! `.writer(…)` option and the comparison matrix pick it up. See
+//! DESIGN.md § "The writer backends".
 
 use crate::engine::{Done, Job, PoolJob, ShardCtx, Store};
 use crate::files::SyncTarget;
@@ -132,17 +148,42 @@ pub(crate) trait WriterBackend: Send {
 
 /// Spawn the writer backend `kind` selects, draining `job_rx` over the
 /// given shard contexts. `threads` sizes the thread pool; the batched
-/// engine always runs one submission/completion loop.
+/// and ring engines always run one submission/completion loop.
+///
+/// Returns the backend together with the kind that **actually** runs:
+/// `io-uring` falls back to `async-batched` when the kernel capability
+/// probe fails (or ring setup errors), and callers surface the
+/// substitution in their reports so results never silently lie about
+/// the backend that produced them.
 pub(crate) fn spawn_writer(
     kind: WriterBackendKind,
     ctxs: Arc<Vec<ShardCtx>>,
     threads: usize,
     job_rx: crossbeam::channel::Receiver<PoolJob>,
     sched: DurabilityConfig,
-) -> Box<dyn WriterBackend> {
+) -> (Box<dyn WriterBackend>, WriterBackendKind) {
     match kind {
-        WriterBackendKind::ThreadPool => Box::new(WriterPool::spawn(ctxs, threads, job_rx)),
-        WriterBackendKind::AsyncBatched => Box::new(AsyncBatchedWriter::spawn(ctxs, job_rx, sched)),
+        WriterBackendKind::ThreadPool => (
+            Box::new(WriterPool::spawn(ctxs, threads, job_rx)),
+            WriterBackendKind::ThreadPool,
+        ),
+        WriterBackendKind::AsyncBatched => (
+            Box::new(AsyncBatchedWriter::spawn(ctxs, job_rx, sched)),
+            WriterBackendKind::AsyncBatched,
+        ),
+        WriterBackendKind::IoUring => {
+            if crate::uring::ring_available() {
+                // Setup can still fail post-probe (fd limits, mmap
+                // pressure): fall back exactly like a failed probe.
+                if let Ok(w) = UringWriter::try_spawn(Arc::clone(&ctxs), job_rx.clone(), sched) {
+                    return (Box::new(w), WriterBackendKind::IoUring);
+                }
+            }
+            (
+                Box::new(AsyncBatchedWriter::spawn(ctxs, job_rx, sched)),
+                WriterBackendKind::AsyncBatched,
+            )
+        }
     }
 }
 
@@ -377,13 +418,16 @@ pub(crate) fn submit_job(
 /// remains here; otherwise the sync happens inline, per job — the
 /// historical path, still used by the thread pool and by the batched
 /// engine with coalescing off. `batch_jobs` is the occupancy of the
-/// batch this job completed in (1 for the thread pool), reported through
-/// [`Done`] for the writer instrumentation.
+/// batch this job completed in (1 for the thread pool), and `sqe_batch`
+/// the occupancy of the ring submission round that carried the job's
+/// data writes (0 for the syscall-per-write backends), both reported
+/// through [`Done`] for the writer instrumentation.
 pub(crate) fn complete_job(
     ctx: &ShardCtx,
     store: &mut Store,
     inflight: InFlight,
     batch_jobs: u32,
+    sqe_batch: u32,
 ) -> Done {
     let InFlight {
         shard: _,
@@ -418,6 +462,7 @@ pub(crate) fn complete_job(
         data_syncs,
         device_syncs,
         batch_jobs,
+        sqe_batch,
     }
 }
 
@@ -434,7 +479,7 @@ pub(crate) fn execute_job(
     queued_at: Instant,
 ) -> Done {
     let inflight = submit_job(ctx, store, buf, shard, job, queued_at);
-    complete_job(ctx, store, inflight, 1)
+    complete_job(ctx, store, inflight, 1, 0)
 }
 
 // ---------------------------------------------------------------------------
@@ -760,7 +805,7 @@ impl AsyncBatchedWriter {
                     let inflight = reaped[i].take().expect("each job reaped once");
                     let ctx = &ctxs[inflight.shard()];
                     let mut store = ctx.store.lock();
-                    let done = complete_job(ctx, &mut store, inflight, occupancy);
+                    let done = complete_job(ctx, &mut store, inflight, occupancy, 0);
                     drop(store);
                     let _ = ctx.done_tx.send(done);
                 }
@@ -784,6 +829,755 @@ impl Drop for AsyncBatchedWriter {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Backend 3: the real io_uring ring
+// ---------------------------------------------------------------------------
+
+/// The batched engine's scheduling discipline driven through a real
+/// kernel `io_uring` (see `crate::uring`): data writes are submitted as
+/// `IORING_OP_WRITEV` SQEs and reaped out of order by `user_data`;
+/// durability rides the ring as `IORING_OP_FSYNC` SQEs (chained per job
+/// via `IOSQE_IO_LINK` with coalescing off, one per distinct target file
+/// per batch with coalescing on) or falls back to the synchronous
+/// per-job fsync. Within a batch, each shard's jobs are written in
+/// per-shard FIFO *waves* so same-file appends stack at precomputed
+/// offsets; the sync-before-commit invariant and the batched engine's
+/// wave-ordered ack discipline are preserved unchanged.
+///
+/// Constructed through [`UringWriter::try_spawn`] only after the
+/// process-global capability probe succeeded; `spawn_writer` substitutes
+/// [`AsyncBatchedWriter`] (and says so) everywhere else.
+pub(crate) struct UringWriter {
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl UringWriter {
+    /// Create the ring, then spawn the submission/completion loop. The
+    /// ring is created *before* the thread so every failure mode —
+    /// `ENOSYS`, `EPERM`, memlock limits — surfaces here and the caller
+    /// can fall back instead of panicking mid-run.
+    pub(crate) fn try_spawn(
+        ctxs: Arc<Vec<ShardCtx>>,
+        job_rx: crossbeam::channel::Receiver<PoolJob>,
+        sched: DurabilityConfig,
+    ) -> io::Result<UringWriter> {
+        // Room for several WRITEV runs plus a chained fsync per shard;
+        // the submission loop drains mid-wave when a batch wants more.
+        let entries = (ctxs.len() * 4).clamp(32, 256) as u32;
+        let ring = crate::uring::Ring::new(entries)?;
+        let use_links = crate::uring::links_available();
+        let handle =
+            std::thread::spawn(move || run_ring_loop(&ctxs, &job_rx, sched, ring, use_links));
+        Ok(UringWriter {
+            handle: Some(handle),
+        })
+    }
+}
+
+impl WriterBackend for UringWriter {
+    fn shutdown(&mut self) {
+        if let Some(h) = self.handle.take() {
+            h.join().expect("uring writer loop");
+        }
+    }
+}
+
+impl Drop for UringWriter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One staged ring operation of the current wave. `ptr`/`len` name a
+/// buffer owned by the wave (a job's eager data, or a wave-arena sweep
+/// image / serialized segment) that outlives the reap by construction.
+struct RingOp {
+    /// Index into the batch's completion queue.
+    job: usize,
+    fd: std::os::unix::io::RawFd,
+    offset: u64,
+    ptr: *const u8,
+    len: usize,
+    /// A chained `IORING_OP_FSYNC` (no data; `ptr`/`len`/`offset` unused).
+    fsync: bool,
+    /// This SQE links to the next one (same-job durability chain).
+    link: bool,
+}
+
+/// Outcome of a job's chained (`IOSQE_IO_LINK`) fsync SQE.
+enum ChainedFsync {
+    /// The ring brought the job's data to stable storage.
+    Done,
+    /// The chain broke (`ECANCELED` after a repaired short write, or the
+    /// enter call failed): durability unresolved, sync inline instead.
+    Retry,
+    /// A working fsync reported a real I/O failure.
+    Failed(io::Error),
+}
+
+const ECANCELED: i32 = 125;
+
+/// Stage one job's data writes as ring operations, mirroring
+/// [`submit_job`] byte for byte: double-backup writes become one WRITEV
+/// per contiguous-id run at the objects' fixed offsets; log appends
+/// become one WRITEV of the serialized segment at the stacked append
+/// offset (reserved immediately, so a pipelined shard's next segment
+/// lands after it). Sweep jobs run the copy-on-update read protocol —
+/// lock, prefer the saved pre-update image, publish the frontier after
+/// each object is read and queued — into a wave-local image first.
+#[allow(clippy::too_many_arguments)]
+fn stage_ring_job(
+    ctx: &ShardCtx,
+    store: &mut Store,
+    job_idx: usize,
+    shard: usize,
+    job: Job,
+    queued_at: Instant,
+    ops: &mut Vec<RingOp>,
+    arena: &mut Vec<Vec<u8>>,
+) -> InFlight {
+    let obj_size = ctx.geometry.object_size as usize;
+    let shared = &ctx.shared;
+    // Split `ids` (increasing) into maximal consecutive runs: each run
+    // is contiguous in the packed data buffer *and* on disk, so one
+    // WRITEV covers it. Returns (start_index, end_index) pairs.
+    let push_runs = |ops: &mut Vec<RingOp>,
+                     ids: &[u32],
+                     base: *const u8,
+                     fd,
+                     geometry: &mmoc_core::StateGeometry| {
+        let mut start = 0usize;
+        while start < ids.len() {
+            let mut end = start + 1;
+            while end < ids.len() && ids[end] == ids[end - 1] + 1 {
+                end += 1;
+            }
+            ops.push(RingOp {
+                job: job_idx,
+                fd,
+                offset: geometry.object_offset(ObjectId(ids[start])),
+                // SAFETY-relevant invariant: `base` points at the packed
+                // object buffer; run bytes start at `start * obj_size`.
+                ptr: unsafe { base.add(start * obj_size) },
+                len: (end - start) * obj_size,
+                fsync: false,
+                link: false,
+            });
+            start = end;
+        }
+    };
+    let (objects, state, recycled) = match job {
+        Job::Eager {
+            ids,
+            data,
+            seq,
+            tick,
+            target,
+            full_image,
+        } => {
+            let count = ids.len() as u32;
+            let state = match store {
+                Store::Double(set) => match set.invalidate(target) {
+                    Err(e) => Err(e),
+                    Ok(()) => {
+                        push_runs(ops, &ids, data.as_ptr(), set.sync_fd(target), &ctx.geometry);
+                        Ok(PendingDurability::Double { target, tick })
+                    }
+                },
+                Store::Log(log) => {
+                    let mut seg = Vec::new();
+                    crate::log_store::serialize_segment(
+                        seq,
+                        tick,
+                        full_image,
+                        ids.iter()
+                            .enumerate()
+                            .map(|(i, &id)| (ObjectId(id), &data[i * obj_size..][..obj_size])),
+                        &mut seg,
+                    );
+                    let offset = log.append_offset();
+                    log.note_appended(seg.len() as u64);
+                    ops.push(RingOp {
+                        job: job_idx,
+                        fd: log.sync_fd(),
+                        offset,
+                        ptr: seg.as_ptr(),
+                        len: seg.len(),
+                        fsync: false,
+                        link: false,
+                    });
+                    arena.push(seg);
+                    Ok(PendingDurability::Log)
+                }
+            };
+            // `data` moves into the in-flight record below; a Vec move
+            // never relocates its heap buffer, so the op pointers stay
+            // valid for the life of the wave.
+            (count, state, Some((ids, data)))
+        }
+        Job::Sweep {
+            list,
+            cursor,
+            seq,
+            tick,
+            target,
+            full_image,
+        } => {
+            let count = list.len() as u32;
+            let read_object = |o: u32, buf: &mut [u8]| {
+                let obj = ObjectId(o);
+                let _guard = shared.locks[o as usize].lock();
+                if shared.copied.get(o) {
+                    shared.read_arena_into(obj, buf);
+                } else {
+                    shared.table.read_object_into(obj, buf);
+                }
+                shared.flushed.set(o);
+            };
+            let publish = |position: usize, o: u32| {
+                let slots = match cursor {
+                    CursorKind::ByIndex => u64::from(o) + 1,
+                    CursorKind::ByPosition => position as u64 + 1,
+                };
+                ctx.frontier.store(slots, Ordering::Release);
+            };
+            // Capture the sweep into a wave-local image. The frontier is
+            // published per object once it is read and queued — "queued"
+            // here means captured for ring submission, which is the same
+            // under-approximation the synchronous path provides.
+            let capture = |image: &mut Vec<u8>| {
+                for (p, &o) in list.iter().enumerate() {
+                    read_object(o, &mut image[p * obj_size..][..obj_size]);
+                    publish(p, o);
+                }
+            };
+            let state = match store {
+                Store::Double(set) => match set.invalidate(target) {
+                    Err(e) => Err(e),
+                    Ok(()) => {
+                        let mut image = vec![0u8; list.len() * obj_size];
+                        capture(&mut image);
+                        push_runs(
+                            ops,
+                            &list,
+                            image.as_ptr(),
+                            set.sync_fd(target),
+                            &ctx.geometry,
+                        );
+                        arena.push(image);
+                        Ok(PendingDurability::Double { target, tick })
+                    }
+                },
+                Store::Log(log) => {
+                    let mut image = vec![0u8; list.len() * obj_size];
+                    capture(&mut image);
+                    let mut seg = Vec::new();
+                    crate::log_store::serialize_segment(
+                        seq,
+                        tick,
+                        full_image,
+                        list.iter()
+                            .enumerate()
+                            .map(|(p, &o)| (ObjectId(o), &image[p * obj_size..][..obj_size])),
+                        &mut seg,
+                    );
+                    let offset = log.append_offset();
+                    log.note_appended(seg.len() as u64);
+                    ops.push(RingOp {
+                        job: job_idx,
+                        fd: log.sync_fd(),
+                        offset,
+                        ptr: seg.as_ptr(),
+                        len: seg.len(),
+                        fsync: false,
+                        link: false,
+                    });
+                    arena.push(seg);
+                    Ok(PendingDurability::Log)
+                }
+            };
+            (count, state, None)
+        }
+    };
+    InFlight {
+        shard,
+        t0: queued_at,
+        objects,
+        recycled,
+        state,
+        presync: None,
+    }
+}
+
+/// The ring backend's submission/completion loop. Structure mirrors
+/// [`AsyncBatchedWriter::spawn`] — batch drain, adaptive window,
+/// batch-global durability scheduling, wave-ordered acks — with the
+/// write phase (and, where possible, the fsyncs) driven through the
+/// kernel ring instead of per-write syscalls.
+fn run_ring_loop(
+    ctxs: &[ShardCtx],
+    job_rx: &crossbeam::channel::Receiver<PoolJob>,
+    sched: DurabilityConfig,
+    mut ring: crate::uring::Ring,
+    use_links: bool,
+) {
+    use crate::uring::{pwrite_all, Iovec, Sqe};
+    let cap = ring.capacity() as usize;
+    // A job's fsync rides the ring as a linked chain only when links are
+    // supported, coalescing is off (the scheduler owns durability
+    // otherwise), and the chain fits the ring.
+    let chain_fsync = use_links && !sched.coalesce_fsync;
+    // Round-to-round scratch, reused so the steady state allocates
+    // little per batch.
+    let mut batch: Vec<PoolJob> = Vec::new();
+    let mut completion_queue: Vec<InFlight> = Vec::new();
+    let mut sqe_batches: Vec<u32> = Vec::new();
+    let mut chained: Vec<Option<ChainedFsync>> = Vec::new();
+    let mut arena: Vec<Vec<u8>> = Vec::new();
+    let mut ops: Vec<RingOp> = Vec::new();
+    let mut outcomes: Vec<Option<i32>> = Vec::new();
+    let mut synced: Vec<(SyncTarget, io::Result<()>, bool)> = Vec::new();
+    let mut device_synced: Vec<(u64, io::Result<()>, bool)> = Vec::new();
+    let mut batch_targets: Vec<(SyncTarget, std::os::unix::io::RawFd)> = Vec::new();
+    let mut reap_order: Vec<usize> = Vec::new();
+    let mut reaped: Vec<Option<(InFlight, u32)>> = Vec::new();
+    let mut ewma_gap_s: Option<f64> = None;
+    let mut prev_arrival: Option<Instant> = None;
+    let mut last_batch_full = false;
+    // Latched on any `io_uring_enter`/push failure: once an enter round
+    // fails, completions for its in-flight SQEs could surface later and
+    // a fresh round would misattribute them by `user_data`, so the loop
+    // stops using the ring for good and runs the synchronous redo path
+    // (positional rewrites are idempotent; fsyncs fall back inline).
+    let mut ring_dead = false;
+    let full_batch = ctxs.len() * sched.pipeline_depth.max(1) as usize;
+    while let Ok(first) = job_rx.recv() {
+        batch.push(first);
+        while let Ok(job) = job_rx.try_recv() {
+            batch.push(job);
+        }
+        // Adaptive batch window, identical to the batched engine's.
+        let window = if sched.auto_window {
+            match ewma_gap_s {
+                Some(gap) if !last_batch_full => Duration::from_secs_f64(
+                    (gap * full_batch as f64).min(MAX_AUTO_WINDOW.as_secs_f64()),
+                ),
+                _ => Duration::ZERO,
+            }
+        } else {
+            sched.batch_window
+        };
+        if !window.is_zero() {
+            let deadline = Instant::now() + window;
+            while batch.len() < full_batch {
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                match job_rx.recv_timeout(left) {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        for job in &batch {
+            if let Some(prev) = prev_arrival {
+                let gap = job.queued_at.saturating_duration_since(prev).as_secs_f64();
+                ewma_gap_s = Some(match ewma_gap_s {
+                    Some(e) => e + ARRIVAL_EWMA_ALPHA * (gap - e),
+                    None => gap,
+                });
+            }
+            prev_arrival = Some(job.queued_at);
+        }
+        last_batch_full = batch.len() >= full_batch;
+        let occupancy = batch.len() as u32;
+
+        // Partition into per-shard FIFO waves: wave k holds each shard's
+        // k-th job of the batch, so same-file writes of a pipelined
+        // shard are staged (and their append offsets reserved) in
+        // submission order, wave by wave.
+        let wave_of: Vec<usize> = (0..batch.len())
+            .map(|i| {
+                batch[..i]
+                    .iter()
+                    .filter(|j| j.shard == batch[i].shard)
+                    .count()
+            })
+            .collect();
+        let n_waves = wave_of.iter().max().map_or(0, |w| w + 1);
+        completion_queue.clear();
+        sqe_batches.clear();
+        chained.clear();
+        arena.clear();
+        let mut pool_jobs: Vec<Option<PoolJob>> = batch.drain(..).map(Some).collect();
+
+        for wave in 0..n_waves {
+            // Stage every job of this wave: data writes become RingOps
+            // over wave-stable buffers.
+            ops.clear();
+            let wave_start = completion_queue.len();
+            for (i, slot) in pool_jobs.iter_mut().enumerate() {
+                if wave_of[i] != wave {
+                    continue;
+                }
+                let PoolJob {
+                    shard,
+                    job,
+                    queued_at,
+                    order: _,
+                } = slot.take().expect("each job staged once");
+                let ctx = &ctxs[shard];
+                let mut store = ctx.store.lock();
+                let job_idx = completion_queue.len();
+                let ops_before = ops.len();
+                let inflight = stage_ring_job(
+                    ctx, &mut store, job_idx, shard, job, queued_at, &mut ops, &mut arena,
+                );
+                drop(store);
+                // Annotate the job's durability chain: link its writes
+                // and append the trailing fsync when the whole chain
+                // fits the ring.
+                let job_ops = ops.len() - ops_before;
+                if chain_fsync
+                    && ctx.sync_data
+                    && inflight.state.is_ok()
+                    && job_ops >= 1
+                    && job_ops < cap
+                {
+                    for op in &mut ops[ops_before..] {
+                        op.link = true;
+                    }
+                    let fd = ops[ops.len() - 1].fd;
+                    ops.push(RingOp {
+                        job: job_idx,
+                        fd,
+                        offset: 0,
+                        ptr: std::ptr::null(),
+                        len: 0,
+                        fsync: true,
+                        link: false,
+                    });
+                }
+                completion_queue.push(inflight);
+                chained.push(None);
+                sqe_batches.push(0);
+            }
+            let wave_sqes = ops.len() as u32;
+            for sb in &mut sqe_batches[wave_start..] {
+                *sb = wave_sqes;
+            }
+
+            // Submission: push every op (keeping link chains whole),
+            // draining completions whenever the ring runs out of room.
+            // `user_data` is the op index, so out-of-order CQEs land in
+            // their `outcomes` slot directly.
+            outcomes.clear();
+            outcomes.resize(ops.len(), None);
+            if !ring_dead {
+                // One iovec per write op, pre-reserved to its final size
+                // so the pointers handed to the kernel never move.
+                let mut iovecs: Vec<Iovec> = Vec::with_capacity(ops.len());
+                let mut awaiting = 0usize;
+                let mut i = 0usize;
+                'submit: while i < ops.len() {
+                    let mut j = i + 1;
+                    while j < ops.len() && ops[j - 1].link {
+                        j += 1;
+                    }
+                    let blk = j - i;
+                    // Make room for the whole chain — a link chain split
+                    // across enter boundaries would break the kernel's
+                    // sequencing — draining completions while waiting.
+                    loop {
+                        while let Some(c) = ring.reap() {
+                            outcomes[c.user_data as usize] = Some(c.res);
+                            awaiting -= 1;
+                        }
+                        if awaiting + blk <= cap && ring.sq_space() as usize >= blk {
+                            break;
+                        }
+                        if ring.submit_and_wait(1).is_err() {
+                            ring_dead = true;
+                            break 'submit;
+                        }
+                    }
+                    for op in &ops[i..j] {
+                        let k = iovecs.len();
+                        let sqe = if op.fsync {
+                            iovecs.push(Iovec {
+                                iov_base: std::ptr::null_mut(),
+                                iov_len: 0,
+                            });
+                            Sqe::fsync_data(op.fd, k as u64)
+                        } else {
+                            iovecs.push(Iovec {
+                                iov_base: op.ptr.cast_mut().cast(),
+                                iov_len: op.len,
+                            });
+                            Sqe::writev(op.fd, &raw const iovecs[k], 1, op.offset, k as u64)
+                        };
+                        let sqe = if op.link { sqe.link() } else { sqe };
+                        if ring.push(sqe).is_err() {
+                            ring_dead = true;
+                            break 'submit;
+                        }
+                        awaiting += 1;
+                    }
+                    i = j;
+                }
+                while !ring_dead && awaiting > 0 {
+                    if ring.submit_and_wait(awaiting as u32).is_err() {
+                        ring_dead = true;
+                        break;
+                    }
+                    while let Some(c) = ring.reap() {
+                        outcomes[c.user_data as usize] = Some(c.res);
+                        awaiting -= 1;
+                    }
+                }
+            }
+
+            // Reap bookkeeping: repair short writes, redo cancelled or
+            // unsubmitted writes synchronously (positional writes are
+            // idempotent), surface real errors into the job's state.
+            for (k, op) in ops.iter().enumerate() {
+                let outcome = outcomes.get(k).copied().flatten();
+                if op.fsync {
+                    chained[op.job] = Some(match outcome {
+                        Some(r) if r >= 0 => ChainedFsync::Done,
+                        Some(r) if -r == ECANCELED => ChainedFsync::Retry,
+                        None => ChainedFsync::Retry,
+                        Some(r) => ChainedFsync::Failed(io::Error::from_raw_os_error(-r)),
+                    });
+                    continue;
+                }
+                let redo_from = match outcome {
+                    Some(r) if r >= 0 => {
+                        let done = r as usize;
+                        if done >= op.len {
+                            continue; // fully written
+                        }
+                        done // short write: repair the tail
+                    }
+                    Some(r) if -r == ECANCELED => 0, // broken chain: redo whole
+                    Some(r) => {
+                        let e = io::Error::from_raw_os_error(-r);
+                        if completion_queue[op.job].state.is_ok() {
+                            completion_queue[op.job].state = Err(e);
+                        }
+                        continue;
+                    }
+                    None => 0, // enter failed before completion: redo whole
+                };
+                // SAFETY: `ptr`/`len` name a wave-owned buffer (job data
+                // or arena entry) still alive here.
+                let bytes = unsafe { std::slice::from_raw_parts(op.ptr, op.len) };
+                if let Err(e) = pwrite_all(op.fd, &bytes[redo_from..], op.offset + redo_from as u64)
+                {
+                    if completion_queue[op.job].state.is_ok() {
+                        completion_queue[op.job].state = Err(e);
+                    }
+                }
+            }
+        }
+
+        // Resolve each job's chained fsync into its presync slot: ring
+        // durability succeeded (or genuinely failed) → the completion
+        // phase must not sync again; a broken chain → leave `presync`
+        // empty and the completion phase retries inline, the documented
+        // fallback.
+        for (job_idx, outcome) in chained.iter_mut().enumerate() {
+            match outcome.take() {
+                Some(ChainedFsync::Done) => {
+                    completion_queue[job_idx].presync = Some(Presync {
+                        result: Ok(()),
+                        data_syncs: 1,
+                        device_syncs: 0,
+                    });
+                }
+                Some(ChainedFsync::Failed(e)) => {
+                    completion_queue[job_idx].presync = Some(Presync {
+                        result: Err(e),
+                        data_syncs: 1,
+                        device_syncs: 0,
+                    });
+                }
+                Some(ChainedFsync::Retry) | None => {}
+            }
+        }
+
+        // Durability scheduler, batch-global exactly as in the batched
+        // engine: one data sync per distinct target file across the
+        // whole batch — all of them before any metadata commit — with
+        // the per-file fsyncs riding the ring as FSYNC SQEs and the
+        // whole-device barriers staying on their synchronous
+        // capability-probed path.
+        if sched.coalesce_fsync {
+            synced.clear();
+            device_synced.clear();
+            batch_targets.clear();
+            for inflight in &completion_queue {
+                let ctx = &ctxs[inflight.shard];
+                let Ok(pending) = &inflight.state else {
+                    continue;
+                };
+                if !ctx.sync_data {
+                    continue;
+                }
+                let store = ctx.store.lock();
+                let target = sync_target_of(&store, pending);
+                if !batch_targets.iter().any(|(t, _)| *t == target) {
+                    batch_targets.push((target, sync_fd_of(&store, pending)));
+                }
+            }
+            if sched.device_sync {
+                for i in 0..batch_targets.len() {
+                    let (target, fd) = batch_targets[i];
+                    let dev = target.dev();
+                    let distinct = batch_targets.iter().filter(|(t, _)| t.dev() == dev).count();
+                    if distinct < 2 || device_synced.iter().any(|(d, ..)| *d == dev) {
+                        continue;
+                    }
+                    match crate::device_sync::sync_device(fd) {
+                        Ok(true) => device_synced.push((dev, Ok(()), false)),
+                        Ok(false) => {} // unavailable: per-file fallback
+                        Err(e) => device_synced.push((dev, Err(e), false)),
+                    }
+                }
+            }
+            // One FSYNC SQE per distinct file not covered by a device
+            // barrier, all in one submission round.
+            let fsync_targets: Vec<(SyncTarget, std::os::unix::io::RawFd)> = batch_targets
+                .iter()
+                .filter(|(t, _)| !device_synced.iter().any(|(d, ..)| *d == t.dev()))
+                .copied()
+                .collect();
+            let mut results: Vec<Option<io::Result<()>>> =
+                fsync_targets.iter().map(|_| None).collect();
+            if !ring_dead {
+                let mut pushed = 0usize;
+                for (k, (_, fd)) in fsync_targets.iter().enumerate() {
+                    if pushed == cap || ring.push(Sqe::fsync_data(*fd, k as u64)).is_err() {
+                        break; // the rest sync synchronously below
+                    }
+                    pushed += 1;
+                }
+                if pushed > 0 {
+                    if ring.submit_and_wait(pushed as u32).is_err() {
+                        ring_dead = true;
+                    } else {
+                        for _ in 0..pushed {
+                            let Some(c) = ring.reap() else { break };
+                            results[c.user_data as usize] = Some(if c.res >= 0 {
+                                Ok(())
+                            } else {
+                                Err(io::Error::from_raw_os_error(-c.res))
+                            });
+                        }
+                    }
+                }
+            }
+            for (k, (target, _)) in fsync_targets.iter().enumerate() {
+                let outcome = match results[k].take() {
+                    Some(r) => r,
+                    // Ring trouble (or an over-capacity tail): fall back
+                    // to the synchronous per-file fsync for this target.
+                    None => sync_target_fsync(ctxs, &completion_queue, *target),
+                };
+                synced.push((*target, outcome, false));
+            }
+            for inflight in &mut completion_queue {
+                let ctx = &ctxs[inflight.shard];
+                let Ok(pending) = &inflight.state else {
+                    continue;
+                };
+                if !ctx.sync_data {
+                    continue;
+                }
+                let store = ctx.store.lock();
+                let target = sync_target_of(&store, pending);
+                drop(store);
+                if let Some((_, outcome, charged)) =
+                    device_synced.iter_mut().find(|(d, ..)| *d == target.dev())
+                {
+                    let device_syncs = u32::from(!*charged);
+                    *charged = true;
+                    inflight.presync = Some(Presync {
+                        result: share_sync_result(outcome),
+                        data_syncs: 0,
+                        device_syncs,
+                    });
+                    continue;
+                }
+                if let Some((_, outcome, charged)) = synced.iter_mut().find(|(t, ..)| *t == target)
+                {
+                    let data_syncs = u32::from(!*charged);
+                    *charged = true;
+                    inflight.presync = Some(Presync {
+                        result: share_sync_result(outcome),
+                        data_syncs,
+                        device_syncs: 0,
+                    });
+                }
+            }
+        }
+
+        // Completion: metadata commits + acks in the batched engine's
+        // wave order — every shard's k-th job (newest shard first)
+        // before any shard's (k+1)-th — so pipelined acks stay FIFO per
+        // shard and no shard monopolizes the ack stream.
+        reap_order.clear();
+        reap_order.extend(0..completion_queue.len());
+        reap_order.sort_by_key(|&i| {
+            let shard = completion_queue[i].shard();
+            let wave = completion_queue[..i]
+                .iter()
+                .filter(|f| f.shard() == shard)
+                .count();
+            let newest = completion_queue
+                .iter()
+                .rposition(|f| f.shard() == shard)
+                .expect("index i itself matches");
+            (wave, std::cmp::Reverse(newest), i)
+        });
+        reaped.clear();
+        reaped.extend(
+            completion_queue
+                .drain(..)
+                .zip(sqe_batches.drain(..))
+                .map(Some),
+        );
+        for &i in &reap_order {
+            let (inflight, sqe_batch) = reaped[i].take().expect("each job reaped once");
+            let ctx = &ctxs[inflight.shard()];
+            let mut store = ctx.store.lock();
+            let done = complete_job(ctx, &mut store, inflight, occupancy, sqe_batch);
+            drop(store);
+            let _ = ctx.done_tx.send(done);
+        }
+    }
+}
+
+/// Synchronous fallback fsync for one durability target, used when the
+/// ring cannot carry the coalesced sync round: find any pending job
+/// naming `target` and sync through its store.
+fn sync_target_fsync(
+    ctxs: &[ShardCtx],
+    completion_queue: &[InFlight],
+    target: SyncTarget,
+) -> io::Result<()> {
+    for inflight in completion_queue {
+        let Ok(pending) = &inflight.state else {
+            continue;
+        };
+        let store = ctxs[inflight.shard].store.lock();
+        if sync_target_of(&store, pending) == target {
+            return sync_pending(&store, pending);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -892,7 +1686,7 @@ mod tests {
         }
         let ctxs = Arc::new(ctxs);
         let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(n);
-        let mut backend = spawn_writer(kind, Arc::clone(&ctxs), 2, job_rx, sched);
+        let (mut backend, _effective) = spawn_writer(kind, Arc::clone(&ctxs), 2, job_rx, sched);
         let mut results = Vec::new();
         let stream = job_stream(n);
         for (round_idx, round) in stream.chunks(n).enumerate() {
@@ -947,18 +1741,20 @@ mod tests {
         entries
     }
 
-    /// The differential core: identical job streams through both backends
-    /// — and through the batched engine under every durability policy
-    /// (legacy per-job, coalesced, coalesced + window, auto-tuned
+    /// The differential core: identical job streams through all three
+    /// backends — and through the batched engine under every durability
+    /// policy (legacy per-job, coalesced, coalesced + window, auto-tuned
     /// window, device barrier) — leave byte-identical files (images,
     /// metadata, logs) on every shard, for both disk organizations.
     /// Scheduling only reorders syncs, never bytes, and `window=0` +
     /// coalescing off *is* the historical engine, so every
-    /// configuration must agree with the pool.
+    /// configuration must agree with the pool. The io-uring rows go
+    /// through `spawn_writer`, so on kernels without io_uring they
+    /// exercise the fallback substitution — which must agree too.
     #[test]
     fn identical_job_streams_leave_byte_identical_files() {
         let batched = WriterBackendKind::AsyncBatched;
-        let configs: [(&str, WriterBackendKind, DurabilityConfig); 6] = [
+        let configs: [(&str, WriterBackendKind, DurabilityConfig); 8] = [
             (
                 "pool",
                 WriterBackendKind::ThreadPool,
@@ -986,6 +1782,16 @@ mod tests {
                     device_sync: true,
                     ..coalescing(Duration::ZERO)
                 },
+            ),
+            (
+                "uring_legacy",
+                WriterBackendKind::IoUring,
+                DurabilityConfig::legacy(),
+            ),
+            (
+                "uring_coalesced",
+                WriterBackendKind::IoUring,
+                coalescing(Duration::ZERO),
             ),
         ];
         for disk_org in [DiskOrg::DoubleBackup, DiskOrg::Log] {

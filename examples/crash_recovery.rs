@@ -1,9 +1,9 @@
 //! Crash a real Copy-on-Update game server and watch it recover — under
-//! both writer backends.
+//! every writer backend.
 //!
 //! Runs the actual disk-backed engine (mutator thread + asynchronous
-//! writer + double-backup files) twice: once with the worker-thread pool
-//! and once with the io_uring-style async batched-submission writer.
+//! writer + double-backup files) once per backend: the worker-thread
+//! pool, the async batched-submission writer, and the real io_uring ring.
 //! Each run then simulates a crash, restores the newest consistent backup
 //! and replays the deterministic update stream — verifying the recovered
 //! state is byte-identical to the pre-crash state, whichever backend
@@ -104,8 +104,8 @@ fn main() {
     }
 
     println!(
-        "\nboth writer backends recovered the exact crash state — the \
-         batched engine is recovery-equivalent to the thread pool."
+        "\nevery writer backend recovered the exact crash state — the \
+         batched and ring engines are recovery-equivalent to the thread pool."
     );
     let _ = std::fs::remove_dir_all(&root);
 }

@@ -1,0 +1,104 @@
+//! Flush the same checkpoint workload through all three writer backends —
+//! the worker-thread pool, the batched-submission engine, and the real
+//! io_uring ring — and read the durability bill for each.
+//!
+//! The ring is probe-gated: on kernels without a usable `io_uring` the
+//! run silently executes under the batched fallback, and the report says
+//! so (`writer_backend` names what actually ran, `writer_fallback_from`
+//! surfaces the substitution). This example prints both, plus the
+//! ring-occupancy counters whose nonzero values are the ground truth
+//! that SQEs really flowed — so the output never attributes ring numbers
+//! to a kernel that cannot produce them.
+//!
+//! ```text
+//! cargo run --release --example uring_flush
+//! ```
+
+use mmo_checkpoint::prelude::*;
+
+fn main() {
+    let root = std::env::temp_dir().join("mmoc_uring_flush_example");
+    let _ = std::fs::remove_dir_all(&root);
+
+    // A 5 MB state sharded four ways, so every flush batch carries
+    // several shards' jobs and the ring has real packing to do.
+    let trace = SyntheticConfig {
+        geometry: StateGeometry {
+            rows: 250_000,
+            cols: 5,
+            cell_size: 4,
+            object_size: 512,
+        },
+        ticks: 90,
+        updates_per_tick: 15_000,
+        skew: 0.8,
+        seed: 425,
+    };
+
+    println!(
+        "flushing a real Copy-on-Update server through every writer backend: \
+         {:.1} MB state, 4 shards, {} ticks, {} updates/tick",
+        trace.geometry.state_bytes() as f64 / 1e6,
+        trace.ticks,
+        trace.updates_per_tick
+    );
+
+    for backend in WriterBackend::ALL {
+        let dir = root.join(backend.label());
+        let report = Run::algorithm(Algorithm::CopyOnUpdate)
+            .engine(Engine::Real(RealConfig::new(&dir).with_query_ops(2_000)))
+            .trace(trace)
+            .shards(4)
+            .writer(backend)
+            .execute()
+            .expect("engine run");
+
+        let EngineDetail::Real(d) = &report.detail else {
+            panic!("real detail expected")
+        };
+        println!("\n== requested: {backend} ==");
+        match d.writer_fallback_from {
+            Some(requested) => println!(
+                "  ran as                 {} (no usable io_uring on this kernel; \
+                 requested {requested})",
+                d.writer_backend
+            ),
+            None => println!("  ran as                 {}", d.writer_backend),
+        }
+        let ckpts = report.world.checkpoints_completed;
+        println!("  checkpoints completed  {ckpts}");
+        println!(
+            "  data fsyncs            {}  ({:.3} per checkpoint)",
+            d.data_fsyncs,
+            d.data_fsyncs as f64 / ckpts.max(1) as f64
+        );
+        println!("  device barriers        {}", d.device_syncs);
+        println!(
+            "  bytes written          {:.1} MB",
+            d.bytes_written as f64 / 1e6
+        );
+        if d.avg_sqe_batch > 0.0 {
+            println!(
+                "  ring occupancy         {:.2} SQEs/round avg, {} max",
+                d.avg_sqe_batch, d.max_sqe_batch
+            );
+        } else {
+            println!("  ring occupancy         n/a (no SQEs submitted)");
+        }
+        println!(
+            "  recovered state matches pre-crash state: {}",
+            if report.verified_consistent() == Some(true) {
+                "YES"
+            } else {
+                "NO (bug!)"
+            }
+        );
+        assert_eq!(report.verified_consistent(), Some(true));
+    }
+
+    println!(
+        "\nall three backends recovered the exact crash state from their own \
+         files — the ring buys fewer syscalls, not different durability."
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
