@@ -1,0 +1,119 @@
+//! Named corpus seeds: the curated crash sites from the storage crate's
+//! `failure_injection` test suite, re-expressed as lattice cases. Every
+//! corpus run replays these first, so the scenarios that were once
+//! hand-constructed (torn object writes, missing metadata commits, torn
+//! log tails, mid-batch crashes) are continuously re-proven through the
+//! instrumented engine itself — plus the ring-specific sites the curated
+//! suite could not reach from outside.
+
+use mmoc_core::{Algorithm, WriterBackend};
+use mmoc_storage::crash::{CrashAction, CrashPlan, CrashPoint};
+
+use crate::case::FuzzCase;
+
+fn base(algorithm: Algorithm, backend: WriterBackend, point: CrashPoint) -> FuzzCase {
+    FuzzCase {
+        algorithm,
+        shards: 1,
+        backend,
+        pipeline_depth: 1,
+        batch_window_us: 0,
+        device_sync: false,
+        coalesce: true,
+        ticks: 14,
+        updates_per_tick: 120,
+        skew: 0.8,
+        trace_seed: 0xC0FF_EE00,
+        plan: CrashPlan::at(point),
+    }
+}
+
+/// The named seeds, in replay order.
+#[must_use]
+pub fn named_seeds() -> Vec<(&'static str, FuzzCase)> {
+    use Algorithm::*;
+    use CrashPoint::*;
+    use WriterBackend::*;
+
+    // Crash mid object write: torn 40-of-64-byte object, the curated
+    // `crash_mid_write_falls_back_to_older_backup` site.
+    let mut mid_write = base(AtomicCopyDirtyObjects, ThreadPool, BackupWriteObject);
+    mid_write.plan.torn = 40;
+
+    // Crash after data sync, before the metadata commit: torn 7-of-16
+    // byte meta, the curated `crash_before_meta_commit_is_ignored` site.
+    let mut pre_commit = base(CopyOnUpdate, AsyncBatched, BackupCommit);
+    pre_commit.plan.torn = 7;
+
+    // Crash right after invalidating the next target backup (a
+    // double-backup algorithm: the dribble variant logs instead).
+    let mut invalidated = base(NaiveSnapshot, ThreadPool, BackupInvalidate);
+    invalidated.plan.hit = 2;
+
+    // Torn log record tail, the curated torn-tail site.
+    let mut log_tail = base(PartialRedo, ThreadPool, LogAppendObject);
+    log_tail.plan.torn = 13;
+
+    // Segment seal torn off the end of the file.
+    let mut seal_tear = base(CopyOnUpdatePartialRedo, AsyncBatched, LogSegmentSealed);
+    seal_tear.plan.torn = 33;
+
+    // Mid-batch crash at the scheduler's sync-to-commit seam across four
+    // shards, the curated `mid_batch_crash_recovers_every_shard` site.
+    let mut seam = base(CopyOnUpdate, AsyncBatched, SchedulerCommitSeam);
+    seam.shards = 4;
+    seam.batch_window_us = 250;
+
+    // Device barrier skipped: coalesced multi-shard sync loses the
+    // whole-device flush.
+    let mut barrier = base(CopyOnUpdate, AsyncBatched, DeviceBarrier);
+    barrier.shards = 4;
+    barrier.batch_window_us = 250;
+    barrier.device_sync = true;
+
+    // Ring wave frozen after staging (crash with SQEs staged but the
+    // wave's durability unfinished).
+    let mut ring_staged = base(CopyOnUpdate, IoUring, UringWaveStaged);
+    ring_staged.shards = 4;
+
+    // Ring dies mid-batch and latches the dead flag: the synchronous
+    // redo path must still produce a consistent disk.
+    let mut ring_dead = base(AtomicCopyDirtyObjects, IoUring, UringWaveStaged);
+    ring_dead.plan.action = CrashAction::RingDeath;
+
+    // Crash at the enqueue boundary with the job already queued.
+    let mut enqueued = base(NaiveSnapshot, ThreadPool, JobEnqueued);
+    enqueued.plan.hit = 2;
+
+    vec![
+        ("mid-write-fallback", mid_write),
+        ("pre-commit-meta", pre_commit),
+        ("stale-invalidate", invalidated),
+        ("log-torn-tail", log_tail),
+        ("segment-seal-tear", seal_tear),
+        ("mid-batch-seam", seam),
+        ("device-barrier-loss", barrier),
+        ("ring-wave-frozen", ring_staged),
+        ("ring-dead-redo", ring_dead),
+        ("enqueue-down", enqueued),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_seeds_are_well_formed_and_unique() {
+        let seeds = named_seeds();
+        let mut names: Vec<&str> = seeds.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), seeds.len(), "duplicate seed names");
+        for (name, case) in &seeds {
+            let back = FuzzCase::parse(&case.spec())
+                .unwrap_or_else(|e| panic!("{name}: spec must round-trip: {e}"));
+            assert_eq!(*case, back, "{name}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Execute one case and judge it against the in-memory oracle.
+//!
+//! The armed [`CrashState`] freezes the disk at the planned point (every
+//! instrumented mutation thereafter is suppressed) while the run itself
+//! continues to the end of the trace — completions still acknowledge, so
+//! the driver never deadlocks. Afterwards we run the *production*
+//! recovery path over the frozen directory, shard by shard, and require
+//! the recovered table to equal an oracle built by replaying the full
+//! trace in memory. That equality is exactly the paper's consistency
+//! contract: recovery anchors at the newest consistent checkpoint at or
+//! before the crash instant and deterministically replays forward.
+
+use mmoc_core::{
+    DiskOrg, EngineDetail, Run, ShardFilter, ShardMap, StateGeometry, StateTable, WriterBackend,
+};
+use mmoc_storage::crash::{CrashState, N_POINTS};
+use mmoc_storage::recovery::{recover_and_replay, recover_and_replay_log};
+use mmoc_storage::{shard_dir, RealConfig};
+use mmoc_workload::{SyntheticConfig, TraceSource};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::case::FuzzCase;
+
+/// What one executed case reported.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Did the armed crash plan actually fire during the run?
+    pub fired: bool,
+    /// Did a requested io_uring backend fall back (kernel probe failed)?
+    pub fell_back: bool,
+    /// Lattice reach counters at the end of the run, registry order.
+    pub counts: [u64; N_POINTS],
+    /// `None` when recovery matched the oracle on every shard;
+    /// otherwise a one-line description of the divergence.
+    pub failure: Option<String>,
+}
+
+impl CaseOutcome {
+    /// True when the case passed (no divergence, no run error).
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// The synthetic trace a case runs (pure function of the case).
+fn trace_of(case: &FuzzCase) -> SyntheticConfig {
+    SyntheticConfig {
+        geometry: StateGeometry::test_small(),
+        ticks: case.ticks,
+        updates_per_tick: case.updates_per_tick,
+        skew: case.skew,
+        seed: case.trace_seed,
+    }
+}
+
+/// Ground truth: the state after applying the full trace in memory.
+fn truth_of(mut src: impl TraceSource) -> StateTable {
+    let mut truth = StateTable::new(src.geometry()).expect("oracle geometry");
+    let mut buf = Vec::new();
+    while src.next_tick(&mut buf) {
+        for &u in &buf {
+            truth.apply_unchecked(u);
+        }
+    }
+    truth
+}
+
+/// Run one case end to end: execute with the armed lattice, then recover
+/// every shard from the frozen directory and compare fingerprints.
+#[must_use]
+pub fn run_case(case: &FuzzCase) -> CaseOutcome {
+    let state = Arc::new(CrashState::armed(case.plan));
+    let mut outcome = CaseOutcome {
+        fired: false,
+        fell_back: false,
+        counts: [0; N_POINTS],
+        failure: None,
+    };
+    let dir = match tempfile::tempdir() {
+        Ok(d) => d,
+        Err(e) => {
+            outcome.failure = Some(format!("tempdir: {e}"));
+            return outcome;
+        }
+    };
+
+    let trace = trace_of(case);
+    let config = RealConfig::new(dir.path())
+        .without_recovery()
+        .with_query_ops(48)
+        .with_fsync_coalescing(case.coalesce)
+        .with_device_sync(case.device_sync)
+        .with_auto_window(false)
+        .with_crash_state(state.clone());
+    let report = Run::algorithm(case.algorithm)
+        .engine(config)
+        .trace(trace)
+        .shards(case.shards)
+        .writer(case.backend)
+        .pipeline_depth(case.pipeline_depth)
+        .batch_window(Duration::from_micros(case.batch_window_us))
+        .pacing(600.0)
+        .execute();
+
+    outcome.fired = state.fired();
+    outcome.counts = state.counts();
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            outcome.failure = Some(format!("run error: {e}"));
+            return outcome;
+        }
+    };
+    if let EngineDetail::Real(d) = &report.detail {
+        outcome.fell_back = d.writer_fallback_from.is_some();
+    }
+
+    // Per-shard recovery from the frozen directory against the oracle.
+    let n = case.shards as usize;
+    let map = match ShardMap::new(trace.geometry, case.shards) {
+        Ok(m) => m,
+        Err(e) => {
+            outcome.failure = Some(format!("shard map: {e}"));
+            return outcome;
+        }
+    };
+    for s in 0..n {
+        let sdir = shard_dir(dir.path(), s, n);
+        let g = map.shard_geometry(s);
+        let mut replay = ShardFilter::new(trace.build(), map.clone(), s);
+        let rec = match case.algorithm.spec().disk_org {
+            DiskOrg::DoubleBackup => recover_and_replay(&sdir, g, &mut replay, trace.ticks),
+            DiskOrg::Log => recover_and_replay_log(&sdir, g, &mut replay, trace.ticks),
+        };
+        let rec = match rec {
+            Ok(r) => r,
+            Err(e) => {
+                outcome.failure = Some(format!("shard {s} recovery failed: {e}"));
+                return outcome;
+            }
+        };
+        let truth = truth_of(ShardFilter::new(trace.build(), map.clone(), s));
+        if rec.table.fingerprint() != truth.fingerprint() {
+            outcome.failure = Some(format!(
+                "shard {s} diverged: recovered from tick {} does not match the oracle",
+                rec.from_tick
+            ));
+            return outcome;
+        }
+    }
+    outcome
+}
+
+/// True when this case asked for io_uring — used by the coverage check
+/// to excuse ring-only points on kernels without the capability.
+#[must_use]
+pub fn wants_ring(case: &FuzzCase) -> bool {
+    case.backend == WriterBackend::IoUring
+}
+
+/// Run a case's configuration with a *tracking* (unarmed) lattice and
+/// return the reach counters — `--list-points` uses this to show which
+/// points each configuration actually visits.
+pub fn tracking_run(case: &FuzzCase) -> Result<[u64; N_POINTS], String> {
+    let state = Arc::new(CrashState::tracking());
+    let dir = tempfile::tempdir().map_err(|e| format!("tempdir: {e}"))?;
+    let config = RealConfig::new(dir.path())
+        .without_recovery()
+        .with_query_ops(48)
+        .with_fsync_coalescing(case.coalesce)
+        .with_device_sync(case.device_sync)
+        .with_auto_window(false)
+        .with_crash_state(state.clone());
+    Run::algorithm(case.algorithm)
+        .engine(config)
+        .trace(trace_of(case))
+        .shards(case.shards)
+        .writer(case.backend)
+        .pipeline_depth(case.pipeline_depth)
+        .batch_window(Duration::from_micros(case.batch_window_us))
+        .pacing(600.0)
+        .execute()
+        .map_err(|e| format!("run error: {e}"))?;
+    Ok(state.counts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmoc_core::Algorithm;
+    use mmoc_storage::crash::{CrashAction, CrashPlan, CrashPoint};
+
+    /// One smoke case per disk organization runs clean end to end.
+    #[test]
+    fn smoke_cases_pass() {
+        for (alg, point) in [
+            (Algorithm::CopyOnUpdate, CrashPoint::BackupCommit),
+            (Algorithm::PartialRedo, CrashPoint::LogAppendObject),
+        ] {
+            let case = FuzzCase {
+                algorithm: alg,
+                shards: 1,
+                backend: WriterBackend::ThreadPool,
+                pipeline_depth: 1,
+                batch_window_us: 0,
+                device_sync: false,
+                coalesce: true,
+                ticks: 10,
+                updates_per_tick: 80,
+                skew: 0.8,
+                trace_seed: 99,
+                plan: CrashPlan {
+                    point,
+                    hit: 1,
+                    torn: 11,
+                    action: CrashAction::Crash,
+                },
+            };
+            let out = run_case(&case);
+            assert!(out.ok(), "{}: {:?}", case.spec(), out.failure);
+            assert!(out.fired, "{}: plan never fired", case.spec());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Greedy shrinking of a failing case.
+//!
+//! Each transformation makes the case strictly smaller or simpler
+//! (fewer shards, fewer ticks, fewer updates, an earlier crash, no torn
+//! tail, no pipeline overlap); a transformation is kept only when the
+//! shrunk case still fails. Transformations respect the compatibility
+//! matrix — the device barrier needs four shards, so that case keeps
+//! them. The budget is bounded: at most one re-run per transformation
+//! pass, two passes.
+
+use mmoc_storage::crash::CrashPoint;
+
+use crate::case::FuzzCase;
+use crate::oracle::run_case;
+
+/// Shrink `case` (which must currently fail) and return the smallest
+/// still-failing case found plus the number of re-runs spent.
+#[must_use]
+pub fn shrink(case: &FuzzCase) -> (FuzzCase, u32) {
+    let mut best = *case;
+    let mut runs = 0_u32;
+    for _pass in 0..2 {
+        let mut improved = false;
+        let candidates: Vec<FuzzCase> = transforms(&best);
+        for cand in candidates {
+            if cand == best {
+                continue;
+            }
+            runs += 1;
+            if !run_case(&cand).ok() {
+                best = cand;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (best, runs)
+}
+
+/// The shrinking moves applicable to `c`, smallest-first.
+fn transforms(c: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    if c.shards > 1 && c.plan.point != CrashPoint::DeviceBarrier {
+        let mut t = *c;
+        t.shards = 1;
+        out.push(t);
+    }
+    if c.ticks > 6 {
+        let mut t = *c;
+        t.ticks = (c.ticks / 2).max(6);
+        out.push(t);
+    }
+    if c.updates_per_tick > 16 {
+        let mut t = *c;
+        t.updates_per_tick = (c.updates_per_tick / 2).max(16);
+        out.push(t);
+    }
+    if c.plan.hit > 1 {
+        let mut t = *c;
+        t.plan.hit = 1;
+        out.push(t);
+    }
+    if c.plan.torn > 0 {
+        let mut t = *c;
+        t.plan.torn = 0;
+        out.push(t);
+    }
+    if c.pipeline_depth > 1 {
+        let mut t = *c;
+        t.pipeline_depth = 1;
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms_only_simplify_and_respect_the_matrix() {
+        for id in 0..26 {
+            let c = FuzzCase::derive(7, id);
+            for t in transforms(&c) {
+                assert!(t.shards <= c.shards);
+                assert!(t.ticks <= c.ticks);
+                assert!(t.updates_per_tick <= c.updates_per_tick);
+                assert!(t.plan.hit <= c.plan.hit);
+                assert!(t.plan.torn <= c.plan.torn);
+                if c.plan.point == CrashPoint::DeviceBarrier {
+                    assert_eq!(t.shards, 4, "device barrier keeps its four shards");
+                }
+            }
+        }
+    }
+}

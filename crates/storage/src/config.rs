@@ -1,7 +1,9 @@
 //! Configuration of the real engine.
 
+use crate::crash::CrashState;
 use mmoc_core::WriterBackend;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration for a real (disk-backed) checkpointing run.
@@ -100,11 +102,21 @@ pub struct RealConfig {
     /// set; explicit settings ([`RealConfig::with_pipeline_depth`], the
     /// builder's `.pipeline_depth(…)`) win over the environment.
     pub pipeline_depth: u32,
+    /// Crash-point lattice state for this run: `None` (the default) in
+    /// production — every instrumentation site is then a single
+    /// `Option` check — or a per-run [`CrashState`] installed by the
+    /// crash-fuzz harness ([`RealConfig::with_crash_state`]) or the
+    /// `MMOC_FUZZ_CRASH` environment variable
+    /// (`point[:hit[:torn[:action]]]`, see [`crate::crash::plan_spec`]).
+    /// One `Arc` is shared by every shard of the run; a simulated
+    /// crash freezes all shards' disks together.
+    pub crash: Option<Arc<CrashState>>,
     /// Deferred environment-parsing failure: when one of the
-    /// `MMOC_WRITER_*` variables holds garbage, construction still
-    /// succeeds (so `RealConfig::new` stays infallible) and the message
-    /// is surfaced as a typed `RunError::Config` the moment the config
-    /// is used to execute a run.
+    /// `MMOC_WRITER_*` (or `MMOC_FUZZ_*`) variables holds garbage,
+    /// construction still succeeds (so `RealConfig::new` stays
+    /// infallible) and the message is surfaced as a typed
+    /// `RunError::Config` the moment the config is used to execute a
+    /// run.
     pub env_error: Option<String>,
 }
 
@@ -116,6 +128,7 @@ impl RealConfig {
         let (pipeline_depth, depth_err) = pipeline_depth_from_env();
         let (device_sync, device_err) = device_sync_from_env();
         let (writer_backend, backend_err) = writer_backend_from_env();
+        let (crash, crash_err) = crash_from_env();
         RealConfig {
             dir: dir.into(),
             tick_period: Duration::from_nanos(33_333_333),
@@ -131,7 +144,12 @@ impl RealConfig {
             coalesce_fsync: true,
             device_sync,
             pipeline_depth,
-            env_error: backend_err.or(window_err).or(depth_err).or(device_err),
+            crash,
+            env_error: backend_err
+                .or(window_err)
+                .or(depth_err)
+                .or(device_err)
+                .or(crash_err),
         }
     }
 
@@ -217,6 +235,15 @@ impl RealConfig {
     /// Disable the end-of-run recovery measurement.
     pub fn without_recovery(mut self) -> Self {
         self.measure_recovery = false;
+        self
+    }
+
+    /// Install a per-run crash-point lattice state (see
+    /// [`RealConfig::crash`]). The fuzz harness keeps a clone of the
+    /// `Arc` to read reach counts and the fired/down latches after
+    /// the run.
+    pub fn with_crash_state(mut self, state: Arc<CrashState>) -> Self {
+        self.crash = Some(state);
         self
     }
 }
@@ -330,6 +357,31 @@ fn device_sync_from_env() -> (bool, Option<String>) {
     }
 }
 
+/// The process-wide crash-plan default: an armed [`CrashState`] when
+/// `MMOC_FUZZ_CRASH` holds a valid `point[:hit[:torn[:action]]]` spec,
+/// none otherwise. Garbage is a typed error message naming the
+/// variable (surfaced as `RunError::Config` when the run starts, like
+/// the `MMOC_WRITER_*` knobs), not a panic. Returns
+/// `(state, deferred_error)`.
+fn crash_from_env() -> (Option<Arc<CrashState>>, Option<String>) {
+    match std::env::var("MMOC_FUZZ_CRASH") {
+        Err(_) => (None, None),
+        Ok(v) => crash_from_spec(&v),
+    }
+}
+
+/// The value half of [`crash_from_env`], split out so the error path is
+/// testable without racing parallel tests on the process environment.
+fn crash_from_spec(v: &str) -> (Option<Arc<CrashState>>, Option<String>) {
+    match crate::crash::plan_spec(v.trim()) {
+        Ok(plan) => (Some(Arc::new(CrashState::armed(plan))), None),
+        Err(msg) => (
+            None,
+            Some(format!("unrecognized MMOC_FUZZ_CRASH value {v:?}: {msg}")),
+        ),
+    }
+}
+
 /// Parse a window spec: `250us`, `2ms`, `1s`, or a bare integer
 /// (microseconds).
 fn parse_window(v: &str) -> Option<Duration> {
@@ -358,6 +410,24 @@ mod tests {
         assert!(cfg.measure_recovery);
         assert!(cfg.sync_data);
         assert!(cfg.coalesce_fsync, "coalescing is the default scheduler");
+    }
+
+    /// `MMOC_FUZZ_CRASH` follows the writer-knob contract: a valid spec
+    /// arms a crash state, garbage becomes a deferred error naming the
+    /// variable (surfaced as `RunError::Config` at execute time), and
+    /// the armed plan round-trips the spec exactly.
+    #[test]
+    fn fuzz_crash_specs_arm_or_defer_a_named_error() {
+        let (state, err) = crash_from_spec(" backup-commit:2:7:crash ");
+        assert!(err.is_none(), "{err:?}");
+        let plan = state.expect("armed").plan().expect("plan");
+        assert_eq!(plan.spec(), "backup-commit:2:7:crash");
+
+        let (state, err) = crash_from_spec("no-such-point:1");
+        assert!(state.is_none());
+        let msg = err.expect("garbage must defer an error");
+        assert!(msg.contains("MMOC_FUZZ_CRASH"), "{msg}");
+        assert!(msg.contains("no-such-point"), "{msg}");
     }
 
     #[test]

@@ -60,6 +60,17 @@ pub(crate) enum Store {
     Log(LogStore),
 }
 
+impl Store {
+    /// Attach a crash-point lattice handle to the underlying store
+    /// (see [`crate::crash`]); a `None` handle detaches.
+    pub(crate) fn attach_crash(&mut self, crash: Option<Arc<crate::crash::CrashState>>) {
+        match self {
+            Store::Double(set) => set.attach_crash(crash),
+            Store::Log(log) => log.attach_crash(crash),
+        }
+    }
+}
+
 /// Create a shard's store under `dir`, pre-loading the complete initial
 /// (zeroed) state — the boot-time load the bookkeeping assumes.
 pub(crate) fn create_store(
@@ -192,6 +203,11 @@ pub(crate) struct ShardCtx {
     pub(crate) sync_data: bool,
     pub(crate) done_tx: crossbeam::channel::Sender<Done>,
     pub(crate) turn: TurnGate,
+    /// Crash-point lattice handle shared by the whole run (`None` in
+    /// production): writer backends consult it at their scheduler
+    /// seams; the stores inside [`ShardCtx::store`] carry their own
+    /// clone for the mutation sites.
+    pub(crate) crash: Option<Arc<crate::crash::CrashState>>,
 }
 
 /// A flush job tagged with the shard it belongs to and the instant the
@@ -240,6 +256,13 @@ pub(crate) struct RealBackend {
 
 impl RealBackend {
     fn send(&mut self, job: Job) {
+        if let Some(c) = &self.config.crash {
+            // The job is enqueued either way: the simulated kill lands
+            // at the handoff, before any writer thread touches disk.
+            if c.reach(crate::crash::CrashPoint::JobEnqueued).is_some() {
+                c.go_down();
+            }
+        }
         let order = self.jobs_sent;
         self.jobs_sent += 1;
         self.job_tx
@@ -455,7 +478,8 @@ pub(crate) fn make_shard(
     let sweeps =
         spec.copy_timing == mmoc_core::CopyTiming::OnUpdate || spec.full_flush_period.is_some();
     let shared = Arc::new(Shared::with_protocol(SharedTable::new(geometry), sweeps));
-    let store = create_store(dir, geometry, spec.disk_org)?;
+    let mut store = create_store(dir, geometry, spec.disk_org)?;
+    store.attach_crash(config.crash.clone());
     let frontier = Arc::new(AtomicU64::new(0));
     // The completion channel must hold one ack per in-flight checkpoint,
     // or a worker acking checkpoint N would block the mutator from ever
@@ -478,6 +502,7 @@ pub(crate) fn make_shard(
         sync_data: config.sync_data,
         done_tx,
         turn: TurnGate::new(),
+        crash: config.crash.clone(),
     };
     let backend = RealBackend {
         config: shard_config,

@@ -11,11 +11,13 @@
 //! so a crash mid-checkpoint leaves the other backup's metadata (and thus
 //! a consistent image) intact.
 
+use crate::crash::{CrashPoint, CrashState};
 use mmoc_core::{ObjectId, StateGeometry};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const META_MAGIC: u64 = 0x4d4d_4f43_4d45_5441; // "MMOCMETA"
 
@@ -66,6 +68,11 @@ pub struct Backup {
 pub struct BackupSet {
     backups: [Backup; 2],
     geometry: StateGeometry,
+    /// Crash-point lattice handle (see [`crate::crash`]): `None` in
+    /// production. Once the armed point fires and the state goes
+    /// down, every mutation below freezes the files as a process
+    /// kill would have left them.
+    crash: Option<Arc<CrashState>>,
 }
 
 impl BackupSet {
@@ -103,6 +110,7 @@ impl BackupSet {
         Ok(BackupSet {
             backups: [make(0)?, make(1)?],
             geometry,
+            crash: None,
         })
     }
 
@@ -124,6 +132,7 @@ impl BackupSet {
         Ok(BackupSet {
             backups: [make(0)?, make(1)?],
             geometry,
+            crash: None,
         })
     }
 
@@ -132,10 +141,37 @@ impl BackupSet {
         &self.geometry
     }
 
+    /// Attach a crash-point lattice handle. Installed by the engine
+    /// right after store creation when the run carries a
+    /// [`CrashState`]; production stores never pay more than the
+    /// `None` check.
+    pub fn attach_crash(&mut self, crash: Option<Arc<CrashState>>) {
+        self.crash = crash;
+    }
+
+    /// True once a simulated crash froze this store's files.
+    fn down(&self) -> bool {
+        self.crash.as_ref().is_some_and(|c| c.is_down())
+    }
+
     /// Write one object's bytes at its fixed offset in backup `idx`.
     /// Callers must write objects in increasing id order for sorted I/O.
     pub fn write_object(&self, idx: usize, obj: ObjectId, data: &[u8]) -> io::Result<()> {
         debug_assert_eq!(data.len(), self.geometry.object_size as usize);
+        if let Some(c) = &self.crash {
+            if c.is_down() {
+                return Ok(());
+            }
+            if let Some(plan) = c.reach(CrashPoint::BackupWriteObject) {
+                // Torn object write: only the first `torn` bytes land.
+                let torn = (plan.torn as usize).min(data.len());
+                self.backups[idx]
+                    .file
+                    .write_all_at(&data[..torn], self.geometry.object_offset(obj))?;
+                c.go_down();
+                return Ok(());
+            }
+        }
         self.backups[idx]
             .file
             .write_all_at(data, self.geometry.object_offset(obj))
@@ -144,6 +180,21 @@ impl BackupSet {
     /// Write the entire image sequentially into backup `idx`
     /// (Naive-Snapshot's flush).
     pub fn write_full(&mut self, idx: usize, image: &[u8]) -> io::Result<()> {
+        let mut image = image;
+        if let Some(c) = &self.crash {
+            if c.is_down() {
+                return Ok(());
+            }
+            if let Some(plan) = c.reach(CrashPoint::BackupWriteObject) {
+                // Torn full-image write: a prefix of the image lands.
+                image = &image[..(plan.torn as usize).min(image.len())];
+                let f = &mut self.backups[idx].file;
+                f.seek(SeekFrom::Start(0))?;
+                f.write_all(image)?;
+                c.go_down();
+                return Ok(());
+            }
+        }
         let f = &mut self.backups[idx].file;
         f.seek(SeekFrom::Start(0))?;
         f.write_all(image)?;
@@ -152,6 +203,9 @@ impl BackupSet {
 
     /// Flush backup `idx`'s data to stable storage.
     pub fn sync(&self, idx: usize) -> io::Result<()> {
+        if self.down() {
+            return Ok(());
+        }
         self.backups[idx].file.sync_data()
     }
 
@@ -172,18 +226,46 @@ impl BackupSet {
     /// Declare backup `idx` consistent as of `tick` (writes and syncs the
     /// metadata file; call only after [`BackupSet::sync`]).
     pub fn commit(&mut self, idx: usize, tick: u64) -> io::Result<()> {
+        if let Some(c) = &self.crash {
+            if c.is_down() {
+                return Ok(());
+            }
+            if let Some(plan) = c.reach(CrashPoint::BackupCommit) {
+                // Torn metadata commit: a short, unsynced meta file —
+                // recovery must reject it (magic + length guards).
+                let mut bytes = Vec::with_capacity(16);
+                bytes.extend_from_slice(&META_MAGIC.to_le_bytes());
+                bytes.extend_from_slice(&tick.to_le_bytes());
+                bytes.truncate((plan.torn as usize).min(bytes.len()));
+                let mut f = File::create(&self.backups[idx].meta_path)?;
+                f.write_all(&bytes)?;
+                c.go_down();
+                return Ok(());
+            }
+        }
         self.backups[idx].commit(tick)
     }
 
     /// Invalidate backup `idx` (done right before overwriting it, so a
     /// crash mid-write cannot restore a torn image).
     pub fn invalidate(&mut self, idx: usize) -> io::Result<()> {
+        if self.down() {
+            return Ok(());
+        }
         self.backups[idx].consistent_tick = None;
         match std::fs::remove_file(&self.backups[idx].meta_path) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
+        }?;
+        if let Some(c) = &self.crash {
+            // The crash lands *after* the invalidate took effect: the
+            // write window is open and the old image is already gone.
+            if c.reach(CrashPoint::BackupInvalidate).is_some() {
+                c.go_down();
+            }
         }
+        Ok(())
     }
 
     /// The backup holding the newest consistent image, if any:

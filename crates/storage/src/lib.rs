@@ -40,6 +40,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod crash;
 mod device_sync;
 pub mod engine;
 pub mod files;

@@ -21,10 +21,12 @@
 //! (a crash mid-append) are detected by the segment end marker and
 //! discarded.
 
+use crate::crash::{CrashPoint, CrashState};
 use mmoc_core::{ObjectId, StateGeometry};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 const FILE_MAGIC: &[u8; 8] = b"MMOCLOG1";
 const SEG_END: &[u8; 4] = b"SEGE";
@@ -39,6 +41,11 @@ pub struct LogStore {
     /// Cached identity of `file` (stable for the open handle's lifetime),
     /// so the durability scheduler's dedupe costs no syscall per job.
     sync_target: crate::files::SyncTarget,
+    /// Crash-point lattice handle (see [`crate::crash`]): `None` in
+    /// production. Once the armed point fires and the state goes down,
+    /// every append and sync below freezes the log as a process kill
+    /// would have left it.
+    crash: Option<Arc<CrashState>>,
 }
 
 /// Summary of one appended segment.
@@ -74,6 +81,7 @@ impl LogStore {
             geometry,
             len: FILE_MAGIC.len() as u64,
             sync_target,
+            crash: None,
         })
     }
 
@@ -98,7 +106,21 @@ impl LogStore {
             geometry,
             len,
             sync_target,
+            crash: None,
         })
+    }
+
+    /// Attach a crash-point lattice handle. Installed by the engine
+    /// right after store creation when the run carries a
+    /// [`CrashState`]; production stores never pay more than the
+    /// `None` check.
+    pub fn attach_crash(&mut self, crash: Option<Arc<CrashState>>) {
+        self.crash = crash;
+    }
+
+    /// True once a simulated crash froze this log.
+    fn down(&self) -> bool {
+        self.crash.as_ref().is_some_and(|c| c.is_down())
     }
 
     /// Start appending one checkpoint segment. Write objects through the
@@ -111,15 +133,21 @@ impl LogStore {
         consistent_tick: u64,
         full_flush: bool,
     ) -> io::Result<SegmentWriter<'_>> {
+        let crash = self.crash.clone();
+        let down = crash.as_ref().is_some_and(|c| c.is_down());
         self.file.seek(SeekFrom::Start(self.len))?;
         let start = self.len;
         let object_size = self.geometry.object_size as usize;
         let mut w = BufWriter::new(&mut self.file);
-        w.write_all(&seq.to_le_bytes())?;
-        w.write_all(&consistent_tick.to_le_bytes())?;
-        w.write_all(&[u8::from(full_flush)])?;
-        // Object count back-patched in finish().
-        w.write_all(&0u32.to_le_bytes())?;
+        // A downed log buffers nothing: the writer below no-ops, so
+        // the BufWriter's drop-flush has nothing to leak to disk.
+        if !down {
+            w.write_all(&seq.to_le_bytes())?;
+            w.write_all(&consistent_tick.to_le_bytes())?;
+            w.write_all(&[u8::from(full_flush)])?;
+            // Object count back-patched in finish().
+            w.write_all(&0u32.to_le_bytes())?;
+        }
         Ok(SegmentWriter {
             w,
             len: &mut self.len,
@@ -130,6 +158,7 @@ impl LogStore {
             seq,
             consistent_tick,
             full_flush,
+            crash,
         })
     }
 
@@ -242,6 +271,9 @@ impl LogStore {
     /// (`finish(false)` seals the segment in the page cache; a crash
     /// before this sync leaves a torn tail that scans discard).
     pub fn sync(&self) -> io::Result<()> {
+        if self.down() {
+            return Ok(());
+        }
         self.file.sync_data()
     }
 
@@ -299,6 +331,7 @@ pub struct SegmentWriter<'a> {
     seq: u64,
     consistent_tick: u64,
     full_flush: bool,
+    crash: Option<Arc<CrashState>>,
 }
 
 impl SegmentWriter<'_> {
@@ -306,6 +339,22 @@ impl SegmentWriter<'_> {
     /// increasing order).
     pub fn write_object(&mut self, id: ObjectId, bytes: &[u8]) -> io::Result<()> {
         debug_assert_eq!(bytes.len(), self.object_size);
+        if let Some(c) = &self.crash {
+            if c.is_down() {
+                return Ok(());
+            }
+            if let Some(plan) = c.reach(CrashPoint::LogAppendObject) {
+                // Torn record: the id header plus a prefix of the
+                // object's bytes reach disk, the segment never seals,
+                // so the recovery scan discards the torn tail.
+                self.w.write_all(&id.0.to_le_bytes())?;
+                self.w
+                    .write_all(&bytes[..(plan.torn as usize).min(bytes.len())])?;
+                self.w.flush()?;
+                c.go_down();
+                return Ok(());
+            }
+        }
         self.w.write_all(&id.0.to_le_bytes())?;
         self.w.write_all(bytes)?;
         self.count += 1;
@@ -315,14 +364,44 @@ impl SegmentWriter<'_> {
     /// Seal the segment: end marker, count patch, optional fsync.
     pub fn finish(mut self, sync: bool) -> io::Result<SegmentInfo> {
         use std::os::unix::fs::FileExt;
+        if self.crash.as_ref().is_some_and(|c| c.is_down()) {
+            // Frozen: nothing written, nothing sealed. The fake info
+            // keeps the caller's accounting flowing; the disk holds
+            // whatever the crash instant left.
+            return Ok(SegmentInfo {
+                seq: self.seq,
+                consistent_tick: self.consistent_tick,
+                full_flush: self.full_flush,
+                objects: self.count,
+                bytes: 0,
+            });
+        }
         self.w.write_all(SEG_END)?;
         self.w.flush()?;
         let file: &File = self.w.get_ref();
         file.write_all_at(&self.count.to_le_bytes(), self.count_pos)?;
+        let end = file.metadata()?.len();
+        if let Some(c) = &self.crash {
+            if let Some(plan) = c.reach(CrashPoint::LogSegmentSealed) {
+                // Sealed but unsynced, with a torn tail: truncate the
+                // final `torn` bytes (never into earlier segments)
+                // and skip the sync the caller asked for.
+                let torn_end = end.saturating_sub(plan.torn).max(self.start);
+                file.set_len(torn_end)?;
+                c.go_down();
+                *self.len = torn_end;
+                return Ok(SegmentInfo {
+                    seq: self.seq,
+                    consistent_tick: self.consistent_tick,
+                    full_flush: self.full_flush,
+                    objects: self.count,
+                    bytes: torn_end - self.start,
+                });
+            }
+        }
         if sync {
             file.sync_data()?;
         }
-        let end = file.metadata()?.len();
         *self.len = end;
         Ok(SegmentInfo {
             seq: self.seq,

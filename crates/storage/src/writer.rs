@@ -398,6 +398,12 @@ pub(crate) fn submit_job(
             (count, state, None)
         }
     };
+    if let Some(c) = &ctx.crash {
+        // All data writes staged, nothing synced or committed yet.
+        if c.reach(crate::crash::CrashPoint::JobSubmitted).is_some() {
+            c.go_down();
+        }
+    }
     InFlight {
         shard,
         t0,
@@ -440,6 +446,13 @@ pub(crate) fn complete_job(
     let mut data_syncs = 0;
     let mut device_syncs = 0;
     let result = state.and_then(|pending| {
+        if let Some(c) = &ctx.crash {
+            if c.reach(crate::crash::CrashPoint::CompleteBeforeSync)
+                .is_some()
+            {
+                c.go_down();
+            }
+        }
         match presync {
             Some(p) => {
                 data_syncs = p.data_syncs;
@@ -451,6 +464,15 @@ pub(crate) fn complete_job(
                 sync_pending(store, &pending)?;
             }
             None => {}
+        }
+        if let Some(c) = &ctx.crash {
+            // Data is durable (or frozen), metadata is not committed:
+            // the seam the double-backup correctness argument names.
+            if c.reach(crate::crash::CrashPoint::CompleteBeforeCommit)
+                .is_some()
+            {
+                c.go_down();
+            }
         }
         commit_pending(store, pending)
     });
@@ -611,6 +633,9 @@ impl AsyncBatchedWriter {
             // possibly have in flight: one job per shard at depth 1 (the
             // historical notion), `depth` per shard when pipelining.
             let full_batch = ctxs.len() * sched.pipeline_depth.max(1) as usize;
+            // Crash-point lattice handle: one state serves the whole
+            // run, so any shard's clone names it.
+            let crash = ctxs.first().and_then(|ctx| ctx.crash.clone());
             // Block for the first job, then coalesce everything that is
             // already queued: one batch per loop round. Within a shard
             // the channel is FIFO and this loop is single-threaded, so a
@@ -724,6 +749,18 @@ impl AsyncBatchedWriter {
                             if distinct < 2 || device_synced.iter().any(|(d, ..)| *d == dev) {
                                 continue;
                             }
+                            if let Some(c) = &crash {
+                                if c.is_down() {
+                                    continue;
+                                }
+                                // The kill lands before the barrier: no
+                                // device flush, per-file fallback also
+                                // frozen — pure page-cache loss.
+                                if c.reach(crate::crash::CrashPoint::DeviceBarrier).is_some() {
+                                    c.go_down();
+                                    continue;
+                                }
+                            }
                             match crate::device_sync::sync_device(fd) {
                                 Ok(true) => device_synced.push((dev, Ok(()), false)),
                                 Ok(false) => {} // unavailable: per-file fallback
@@ -770,6 +807,15 @@ impl AsyncBatchedWriter {
                                 presync
                             }
                         });
+                    }
+                }
+                if let Some(c) = &crash {
+                    // The scheduler's seam: every data sync of the batch
+                    // is done, no metadata commit has happened yet.
+                    if c.reach(crate::crash::CrashPoint::SchedulerCommitSeam)
+                        .is_some()
+                    {
+                        c.go_down();
                     }
                 }
                 // Durability scheduler, phase two: metadata commits +
@@ -940,6 +986,10 @@ fn stage_ring_job(
 ) -> InFlight {
     let obj_size = ctx.geometry.object_size as usize;
     let shared = &ctx.shared;
+    // Consulted at each staging gate (not cached): a crash point can
+    // fire *inside* this function (the invalidate site), and nothing
+    // staged after the kill instant may reach the ring.
+    let is_down = || ctx.crash.as_ref().is_some_and(|c| c.is_down());
     // Split `ids` (increasing) into maximal consecutive runs: each run
     // is contiguous in the packed data buffer *and* on disk, so one
     // WRITEV covers it. Returns (start_index, end_index) pairs.
@@ -982,7 +1032,9 @@ fn stage_ring_job(
                 Store::Double(set) => match set.invalidate(target) {
                     Err(e) => Err(e),
                     Ok(()) => {
-                        push_runs(ops, &ids, data.as_ptr(), set.sync_fd(target), &ctx.geometry);
+                        if !is_down() {
+                            push_runs(ops, &ids, data.as_ptr(), set.sync_fd(target), &ctx.geometry);
+                        }
                         Ok(PendingDurability::Double { target, tick })
                     }
                 },
@@ -998,16 +1050,18 @@ fn stage_ring_job(
                         &mut seg,
                     );
                     let offset = log.append_offset();
-                    log.note_appended(seg.len() as u64);
-                    ops.push(RingOp {
-                        job: job_idx,
-                        fd: log.sync_fd(),
-                        offset,
-                        ptr: seg.as_ptr(),
-                        len: seg.len(),
-                        fsync: false,
-                        link: false,
-                    });
+                    if !is_down() {
+                        log.note_appended(seg.len() as u64);
+                        ops.push(RingOp {
+                            job: job_idx,
+                            fd: log.sync_fd(),
+                            offset,
+                            ptr: seg.as_ptr(),
+                            len: seg.len(),
+                            fsync: false,
+                            link: false,
+                        });
+                    }
                     arena.push(seg);
                     Ok(PendingDurability::Log)
                 }
@@ -1059,13 +1113,15 @@ fn stage_ring_job(
                     Ok(()) => {
                         let mut image = vec![0u8; list.len() * obj_size];
                         capture(&mut image);
-                        push_runs(
-                            ops,
-                            &list,
-                            image.as_ptr(),
-                            set.sync_fd(target),
-                            &ctx.geometry,
-                        );
+                        if !is_down() {
+                            push_runs(
+                                ops,
+                                &list,
+                                image.as_ptr(),
+                                set.sync_fd(target),
+                                &ctx.geometry,
+                            );
+                        }
                         arena.push(image);
                         Ok(PendingDurability::Double { target, tick })
                     }
@@ -1084,16 +1140,18 @@ fn stage_ring_job(
                         &mut seg,
                     );
                     let offset = log.append_offset();
-                    log.note_appended(seg.len() as u64);
-                    ops.push(RingOp {
-                        job: job_idx,
-                        fd: log.sync_fd(),
-                        offset,
-                        ptr: seg.as_ptr(),
-                        len: seg.len(),
-                        fsync: false,
-                        link: false,
-                    });
+                    if !is_down() {
+                        log.note_appended(seg.len() as u64);
+                        ops.push(RingOp {
+                            job: job_idx,
+                            fd: log.sync_fd(),
+                            offset,
+                            ptr: seg.as_ptr(),
+                            len: seg.len(),
+                            fsync: false,
+                            link: false,
+                        });
+                    }
                     arena.push(seg);
                     Ok(PendingDurability::Log)
                 }
@@ -1153,6 +1211,8 @@ fn run_ring_loop(
     // (positional rewrites are idempotent; fsyncs fall back inline).
     let mut ring_dead = false;
     let full_batch = ctxs.len() * sched.pipeline_depth.max(1) as usize;
+    // Crash-point lattice handle: one state serves the whole run.
+    let crash = ctxs.first().and_then(|ctx| ctx.crash.clone());
     while let Ok(first) = job_rx.recv() {
         batch.push(first);
         while let Ok(job) = job_rx.try_recv() {
@@ -1275,7 +1335,21 @@ fn run_ring_loop(
             // their `outcomes` slot directly.
             outcomes.clear();
             outcomes.resize(ops.len(), None);
-            if !ring_dead {
+            if let Some(c) = &crash {
+                if let Some(plan) = c.reach(crate::crash::CrashPoint::UringWaveStaged) {
+                    match plan.action {
+                        // Mid-batch ring death: the wave's SQEs never
+                        // reach the kernel; the synchronous redo below
+                        // must finish the batch byte-identically.
+                        crate::crash::CrashAction::RingDeath => ring_dead = true,
+                        // Simulated kill between staging and submission:
+                        // nothing of this wave reaches disk.
+                        crate::crash::CrashAction::Crash => c.go_down(),
+                    }
+                }
+            }
+            let down = crash.as_ref().is_some_and(|c| c.is_down());
+            if !ring_dead && !down {
                 // One iovec per write op, pre-reserved to its final size
                 // so the pointers handed to the kernel never move.
                 let mut iovecs: Vec<Iovec> = Vec::with_capacity(ops.len());
@@ -1371,6 +1445,9 @@ fn run_ring_loop(
                     }
                     None => 0, // enter failed before completion: redo whole
                 };
+                if down {
+                    continue; // frozen: the redo path writes nothing
+                }
                 // SAFETY: `ptr`/`len` name a wave-owned buffer (job data
                 // or arena entry) still alive here.
                 let bytes = unsafe { std::slice::from_raw_parts(op.ptr, op.len) };
@@ -1378,6 +1455,14 @@ fn run_ring_loop(
                 {
                     if completion_queue[op.job].state.is_ok() {
                         completion_queue[op.job].state = Err(e);
+                    }
+                }
+            }
+            if let Some(c) = &crash {
+                if let Some(plan) = c.reach(crate::crash::CrashPoint::UringWaveComplete) {
+                    match plan.action {
+                        crate::crash::CrashAction::RingDeath => ring_dead = true,
+                        crate::crash::CrashAction::Crash => c.go_down(),
                     }
                 }
             }
@@ -1440,6 +1525,15 @@ fn run_ring_loop(
                     if distinct < 2 || device_synced.iter().any(|(d, ..)| *d == dev) {
                         continue;
                     }
+                    if let Some(c) = &crash {
+                        if c.is_down() {
+                            continue;
+                        }
+                        if c.reach(crate::crash::CrashPoint::DeviceBarrier).is_some() {
+                            c.go_down();
+                            continue;
+                        }
+                    }
                     match crate::device_sync::sync_device(fd) {
                         Ok(true) => device_synced.push((dev, Ok(()), false)),
                         Ok(false) => {} // unavailable: per-file fallback
@@ -1456,7 +1550,7 @@ fn run_ring_loop(
                 .collect();
             let mut results: Vec<Option<io::Result<()>>> =
                 fsync_targets.iter().map(|_| None).collect();
-            if !ring_dead {
+            if !ring_dead && !crash.as_ref().is_some_and(|c| c.is_down()) {
                 let mut pushed = 0usize;
                 for (k, (_, fd)) in fsync_targets.iter().enumerate() {
                     if pushed == cap || ring.push(Sqe::fsync_data(*fd, k as u64)).is_err() {
@@ -1524,6 +1618,14 @@ fn run_ring_loop(
             }
         }
 
+        if let Some(c) = &crash {
+            // The scheduler's seam, exactly as in the batched engine.
+            if c.reach(crate::crash::CrashPoint::SchedulerCommitSeam)
+                .is_some()
+            {
+                c.go_down();
+            }
+        }
         // Completion: metadata commits + acks in the batched engine's
         // wave order — every shard's k-th job (newest shard first)
         // before any shard's (k+1)-th — so pipelined acks stay FIFO per
@@ -1626,6 +1728,7 @@ mod tests {
             sync_data: true,
             done_tx,
             turn: TurnGate::new(),
+            crash: None,
         };
         (ctx, done_rx)
     }
@@ -2072,6 +2175,7 @@ mod tests {
                 sync_data: true,
                 done_tx,
                 turn: TurnGate::new(),
+                crash: None,
             };
             let ctxs = Arc::new(vec![ctx]);
             let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(2);
@@ -2225,5 +2329,108 @@ mod tests {
             Some((0, 0)),
             "target 1 must be invalidated, backup 0 (boot image) intact"
         );
+    }
+
+    /// Drive the deterministic job stream through the io_uring backend
+    /// with a crash plan that latches the **dead flag** (not a crash) at
+    /// the `hit`-th staged wave: every ring failure from that wave on is
+    /// redone synchronously. Returns per-shard file snapshots plus
+    /// whether the plan fired (it cannot on kernels without io_uring,
+    /// where `spawn_writer` substitutes the batched engine).
+    fn drive_ring_death(
+        dirs: &[std::path::PathBuf],
+        disk_org: DiskOrg,
+        hit: u64,
+    ) -> (Vec<DirBytes>, bool) {
+        use crate::crash::{CrashAction, CrashPlan, CrashPoint, CrashState};
+        let state = Arc::new(CrashState::armed(CrashPlan {
+            point: CrashPoint::UringWaveStaged,
+            hit,
+            torn: 0,
+            action: CrashAction::RingDeath,
+        }));
+        let n = dirs.len();
+        let mut ctxs = Vec::new();
+        let mut done_rxs = Vec::new();
+        for (s, dir) in dirs.iter().enumerate() {
+            let (mut ctx, rx) = make_ctx(dir, disk_org, s as u32);
+            ctx.crash = Some(Arc::clone(&state));
+            ctx.store.lock().attach_crash(Some(Arc::clone(&state)));
+            ctxs.push(ctx);
+            done_rxs.push(rx);
+        }
+        let ctxs = Arc::new(ctxs);
+        let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(n);
+        let (mut backend, _effective) = spawn_writer(
+            WriterBackendKind::IoUring,
+            Arc::clone(&ctxs),
+            2,
+            job_rx,
+            coalescing(Duration::ZERO),
+        );
+        let stream = job_stream(n);
+        for (round_idx, round) in stream.chunks(n).enumerate() {
+            for (shard, job) in round {
+                ctxs[*shard].shared.reset_for_checkpoint();
+                ctxs[*shard].frontier.store(0, Ordering::Release);
+                job_tx
+                    .send(PoolJob {
+                        shard: *shard,
+                        job: job.clone(),
+                        queued_at: Instant::now(),
+                        order: round_idx as u64,
+                    })
+                    .unwrap();
+            }
+            for rx in &done_rxs {
+                rx.recv().unwrap().result.unwrap();
+            }
+        }
+        drop(job_tx);
+        backend.shutdown();
+        (dirs.iter().map(|d| file_bytes(d)).collect(), state.fired())
+    }
+
+    /// The uring dead-flag redo path: a fuzz point inside the ring loop
+    /// latches `ring_dead` at the `hit`-th staged wave — mid-stream, so
+    /// earlier waves went through the ring and later waves take the
+    /// synchronous redo — and the resulting files must be **byte
+    /// identical** to the thread pool's, for both disk organizations.
+    /// The redo is idempotent re-submission of the same wave, so dying
+    /// at the first wave or in the middle of the stream must not change
+    /// a single byte of images, metadata, or logs.
+    #[test]
+    fn ring_death_mid_batch_redoes_byte_identically() {
+        for disk_org in [DiskOrg::DoubleBackup, DiskOrg::Log] {
+            // Baseline: the thread pool over the same stream.
+            let pool_root = tempfile::tempdir().unwrap();
+            let pool_dirs: Vec<_> = (0..2)
+                .map(|s| pool_root.path().join(format!("s{s}")))
+                .collect();
+            for r in drive(
+                WriterBackendKind::ThreadPool,
+                DurabilityConfig::legacy(),
+                &pool_dirs,
+                disk_org,
+            ) {
+                r.unwrap();
+            }
+            let baseline: Vec<DirBytes> = pool_dirs.iter().map(|d| file_bytes(d)).collect();
+
+            for hit in [1, 3] {
+                let root = tempfile::tempdir().unwrap();
+                let dirs: Vec<_> = (0..2).map(|s| root.path().join(format!("s{s}"))).collect();
+                let (snapshots, fired) = drive_ring_death(&dirs, disk_org, hit);
+                if crate::uring::ring_available() {
+                    assert!(fired, "{disk_org:?} hit {hit}: dead-flag plan must fire");
+                }
+                for (s, snap) in snapshots.iter().enumerate() {
+                    assert_eq!(
+                        snap, &baseline[s],
+                        "{disk_org:?} hit {hit} shard {s}: dead-ring redo diverged from the pool"
+                    );
+                }
+            }
+        }
     }
 }

@@ -3,10 +3,33 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{SystemTime, UNIX_EPOCH};
 use std::{env, fs, io, process};
 
 static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A per-process token latched on first use: full epoch nanoseconds
+/// mixed with the pid. Two runs that recycle the same pid (common when
+/// a fuzzer launches thousands of short-lived processes) still get
+/// distinct dir names by construction, not by the retry loop — the
+/// counter alone restarts at 0 in every process, and sub-second nanos
+/// sampled per call can in principle repeat across runs.
+static RUN_TOKEN: OnceLock<u64> = OnceLock::new();
+
+fn run_token() -> u64 {
+    *RUN_TOKEN.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut z = nanos ^ (u64::from(process::id()) << 48);
+        // SplitMix64 finalizer: spread pid/time structure over all bits.
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    })
+}
 
 /// A directory removed recursively on drop.
 #[derive(Debug)]
@@ -36,18 +59,16 @@ impl Drop for TempDir {
 
 /// Create a fresh directory under the system temp dir.
 pub fn tempdir() -> io::Result<TempDir> {
-    let nanos = SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.subsec_nanos())
-        .unwrap_or(0);
-    // pid + monotonic counter guarantee uniqueness within and across
-    // concurrently running test processes; nanos decorrelate reruns.
+    // pid distinguishes live concurrent processes, the per-run token
+    // distinguishes runs (even under pid recycling), and the monotonic
+    // counter distinguishes calls within a run; the attempt suffix is a
+    // last-resort escape hatch against external name squatting.
     for attempt in 0..1_000 {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let path = env::temp_dir().join(format!(
-            ".mmoc-tmp-{}-{}-{}-{}",
+            ".mmoc-tmp-{}-{:016x}-{}-{}",
             process::id(),
-            nanos,
+            run_token(),
             n,
             attempt
         ));
@@ -63,6 +84,17 @@ pub fn tempdir() -> io::Result<TempDir> {
 #[cfg(test)]
 mod tests {
     use super::tempdir;
+
+    #[test]
+    fn run_token_is_stable_within_a_process() {
+        assert_eq!(super::run_token(), super::run_token());
+        let name = tempdir().unwrap();
+        let token = format!("{:016x}", super::run_token());
+        assert!(
+            name.path().to_string_lossy().contains(&token),
+            "dir name must carry the per-run token"
+        );
+    }
 
     #[test]
     fn tempdirs_are_unique_and_removed_on_drop() {
