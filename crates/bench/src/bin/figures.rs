@@ -15,6 +15,7 @@
 //!   ablations ablation-objsize, ablation-sort, ext-hardware
 //!   shards    shard scaling: overhead + recovery vs N ∈ {1,2,4,8}
 //!   writers   writer durability: backends × shard counts × batch windows
+//!   recovery  recovery tiers: disk restore+replay vs peer-memory replica fetch
 //!   batching  driver-level update batching at 256k updates/tick
 //!
 //! OPTIONS
@@ -23,7 +24,8 @@
 //!   --paced HZ  pace the fig6 real engine at HZ ticks/sec (default unpaced)
 //!   --quick     shorthand for --ticks 120 and a reduced fig6 grid
 //!   --json      also write machine-readable perf results
-//!               (writers -> OUT/BENCH_writers.json)
+//!               (writers -> OUT/BENCH_writers.json,
+//!                recovery -> OUT/BENCH_recovery.json)
 //! ```
 
 use mmoc_bench::experiments::{self, SweepRow};
@@ -73,7 +75,7 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--json" => opts.json = true,
             "--help" | "-h" => {
-                println!("usage: figures [tables|table3|table5|fig2|fig3|fig4|fig5|fig6|ablations|shards|writers|batching]* [--ticks N] [--out DIR] [--paced HZ] [--quick] [--json]");
+                println!("usage: figures [tables|table3|table5|fig2|fig3|fig4|fig5|fig6|ablations|shards|writers|recovery|batching]* [--ticks N] [--out DIR] [--paced HZ] [--quick] [--json]");
                 std::process::exit(0);
             }
             cmd => {
@@ -97,6 +99,7 @@ fn parse_args() -> Options {
             "ablations",
             "shards",
             "writers",
+            "recovery",
             "batching",
         ] {
             opts.commands.insert(c.to_string());
@@ -629,6 +632,76 @@ fn main() {
             println!(
                 "* io_uring unavailable on this kernel: ring cells ran under \
                  the async-batched fallback (effective_backend column in the CSV)"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+
+    if has("recovery") {
+        let ticks = opts.ticks.min(if opts.quick { 120 } else { 400 });
+        println!(
+            "\n=== Recovery tiers: disk restore+replay vs peer-memory replica \
+             fetch, {{2, 4}} shards ({ticks} ticks) ==="
+        );
+        let scratch = std::env::temp_dir().join("mmoc_recovery");
+        let rows = experiments::recovery_tiers(ticks, &scratch).expect("recovery tier comparison");
+        let header = [
+            "algorithm",
+            "n_shards",
+            "disk_restore_s",
+            "disk_replay_s",
+            "disk_total_s",
+            "replica_restore_s",
+            "replica_replay_s",
+            "replica_total_s",
+            "speedup",
+            "state_matches",
+        ];
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algorithm.short_name().to_string(),
+                    r.n_shards.to_string(),
+                    csv::fnum(r.disk_restore_s),
+                    csv::fnum(r.disk_replay_s),
+                    csv::fnum(r.disk_total_s),
+                    csv::fnum(r.replica_restore_s),
+                    csv::fnum(r.replica_replay_s),
+                    csv::fnum(r.replica_total_s),
+                    csv::fnum(r.speedup),
+                    r.state_matches.to_string(),
+                ]
+            })
+            .collect();
+        csv::write_csv(&opts.out.join("recovery_tiers.csv"), &header, data).expect("write csv");
+        if opts.json {
+            let path = opts.out.join("BENCH_recovery.json");
+            experiments::write_recovery_json(&path, &rows).expect("write BENCH_recovery.json");
+            println!("wrote {}", path.display());
+        }
+        println!(
+            "{:>8} {:<16} {:>13} {:>13} {:>16} {:>16} {:>9} {:>8}",
+            "shards",
+            "algorithm",
+            "disk [ms]",
+            "replica [ms]",
+            "disk rest [ms]",
+            "repl rest [ms]",
+            "speedup",
+            "match"
+        );
+        for r in &rows {
+            println!(
+                "{:>8} {:<16} {:>13.3} {:>13.3} {:>16.3} {:>16.3} {:>8.1}x {:>8}",
+                r.n_shards,
+                r.algorithm.short_name(),
+                r.disk_total_s * 1e3,
+                r.replica_total_s * 1e3,
+                r.disk_restore_s * 1e3,
+                r.replica_restore_s * 1e3,
+                r.speedup,
+                r.state_matches
             );
         }
         let _ = std::fs::remove_dir_all(&scratch);

@@ -162,12 +162,29 @@ impl RunMetrics {
 /// every consumer (per-tick overhead above, the bench harness's
 /// ack-latency percentiles), so tie-breaking and clamping cannot drift
 /// between copies.
+///
+/// NaN samples (a degenerate run can produce a 0/0 duration ratio) are
+/// excluded from the rank: the quantile is taken over the finite values
+/// only. A sample that is *entirely* NaN propagates NaN rather than
+/// inventing a number.
 pub fn sample_quantile(values: &mut [f64], q: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
-    let idx = ((values.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    // total_cmp is a total order (no panic on NaN) that sorts positive
+    // NaN above every real value; flush negative-sign NaN to the
+    // positive representation first so every NaN lands at the top.
+    for v in values.iter_mut() {
+        if v.is_nan() {
+            *v = f64::NAN;
+        }
+    }
+    values.sort_by(f64::total_cmp);
+    let finite = values.partition_point(|v| !v.is_nan());
+    if finite == 0 {
+        return f64::NAN;
+    }
+    let idx = ((finite - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
     values[idx]
 }
 
@@ -236,6 +253,21 @@ mod tests {
         assert_eq!(m.ticks_over_budget(0.0015), 2);
         assert_eq!(m.overhead_at(1), 0.003);
         assert_eq!(m.overhead_at(99), 0.0);
+    }
+
+    /// NaN samples (a degenerate run's 0/0 latency ratio) must not abort
+    /// the percentile computation: they are excluded from the rank, and
+    /// an all-NaN sample propagates NaN instead of inventing a value.
+    #[test]
+    fn sample_quantile_survives_nan_samples() {
+        let mut v = vec![3.0, f64::NAN, 1.0, 2.0, -f64::NAN];
+        assert_eq!(sample_quantile(&mut v, 0.0), 1.0);
+        assert_eq!(sample_quantile(&mut v, 0.5), 2.0);
+        assert_eq!(sample_quantile(&mut v, 1.0), 3.0, "NaN never the max");
+        let mut all_nan = vec![f64::NAN, f64::NAN];
+        assert!(sample_quantile(&mut all_nan, 0.99).is_nan());
+        let mut clean = vec![5.0, 4.0];
+        assert_eq!(sample_quantile(&mut clean, 1.0), 5.0);
     }
 
     #[test]

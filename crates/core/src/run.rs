@@ -197,6 +197,13 @@ pub struct RunSpec {
     /// Depth 1 is the historical stop-and-wait write path; `None` keeps
     /// the engine's configured default.
     pub pipeline_depth: Option<u32>,
+    /// Replication factor K of the in-memory recovery tier: each shard
+    /// pushes committed checkpoint deltas to K peer-shard memory mirrors
+    /// and recovery tries a replica fetch before the disk path (see
+    /// [`Run::replication`]). `Some(0)` pins the tier off; `None` keeps
+    /// the engine's configured default. Real engine only: the simulator
+    /// rejects a non-zero factor as unsupported.
+    pub replication: Option<u32>,
 }
 
 impl RunSpec {
@@ -212,6 +219,7 @@ impl RunSpec {
             writer: None,
             batch_window_us: None,
             pipeline_depth: None,
+            replication: None,
         }
     }
 
@@ -364,6 +372,17 @@ impl<E, T> Run<E, T> {
         self
     }
 
+    /// Replicate each shard's committed checkpoint deltas to `k` peer
+    /// shards' memory (publish-on-commit), so single-shard recovery can
+    /// fetch a mirror image instead of replaying from disk; `0` pins the
+    /// tier off. Interpreted by the real engine; the simulator rejects a
+    /// non-zero factor as unsupported rather than silently pricing a
+    /// tier it does not model.
+    pub fn replication(mut self, k: u32) -> Self {
+        self.spec.replication = Some(k);
+        self
+    }
+
     /// The engine-independent description assembled so far.
     pub fn spec(&self) -> &RunSpec {
         &self.spec
@@ -475,6 +494,10 @@ pub struct RecoveryReport {
     /// Whether the recovered state byte-matched the live state at the
     /// crash tick (measured recoveries only).
     pub state_matches: Option<bool>,
+    /// Whether the restore came from a peer shard's memory mirror (the
+    /// replica tier) instead of disk (measured recoveries only; `None`
+    /// for the simulator's estimate).
+    pub from_replica: Option<bool>,
 }
 
 /// Outcome of the simulator's value-level fidelity checking for one
@@ -554,6 +577,10 @@ pub struct RealRunDetail {
     /// shard's checkpoints the writer could hold in flight at once
     /// (1 = the historical stop-and-wait write path).
     pub pipeline_depth: u32,
+    /// Replication factor K of the in-memory recovery tier the run
+    /// pushed checkpoint deltas to (0 = the tier was off and every
+    /// recovery came from disk).
+    pub replication_factor: u32,
     /// Flush jobs the writer completed across the run (all shards).
     pub flush_jobs: u64,
     /// Data `fsync` calls the writer issued across the run. The
@@ -869,7 +896,8 @@ mod tests {
             .pacing(30.0)
             .writer(WriterBackend::AsyncBatched)
             .batch_window(std::time::Duration::from_micros(250))
-            .pipeline_depth(2);
+            .pipeline_depth(2)
+            .replication(1);
         let spec = run.spec();
         assert_eq!(spec.algorithm, Algorithm::CopyOnUpdate);
         assert_eq!(spec.shards, 4);
@@ -879,6 +907,7 @@ mod tests {
         assert_eq!(spec.writer, Some(WriterBackend::AsyncBatched));
         assert_eq!(spec.batch_window_us, Some(250));
         assert_eq!(spec.pipeline_depth, Some(2));
+        assert_eq!(spec.replication, Some(1));
         assert_eq!(WriterBackend::default(), WriterBackend::ThreadPool);
         assert_eq!(WriterBackend::AsyncBatched.to_string(), "async-batched");
         assert_eq!(WriterBackend::IoUring.to_string(), "io-uring");
@@ -955,6 +984,7 @@ mod tests {
                 ticks_replayed: None,
                 updates_replayed: None,
                 state_matches: Some(m),
+                from_replica: None,
             }),
             fidelity: fidelity.map(|clean: bool| FidelitySummary {
                 checks_passed: 1,

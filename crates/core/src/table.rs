@@ -29,6 +29,23 @@ impl StateTable {
         })
     }
 
+    /// Adopt an owned checkpoint image as the table's backing buffer —
+    /// the recovery fast path. Both restore tiers produce a full image
+    /// in table layout (a backup read, a log reconstruct, or a replica
+    /// mirror fetch); adopting it avoids `new` + `restore_all`'s
+    /// zero-fill-then-overwrite double pass over the state.
+    pub fn from_image(geometry: StateGeometry, bytes: Vec<u8>) -> Result<Self, CoreError> {
+        geometry.validate()?;
+        let len = geometry.n_objects() as u64 * geometry.object_size as u64;
+        if bytes.len() as u64 != len {
+            return Err(CoreError::CheckpointMismatch(format!(
+                "image is {} bytes, expected {len}",
+                bytes.len()
+            )));
+        }
+        Ok(StateTable { geometry, bytes })
+    }
+
     /// The table's geometry.
     #[inline]
     pub fn geometry(&self) -> &StateGeometry {

@@ -40,6 +40,8 @@ pub struct FuzzCase {
     pub skew: f64,
     /// Trace RNG seed (equal seeds give byte-identical traces).
     pub trace_seed: u64,
+    /// Replica tier factor (0 disables the in-memory recovery tier).
+    pub replication: u32,
     /// The armed crash plan (point, hit index, torn offset, action).
     pub plan: CrashPlan,
 }
@@ -142,6 +144,24 @@ impl FuzzCase {
             _ => CrashAction::Crash,
         };
 
+        // The replica push/fetch points only exist when the replica tier
+        // is on, so those cases force a nonzero factor; everywhere else a
+        // minority of cases carry the tier along so every older point is
+        // also exercised with mirrors active.
+        let replication = match point {
+            ReplicaPushPreCommit | ReplicaPushPostCommit | ReplicaFetch => 1 + r.below(2) as u32,
+            _ if r.chance(3) => r.pick(&[1_u32, 2]),
+            _ => 0,
+        };
+
+        // Fetch attempts are bounded by shards × mirrors and recovery
+        // stops at the first surviving copy, so a fetch-point hit index
+        // past the shard count could never be reached.
+        let hit = match point {
+            ReplicaFetch => 1 + r.below(u64::from(shards)),
+            _ => 1 + r.below(3),
+        };
+
         FuzzCase {
             algorithm,
             shards,
@@ -154,9 +174,10 @@ impl FuzzCase {
             updates_per_tick: 40 + r.below(180) as u32,
             skew: r.pick(&[0.0, 0.5, 0.8, 1.1]),
             trace_seed: r.next(),
+            replication,
             plan: CrashPlan {
                 point,
-                hit: 1 + r.below(3),
+                hit,
                 torn: r.below(97),
                 action,
             },
@@ -168,7 +189,7 @@ impl FuzzCase {
     #[must_use]
     pub fn spec(&self) -> String {
         format!(
-            "alg={},shards={},backend={},depth={},window={},dsync={},coalesce={},ticks={},upt={},skew={},tseed={},crash={}",
+            "alg={},shards={},backend={},depth={},window={},dsync={},coalesce={},ticks={},upt={},skew={},tseed={},repl={},crash={}",
             self.algorithm.short_name(),
             self.shards,
             self.backend.label(),
@@ -180,6 +201,7 @@ impl FuzzCase {
             self.updates_per_tick,
             self.skew,
             self.trace_seed,
+            self.replication,
             self.plan.spec(),
         )
     }
@@ -215,13 +237,14 @@ impl FuzzCase {
                 "upt" => case.updates_per_tick = v.parse().map_err(|_| bad("upt"))?,
                 "skew" => case.skew = v.parse().map_err(|_| bad("skew"))?,
                 "tseed" => case.trace_seed = v.parse().map_err(|_| bad("tseed"))?,
+                "repl" => case.replication = v.parse().map_err(|_| bad("repl"))?,
                 "crash" => case.plan = plan_spec(v)?,
                 _ => return Err(format!("unknown key {k:?}")),
             }
             seen += 1;
         }
-        if seen < 12 {
-            return Err(format!("spec has {seen} of 12 required keys: {spec:?}"));
+        if seen < 13 {
+            return Err(format!("spec has {seen} of 13 required keys: {spec:?}"));
         }
         Ok(case)
     }
@@ -268,6 +291,15 @@ mod tests {
                         assert_ne!(c.backend, WriterBackend::ThreadPool);
                         assert_eq!(c.shards, 4);
                         assert!(c.device_sync && c.coalesce && c.batch_window_us > 0);
+                    }
+                    ReplicaPushPreCommit | ReplicaPushPostCommit | ReplicaFetch => {
+                        assert!(
+                            (1..=2).contains(&c.replication),
+                            "replica points need the tier on"
+                        );
+                        if c.plan.point == ReplicaFetch {
+                            assert!(c.plan.hit <= u64::from(c.shards));
+                        }
                     }
                     _ => {}
                 }

@@ -24,6 +24,7 @@ fn base(algorithm: Algorithm, backend: WriterBackend, point: CrashPoint) -> Fuzz
         updates_per_tick: 120,
         skew: 0.8,
         trace_seed: 0xC0FF_EE00,
+        replication: 0,
         plan: CrashPlan::at(point),
     }
 }
@@ -85,6 +86,24 @@ pub fn named_seeds() -> Vec<(&'static str, FuzzCase)> {
     let mut enqueued = base(NaiveSnapshot, ThreadPool, JobEnqueued);
     enqueued.plan.hit = 2;
 
+    // Replica push frozen open: mirrors invalidated, checkpoint not yet
+    // committed — recovery must fall back to disk.
+    let mut push_open = base(CopyOnUpdate, AsyncBatched, ReplicaPushPreCommit);
+    push_open.shards = 4;
+    push_open.replication = 1;
+
+    // Crash immediately after commit + publish: the mirrors carry the
+    // freshest checkpoint and replica recovery must equal disk replay.
+    let mut push_published = base(PartialRedo, ThreadPool, ReplicaPushPostCommit);
+    push_published.shards = 4;
+    push_published.replication = 2;
+
+    // A hosting peer dies during the recovery-time fetch: that mirror is
+    // skipped and recovery continues (next mirror, else disk).
+    let mut peer_death = base(CopyOnUpdatePartialRedo, ThreadPool, ReplicaFetch);
+    peer_death.shards = 4;
+    peer_death.replication = 1;
+
     vec![
         ("mid-write-fallback", mid_write),
         ("pre-commit-meta", pre_commit),
@@ -96,6 +115,9 @@ pub fn named_seeds() -> Vec<(&'static str, FuzzCase)> {
         ("ring-wave-frozen", ring_staged),
         ("ring-dead-redo", ring_dead),
         ("enqueue-down", enqueued),
+        ("replica-push-open", push_open),
+        ("replica-push-published", push_published),
+        ("replica-peer-death", peer_death),
     ]
 }
 

@@ -14,8 +14,8 @@ use mmoc_core::{
     DiskOrg, EngineDetail, Run, ShardFilter, ShardMap, StateGeometry, StateTable, WriterBackend,
 };
 use mmoc_storage::crash::{CrashState, N_POINTS};
-use mmoc_storage::recovery::{recover_and_replay, recover_and_replay_log};
-use mmoc_storage::{shard_dir, RealConfig};
+use mmoc_storage::recovery::{recover_and_replay, recover_and_replay_log, recover_from_replica};
+use mmoc_storage::{shard_dir, RealConfig, ReplicaSet};
 use mmoc_workload::{SyntheticConfig, TraceSource};
 use std::sync::Arc;
 use std::time::Duration;
@@ -87,13 +87,33 @@ pub fn run_case(case: &FuzzCase) -> CaseOutcome {
     };
 
     let trace = trace_of(case);
-    let config = RealConfig::new(dir.path())
+    // The shard map is needed up front when the replica tier is on: the
+    // mirrors must be retained across the simulated crash (they model
+    // *peer* memory, which survives), so the oracle owns the set and
+    // hands the run a handle instead of letting it build a private one.
+    let map = match ShardMap::new(trace.geometry, case.shards) {
+        Ok(m) => m,
+        Err(e) => {
+            outcome.failure = Some(format!("shard map: {e}"));
+            return outcome;
+        }
+    };
+    let replicas = (case.replication > 0).then(|| {
+        let geometries: Vec<_> = (0..case.shards as usize)
+            .map(|s| map.shard_geometry(s))
+            .collect();
+        Arc::new(ReplicaSet::new(case.replication, &geometries))
+    });
+    let mut config = RealConfig::new(dir.path())
         .without_recovery()
         .with_query_ops(48)
         .with_fsync_coalescing(case.coalesce)
         .with_device_sync(case.device_sync)
         .with_auto_window(false)
         .with_crash_state(state.clone());
+    if let Some(set) = &replicas {
+        config = config.with_replica_set(set.clone());
+    }
     let report = Run::algorithm(case.algorithm)
         .engine(config)
         .trace(trace)
@@ -118,14 +138,12 @@ pub fn run_case(case: &FuzzCase) -> CaseOutcome {
     }
 
     // Per-shard recovery from the frozen directory against the oracle.
+    // With the replica tier on, each shard is *also* recovered from its
+    // peers' mirrors (through the same armed lattice, so a planned
+    // replica-fetch crash skips mirrors here), and the two recovered
+    // states must agree byte for byte — the tier is an accelerator, not
+    // an alternative history.
     let n = case.shards as usize;
-    let map = match ShardMap::new(trace.geometry, case.shards) {
-        Ok(m) => m,
-        Err(e) => {
-            outcome.failure = Some(format!("shard map: {e}"));
-            return outcome;
-        }
-    };
     for s in 0..n {
         let sdir = shard_dir(dir.path(), s, n);
         let g = map.shard_geometry(s);
@@ -149,7 +167,39 @@ pub fn run_case(case: &FuzzCase) -> CaseOutcome {
             ));
             return outcome;
         }
+        if let Some(set) = &replicas {
+            let mut replay = ShardFilter::new(trace.build(), map.clone(), s);
+            match recover_from_replica(set, s as u32, g, &mut replay, trace.ticks, Some(&state)) {
+                Some(Ok(via)) => {
+                    if via.table.fingerprint() != truth.fingerprint() {
+                        outcome.failure = Some(format!(
+                            "shard {s} replica recovery from tick {} does not match the oracle",
+                            via.from_tick
+                        ));
+                        return outcome;
+                    }
+                    if via.table.as_bytes() != rec.table.as_bytes() {
+                        outcome.failure = Some(format!(
+                            "shard {s}: replica-recovered state is not byte-identical to disk"
+                        ));
+                        return outcome;
+                    }
+                }
+                Some(Err(e)) => {
+                    outcome.failure = Some(format!("shard {s} replica recovery failed: {e}"));
+                    return outcome;
+                }
+                // No complete mirror (crash froze a push open, or the
+                // planned fetch crash consumed them): disk already won.
+                None => {}
+            }
+        }
     }
+    // Replica-fetch reaches happen during the recovery pass above, after
+    // the run's own counters were sampled — resample so coverage sees
+    // them.
+    outcome.fired = state.fired();
+    outcome.counts = state.counts();
     outcome
 }
 
@@ -166,13 +216,16 @@ pub fn wants_ring(case: &FuzzCase) -> bool {
 pub fn tracking_run(case: &FuzzCase) -> Result<[u64; N_POINTS], String> {
     let state = Arc::new(CrashState::tracking());
     let dir = tempfile::tempdir().map_err(|e| format!("tempdir: {e}"))?;
-    let config = RealConfig::new(dir.path())
+    let mut config = RealConfig::new(dir.path())
         .without_recovery()
         .with_query_ops(48)
         .with_fsync_coalescing(case.coalesce)
         .with_device_sync(case.device_sync)
         .with_auto_window(false)
         .with_crash_state(state.clone());
+    if case.replication > 0 {
+        config = config.with_replication(case.replication);
+    }
     Run::algorithm(case.algorithm)
         .engine(config)
         .trace(trace_of(case))
@@ -211,10 +264,48 @@ mod tests {
                 updates_per_tick: 80,
                 skew: 0.8,
                 trace_seed: 99,
+                replication: 0,
                 plan: CrashPlan {
                     point,
                     hit: 1,
                     torn: 11,
+                    action: CrashAction::Crash,
+                },
+            };
+            let out = run_case(&case);
+            assert!(out.ok(), "{}: {:?}", case.spec(), out.failure);
+            assert!(out.fired, "{}: plan never fired", case.spec());
+        }
+    }
+
+    /// The replica lattice points fire and survive the full oracle check:
+    /// a push-seam crash leaves the mirrors either invalid (pre-commit)
+    /// or published (post-commit), and a fetch crash consumes mirrors at
+    /// recovery time — all three must agree with the oracle.
+    #[test]
+    fn replica_smoke_cases_pass() {
+        for (point, replication) in [
+            (CrashPoint::ReplicaPushPreCommit, 1),
+            (CrashPoint::ReplicaPushPostCommit, 2),
+            (CrashPoint::ReplicaFetch, 1),
+        ] {
+            let case = FuzzCase {
+                algorithm: Algorithm::CopyOnUpdate,
+                shards: 4,
+                backend: WriterBackend::ThreadPool,
+                pipeline_depth: 1,
+                batch_window_us: 0,
+                device_sync: false,
+                coalesce: true,
+                ticks: 12,
+                updates_per_tick: 100,
+                skew: 0.5,
+                trace_seed: 7,
+                replication,
+                plan: CrashPlan {
+                    point,
+                    hit: 1,
+                    torn: 5,
                     action: CrashAction::Crash,
                 },
             };

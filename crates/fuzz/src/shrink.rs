@@ -72,6 +72,13 @@ fn transforms(c: &FuzzCase) -> Vec<FuzzCase> {
         t.pipeline_depth = 1;
         out.push(t);
     }
+    // One mirror is the smallest configuration that still has a replica
+    // tier; dropping to zero would change which lattice points exist.
+    if c.replication > 1 {
+        let mut t = *c;
+        t.replication = 1;
+        out.push(t);
+    }
     out
 }
 

@@ -413,6 +413,19 @@ impl ExperimentEngine for SimConfig {
                 });
             }
         }
+        // Same policy for the replica tier: the cost model has no notion
+        // of peer-memory mirrors, so a non-zero factor is refused rather
+        // than silently priced as disk-only recovery.
+        if let Some(k) = spec.replication {
+            if k > 0 {
+                return Err(RunError::Unsupported {
+                    engine: "sim",
+                    feature: format!(
+                        "replication factor {k} (the cost model prices disk recovery only)"
+                    ),
+                });
+            }
+        }
         let engine = SimEngine {
             config,
             algorithm: spec.algorithm,
@@ -461,6 +474,7 @@ fn into_run_report(
                 ticks_replayed: None,
                 updates_replayed: None,
                 state_matches: None,
+                from_replica: None,
             }),
             fidelity: fidelity[s].take(),
         })

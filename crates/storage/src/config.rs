@@ -111,6 +111,23 @@ pub struct RealConfig {
     /// One `Arc` is shared by every shard of the run; a simulated
     /// crash freezes all shards' disks together.
     pub crash: Option<Arc<CrashState>>,
+    /// Replication factor K of the in-memory recovery tier: each shard
+    /// pushes its committed checkpoint deltas to K peer-shard mirrors
+    /// (publish-on-commit), and single-shard recovery tries a replica
+    /// fetch before the disk path. `0` (the default) disables the tier.
+    /// Defaults to the `MMOC_REPLICATION` environment variable when set;
+    /// explicit settings ([`RealConfig::with_replication`], the
+    /// builder's `.replication(…)`) win over the environment. An
+    /// unparseable value is deferred into [`RealConfig::env_error`] like
+    /// the other `MMOC_*` knobs.
+    pub replication_factor: u32,
+    /// A pre-built replica tier installed by a caller that wants to keep
+    /// its own handle — the fuzz harness and the recovery bench retain
+    /// the `Arc` to drive recovery themselves after the run. `Some`
+    /// activates replication regardless of
+    /// [`RealConfig::replication_factor`]; `None` (the default) lets the
+    /// sharded run build an internal set when the factor is non-zero.
+    pub replica_set: Option<Arc<crate::replica::ReplicaSet>>,
     /// Deferred environment-parsing failure: when one of the
     /// `MMOC_WRITER_*` (or `MMOC_FUZZ_*`) variables holds garbage,
     /// construction still succeeds (so `RealConfig::new` stays
@@ -129,6 +146,7 @@ impl RealConfig {
         let (device_sync, device_err) = device_sync_from_env();
         let (writer_backend, backend_err) = writer_backend_from_env();
         let (crash, crash_err) = crash_from_env();
+        let (replication_factor, replication_err) = replication_from_env();
         RealConfig {
             dir: dir.into(),
             tick_period: Duration::from_nanos(33_333_333),
@@ -145,11 +163,14 @@ impl RealConfig {
             device_sync,
             pipeline_depth,
             crash,
+            replication_factor,
+            replica_set: None,
             env_error: backend_err
                 .or(window_err)
                 .or(depth_err)
                 .or(device_err)
-                .or(crash_err),
+                .or(crash_err)
+                .or(replication_err),
         }
     }
 
@@ -244,6 +265,23 @@ impl RealConfig {
     /// the run.
     pub fn with_crash_state(mut self, state: Arc<CrashState>) -> Self {
         self.crash = Some(state);
+        self
+    }
+
+    /// Set the replica tier's replication factor (see
+    /// [`RealConfig::replication_factor`]; `0` disables the tier).
+    pub fn with_replication(mut self, factor: u32) -> Self {
+        self.replication_factor = factor;
+        self
+    }
+
+    /// Install a pre-built replica tier (see
+    /// [`RealConfig::replica_set`]). The caller keeps a clone of the
+    /// `Arc` to fetch mirrors after the run — the fuzz harness and the
+    /// recovery bench drive recovery from the surviving peers' memory
+    /// themselves.
+    pub fn with_replica_set(mut self, set: Arc<crate::replica::ReplicaSet>) -> Self {
+        self.replica_set = Some(set);
         self
     }
 }
@@ -351,6 +389,25 @@ fn device_sync_from_env() -> (bool, Option<String>) {
                 Some(format!(
                     "unrecognized MMOC_WRITER_DEVICE_SYNC value {v:?}; \
                      use \"1\"/\"true\" or \"0\"/\"false\""
+                )),
+            ),
+        },
+    }
+}
+
+/// The process-wide replication default: `MMOC_REPLICATION` if set
+/// (`K` peer mirrors per shard, `0` = off), off otherwise. Returns
+/// `(factor, deferred_error)`.
+fn replication_from_env() -> (u32, Option<String>) {
+    match std::env::var("MMOC_REPLICATION") {
+        Err(_) => (0, None),
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(k) => (k, None),
+            Err(_) => (
+                0,
+                Some(format!(
+                    "unrecognized MMOC_REPLICATION value {v:?}; \
+                     use an unsigned integer (0 disables the replica tier)"
                 )),
             ),
         },

@@ -72,10 +72,24 @@ pub enum CrashPoint {
     UringWaveStaged = 11,
     /// A per-shard io_uring wave's CQEs were reaped and accounted.
     UringWaveComplete = 12,
+    /// The replica push transaction opened (the shard's peer mirrors are
+    /// invalidated for the transfer) but the disk metadata commit has
+    /// not happened yet; a crash here leaves every mirror incomplete and
+    /// recovery must fall back to disk.
+    ReplicaPushPreCommit = 13,
+    /// The checkpoint committed on disk and its delta was published to
+    /// the peer mirrors; a crash here leaves replica and disk agreeing
+    /// on the new checkpoint.
+    ReplicaPushPostCommit = 14,
+    /// A recovery-time replica fetch attempt (one reach per mirror
+    /// tried); firing simulates the hosting peer dying mid-transfer, so
+    /// that mirror is skipped and recovery moves to the next copy or
+    /// falls back to disk.
+    ReplicaFetch = 15,
 }
 
 /// Number of registered crash points.
-pub const N_POINTS: usize = 13;
+pub const N_POINTS: usize = 16;
 
 /// Every registered crash point, in registry (discriminant) order.
 pub const ALL_POINTS: [CrashPoint; N_POINTS] = [
@@ -92,6 +106,9 @@ pub const ALL_POINTS: [CrashPoint; N_POINTS] = [
     CrashPoint::DeviceBarrier,
     CrashPoint::UringWaveStaged,
     CrashPoint::UringWaveComplete,
+    CrashPoint::ReplicaPushPreCommit,
+    CrashPoint::ReplicaPushPostCommit,
+    CrashPoint::ReplicaFetch,
 ];
 
 impl CrashPoint {
@@ -113,6 +130,9 @@ impl CrashPoint {
             CrashPoint::DeviceBarrier => "device-barrier",
             CrashPoint::UringWaveStaged => "uring-wave-staged",
             CrashPoint::UringWaveComplete => "uring-wave-complete",
+            CrashPoint::ReplicaPushPreCommit => "replica-push-pre-commit",
+            CrashPoint::ReplicaPushPostCommit => "replica-push-post-commit",
+            CrashPoint::ReplicaFetch => "replica-fetch",
         }
     }
 
@@ -145,6 +165,13 @@ impl CrashPoint {
             CrashPoint::DeviceBarrier => "before the syncfs-style device barrier",
             CrashPoint::UringWaveStaged => "uring wave staged, about to push SQEs",
             CrashPoint::UringWaveComplete => "uring wave reaped and accounted",
+            CrashPoint::ReplicaPushPreCommit => {
+                "replica push opened, mirrors invalid, not committed"
+            }
+            CrashPoint::ReplicaPushPostCommit => {
+                "checkpoint committed and delta published to mirrors"
+            }
+            CrashPoint::ReplicaFetch => "recovery-time replica fetch attempt (peer death)",
         }
     }
 }

@@ -208,6 +208,10 @@ pub(crate) struct ShardCtx {
     /// seams; the stores inside [`ShardCtx::store`] carry their own
     /// clone for the mutation sites.
     pub(crate) crash: Option<Arc<crate::crash::CrashState>>,
+    /// Replica tier shared by the whole run (`None` when replication is
+    /// off): the completion seam pushes each committed checkpoint delta
+    /// to the shard's peer mirrors (publish-on-commit).
+    pub(crate) replicas: Option<Arc<crate::replica::ReplicaSet>>,
 }
 
 /// A flush job tagged with the shard it belongs to and the instant the
@@ -469,6 +473,7 @@ pub(crate) fn make_shard(
     n_shards: usize,
     dir: &Path,
     job_tx: crossbeam::channel::Sender<PoolJob>,
+    replicas: Option<Arc<crate::replica::ReplicaSet>>,
 ) -> io::Result<(ShardCtx, RealBackend)> {
     let spec = algorithm.spec();
     // Only algorithms that ever run a sweep (copy-on-update handlers, or
@@ -503,6 +508,7 @@ pub(crate) fn make_shard(
         done_tx,
         turn: TurnGate::new(),
         crash: config.crash.clone(),
+        replicas,
     };
     let backend = RealBackend {
         config: shard_config,
@@ -602,7 +608,45 @@ pub(crate) fn measure_recovery<S: TraceSource>(
         ticks_replayed: rec.ticks_replayed,
         updates_replayed: rec.updates_replayed,
         state_matches: rec.table.fingerprint() == live_fingerprint,
+        from_replica: false,
     })
+}
+
+/// Tiered single-shard recovery: try the replica tier first (a memcpy of
+/// a peer mirror plus a bounded tail replay), fall back to the disk path
+/// when replication is off or no mirror is complete. The replica fetch
+/// consumes nothing from `trace` on a miss, so the fallback replays from
+/// an untouched cursor.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn measure_recovery_tiered<S: TraceSource>(
+    disk_org: DiskOrg,
+    dir: &Path,
+    geometry: StateGeometry,
+    trace: &mut S,
+    crash_tick: u64,
+    live_fingerprint: u64,
+    replicas: Option<&crate::replica::ReplicaSet>,
+    shard: u32,
+    crash: Option<&crate::crash::CrashState>,
+) -> io::Result<RecoveryMeasurement> {
+    if let Some(set) = replicas {
+        if let Some(rec) =
+            crate::recovery::recover_from_replica(set, shard, geometry, trace, crash_tick, crash)
+        {
+            let rec = rec?;
+            return Ok(RecoveryMeasurement {
+                restore_s: rec.restore_s,
+                replay_s: rec.replay_s,
+                total_s: rec.restore_s + rec.replay_s,
+                restored_from_tick: rec.from_tick,
+                ticks_replayed: rec.ticks_replayed,
+                updates_replayed: rec.updates_replayed,
+                state_matches: rec.table.fingerprint() == live_fingerprint,
+                from_replica: true,
+            });
+        }
+    }
+    measure_recovery(disk_org, dir, geometry, trace, crash_tick, live_fingerprint)
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod files;
 pub mod log_store;
 pub mod recovery;
+pub mod replica;
 pub mod report;
 pub mod run;
 pub mod sharded;
@@ -54,5 +55,6 @@ mod uring;
 pub mod writer;
 
 pub use config::RealConfig;
+pub use replica::ReplicaSet;
 pub use report::{RealReport, RecoveryMeasurement, WriterStats};
 pub use sharded::{shard_dir, ShardedRealReport, ShardedRecovery};

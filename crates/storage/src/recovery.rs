@@ -51,7 +51,7 @@ pub fn recover_and_replay<S: TraceSource>(
         .newest_consistent()
         .ok_or_else(|| io::Error::other("no consistent backup to restore"))?;
     let image = set.read_full(idx)?;
-    restore_and_replay(geometry, &image, from_tick, t0, trace, crash_tick)
+    restore_and_replay(geometry, image, from_tick, t0, trace, crash_tick)
 }
 
 /// Restore from the checkpoint log under `dir` (reconstructing the newest
@@ -66,23 +66,72 @@ pub fn recover_and_replay_log<S: TraceSource>(
     let t0 = Instant::now();
     let mut log = LogStore::open(dir, geometry)?;
     let (image, from_tick, _bytes_read) = log.reconstruct()?;
-    restore_and_replay(geometry, &image, from_tick, t0, trace, crash_tick)
+    restore_and_replay(geometry, image, from_tick, t0, trace, crash_tick)
 }
 
-/// Shared tail of both restore paths: install the image, replay the
-/// logical log (the deterministic trace) to the crash tick.
+/// Restore from the replica tier: fetch a complete peer mirror of
+/// `shard`'s state (a memcpy — no disk reads) and replay `trace` from
+/// the mirror's consistent tick up to and including `crash_tick`.
+///
+/// Returns `None` when the tier cannot serve — no [`ReplicaSet`] mirror
+/// of the shard is complete (a push transaction was open at crash time,
+/// or every hosting peer died mid-fetch per the armed
+/// [`crash::CrashPoint::ReplicaFetch`] plan) — in which case the caller
+/// falls back to the disk path with the trace cursor untouched.
+///
+/// [`ReplicaSet`]: crate::replica::ReplicaSet
+/// [`crash::CrashPoint::ReplicaFetch`]: crate::crash::CrashPoint::ReplicaFetch
+pub fn recover_from_replica<S: TraceSource>(
+    replicas: &crate::replica::ReplicaSet,
+    shard: u32,
+    geometry: StateGeometry,
+    trace: &mut S,
+    crash_tick: u64,
+    crash: Option<&crate::crash::CrashState>,
+) -> Option<io::Result<RecoveredState>> {
+    let t0 = Instant::now();
+    // One state-sized copy: clone the mirror image under its lock, then
+    // adopt the clone as the recovered table's backing buffer.
+    let (image, from_tick) = replicas.fetch(shard, crash)?;
+    Some(
+        StateTable::from_image(geometry, image)
+            .map_err(|e| io::Error::other(e.to_string()))
+            .map(|table| replay_tail(table, from_tick, t0, trace, crash_tick)),
+    )
+}
+
+/// Shared tail of both disk restore paths: adopt the image as the
+/// recovered table, replay the logical log (the deterministic trace) to
+/// the crash tick.
 fn restore_and_replay<S: TraceSource>(
     geometry: StateGeometry,
-    image: &[u8],
+    image: Vec<u8>,
     from_tick: u64,
     restore_start: Instant,
     trace: &mut S,
     crash_tick: u64,
 ) -> io::Result<RecoveredState> {
-    let mut table = StateTable::new(geometry).map_err(|e| io::Error::other(e.to_string()))?;
-    table
-        .restore_all(image)
-        .map_err(|e| io::Error::other(e.to_string()))?;
+    let table =
+        StateTable::from_image(geometry, image).map_err(|e| io::Error::other(e.to_string()))?;
+    Ok(replay_tail(
+        table,
+        from_tick,
+        restore_start,
+        trace,
+        crash_tick,
+    ))
+}
+
+/// Replay the logical log (the deterministic trace) over a restored
+/// table up to and including `crash_tick`. `restore_start` closes the
+/// restore-phase timing; everything from here is the replay phase.
+fn replay_tail<S: TraceSource>(
+    mut table: StateTable,
+    from_tick: u64,
+    restore_start: Instant,
+    trace: &mut S,
+    crash_tick: u64,
+) -> RecoveredState {
     let restore_s = restore_start.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -103,14 +152,14 @@ fn restore_and_replay<S: TraceSource>(
     }
     let replay_s = t1.elapsed().as_secs_f64();
 
-    Ok(RecoveredState {
+    RecoveredState {
         table,
         from_tick,
         ticks_replayed,
         updates_replayed,
         restore_s,
         replay_s,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,9 @@ pub struct RecoveryMeasurement {
     /// Whether the recovered state's fingerprint equals the live state at
     /// the crash tick (the whole point of the exercise).
     pub state_matches: bool,
+    /// True when the restore came from a peer shard's memory mirror (the
+    /// replica tier) rather than the disk organization's files.
+    pub from_replica: bool,
 }
 
 /// Writer-side instrumentation of one run (or one shard's slice of it):

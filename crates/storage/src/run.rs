@@ -71,6 +71,9 @@ impl ExperimentEngine for RealConfig {
             // validate() rejected 0, so the builder's assert cannot fire.
             config = config.with_pipeline_depth(depth);
         }
+        if let Some(k) = spec.replication {
+            config = config.with_replication(k);
+        }
         // Geometry and shard-map validation happen inside the shared run
         // on the cursor the run actually uses; failures surface as typed
         // core errors.
@@ -105,6 +108,7 @@ fn into_run_report(report: ShardedRealReport) -> RunReport {
             writer_fallback_from: report.writer_fallback_from,
             pool_threads: report.pool_threads,
             pipeline_depth: report.pipeline_depth,
+            replication_factor: report.replication_factor,
             flush_jobs: report.writer.flush_jobs,
             data_fsyncs: report.writer.data_fsyncs,
             device_syncs: report.writer.device_syncs,
@@ -142,6 +146,7 @@ fn recovery_report(m: RecoveryMeasurement) -> RecoveryReport {
         ticks_replayed: Some(m.ticks_replayed),
         updates_replayed: Some(m.updates_replayed),
         state_matches: Some(m.state_matches),
+        from_replica: Some(m.from_replica),
     }
 }
 

@@ -19,8 +19,9 @@
 
 use crate::config::RealConfig;
 use crate::engine::{
-    live_fingerprint, make_shard, measure_recovery, shard_report, PoolJob, RealBackend,
+    live_fingerprint, make_shard, measure_recovery_tiered, shard_report, PoolJob, RealBackend,
 };
+use crate::replica::ReplicaSet;
 use crate::report::{RealReport, RecoveryMeasurement, WriterStats};
 use crate::writer::{spawn_writer, DurabilityConfig};
 use mmoc_core::run::RunError;
@@ -83,6 +84,10 @@ pub struct ShardedRealReport {
     /// Checkpoint pipeline depth the driver ran at (1 = the historical
     /// one-in-flight engine).
     pub pipeline_depth: u32,
+    /// Replication factor K of the in-memory recovery tier this run
+    /// pushed checkpoint deltas to (0 = the tier was off and every
+    /// recovery came from disk).
+    pub replication_factor: u32,
     /// Global ticks executed.
     pub ticks: u64,
     /// Total updates routed across all shards.
@@ -158,6 +163,24 @@ where
     // sized to the deepest possible backlog: every shard pipelined to
     // the configured depth.
     let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(n * pipeline_depth as usize);
+
+    // The replica tier: an installed set wins (the caller retains its own
+    // handle to drive recovery), else a non-zero factor builds one owned
+    // by this run. Each shard's ShardCtx shares the Arc so the writer
+    // completion seam can publish deltas from any worker thread.
+    let replicas: Option<Arc<ReplicaSet>> = match &config.replica_set {
+        Some(set) => Some(Arc::clone(set)),
+        None if config.replication_factor > 0 => {
+            let geometries: Vec<_> = (0..n).map(|s| map.shard_geometry(s)).collect();
+            Some(Arc::new(ReplicaSet::new(
+                config.replication_factor,
+                &geometries,
+            )))
+        }
+        None => None,
+    };
+    let replication_factor = replicas.as_ref().map_or(0, |r| r.factor());
+
     let mut ctxs = Vec::with_capacity(n);
     let mut built = Vec::with_capacity(n);
     for s in 0..n {
@@ -169,6 +192,7 @@ where
             n,
             &shard_dir(&config.dir, s, n),
             job_tx.clone(),
+            replicas.clone(),
         )?;
         ctxs.push(ctx);
         built.push(backend);
@@ -235,15 +259,20 @@ where
                     let make_trace = &make_trace;
                     let dir = shard_dir(&config.dir, s, n);
                     let fp = fingerprints[s];
+                    let replicas = replicas.as_deref();
+                    let crash = config.crash.as_deref();
                     scope.spawn(move || {
                         let mut replay = ShardFilter::new(make_trace(), map.clone(), s);
-                        measure_recovery(
+                        measure_recovery_tiered(
                             spec.disk_org,
                             &dir,
                             map.shard_geometry(s),
                             &mut replay,
                             crash_tick,
                             fp,
+                            replicas,
+                            s as u32,
+                            crash,
                         )
                     })
                 })
@@ -301,6 +330,7 @@ where
             .then_some(config.writer_backend),
         pool_threads,
         pipeline_depth,
+        replication_factor,
         writer,
         ticks: run.ticks,
         updates: run.updates,

@@ -208,6 +208,19 @@ pub(crate) struct InFlight {
     /// failed to bring) this job's data to stable storage batch-globally;
     /// `None` means the completion phase syncs inline, per job.
     presync: Option<Presync>,
+    /// The checkpoint delta destined for the shard's peer mirrors, captured
+    /// at submission when the run has a replica tier; published by the
+    /// completion phase only after the durability point (publish-on-commit).
+    replica: Option<ReplicaDelta>,
+}
+
+/// One checkpoint's delta for the replica tier: the flushed object ids and
+/// their consistent-tick images, exactly the bytes the disk organization
+/// persisted for the checkpoint at `tick`.
+pub(crate) struct ReplicaDelta {
+    tick: u64,
+    ids: Vec<u32>,
+    data: Vec<u8>,
 }
 
 impl InFlight {
@@ -315,7 +328,11 @@ pub(crate) fn submit_job(
     buf.resize(obj_size, 0);
     let shared = &ctx.shared;
     let t0 = queued_at;
-    let (objects, state, recycled) = match job {
+    // Capture the checkpoint delta for the replica tier as a by-product
+    // of staging the data writes; the completion phase publishes it to
+    // the peer mirrors only after the durability point.
+    let want_delta = ctx.replicas.is_some();
+    let (objects, state, recycled, replica) = match job {
         Job::Eager {
             ids,
             data,
@@ -325,6 +342,11 @@ pub(crate) fn submit_job(
             full_image,
         } => {
             let count = ids.len() as u32;
+            let replica = want_delta.then(|| ReplicaDelta {
+                tick,
+                ids: ids.clone(),
+                data: data.clone(),
+            });
             let objects = ids
                 .iter()
                 .enumerate()
@@ -342,7 +364,7 @@ pub(crate) fn submit_job(
                     .append_segment(seq, tick, full_image, objects, false)
                     .map(|_| PendingDurability::Log),
             };
-            (count, state, Some((ids, data)))
+            (count, state, Some((ids, data)), replica)
         }
         Job::Sweep {
             list,
@@ -353,6 +375,11 @@ pub(crate) fn submit_job(
             full_image,
         } => {
             let count = list.len() as u32;
+            let mut delta = want_delta.then(|| ReplicaDelta {
+                tick,
+                ids: list.clone(),
+                data: Vec::with_capacity(list.len() * obj_size),
+            });
             // Read one object under the copy-on-update protocol:
             // lock, prefer the saved pre-update image, mark flushed.
             let read_object = |o: u32, buf: &mut [u8]| {
@@ -380,6 +407,9 @@ pub(crate) fn submit_job(
                     set.invalidate(target)?;
                     for (p, &o) in list.iter().enumerate() {
                         read_object(o, buf);
+                        if let Some(d) = delta.as_mut() {
+                            d.data.extend_from_slice(buf);
+                        }
                         set.write_object(target, ObjectId(o), buf)?;
                         publish(p, o);
                     }
@@ -389,13 +419,16 @@ pub(crate) fn submit_job(
                     let mut seg = log.begin_segment(seq, tick, full_image)?;
                     for (p, &o) in list.iter().enumerate() {
                         read_object(o, buf);
+                        if let Some(d) = delta.as_mut() {
+                            d.data.extend_from_slice(buf);
+                        }
                         seg.write_object(ObjectId(o), buf)?;
                         publish(p, o);
                     }
                     seg.finish(false).map(|_| PendingDurability::Log)
                 })(),
             };
-            (count, state, None)
+            (count, state, None, delta)
         }
     };
     if let Some(c) = &ctx.crash {
@@ -411,6 +444,7 @@ pub(crate) fn submit_job(
         recycled,
         state,
         presync: None,
+        replica,
     }
 }
 
@@ -436,15 +470,17 @@ pub(crate) fn complete_job(
     sqe_batch: u32,
 ) -> Done {
     let InFlight {
-        shard: _,
+        shard,
         t0,
         objects,
         recycled,
         state,
         presync,
+        replica,
     } = inflight;
     let mut data_syncs = 0;
     let mut device_syncs = 0;
+    let is_down = || ctx.crash.as_ref().is_some_and(|c| c.is_down());
     let result = state.and_then(|pending| {
         if let Some(c) = &ctx.crash {
             if c.reach(crate::crash::CrashPoint::CompleteBeforeSync)
@@ -474,7 +510,48 @@ pub(crate) fn complete_job(
                 c.go_down();
             }
         }
-        commit_pending(store, pending)
+        // Publish-on-commit, step 1: open the replica push transaction.
+        // The shard's peer mirrors go incomplete *before* the durability
+        // point, so a crash between here and the publish below leaves no
+        // mirror claiming a commit the disk never made — recovery falls
+        // back to the disk tier, which holds the previous checkpoint.
+        let push_open = match (&ctx.replicas, &replica) {
+            (Some(set), Some(_)) if !is_down() => {
+                set.invalidate(shard as u32);
+                if let Some(c) = &ctx.crash {
+                    if c.reach(crate::crash::CrashPoint::ReplicaPushPreCommit)
+                        .is_some()
+                    {
+                        c.go_down();
+                    }
+                }
+                true
+            }
+            _ => false,
+        };
+        commit_pending(store, pending)?;
+        // Step 2: the checkpoint is durable (or the simulated crash
+        // froze the disk, re-checked here) — apply the delta to every
+        // mirror and mark them complete at the checkpoint's tick.
+        if push_open && !is_down() {
+            if let (Some(set), Some(d)) = (&ctx.replicas, &replica) {
+                set.publish(
+                    shard as u32,
+                    d.tick,
+                    &d.ids,
+                    &d.data,
+                    ctx.geometry.object_size,
+                );
+                if let Some(c) = &ctx.crash {
+                    if c.reach(crate::crash::CrashPoint::ReplicaPushPostCommit)
+                        .is_some()
+                    {
+                        c.go_down();
+                    }
+                }
+            }
+        }
+        Ok(())
     });
     Done {
         result: result.map(|()| t0.elapsed().as_secs_f64()),
@@ -1018,7 +1095,9 @@ fn stage_ring_job(
             start = end;
         }
     };
-    let (objects, state, recycled) = match job {
+    // Delta capture for the replica tier, published at completion.
+    let want_delta = ctx.replicas.is_some();
+    let (objects, state, recycled, replica) = match job {
         Job::Eager {
             ids,
             data,
@@ -1028,6 +1107,11 @@ fn stage_ring_job(
             full_image,
         } => {
             let count = ids.len() as u32;
+            let replica = want_delta.then(|| ReplicaDelta {
+                tick,
+                ids: ids.clone(),
+                data: data.clone(),
+            });
             let state = match store {
                 Store::Double(set) => match set.invalidate(target) {
                     Err(e) => Err(e),
@@ -1069,7 +1153,7 @@ fn stage_ring_job(
             // `data` moves into the in-flight record below; a Vec move
             // never relocates its heap buffer, so the op pointers stay
             // valid for the life of the wave.
-            (count, state, Some((ids, data)))
+            (count, state, Some((ids, data)), replica)
         }
         Job::Sweep {
             list,
@@ -1107,12 +1191,20 @@ fn stage_ring_job(
                     publish(p, o);
                 }
             };
+            let mut replica = None;
             let state = match store {
                 Store::Double(set) => match set.invalidate(target) {
                     Err(e) => Err(e),
                     Ok(()) => {
                         let mut image = vec![0u8; list.len() * obj_size];
                         capture(&mut image);
+                        if want_delta {
+                            replica = Some(ReplicaDelta {
+                                tick,
+                                ids: list.clone(),
+                                data: image.clone(),
+                            });
+                        }
                         if !is_down() {
                             push_runs(
                                 ops,
@@ -1129,6 +1221,13 @@ fn stage_ring_job(
                 Store::Log(log) => {
                     let mut image = vec![0u8; list.len() * obj_size];
                     capture(&mut image);
+                    if want_delta {
+                        replica = Some(ReplicaDelta {
+                            tick,
+                            ids: list.clone(),
+                            data: image.clone(),
+                        });
+                    }
                     let mut seg = Vec::new();
                     crate::log_store::serialize_segment(
                         seq,
@@ -1156,7 +1255,7 @@ fn stage_ring_job(
                     Ok(PendingDurability::Log)
                 }
             };
-            (count, state, None)
+            (count, state, None, replica)
         }
     };
     InFlight {
@@ -1166,6 +1265,7 @@ fn stage_ring_job(
         recycled,
         state,
         presync: None,
+        replica,
     }
 }
 
@@ -1729,6 +1829,7 @@ mod tests {
             done_tx,
             turn: TurnGate::new(),
             crash: None,
+            replicas: None,
         };
         (ctx, done_rx)
     }
@@ -2176,6 +2277,7 @@ mod tests {
                 done_tx,
                 turn: TurnGate::new(),
                 crash: None,
+                replicas: None,
             };
             let ctxs = Arc::new(vec![ctx]);
             let (job_tx, job_rx) = crossbeam::channel::bounded::<PoolJob>(2);

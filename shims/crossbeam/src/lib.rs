@@ -159,8 +159,13 @@ pub mod channel {
 
         /// Block until a message arrives, the timeout elapses, or all
         /// senders dropped (the batched writer's adaptive batch window).
+        ///
+        /// A timeout too large to represent as an `Instant` deadline
+        /// (`Duration::MAX`, or anything `MMOC_WRITER_BATCH_WINDOW`-sized
+        /// that overflows `now + timeout`) saturates to "no deadline" and
+        /// behaves like [`Receiver::recv`] — it must never panic.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            let deadline = Instant::now() + timeout;
+            let deadline = Instant::now().checked_add(timeout);
             let mut st = self.0.state.lock().expect("channel poisoned");
             loop {
                 if let Some(v) = self.pop(&mut st) {
@@ -169,10 +174,17 @@ pub mod channel {
                 if st.senders == 0 {
                     return Err(RecvTimeoutError::Disconnected);
                 }
-                let left = deadline.saturating_duration_since(Instant::now());
-                if left.is_zero() {
-                    return Err(RecvTimeoutError::Timeout);
-                }
+                let left = match deadline {
+                    // Saturated deadline: wait without a timeout.
+                    None => Duration::MAX,
+                    Some(d) => {
+                        let left = d.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        left
+                    }
+                };
                 let (guard, _) = self
                     .0
                     .not_empty
@@ -266,6 +278,26 @@ mod tests {
         drop(tx);
         assert!(matches!(
             rx.recv_timeout(timeout),
+            Err(channel::RecvTimeoutError::Disconnected)
+        ));
+    }
+
+    /// `Duration::MAX` (and any window large enough that `now + timeout`
+    /// overflows `Instant`) must not panic: the deadline saturates and
+    /// the call degenerates to a plain blocking `recv`.
+    #[test]
+    fn recv_timeout_with_huge_windows_never_panics() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::MAX).unwrap(), 42);
+        sender.join().unwrap();
+        // All senders gone: disconnection still surfaces under the
+        // saturated deadline instead of hanging.
+        assert!(matches!(
+            rx.recv_timeout(std::time::Duration::MAX),
             Err(channel::RecvTimeoutError::Disconnected)
         ));
     }
