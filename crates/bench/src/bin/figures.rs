@@ -553,6 +553,9 @@ fn main() {
             "ack_p50_s",
             "ack_p99_s",
             "throughput_cps",
+            "retries",
+            "retry_exhausted",
+            "degraded_from",
             "verified",
         ];
         let data: Vec<Vec<String>> = rows
@@ -579,6 +582,10 @@ fn main() {
                     csv::fnum(r.ack_p50_s),
                     csv::fnum(r.ack_p99_s),
                     csv::fnum(r.throughput_cps),
+                    r.retries.to_string(),
+                    r.retry_exhausted.to_string(),
+                    r.degraded_from
+                        .map_or_else(|| "none".to_string(), |b| b.label().to_string()),
                     r.verified.to_string(),
                 ]
             })
@@ -590,7 +597,7 @@ fn main() {
             println!("wrote {}", path.display());
         }
         println!(
-            "{:>8} {:<16} {:<14} {:>7} {:>5} {:>13} {:>11} {:>9} {:>11} {:>11} {:>11} {:>9}",
+            "{:>8} {:<16} {:<14} {:>7} {:>5} {:>13} {:>11} {:>9} {:>11} {:>11} {:>11} {:>7} {:>9}",
             "shards",
             "algorithm",
             "backend",
@@ -602,18 +609,23 @@ fn main() {
             "p50 [ms]",
             "p99 [ms]",
             "ckpt/s",
+            "retries",
             "verified"
         );
         for r in &rows {
             // A trailing `*` marks a cell the probe-gated ring handed to
-            // its batched fallback (effective backend in the CSV).
-            let backend = if r.effective_backend == r.backend {
+            // its batched fallback; a trailing `!` marks one that started
+            // on the requested backend and degraded away mid-run
+            // (effective_backend / degraded_from columns in the CSV).
+            let backend = if r.degraded_from.is_some() {
+                format!("{}!", r.backend.label())
+            } else if r.effective_backend == r.backend {
                 r.backend.label().to_string()
             } else {
                 format!("{}*", r.backend.label())
             };
             println!(
-                "{:>8} {:<16} {:<14} {:>7} {:>5} {:>13.3} {:>11.2} {:>9.2} {:>11.2} {:>11.2} {:>11.2} {:>9}",
+                "{:>8} {:<16} {:<14} {:>7} {:>5} {:>13.3} {:>11.2} {:>9.2} {:>11.2} {:>11.2} {:>11.2} {:>7} {:>9}",
                 r.n_shards,
                 r.algorithm.short_name(),
                 backend,
@@ -625,6 +637,7 @@ fn main() {
                 r.ack_p50_s * 1e3,
                 r.ack_p99_s * 1e3,
                 r.throughput_cps,
+                r.retries,
                 r.verified
             );
         }
@@ -632,6 +645,13 @@ fn main() {
             println!(
                 "* io_uring unavailable on this kernel: ring cells ran under \
                  the async-batched fallback (effective_backend column in the CSV)"
+            );
+        }
+        if rows.iter().any(|r| r.degraded_from.is_some()) {
+            println!(
+                "! ring latched dead mid-run after retry exhaustion: jobs \
+                 finished on the synchronous redo path (degraded_from column \
+                 in the CSV)"
             );
         }
         let _ = std::fs::remove_dir_all(&scratch);

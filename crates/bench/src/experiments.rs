@@ -497,6 +497,20 @@ pub struct WriterBackendRow {
     /// end-of-run recovery measurement is excluded, so the tracked
     /// figure moves only when the checkpoint path does).
     pub throughput_cps: f64,
+    /// Retry attempts the writer spent masking transient I/O faults —
+    /// each re-issue of a failed data write / fsync / meta commit. Zero
+    /// on a healthy disk or when the retry budget is 0.
+    pub retries: u64,
+    /// Operations whose retry budget ran out: the error took the
+    /// degradation ladder instead of being masked.
+    pub retry_exhausted: u64,
+    /// Backend the run degraded *away from* mid-run: `Some(IoUring)`
+    /// when the ring latched its dead flag after retry exhaustion and
+    /// jobs finished on the synchronous redo path. Distinct from
+    /// `effective_backend`, which records the up-front capability-probe
+    /// fallback — a degraded cell *did* run the requested backend until
+    /// the fault burst killed it.
+    pub degraded_from: Option<WriterBackend>,
     /// Whether the end-of-run recovery reproduced the crash state.
     pub verified: bool,
 }
@@ -616,6 +630,10 @@ pub fn writer_backends(
                             } else {
                                 0.0
                             },
+                            retries: detail.retries,
+                            retry_exhausted: detail.retry_exhausted,
+                            degraded_from: (detail.degraded_jobs > 0)
+                                .then_some(detail.writer_backend),
                             verified: report.verified_consistent() == Some(true),
                         });
                     }
@@ -675,7 +693,7 @@ pub struct RecoveryTierRow {
 pub fn recovery_tiers(ticks: u64, scratch: &Path) -> io::Result<Vec<RecoveryTierRow>> {
     use mmoc_core::{ShardFilter, ShardMap};
     use mmoc_storage::recovery::{
-        recover_and_replay, recover_and_replay_log, recover_from_replica,
+        recover_and_replay, recover_and_replay_log, recover_from_replica, RecoveryOpts,
     };
     use mmoc_storage::{shard_dir, ReplicaSet};
     use std::sync::Arc;
@@ -741,10 +759,15 @@ pub fn recovery_tiers(ticks: u64, scratch: &Path) -> io::Result<Vec<RecoveryTier
                     DiskOrg::Log => recover_and_replay_log(&sdir, g, &mut replay, ticks),
                 }?;
                 let mut replay = ShardFilter::new(trace.build(), map.clone(), s);
-                let mut via = recover_from_replica(&set, s as u32, g, &mut replay, ticks, None)
-                    .ok_or_else(|| {
-                    io::Error::other("replica fetch missed after a clean run")
-                })??;
+                let mut via = recover_from_replica(
+                    &set,
+                    s as u32,
+                    g,
+                    &mut replay,
+                    ticks,
+                    &RecoveryOpts::default(),
+                )
+                .ok_or_else(|| io::Error::other("replica fetch missed after a clean run"))??;
 
                 // Restore phases are sub-millisecond here, so a single
                 // sample is mostly allocator page faults and scheduler
@@ -761,8 +784,15 @@ pub fn recovery_tiers(ticks: u64, scratch: &Path) -> io::Result<Vec<RecoveryTier
                     }?;
                     disk.restore_s = disk.restore_s.min(r.restore_s);
                     let mut idle = ShardFilter::new(trace.build(), map.clone(), s);
-                    let r = recover_from_replica(&set, s as u32, g, &mut idle, 0, None)
-                        .ok_or_else(|| io::Error::other("replica fetch missed on re-run"))??;
+                    let r = recover_from_replica(
+                        &set,
+                        s as u32,
+                        g,
+                        &mut idle,
+                        0,
+                        &RecoveryOpts::default(),
+                    )
+                    .ok_or_else(|| io::Error::other("replica fetch missed on re-run"))??;
                     via.restore_s = via.restore_s.min(r.restore_s);
                 }
 
@@ -830,7 +860,8 @@ pub fn write_writers_json(path: &Path, rows: &[WriterBackendRow]) -> io::Result<
              \"fsyncs_per_checkpoint\": {}, \"avg_batch_jobs\": {}, \
              \"avg_sqe_batch\": {}, \"bytes_written\": {}, \
              \"ack_p50_s\": {}, \"ack_p99_s\": {}, \"overhead_s\": {}, \"checkpoint_s\": {}, \
-             \"recovery_s\": {}, \"run_wall_s\": {}, \"verified\": {}}}{sep}",
+             \"recovery_s\": {}, \"run_wall_s\": {}, \"retries\": {}, \
+             \"retry_exhausted\": {}, \"degraded_from\": {}, \"verified\": {}}}{sep}",
             r.backend.label(),
             r.effective_backend.label(),
             r.algorithm.short_name(),
@@ -851,6 +882,10 @@ pub fn write_writers_json(path: &Path, rows: &[WriterBackendRow]) -> io::Result<
             json_num(r.checkpoint_s),
             json_num(r.recovery_s),
             json_num(r.run_wall_s),
+            r.retries,
+            r.retry_exhausted,
+            r.degraded_from
+                .map_or_else(|| "null".to_string(), |b| format!("\"{}\"", b.label())),
             r.verified,
         )?;
     }
@@ -1025,6 +1060,11 @@ mod tests {
             assert!(r.ack_p99_s >= r.ack_p50_s, "{r:?}");
             assert!(r.throughput_cps > 0.0, "{r:?}");
             assert!(r.bytes_written > 0, "checkpoints moved bytes: {r:?}");
+            // The bench grid injects no transient faults, so the retry
+            // and degradation counters must read as a healthy disk.
+            assert_eq!(r.retries, 0, "{r:?}");
+            assert_eq!(r.retry_exhausted, 0, "{r:?}");
+            assert_eq!(r.degraded_from, None, "{r:?}");
             match r.backend {
                 WriterBackend::ThreadPool => {
                     assert_eq!(r.window_us, 0, "pool runs only at window 0");
@@ -1131,6 +1171,9 @@ mod tests {
             "\"effective_backend\"",
             "\"avg_sqe_batch\"",
             "\"bytes_written\"",
+            "\"retries\"",
+            "\"retry_exhausted\"",
+            "\"degraded_from\"",
         ] {
             assert!(text.contains(key), "{key} missing from {text}");
         }

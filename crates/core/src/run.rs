@@ -204,6 +204,18 @@ pub struct RunSpec {
     /// the engine's configured default. Real engine only: the simulator
     /// rejects a non-zero factor as unsupported.
     pub replication: Option<u32>,
+    /// Retry budget of the writer backends for transient I/O faults:
+    /// how many times a failed data write / fsync / meta commit is
+    /// re-issued before the error takes the degradation ladder (see
+    /// [`Run::retry_max`]). `Some(0)` pins the historical
+    /// immediate-propagation engine; `None` keeps the engine's
+    /// configured default. Real engine only; the simulator models no
+    /// I/O faults and ignores it.
+    pub retry_max: Option<u32>,
+    /// Linear backoff base between retry attempts, in microseconds
+    /// (attempt `k` sleeps `k × backoff`; see [`Run::retry_backoff`]).
+    /// `None` keeps the engine's configured default.
+    pub retry_backoff_us: Option<u64>,
 }
 
 impl RunSpec {
@@ -220,6 +232,8 @@ impl RunSpec {
             batch_window_us: None,
             pipeline_depth: None,
             replication: None,
+            retry_max: None,
+            retry_backoff_us: None,
         }
     }
 
@@ -380,6 +394,24 @@ impl<E, T> Run<E, T> {
     /// tier it does not model.
     pub fn replication(mut self, k: u32) -> Self {
         self.spec.replication = Some(k);
+        self
+    }
+
+    /// Allow the real engine's writer up to `max` retries per failed
+    /// data write / fsync / meta commit before the error takes the
+    /// degradation ladder (typed `RunError` on the pool/batched
+    /// engines, dead-flag synchronous redo on io_uring). `0` pins the
+    /// historical immediate-propagation engine. Interpreted by the
+    /// real engine; the simulator models no I/O faults.
+    pub fn retry_max(mut self, max: u32) -> Self {
+        self.spec.retry_max = Some(max);
+        self
+    }
+
+    /// Linear backoff base between writer retry attempts (attempt `k`
+    /// sleeps `k × backoff`). Interpreted by the real engine.
+    pub fn retry_backoff(mut self, backoff: std::time::Duration) -> Self {
+        self.spec.retry_backoff_us = Some(u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX));
         self
     }
 
@@ -603,6 +635,19 @@ pub struct RealRunDetail {
     /// write-amplification numerator next to the trace's logical update
     /// volume.
     pub bytes_written: u64,
+    /// Retry attempts the writer performed on transient I/O faults
+    /// (each re-issue of a failed data write / fsync / meta commit;
+    /// zero when no faults were injected or the retry budget is 0).
+    pub retries: u64,
+    /// Operations whose retry budget ran out: the error took the
+    /// degradation ladder instead of being masked.
+    pub retry_exhausted: u64,
+    /// Flush jobs completed through the degradation ladder — on
+    /// io_uring, jobs redone synchronously after the ring's dead flag
+    /// latched mid-run (zero elsewhere; a capability-probe fallback
+    /// is reported via [`RealRunDetail::writer_fallback_from`], not
+    /// here).
+    pub degraded_jobs: u64,
     /// Submission-queue entries the io_uring backend pushed per
     /// `io_uring_enter` round, job-weighted average (0.0 for backends
     /// that never touch a ring).
@@ -897,8 +942,12 @@ mod tests {
             .writer(WriterBackend::AsyncBatched)
             .batch_window(std::time::Duration::from_micros(250))
             .pipeline_depth(2)
-            .replication(1);
+            .replication(1)
+            .retry_max(2)
+            .retry_backoff(std::time::Duration::from_micros(100));
         let spec = run.spec();
+        assert_eq!(spec.retry_max, Some(2));
+        assert_eq!(spec.retry_backoff_us, Some(100));
         assert_eq!(spec.algorithm, Algorithm::CopyOnUpdate);
         assert_eq!(spec.shards, 4);
         assert!(spec.batching);

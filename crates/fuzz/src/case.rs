@@ -13,6 +13,7 @@
 
 use mmoc_core::{Algorithm, DiskOrg, WriterBackend};
 use mmoc_storage::crash::{plan_spec, CrashAction, CrashPlan, CrashPoint, ALL_POINTS, N_POINTS};
+use mmoc_storage::fault::{fault_spec, FaultPlan, FaultSite, ALL_KINDS};
 
 /// One fully specified fuzz case: engine configuration, synthetic trace
 /// axes, and the armed crash plan.
@@ -44,6 +45,12 @@ pub struct FuzzCase {
     pub replication: u32,
     /// The armed crash plan (point, hit index, torn offset, action).
     pub plan: CrashPlan,
+    /// Optional transient-fault schedule layered over the crash plan:
+    /// a burst of injected I/O errors the retry budget must absorb.
+    pub fault: Option<FaultPlan>,
+    /// Writer/recovery retry budget (`MMOC_WRITER_RETRY_MAX` semantics;
+    /// derivation keeps any fault burst within it so runs complete).
+    pub retry_max: u32,
 }
 
 /// SplitMix64 — tiny, seedable, and good enough for axis sampling.
@@ -149,17 +156,59 @@ impl FuzzCase {
         // minority of cases carry the tier along so every older point is
         // also exercised with mirrors active.
         let replication = match point {
-            ReplicaPushPreCommit | ReplicaPushPostCommit | ReplicaFetch => 1 + r.below(2) as u32,
+            ReplicaPushPreCommit | ReplicaPushPostCommit | ReplicaFetch | ReplicaFetchMid => {
+                1 + r.below(2) as u32
+            }
             _ if r.chance(3) => r.pick(&[1_u32, 2]),
             _ => 0,
         };
 
         // Fetch attempts are bounded by shards × mirrors and recovery
         // stops at the first surviving copy, so a fetch-point hit index
-        // past the shard count could never be reached.
+        // past the shard count could never be reached. The recovery
+        // re-crash points are likewise bounded by what one restore pass
+        // actually reaches: the image read happens once per shard, the
+        // replay tail may be short (a checkpoint can land on the last
+        // tick), and a mid-fetch death consumes one mirror attempt.
         let hit = match point {
-            ReplicaFetch => 1 + r.below(u64::from(shards)),
+            ReplicaFetch | RecoveryReadImage => 1 + r.below(u64::from(shards)),
+            RecoveryReplayTick => 1 + r.below(2),
+            ReplicaFetchMid => 1,
             _ => 1 + r.below(3),
+        };
+
+        // Transient-fault schedule: a third of the corpus layers an I/O
+        // error burst over the crash plan (crash point × transient
+        // schedule, the multi-fault grid). The site is clamped to a seam
+        // this configuration actually reaches, and the burst never
+        // exceeds the retry budget, so every derived run completes —
+        // retry exhaustion and backend degradation are pinned by unit
+        // tests, since the oracle demands runs that finish.
+        let (fault, retry_max) = if r.chance(3) {
+            let site = match (backend, algorithm.spec().disk_org) {
+                (WriterBackend::IoUring, _) => r.pick(&[FaultSite::UringCqe, FaultSite::ImageRead]),
+                (_, DiskOrg::DoubleBackup) => r.pick(&[
+                    FaultSite::BackupWrite,
+                    FaultSite::BackupSync,
+                    FaultSite::BackupCommit,
+                    FaultSite::ImageRead,
+                ]),
+                (_, DiskOrg::Log) => r.pick(&[
+                    FaultSite::LogAppend,
+                    FaultSite::LogSync,
+                    FaultSite::ImageRead,
+                ]),
+            };
+            let retry_max = 1 + r.below(3) as u32;
+            let plan = FaultPlan {
+                site,
+                hit: 1 + r.below(3),
+                kind: r.pick(&ALL_KINDS),
+                burst: 1 + r.below(u64::from(retry_max)),
+            };
+            (Some(plan), retry_max)
+        } else {
+            (None, 3)
         };
 
         FuzzCase {
@@ -181,6 +230,8 @@ impl FuzzCase {
                 torn: r.below(97),
                 action,
             },
+            fault,
+            retry_max,
         }
     }
 
@@ -189,7 +240,7 @@ impl FuzzCase {
     #[must_use]
     pub fn spec(&self) -> String {
         format!(
-            "alg={},shards={},backend={},depth={},window={},dsync={},coalesce={},ticks={},upt={},skew={},tseed={},repl={},crash={}",
+            "alg={},shards={},backend={},depth={},window={},dsync={},coalesce={},ticks={},upt={},skew={},tseed={},repl={},crash={},fault={},retrymax={}",
             self.algorithm.short_name(),
             self.shards,
             self.backend.label(),
@@ -203,6 +254,8 @@ impl FuzzCase {
             self.trace_seed,
             self.replication,
             self.plan.spec(),
+            self.fault.as_ref().map_or_else(|| "none".to_string(), FaultPlan::spec),
+            self.retry_max,
         )
     }
 
@@ -211,6 +264,10 @@ impl FuzzCase {
     /// reported by name.
     pub fn parse(spec: &str) -> Result<FuzzCase, String> {
         let mut case = FuzzCase::derive(0, 0);
+        // The fault axes are optional keys with production defaults —
+        // reset whatever case 0 happened to derive before overlaying.
+        case.fault = None;
+        case.retry_max = 3;
         let mut seen = 0_u32;
         for pair in spec.split(',') {
             let (k, v) = pair
@@ -239,6 +296,20 @@ impl FuzzCase {
                 "tseed" => case.trace_seed = v.parse().map_err(|_| bad("tseed"))?,
                 "repl" => case.replication = v.parse().map_err(|_| bad("repl"))?,
                 "crash" => case.plan = plan_spec(v)?,
+                // Optional axes (pre-fault specs omit them) — not
+                // counted toward the required-key minimum.
+                "fault" => {
+                    case.fault = if v == "none" {
+                        None
+                    } else {
+                        Some(fault_spec(v)?)
+                    };
+                    continue;
+                }
+                "retrymax" => {
+                    case.retry_max = v.parse().map_err(|_| bad("retrymax"))?;
+                    continue;
+                }
                 _ => return Err(format!("unknown key {k:?}")),
             }
             seen += 1;
@@ -301,7 +372,46 @@ mod tests {
                             assert!(c.plan.hit <= u64::from(c.shards));
                         }
                     }
+                    ReplicaFetchMid => {
+                        assert!(
+                            (1..=2).contains(&c.replication),
+                            "a mid-fetch peer death needs mirrors to die"
+                        );
+                        assert_eq!(c.plan.hit, 1, "one mirror attempt is consumed per fire");
+                    }
+                    RecoveryReadImage => {
+                        assert!(c.plan.point.is_recovery_point());
+                        assert!(
+                            c.plan.hit <= u64::from(c.shards),
+                            "one image read per shard restore"
+                        );
+                    }
+                    RecoveryReplayTick => {
+                        assert!(c.plan.point.is_recovery_point());
+                        assert!(c.plan.hit <= 2, "replay tails can be short");
+                    }
                     _ => {}
+                }
+                if let Some(f) = c.fault {
+                    assert!(
+                        f.burst <= u64::from(c.retry_max),
+                        "derived bursts stay within the retry budget"
+                    );
+                    match f.site {
+                        FaultSite::UringCqe => assert_eq!(c.backend, WriterBackend::IoUring),
+                        FaultSite::BackupWrite
+                        | FaultSite::BackupSync
+                        | FaultSite::BackupCommit => {
+                            assert_eq!(org, DiskOrg::DoubleBackup);
+                            assert_ne!(c.backend, WriterBackend::IoUring);
+                        }
+                        FaultSite::LogAppend | FaultSite::LogSync => {
+                            assert_eq!(org, DiskOrg::Log);
+                            assert_ne!(c.backend, WriterBackend::IoUring);
+                        }
+                        // Recovery reads are backend-independent.
+                        FaultSite::ImageRead => {}
+                    }
                 }
                 assert!(
                     c.plan.action == CrashAction::Crash
@@ -325,5 +435,20 @@ mod tests {
             "partial specs rejected"
         );
         assert!(FuzzCase::parse("nonsense").is_err());
+    }
+
+    /// Specs written before the fault axes existed (13 keys, no
+    /// `fault=`/`retrymax=`) still parse, with production defaults.
+    #[test]
+    fn pre_fault_specs_parse_with_defaults() {
+        let full = FuzzCase::derive(42, 1).spec();
+        let legacy = full.split(",fault=").next().unwrap();
+        let back = FuzzCase::parse(legacy).expect("13-key spec must parse");
+        assert_eq!(back.fault, None);
+        assert_eq!(back.retry_max, 3);
+        assert!(
+            FuzzCase::parse("fault=none,retrymax=3").is_err(),
+            "optional keys do not count toward the required minimum"
+        );
     }
 }

@@ -8,6 +8,7 @@
 
 use mmoc_core::{Algorithm, WriterBackend};
 use mmoc_storage::crash::{CrashAction, CrashPlan, CrashPoint};
+use mmoc_storage::fault::{FaultKind, FaultPlan, FaultSite};
 
 use crate::case::FuzzCase;
 
@@ -26,6 +27,8 @@ fn base(algorithm: Algorithm, backend: WriterBackend, point: CrashPoint) -> Fuzz
         trace_seed: 0xC0FF_EE00,
         replication: 0,
         plan: CrashPlan::at(point),
+        fault: None,
+        retry_max: 3,
     }
 }
 
@@ -104,6 +107,59 @@ pub fn named_seeds() -> Vec<(&'static str, FuzzCase)> {
     peer_death.shards = 4;
     peer_death.replication = 1;
 
+    // Re-crash while reading the checkpoint image back: the first
+    // recovery attempt dies after the read, the restarted attempt must
+    // restore the same image and match the oracle.
+    let reread = base(CopyOnUpdate, ThreadPool, RecoveryReadImage);
+
+    // Re-crash mid-way through the replay tail (the second replayed
+    // tick), over the log organization.
+    let mut replay_tear = base(PartialRedo, ThreadPool, RecoveryReplayTick);
+    replay_tear.plan.hit = 2;
+
+    // A peer dies *mid-fetch* with a second mirror standing by: the
+    // partial copy is discarded and the next mirror serves.
+    let mut fetch_mid = base(CopyOnUpdatePartialRedo, ThreadPool, ReplicaFetchMid);
+    fetch_mid.shards = 4;
+    fetch_mid.replication = 2;
+
+    // Transient EIO burst on the backup write path, layered under the
+    // curated pre-commit crash: the retry budget absorbs the burst and
+    // the crash semantics must be unchanged.
+    let mut flaky_write = base(CopyOnUpdate, AsyncBatched, BackupCommit);
+    flaky_write.fault = Some(FaultPlan {
+        site: FaultSite::BackupWrite,
+        hit: 2,
+        kind: FaultKind::Eio,
+        burst: 2,
+    });
+    flaky_write.retry_max = 2;
+
+    // ENOSPC on the log fsync plus a torn segment seal: the sync fault
+    // injects (and is retried) before the seal crash freezes the disk —
+    // a transient schedule and a crash plan on the same segment
+    // lifecycle.
+    let mut flaky_log = base(PartialRedo, ThreadPool, LogSegmentSealed);
+    flaky_log.plan.torn = 13;
+    flaky_log.fault = Some(FaultPlan {
+        site: FaultSite::LogSync,
+        hit: 1,
+        kind: FaultKind::Enospc,
+        burst: 1,
+    });
+    flaky_log.retry_max = 1;
+
+    // Short reads while restoring the image *and* a re-crash after the
+    // read completes: both recovery attempts fight the same flaky disk.
+    let mut flaky_restore = base(CopyOnUpdate, ThreadPool, RecoveryReadImage);
+    flaky_restore.fault = Some(FaultPlan {
+        site: FaultSite::ImageRead,
+        hit: 1,
+        kind: FaultKind::ShortWrite,
+        burst: 2,
+    });
+    flaky_restore.retry_max = 3;
+
     vec![
         ("mid-write-fallback", mid_write),
         ("pre-commit-meta", pre_commit),
@@ -118,6 +174,12 @@ pub fn named_seeds() -> Vec<(&'static str, FuzzCase)> {
         ("replica-push-open", push_open),
         ("replica-push-published", push_published),
         ("replica-peer-death", peer_death),
+        ("recovery-reread", reread),
+        ("replay-tail-recrash", replay_tear),
+        ("fetch-mid-peer-death", fetch_mid),
+        ("flaky-backup-write", flaky_write),
+        ("flaky-log-sync", flaky_log),
+        ("flaky-image-read", flaky_restore),
     ]
 }
 

@@ -16,7 +16,7 @@ use std::io::Write as _;
 use std::process::ExitCode;
 
 use mmoc_fuzz::{named_seeds, run_case, shrink, FuzzCase};
-use mmoc_storage::crash::{ring_available, CrashPoint, ALL_POINTS, N_POINTS};
+use mmoc_storage::crash::{ring_available, CrashPhase, CrashPoint, ALL_POINTS, N_POINTS};
 
 fn usage() -> String {
     "usage: mmoc-fuzz [--runs N] [--seed S] [--log FILE] | \
@@ -140,6 +140,8 @@ fn run_corpus(opts: &Options) -> ExitCode {
     let mut ring_requested = 0_u64;
     let mut ring_native = 0_u64;
     let mut fired_cases = 0_u64;
+    let mut faults_injected = 0_u64;
+    let mut recoveries_retried = 0_u64;
     let mut failures: Vec<(String, FuzzCase)> = Vec::new();
     const MAX_FAILURES: usize = 10;
 
@@ -173,8 +175,13 @@ fn run_corpus(opts: &Options) -> ExitCode {
             fired_cases += 1;
             fired_points[case.plan.point as usize] = true;
         }
+        faults_injected += out.faults_injected;
+        if out.recovery_retried {
+            recoveries_retried += 1;
+        }
         let status = match (&out.failure, out.fired) {
             (Some(_), _) => "FAIL",
+            (None, true) if out.recovery_retried => "recrashed",
             (None, true) => "fired",
             (None, false) if out.fell_back => "fallback",
             (None, false) => "clean",
@@ -206,7 +213,9 @@ fn run_corpus(opts: &Options) -> ExitCode {
     }
 
     println!(
-        "\n{executed} cases: {fired_cases} fired, {} diverged",
+        "\n{executed} cases: {fired_cases} fired, {} diverged, \
+         {faults_injected} transient faults injected, \
+         {recoveries_retried} recoveries re-crashed and restarted",
         failures.len()
     );
     println!("lattice coverage (crashes fired per point):");
@@ -283,18 +292,24 @@ fn run_one(case: &FuzzCase, origin: &str) -> ExitCode {
 fn list_points() -> ExitCode {
     use mmoc_core::{Algorithm, WriterBackend};
     let sweep = [
-        (Algorithm::CopyOnUpdate, WriterBackend::ThreadPool, 1_u32),
-        (Algorithm::PartialRedo, WriterBackend::ThreadPool, 1),
+        (Algorithm::CopyOnUpdate, WriterBackend::ThreadPool, 1_u32, 0),
+        (Algorithm::PartialRedo, WriterBackend::ThreadPool, 1, 0),
         (
             Algorithm::CopyOnUpdatePartialRedo,
             WriterBackend::AsyncBatched,
             1,
+            0,
         ),
-        (Algorithm::CopyOnUpdate, WriterBackend::AsyncBatched, 4),
-        (Algorithm::AtomicCopyDirtyObjects, WriterBackend::IoUring, 4),
+        (Algorithm::CopyOnUpdate, WriterBackend::AsyncBatched, 4, 2),
+        (
+            Algorithm::AtomicCopyDirtyObjects,
+            WriterBackend::IoUring,
+            4,
+            0,
+        ),
     ];
     let mut totals = [0_u64; N_POINTS];
-    for (alg, backend, shards) in sweep {
+    for (alg, backend, shards, replication) in sweep {
         let mut case = FuzzCase::derive(0, 0);
         case.algorithm = alg;
         case.backend = backend;
@@ -306,6 +321,9 @@ fn list_points() -> ExitCode {
         case.ticks = 12;
         case.updates_per_tick = 120;
         case.trace_seed = 7;
+        case.replication = replication;
+        case.fault = None;
+        case.retry_max = 3;
         match mmoc_fuzz::oracle::tracking_run(&case) {
             Ok(counts) => {
                 for (i, n) in counts.iter().enumerate() {
@@ -319,17 +337,26 @@ fn list_points() -> ExitCode {
         }
     }
     println!("{:<22} {:>8}  description", "point", "reaches");
-    for p in ALL_POINTS {
-        println!(
-            "{:<22} {:>8}  {}",
-            p.name(),
-            totals[p as usize],
-            p.describe()
-        );
+    for phase in [
+        CrashPhase::Submit,
+        CrashPhase::Complete,
+        CrashPhase::Recovery,
+    ] {
+        println!("[{} phase]", phase.label());
+        for p in ALL_POINTS.into_iter().filter(|p| p.phase() == phase) {
+            println!(
+                "  {:<20} {:>8}  {}",
+                p.name(),
+                totals[p as usize],
+                p.describe()
+            );
+            println!("  {:<20} {:>8}  compat: {}", "", "", p.compat());
+        }
     }
     if !ring_available() {
         println!("(io_uring unavailable on this kernel: uring-* reaches are 0 by fallback)");
     }
+    println!("(replica-tier reaches require mirrors: only sweeps with replication > 0 count them)");
     ExitCode::SUCCESS
 }
 

@@ -79,6 +79,22 @@ fn transforms(c: &FuzzCase) -> Vec<FuzzCase> {
         t.replication = 1;
         out.push(t);
     }
+    // A failure that survives without the transient schedule is a pure
+    // crash-plan failure — much easier to reason about.
+    if c.fault.is_some() {
+        let mut t = *c;
+        t.fault = None;
+        t.retry_max = 3;
+        out.push(t);
+    }
+    // Failing that, a single injected error beats a burst.
+    if c.fault.is_some_and(|f| f.burst > 1) {
+        let mut t = *c;
+        if let Some(f) = &mut t.fault {
+            f.burst = 1;
+        }
+        out.push(t);
+    }
     out
 }
 
@@ -98,6 +114,9 @@ mod tests {
                 assert!(t.plan.torn <= c.plan.torn);
                 if c.plan.point == CrashPoint::DeviceBarrier {
                     assert_eq!(t.shards, 4, "device barrier keeps its four shards");
+                }
+                if let (Some(tf), Some(cf)) = (t.fault, c.fault) {
+                    assert!(tf.burst <= cf.burst, "fault moves only shrink the burst");
                 }
             }
         }

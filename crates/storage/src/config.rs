@@ -1,6 +1,7 @@
 //! Configuration of the real engine.
 
 use crate::crash::CrashState;
+use crate::fault::{FaultState, RetryPolicy};
 use mmoc_core::WriterBackend;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -111,6 +112,29 @@ pub struct RealConfig {
     /// One `Arc` is shared by every shard of the run; a simulated
     /// crash freezes all shards' disks together.
     pub crash: Option<Arc<CrashState>>,
+    /// Transient-fault failpoint state for this run: `None` (the
+    /// default) in production — every injection seam is then a single
+    /// `Option` check — or a per-run [`FaultState`] installed by the
+    /// fuzz harness ([`RealConfig::with_fault_state`]) or the
+    /// `MMOC_FAULTS` environment variable
+    /// (`site[:hit[:kind[:burst]]]`, see [`crate::fault::fault_spec`]).
+    /// One `Arc` is shared by every shard of the run.
+    pub fault: Option<Arc<FaultState>>,
+    /// Retry budget of the writer backends for transient I/O faults:
+    /// how many times a failed data write / fsync / meta commit is
+    /// re-issued before the error takes the degradation ladder
+    /// (typed `RunError` on the pool/batched engines, dead-flag
+    /// synchronous redo on io_uring). `0` reproduces the historical
+    /// immediate-propagation engine bit for bit. Defaults to 3,
+    /// overridable via `MMOC_WRITER_RETRY_MAX`; explicit settings
+    /// ([`RealConfig::with_retry`]) win over the environment.
+    pub retry_max: u32,
+    /// Linear backoff base between retry attempts (attempt `k` sleeps
+    /// `k × backoff`). Defaults to zero (spin retry — transient
+    /// failpoints clear by reach count, not by time), overridable via
+    /// `MMOC_WRITER_RETRY_BACKOFF` (`250us`, `2ms`, bare integer in
+    /// microseconds).
+    pub retry_backoff: Duration,
     /// Replication factor K of the in-memory recovery tier: each shard
     /// pushes its committed checkpoint deltas to K peer-shard mirrors
     /// (publish-on-commit), and single-shard recovery tries a replica
@@ -146,6 +170,9 @@ impl RealConfig {
         let (device_sync, device_err) = device_sync_from_env();
         let (writer_backend, backend_err) = writer_backend_from_env();
         let (crash, crash_err) = crash_from_env();
+        let (fault, fault_err) = fault_from_env();
+        let (retry_max, retry_max_err) = retry_max_from_env();
+        let (retry_backoff, retry_backoff_err) = retry_backoff_from_env();
         let (replication_factor, replication_err) = replication_from_env();
         RealConfig {
             dir: dir.into(),
@@ -163,6 +190,9 @@ impl RealConfig {
             device_sync,
             pipeline_depth,
             crash,
+            fault,
+            retry_max,
+            retry_backoff,
             replication_factor,
             replica_set: None,
             env_error: backend_err
@@ -170,6 +200,9 @@ impl RealConfig {
                 .or(depth_err)
                 .or(device_err)
                 .or(crash_err)
+                .or(fault_err)
+                .or(retry_max_err)
+                .or(retry_backoff_err)
                 .or(replication_err),
         }
     }
@@ -266,6 +299,32 @@ impl RealConfig {
     pub fn with_crash_state(mut self, state: Arc<CrashState>) -> Self {
         self.crash = Some(state);
         self
+    }
+
+    /// Install a per-run transient-fault failpoint state (see
+    /// [`RealConfig::fault`]). The fuzz harness keeps a clone of the
+    /// `Arc` to read the injected-fault tally after the run.
+    pub fn with_fault_state(mut self, state: Arc<FaultState>) -> Self {
+        self.fault = Some(state);
+        self
+    }
+
+    /// Set the writer's transient-fault retry budget and backoff base
+    /// (see [`RealConfig::retry_max`]; `max = 0` is the historical
+    /// immediate-propagation engine).
+    pub fn with_retry(mut self, max: u32, backoff: Duration) -> Self {
+        self.retry_max = max;
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// The writer layer's retry policy for this run.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max: self.retry_max,
+            backoff: self.retry_backoff,
+        }
     }
 
     /// Set the replica tier's replication factor (see
@@ -439,6 +498,70 @@ fn crash_from_spec(v: &str) -> (Option<Arc<CrashState>>, Option<String>) {
     }
 }
 
+/// The process-wide transient-fault default: an armed [`FaultState`]
+/// when `MMOC_FAULTS` holds a valid `site[:hit[:kind[:burst]]]` spec,
+/// none otherwise. Garbage is a typed error message naming the
+/// variable (surfaced as `RunError::Config` when the run starts, like
+/// the other `MMOC_*` knobs), not a panic. Returns
+/// `(state, deferred_error)`.
+fn fault_from_env() -> (Option<Arc<FaultState>>, Option<String>) {
+    match std::env::var("MMOC_FAULTS") {
+        Err(_) => (None, None),
+        Ok(v) => fault_from_spec(&v),
+    }
+}
+
+/// The value half of [`fault_from_env`], split out so the error path
+/// is testable without racing parallel tests on the process
+/// environment.
+fn fault_from_spec(v: &str) -> (Option<Arc<FaultState>>, Option<String>) {
+    match crate::fault::fault_spec(v.trim()) {
+        Ok(plan) => (Some(Arc::new(FaultState::armed(plan))), None),
+        Err(msg) => (
+            None,
+            Some(format!("unrecognized MMOC_FAULTS value {v:?}: {msg}")),
+        ),
+    }
+}
+
+/// The process-wide retry-budget default: `MMOC_WRITER_RETRY_MAX` if
+/// set, 3 otherwise (`0` = the historical immediate-propagation
+/// engine). Returns `(max, deferred_error)`.
+fn retry_max_from_env() -> (u32, Option<String>) {
+    match std::env::var("MMOC_WRITER_RETRY_MAX") {
+        Err(_) => (3, None),
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) => (n, None),
+            Err(_) => (
+                3,
+                Some(format!(
+                    "unrecognized MMOC_WRITER_RETRY_MAX value {v:?}; \
+                     use an unsigned integer (0 disables retries)"
+                )),
+            ),
+        },
+    }
+}
+
+/// The process-wide retry-backoff default: `MMOC_WRITER_RETRY_BACKOFF`
+/// if set (`250us`, `2ms`, `1s`, or a bare integer in microseconds),
+/// zero otherwise. Returns `(backoff, deferred_error)`.
+fn retry_backoff_from_env() -> (Duration, Option<String>) {
+    match std::env::var("MMOC_WRITER_RETRY_BACKOFF") {
+        Err(_) => (Duration::ZERO, None),
+        Ok(v) => match parse_window(&v) {
+            Some(d) => (d, None),
+            None => (
+                Duration::ZERO,
+                Some(format!(
+                    "unrecognized MMOC_WRITER_RETRY_BACKOFF value {v:?}; \
+                     use e.g. \"0\", \"250us\", \"2ms\" or \"1s\""
+                )),
+            ),
+        },
+    }
+}
+
 /// Parse a window spec: `250us`, `2ms`, `1s`, or a bare integer
 /// (microseconds).
 fn parse_window(v: &str) -> Option<Duration> {
@@ -485,6 +608,34 @@ mod tests {
         let msg = err.expect("garbage must defer an error");
         assert!(msg.contains("MMOC_FUZZ_CRASH"), "{msg}");
         assert!(msg.contains("no-such-point"), "{msg}");
+    }
+
+    /// `MMOC_FAULTS` follows the writer-knob contract: a valid spec
+    /// arms a fault state, garbage becomes a deferred error naming
+    /// the variable, and the armed plan round-trips the spec exactly.
+    #[test]
+    fn fault_specs_arm_or_defer_a_named_error() {
+        let (state, err) = fault_from_spec(" backup-write:2:short-write:3 ");
+        assert!(err.is_none(), "{err:?}");
+        let plan = state.expect("armed").plan().expect("plan");
+        assert_eq!(plan.spec(), "backup-write:2:short-write:3");
+
+        let (state, err) = fault_from_spec("no-such-site:1");
+        assert!(state.is_none());
+        let msg = err.expect("garbage must defer an error");
+        assert!(msg.contains("MMOC_FAULTS"), "{msg}");
+        assert!(msg.contains("no-such-site"), "{msg}");
+    }
+
+    #[test]
+    fn retry_knobs_default_and_build() {
+        let cfg = RealConfig::new("/tmp/x");
+        assert_eq!(cfg.retry_max, 3, "bounded retries by default");
+        assert_eq!(cfg.retry_backoff, Duration::ZERO);
+        assert!(cfg.fault.is_none(), "no failpoints in production");
+        let cfg = cfg.with_retry(0, Duration::from_micros(250));
+        assert_eq!(cfg.retry_policy().max, 0, "historical engine");
+        assert_eq!(cfg.retry_policy().backoff, Duration::from_micros(250));
     }
 
     #[test]

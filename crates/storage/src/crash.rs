@@ -82,14 +82,28 @@ pub enum CrashPoint {
     /// on the new checkpoint.
     ReplicaPushPostCommit = 14,
     /// A recovery-time replica fetch attempt (one reach per mirror
-    /// tried); firing simulates the hosting peer dying mid-transfer, so
-    /// that mirror is skipped and recovery moves to the next copy or
-    /// falls back to disk.
+    /// tried); firing simulates the hosting peer dying *before* the
+    /// mirror lock is taken, so that mirror is skipped and recovery
+    /// moves to the next copy or falls back to disk.
     ReplicaFetch = 15,
+    /// Recovery read the newest consistent image (backup file or log
+    /// reconstruction) but has not started replaying; firing simulates
+    /// a re-crash mid-restore — the recovery attempt errors out and
+    /// must be restarted from scratch.
+    RecoveryReadImage = 16,
+    /// One reach per tick replayed over the restored image; firing
+    /// simulates a re-crash mid-tail-replay — the recovery attempt
+    /// errors out and must be restarted from scratch.
+    RecoveryReplayTick = 17,
+    /// A recovery-time replica fetch locked a complete mirror and is
+    /// copying its image; firing simulates the hosting peer dying
+    /// mid-transfer — the partial copy is discarded and recovery tries
+    /// the next mirror (K ≥ 2 survives) before falling back to disk.
+    ReplicaFetchMid = 18,
 }
 
 /// Number of registered crash points.
-pub const N_POINTS: usize = 16;
+pub const N_POINTS: usize = 19;
 
 /// Every registered crash point, in registry (discriminant) order.
 pub const ALL_POINTS: [CrashPoint; N_POINTS] = [
@@ -109,6 +123,9 @@ pub const ALL_POINTS: [CrashPoint; N_POINTS] = [
     CrashPoint::ReplicaPushPreCommit,
     CrashPoint::ReplicaPushPostCommit,
     CrashPoint::ReplicaFetch,
+    CrashPoint::RecoveryReadImage,
+    CrashPoint::RecoveryReplayTick,
+    CrashPoint::ReplicaFetchMid,
 ];
 
 impl CrashPoint {
@@ -133,6 +150,9 @@ impl CrashPoint {
             CrashPoint::ReplicaPushPreCommit => "replica-push-pre-commit",
             CrashPoint::ReplicaPushPostCommit => "replica-push-post-commit",
             CrashPoint::ReplicaFetch => "replica-fetch",
+            CrashPoint::RecoveryReadImage => "recovery-read-image",
+            CrashPoint::RecoveryReplayTick => "recovery-replay-tick",
+            CrashPoint::ReplicaFetchMid => "replica-fetch-mid",
         }
     }
 
@@ -172,6 +192,103 @@ impl CrashPoint {
                 "checkpoint committed and delta published to mirrors"
             }
             CrashPoint::ReplicaFetch => "recovery-time replica fetch attempt (peer death)",
+            CrashPoint::RecoveryReadImage => "re-crash after the restore image was read",
+            CrashPoint::RecoveryReplayTick => "re-crash mid tail replay (one reach per tick)",
+            CrashPoint::ReplicaFetchMid => "peer death mid mirror transfer (next mirror tried)",
+        }
+    }
+
+    /// The durability phase the point sits in, for grouped listings.
+    #[must_use]
+    pub fn phase(self) -> CrashPhase {
+        match self {
+            CrashPoint::JobEnqueued
+            | CrashPoint::BackupInvalidate
+            | CrashPoint::BackupWriteObject
+            | CrashPoint::LogAppendObject
+            | CrashPoint::LogSegmentSealed
+            | CrashPoint::JobSubmitted
+            | CrashPoint::UringWaveStaged => CrashPhase::Submit,
+            CrashPoint::BackupCommit
+            | CrashPoint::CompleteBeforeSync
+            | CrashPoint::CompleteBeforeCommit
+            | CrashPoint::SchedulerCommitSeam
+            | CrashPoint::DeviceBarrier
+            | CrashPoint::UringWaveComplete
+            | CrashPoint::ReplicaPushPreCommit
+            | CrashPoint::ReplicaPushPostCommit => CrashPhase::Complete,
+            CrashPoint::ReplicaFetch
+            | CrashPoint::RecoveryReadImage
+            | CrashPoint::RecoveryReplayTick
+            | CrashPoint::ReplicaFetchMid => CrashPhase::Recovery,
+        }
+    }
+
+    /// True for the points consulted *during recovery* rather than
+    /// during the run: they never freeze the disk — firing makes the
+    /// recovery attempt fail (or skip a mirror) and a restarted
+    /// attempt must succeed.
+    #[must_use]
+    pub fn is_recovery_point(self) -> bool {
+        self.phase() == CrashPhase::Recovery
+    }
+
+    /// Human-readable compatibility set: the run shapes under which
+    /// the point can be reached at all (`mmoc-fuzz --list-points`
+    /// prints this next to the reach counts so the grown lattice
+    /// stays auditable).
+    #[must_use]
+    pub fn compat(self) -> &'static str {
+        match self {
+            CrashPoint::JobEnqueued
+            | CrashPoint::CompleteBeforeSync
+            | CrashPoint::CompleteBeforeCommit => "any backend, any algorithm",
+            CrashPoint::BackupInvalidate | CrashPoint::BackupCommit => {
+                "double-backup algorithms, any backend"
+            }
+            CrashPoint::BackupWriteObject => "double-backup algorithms, pool/batched backends",
+            CrashPoint::LogAppendObject | CrashPoint::LogSegmentSealed => {
+                "log algorithms, pool/batched backends"
+            }
+            CrashPoint::JobSubmitted => "pool/batched backends",
+            CrashPoint::SchedulerCommitSeam => "batched/uring backends",
+            CrashPoint::DeviceBarrier => {
+                "batched/uring backends, multi-shard, device-sync + coalescing on"
+            }
+            CrashPoint::UringWaveStaged | CrashPoint::UringWaveComplete => {
+                "io-uring backend (ring actually running); also takes ring-death"
+            }
+            CrashPoint::ReplicaPushPreCommit | CrashPoint::ReplicaPushPostCommit => {
+                "replication >= 1"
+            }
+            CrashPoint::ReplicaFetch => "replication >= 1, recovery-time (hit <= mirrors tried)",
+            CrashPoint::RecoveryReadImage | CrashPoint::RecoveryReplayTick => {
+                "recovery-time, any algorithm (disk or replica path)"
+            }
+            CrashPoint::ReplicaFetchMid => "replication >= 1, recovery-time",
+        }
+    }
+}
+
+/// The durability phase a [`CrashPoint`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// Submission: data writes staged, nothing durable yet.
+    Submit,
+    /// Completion: durability points, commits, replica publishes.
+    Complete,
+    /// Recovery: consulted while restoring, not while running.
+    Recovery,
+}
+
+impl CrashPhase {
+    /// Stable display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashPhase::Submit => "submit",
+            CrashPhase::Complete => "complete",
+            CrashPhase::Recovery => "recovery",
         }
     }
 }
@@ -388,6 +505,23 @@ mod tests {
             );
         }
         assert!(CrashPoint::parse("no-such-point").is_err());
+    }
+
+    #[test]
+    fn every_point_has_a_phase_and_compat_set() {
+        let mut recovery = 0;
+        for p in ALL_POINTS {
+            assert!(!p.compat().is_empty());
+            assert!(!p.phase().label().is_empty());
+            if p.is_recovery_point() {
+                recovery += 1;
+                assert_eq!(p.phase(), CrashPhase::Recovery);
+            }
+        }
+        assert_eq!(recovery, 4, "replica-fetch + the three PR-10 points");
+        assert_eq!(CrashPoint::RecoveryReadImage.phase(), CrashPhase::Recovery);
+        assert_eq!(CrashPoint::JobSubmitted.phase(), CrashPhase::Submit);
+        assert_eq!(CrashPoint::BackupCommit.phase(), CrashPhase::Complete);
     }
 
     #[test]

@@ -36,7 +36,7 @@
 use crate::config::RealConfig;
 use crate::files::BackupSet;
 use crate::log_store::LogStore;
-use crate::recovery::{recover_and_replay, recover_and_replay_log};
+use crate::recovery::{recover_and_replay_log_with, recover_and_replay_with, RecoveryOpts};
 use crate::report::{RealReport, RecoveryMeasurement, WriterStats};
 use crate::shared::{Shared, SharedTable};
 use mmoc_core::driver::{CheckpointBackend, FlushCompletion, TickOps};
@@ -67,6 +67,15 @@ impl Store {
         match self {
             Store::Double(set) => set.attach_crash(crash),
             Store::Log(log) => log.attach_crash(crash),
+        }
+    }
+
+    /// Attach a transient-fault failpoint handle to the underlying
+    /// store (see [`crate::fault`]); a `None` handle detaches.
+    pub(crate) fn attach_fault(&mut self, fault: Option<Arc<crate::fault::FaultState>>) {
+        match self {
+            Store::Double(set) => set.attach_fault(fault),
+            Store::Log(log) => log.attach_fault(fault),
         }
     }
 }
@@ -151,6 +160,14 @@ pub(crate) struct Done {
     /// writes (0 for the syscall-per-write backends), reporting how well
     /// the io_uring backend packs the ring.
     pub(crate) sqe_batch: u32,
+    /// Retry attempts the writer spent on this job's transient I/O
+    /// faults (re-issued writes / fsyncs / meta commits).
+    pub(crate) retries: u64,
+    /// Operations of this job whose retry budget ran out.
+    pub(crate) retry_exhausted: u64,
+    /// The job completed through the degradation ladder (io_uring's
+    /// synchronous redo after the ring's dead flag latched).
+    pub(crate) degraded: bool,
 }
 
 /// Per-shard execution ordering for fungible pool workers. Jobs of one
@@ -208,6 +225,14 @@ pub(crate) struct ShardCtx {
     /// seams; the stores inside [`ShardCtx::store`] carry their own
     /// clone for the mutation sites.
     pub(crate) crash: Option<Arc<crate::crash::CrashState>>,
+    /// Transient-fault failpoints shared by the whole run (`None` in
+    /// production): the io_uring backend consults it at the CQE seam;
+    /// the stores inside [`ShardCtx::store`] carry their own clone for
+    /// the syscall sites.
+    pub(crate) fault: Option<Arc<crate::fault::FaultState>>,
+    /// Bounded retry policy for transient I/O faults, applied by every
+    /// writer backend around the store's fallible operations.
+    pub(crate) retry: crate::fault::RetryPolicy,
     /// Replica tier shared by the whole run (`None` when replication is
     /// off): the completion seam pushes each committed checkpoint delta
     /// to the shard's peer mirrors (publish-on-commit).
@@ -298,6 +323,9 @@ impl RealBackend {
         s.bytes_written += done.bytes;
         s.sqe_batch_sum += u64::from(done.sqe_batch);
         s.max_sqe_batch = s.max_sqe_batch.max(done.sqe_batch);
+        s.retries += done.retries;
+        s.retry_exhausted += done.retry_exhausted;
+        s.degraded_jobs += u64::from(done.degraded);
     }
 
     /// The shard's accumulated writer instrumentation.
@@ -485,6 +513,7 @@ pub(crate) fn make_shard(
     let shared = Arc::new(Shared::with_protocol(SharedTable::new(geometry), sweeps));
     let mut store = create_store(dir, geometry, spec.disk_org)?;
     store.attach_crash(config.crash.clone());
+    store.attach_fault(config.fault.clone());
     let frontier = Arc::new(AtomicU64::new(0));
     // The completion channel must hold one ack per in-flight checkpoint,
     // or a worker acking checkpoint N would block the mutator from ever
@@ -508,6 +537,8 @@ pub(crate) fn make_shard(
         done_tx,
         turn: TurnGate::new(),
         crash: config.crash.clone(),
+        fault: config.fault.clone(),
+        retry: config.retry_policy(),
         replicas,
     };
     let backend = RealBackend {
@@ -588,6 +619,7 @@ fn shard_seed(shard: usize) -> u64 {
 /// single-shard runs): restore the newest consistent image from the
 /// organization's files under `dir`, replay the stream, compare
 /// fingerprints.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn measure_recovery<S: TraceSource>(
     disk_org: DiskOrg,
     dir: &Path,
@@ -595,10 +627,11 @@ pub(crate) fn measure_recovery<S: TraceSource>(
     trace: &mut S,
     crash_tick: u64,
     live_fingerprint: u64,
+    opts: &RecoveryOpts,
 ) -> io::Result<RecoveryMeasurement> {
     let rec = match disk_org {
-        DiskOrg::DoubleBackup => recover_and_replay(dir, geometry, trace, crash_tick)?,
-        DiskOrg::Log => recover_and_replay_log(dir, geometry, trace, crash_tick)?,
+        DiskOrg::DoubleBackup => recover_and_replay_with(dir, geometry, trace, crash_tick, opts)?,
+        DiskOrg::Log => recover_and_replay_log_with(dir, geometry, trace, crash_tick, opts)?,
     };
     Ok(RecoveryMeasurement {
         restore_s: rec.restore_s,
@@ -627,11 +660,11 @@ pub(crate) fn measure_recovery_tiered<S: TraceSource>(
     live_fingerprint: u64,
     replicas: Option<&crate::replica::ReplicaSet>,
     shard: u32,
-    crash: Option<&crate::crash::CrashState>,
+    opts: &RecoveryOpts,
 ) -> io::Result<RecoveryMeasurement> {
     if let Some(set) = replicas {
         if let Some(rec) =
-            crate::recovery::recover_from_replica(set, shard, geometry, trace, crash_tick, crash)
+            crate::recovery::recover_from_replica(set, shard, geometry, trace, crash_tick, opts)
         {
             let rec = rec?;
             return Ok(RecoveryMeasurement {
@@ -646,7 +679,15 @@ pub(crate) fn measure_recovery_tiered<S: TraceSource>(
             });
         }
     }
-    measure_recovery(disk_org, dir, geometry, trace, crash_tick, live_fingerprint)
+    measure_recovery(
+        disk_org,
+        dir,
+        geometry,
+        trace,
+        crash_tick,
+        live_fingerprint,
+        opts,
+    )
 }
 
 #[cfg(test)]

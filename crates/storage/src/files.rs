@@ -12,6 +12,7 @@
 //! a consistent image) intact.
 
 use crate::crash::{CrashPoint, CrashState};
+use crate::fault::{FaultKind, FaultSite, FaultState};
 use mmoc_core::{ObjectId, StateGeometry};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -73,6 +74,11 @@ pub struct BackupSet {
     /// down, every mutation below freezes the files as a process
     /// kill would have left them.
     crash: Option<Arc<CrashState>>,
+    /// Transient-fault failpoints (see [`crate::fault`]): `None` in
+    /// production. Consulted at every syscall seam below; an injected
+    /// fault returns an error (after a short write's partial effect)
+    /// and the writer's retry policy re-invokes the operation.
+    fault: Option<Arc<FaultState>>,
 }
 
 impl BackupSet {
@@ -111,6 +117,7 @@ impl BackupSet {
             backups: [make(0)?, make(1)?],
             geometry,
             crash: None,
+            fault: None,
         })
     }
 
@@ -133,6 +140,7 @@ impl BackupSet {
             backups: [make(0)?, make(1)?],
             geometry,
             crash: None,
+            fault: None,
         })
     }
 
@@ -154,6 +162,21 @@ impl BackupSet {
         self.crash.as_ref().is_some_and(|c| c.is_down())
     }
 
+    /// Attach a transient-fault failpoint handle. Installed by the
+    /// engine right after store creation when the run carries a
+    /// [`FaultState`]; production stores never pay more than the
+    /// `None` check.
+    pub fn attach_fault(&mut self, fault: Option<Arc<FaultState>>) {
+        self.fault = fault;
+    }
+
+    /// Consult the transient-fault layer at `site`. `Some(kind)` means
+    /// this call must fail with `kind` (after applying a short write's
+    /// partial effect at sites that carry a payload).
+    fn faulted(&self, site: FaultSite) -> Option<FaultKind> {
+        self.fault.as_ref().and_then(|f| f.consult(site))
+    }
+
     /// Write one object's bytes at its fixed offset in backup `idx`.
     /// Callers must write objects in increasing id order for sorted I/O.
     pub fn write_object(&self, idx: usize, obj: ObjectId, data: &[u8]) -> io::Result<()> {
@@ -171,6 +194,17 @@ impl BackupSet {
                 c.go_down();
                 return Ok(());
             }
+        }
+        if let Some(kind) = self.faulted(FaultSite::BackupWrite) {
+            if kind == FaultKind::ShortWrite {
+                // A short write's partial effect: half the object lands.
+                // Retries overwrite the same fixed offset, so the repair
+                // is positionally idempotent.
+                self.backups[idx]
+                    .file
+                    .write_all_at(&data[..data.len() / 2], self.geometry.object_offset(obj))?;
+            }
+            return Err(kind.to_error());
         }
         self.backups[idx]
             .file
@@ -195,6 +229,15 @@ impl BackupSet {
                 return Ok(());
             }
         }
+        if let Some(kind) = self.faulted(FaultSite::BackupWrite) {
+            if kind == FaultKind::ShortWrite {
+                // Half the image lands; the retry rewrites from offset 0.
+                let f = &mut self.backups[idx].file;
+                f.seek(SeekFrom::Start(0))?;
+                f.write_all(&image[..image.len() / 2])?;
+            }
+            return Err(kind.to_error());
+        }
         let f = &mut self.backups[idx].file;
         f.seek(SeekFrom::Start(0))?;
         f.write_all(image)?;
@@ -205,6 +248,9 @@ impl BackupSet {
     pub fn sync(&self, idx: usize) -> io::Result<()> {
         if self.down() {
             return Ok(());
+        }
+        if let Some(kind) = self.faulted(FaultSite::BackupSync) {
+            return Err(kind.to_error());
         }
         self.backups[idx].file.sync_data()
     }
@@ -242,6 +288,11 @@ impl BackupSet {
                 c.go_down();
                 return Ok(());
             }
+        }
+        if let Some(kind) = self.faulted(FaultSite::BackupCommit) {
+            // The meta file is untouched, so the previous commit (or the
+            // invalidation) still stands; a retry rewrites it whole.
+            return Err(kind.to_error());
         }
         self.backups[idx].commit(tick)
     }
@@ -284,6 +335,9 @@ impl BackupSet {
 
     /// Read backup `idx`'s full image (the restore path).
     pub fn read_full(&mut self, idx: usize) -> io::Result<Vec<u8>> {
+        if let Some(kind) = self.faulted(FaultSite::ImageRead) {
+            return Err(kind.to_error());
+        }
         let len = self.geometry.n_objects() as u64 * u64::from(self.geometry.object_size);
         let f = &mut self.backups[idx].file;
         f.seek(SeekFrom::Start(0))?;

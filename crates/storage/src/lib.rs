@@ -43,6 +43,7 @@ pub mod config;
 pub mod crash;
 mod device_sync;
 pub mod engine;
+pub mod fault;
 pub mod files;
 pub mod log_store;
 pub mod recovery;
@@ -55,6 +56,8 @@ mod uring;
 pub mod writer;
 
 pub use config::RealConfig;
+pub use fault::{FaultKind, FaultPlan, FaultSite, FaultState, RetryCounters, RetryPolicy};
+pub use recovery::RecoveryOpts;
 pub use replica::ReplicaSet;
 pub use report::{RealReport, RecoveryMeasurement, WriterStats};
 pub use sharded::{shard_dir, ShardedRealReport, ShardedRecovery};

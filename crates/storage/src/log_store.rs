@@ -22,6 +22,7 @@
 //! discarded.
 
 use crate::crash::{CrashPoint, CrashState};
+use crate::fault::{FaultKind, FaultSite, FaultState};
 use mmoc_core::{ObjectId, StateGeometry};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -46,6 +47,11 @@ pub struct LogStore {
     /// every append and sync below freezes the log as a process kill
     /// would have left it.
     crash: Option<Arc<CrashState>>,
+    /// Transient-fault failpoints (see [`crate::fault`]): `None` in
+    /// production. Appends fault at segment granularity (before any
+    /// byte lands), so a retried append restarts cleanly at the same
+    /// offset.
+    fault: Option<Arc<FaultState>>,
 }
 
 /// Summary of one appended segment.
@@ -82,6 +88,7 @@ impl LogStore {
             len: FILE_MAGIC.len() as u64,
             sync_target,
             crash: None,
+            fault: None,
         })
     }
 
@@ -107,6 +114,7 @@ impl LogStore {
             len,
             sync_target,
             crash: None,
+            fault: None,
         })
     }
 
@@ -121,6 +129,33 @@ impl LogStore {
     /// True once a simulated crash froze this log.
     fn down(&self) -> bool {
         self.crash.as_ref().is_some_and(|c| c.is_down())
+    }
+
+    /// Attach a transient-fault failpoint handle. Installed by the
+    /// engine right after store creation when the run carries a
+    /// [`FaultState`]; production stores never pay more than the
+    /// `None` check.
+    pub fn attach_fault(&mut self, fault: Option<Arc<FaultState>>) {
+        self.fault = fault;
+    }
+
+    /// Consult the transient-fault layer at `site`.
+    fn faulted(&self, site: FaultSite) -> Option<FaultKind> {
+        self.fault.as_ref().and_then(|f| f.consult(site))
+    }
+
+    /// The whole-segment append failpoint: faults before any byte
+    /// lands, so the log length is unchanged and a retried append
+    /// restarts cleanly at the same offset. Streamed callers
+    /// ([`LogStore::begin_segment`]) consult this *before* opening the
+    /// segment — the streaming writer is not re-entrant mid-segment —
+    /// while [`LogStore::append_segment`] consults it itself. Short
+    /// writes degrade to a plain error here (no partial effect).
+    pub(crate) fn preflight_append(&self) -> io::Result<()> {
+        if let Some(kind) = self.faulted(FaultSite::LogAppend) {
+            return Err(kind.to_error());
+        }
+        Ok(())
     }
 
     /// Start appending one checkpoint segment. Write objects through the
@@ -173,6 +208,7 @@ impl LogStore {
         objects: impl Iterator<Item = (ObjectId, &'a [u8])>,
         sync: bool,
     ) -> io::Result<SegmentInfo> {
+        self.preflight_append()?;
         let mut seg = self.begin_segment(seq, consistent_tick, full_flush)?;
         for (id, bytes) in objects {
             seg.write_object(id, bytes)?;
@@ -223,6 +259,9 @@ impl LogStore {
     ///
     /// Returns `(image bytes, consistent_tick, bytes_read)`.
     pub fn reconstruct(&mut self) -> io::Result<(Vec<u8>, u64, u64)> {
+        if let Some(kind) = self.faulted(FaultSite::ImageRead) {
+            return Err(kind.to_error());
+        }
         let infos = self.segments()?;
         let Some(last) = infos.last() else {
             return Err(io::Error::other("checkpoint log holds no complete segment"));
@@ -273,6 +312,9 @@ impl LogStore {
     pub fn sync(&self) -> io::Result<()> {
         if self.down() {
             return Ok(());
+        }
+        if let Some(kind) = self.faulted(FaultSite::LogSync) {
+            return Err(kind.to_error());
         }
         self.file.sync_data()
     }

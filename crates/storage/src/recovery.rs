@@ -12,13 +12,56 @@
 //! [`recover_and_replay_log`] reconstructs the newest image from the
 //! [`LogStore`] (reading back through the log to the last full flush).
 
+use crate::crash::{CrashPoint, CrashState};
+use crate::fault::{FaultState, RetryCounters, RetryPolicy};
 use crate::files::BackupSet;
 use crate::log_store::LogStore;
 use mmoc_core::{StateGeometry, StateTable};
 use mmoc_workload::TraceSource;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Instrumentation threaded through one recovery attempt: a crash
+/// lattice for the recovery-phase points (re-crash-during-recovery), a
+/// transient-fault layer for the restore reads, and the retry policy
+/// absorbing injected read faults. `Default` is production: nothing
+/// armed, reads retried under the default bounded policy (a no-op when
+/// nothing fails).
+///
+/// Re-entrancy contract: a recovery-phase crash point fires **once**
+/// per [`CrashState`] (the fired latch), returning an error from the
+/// recovery function without freezing anything — so re-invoking the
+/// same recovery over the same directory (the process-restart model)
+/// passes the point and must succeed.
+#[derive(Debug, Default, Clone)]
+pub struct RecoveryOpts {
+    /// Crash lattice consulted at the recovery-phase points. For
+    /// re-crash plans this is a *separate* state from the run's (whose
+    /// fired latch the mid-run crash already consumed).
+    pub crash: Option<Arc<CrashState>>,
+    /// Transient-fault layer attached to the store being restored.
+    pub fault: Option<Arc<FaultState>>,
+    /// Bounded retry policy for the restore reads.
+    pub retry: RetryPolicy,
+}
+
+impl RecoveryOpts {
+    /// Consult the recovery crash lattice at `point`; firing turns
+    /// into the error a re-crashed recovery attempt would surface.
+    fn recrash(&self, point: CrashPoint) -> io::Result<()> {
+        if let Some(c) = &self.crash {
+            if c.reach(point).is_some() {
+                return Err(io::Error::other(format!(
+                    "injected re-crash during recovery at {}",
+                    point.name()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
 
 /// A recovered state plus timing breakdown.
 #[derive(Debug)]
@@ -45,13 +88,30 @@ pub fn recover_and_replay<S: TraceSource>(
     trace: &mut S,
     crash_tick: u64,
 ) -> io::Result<RecoveredState> {
+    recover_and_replay_with(dir, geometry, trace, crash_tick, &RecoveryOpts::default())
+}
+
+/// [`recover_and_replay`] with explicit instrumentation. Safely
+/// re-entrant: a failed attempt (injected or real) leaves the backup
+/// files untouched, so calling again over the same directory restores
+/// the same image.
+pub fn recover_and_replay_with<S: TraceSource>(
+    dir: &Path,
+    geometry: StateGeometry,
+    trace: &mut S,
+    crash_tick: u64,
+    opts: &RecoveryOpts,
+) -> io::Result<RecoveredState> {
     let t0 = Instant::now();
     let mut set = BackupSet::open(dir, geometry)?;
+    set.attach_fault(opts.fault.clone());
     let (idx, from_tick) = set
         .newest_consistent()
         .ok_or_else(|| io::Error::other("no consistent backup to restore"))?;
-    let image = set.read_full(idx)?;
-    restore_and_replay(geometry, image, from_tick, t0, trace, crash_tick)
+    let mut counters = RetryCounters::default();
+    let image = opts.retry.run(&mut counters, || set.read_full(idx))?;
+    opts.recrash(CrashPoint::RecoveryReadImage)?;
+    restore_and_replay(geometry, image, from_tick, t0, trace, crash_tick, opts)
 }
 
 /// Restore from the checkpoint log under `dir` (reconstructing the newest
@@ -63,10 +123,26 @@ pub fn recover_and_replay_log<S: TraceSource>(
     trace: &mut S,
     crash_tick: u64,
 ) -> io::Result<RecoveredState> {
+    recover_and_replay_log_with(dir, geometry, trace, crash_tick, &RecoveryOpts::default())
+}
+
+/// [`recover_and_replay_log`] with explicit instrumentation. Safely
+/// re-entrant: reconstruction only reads, so a failed attempt can be
+/// repeated over the same log.
+pub fn recover_and_replay_log_with<S: TraceSource>(
+    dir: &Path,
+    geometry: StateGeometry,
+    trace: &mut S,
+    crash_tick: u64,
+    opts: &RecoveryOpts,
+) -> io::Result<RecoveredState> {
     let t0 = Instant::now();
     let mut log = LogStore::open(dir, geometry)?;
-    let (image, from_tick, _bytes_read) = log.reconstruct()?;
-    restore_and_replay(geometry, image, from_tick, t0, trace, crash_tick)
+    log.attach_fault(opts.fault.clone());
+    let mut counters = RetryCounters::default();
+    let (image, from_tick, _bytes_read) = opts.retry.run(&mut counters, || log.reconstruct())?;
+    opts.recrash(CrashPoint::RecoveryReadImage)?;
+    restore_and_replay(geometry, image, from_tick, t0, trace, crash_tick, opts)
 }
 
 /// Restore from the replica tier: fetch a complete peer mirror of
@@ -87,16 +163,18 @@ pub fn recover_from_replica<S: TraceSource>(
     geometry: StateGeometry,
     trace: &mut S,
     crash_tick: u64,
-    crash: Option<&crate::crash::CrashState>,
+    opts: &RecoveryOpts,
 ) -> Option<io::Result<RecoveredState>> {
     let t0 = Instant::now();
     // One state-sized copy: clone the mirror image under its lock, then
-    // adopt the clone as the recovered table's backing buffer.
-    let (image, from_tick) = replicas.fetch(shard, crash)?;
+    // adopt the clone as the recovered table's backing buffer. The fetch
+    // consults the recovery-phase peer-death points (`replica-fetch`,
+    // `replica-fetch-mid`) per mirror tried.
+    let (image, from_tick) = replicas.fetch(shard, opts.crash.as_deref())?;
     Some(
         StateTable::from_image(geometry, image)
             .map_err(|e| io::Error::other(e.to_string()))
-            .map(|table| replay_tail(table, from_tick, t0, trace, crash_tick)),
+            .and_then(|table| replay_tail(table, from_tick, t0, trace, crash_tick, opts)),
     )
 }
 
@@ -110,28 +188,26 @@ fn restore_and_replay<S: TraceSource>(
     restore_start: Instant,
     trace: &mut S,
     crash_tick: u64,
+    opts: &RecoveryOpts,
 ) -> io::Result<RecoveredState> {
     let table =
         StateTable::from_image(geometry, image).map_err(|e| io::Error::other(e.to_string()))?;
-    Ok(replay_tail(
-        table,
-        from_tick,
-        restore_start,
-        trace,
-        crash_tick,
-    ))
+    replay_tail(table, from_tick, restore_start, trace, crash_tick, opts)
 }
 
 /// Replay the logical log (the deterministic trace) over a restored
 /// table up to and including `crash_tick`. `restore_start` closes the
-/// restore-phase timing; everything from here is the replay phase.
+/// restore-phase timing; everything from here is the replay phase. The
+/// `recovery-replay-tick` point is reached once per replayed tick, so
+/// a re-crash plan can land anywhere in the tail.
 fn replay_tail<S: TraceSource>(
     mut table: StateTable,
     from_tick: u64,
     restore_start: Instant,
     trace: &mut S,
     crash_tick: u64,
-) -> RecoveredState {
+    opts: &RecoveryOpts,
+) -> io::Result<RecoveredState> {
     let restore_s = restore_start.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -144,6 +220,7 @@ fn replay_tail<S: TraceSource>(
         if tick <= from_tick {
             continue; // already reflected in the checkpoint image
         }
+        opts.recrash(CrashPoint::RecoveryReplayTick)?;
         ticks_replayed += 1;
         for &u in &buf {
             table.apply_unchecked(u);
@@ -152,14 +229,14 @@ fn replay_tail<S: TraceSource>(
     }
     let replay_s = t1.elapsed().as_secs_f64();
 
-    RecoveredState {
+    Ok(RecoveredState {
         table,
         from_tick,
         ticks_replayed,
         updates_replayed,
         restore_s,
         replay_s,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -198,6 +198,15 @@ impl ReplicaSet {
             }
             let mirror = relock(m);
             if mirror.complete {
+                if let Some(state) = crash {
+                    // Peer died *mid-transfer*: the copy was locked and
+                    // streaming when the host went away. Discard the
+                    // partial copy and try the next mirror — K >= 2
+                    // survives — before the caller's disk fallback.
+                    if state.reach(CrashPoint::ReplicaFetchMid).is_some() {
+                        continue;
+                    }
+                }
                 return Some(f(&mirror.image, mirror.tick));
             }
         }
@@ -275,5 +284,32 @@ mod tests {
             .expect("K=2 survives one peer death");
         assert_eq!((image, tick), (vec![9, 9, 0, 0], 5));
         assert!(state.fired());
+    }
+
+    /// Peer death *mid-fetch* (after the mirror lock was taken on a
+    /// complete copy): with K = 2 the next complete mirror serves the
+    /// same published state, before any disk fallback.
+    #[test]
+    fn mid_fetch_peer_death_tries_next_mirror_before_disk() {
+        let state = Arc::new(CrashState::armed(CrashPlan::at(
+            CrashPoint::ReplicaFetchMid,
+        )));
+        let set = ReplicaSet::new(2, &[geom(2, 2), geom(2, 2)]);
+        set.publish(0, 5, &[0], &[9, 9], 2);
+        let (image, tick) = set
+            .fetch(0, Some(&state))
+            .expect("K=2 survives one mid-fetch peer death");
+        assert_eq!((image, tick), (vec![9, 9, 0, 0], 5));
+        assert!(state.fired());
+        // Both mirrors were locked: the first fetch died mid-transfer.
+        assert_eq!(state.reach_count(CrashPoint::ReplicaFetchMid), 2);
+
+        // K = 1 has no second mirror: the same plan forces the disk
+        // fallback (fetch misses without consuming anything).
+        let state = Arc::new(CrashState::armed(CrashPlan::at(
+            CrashPoint::ReplicaFetchMid,
+        )));
+        let single = ReplicaSet::new(1, &[geom(2, 2)]);
+        assert!(single.fetch(0, Some(&state)).is_none());
     }
 }

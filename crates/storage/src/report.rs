@@ -63,6 +63,17 @@ pub struct WriterStats {
     pub sqe_batch_sum: u64,
     /// Largest ring submission round any job's writes rode in.
     pub max_sqe_batch: u32,
+    /// Retry attempts performed on transient I/O faults (each re-issue
+    /// of a failed data write / fsync / meta commit under the bounded
+    /// retry policy; zero when nothing failed).
+    pub retries: u64,
+    /// Operations whose retry budget ran out — the error took the
+    /// degradation ladder (typed run error on the pool/batched
+    /// engines, dead-flag redo on io_uring).
+    pub retry_exhausted: u64,
+    /// Jobs completed through the degradation ladder: on io_uring, the
+    /// synchronous redo path after the ring's dead flag latched.
+    pub degraded_jobs: u64,
 }
 
 impl WriterStats {
@@ -76,6 +87,9 @@ impl WriterStats {
         self.bytes_written += other.bytes_written;
         self.sqe_batch_sum += other.sqe_batch_sum;
         self.max_sqe_batch = self.max_sqe_batch.max(other.max_sqe_batch);
+        self.retries += other.retries;
+        self.retry_exhausted += other.retry_exhausted;
+        self.degraded_jobs += other.degraded_jobs;
     }
 
     /// Job-weighted average batch occupancy (1.0 for the thread pool).

@@ -74,6 +74,12 @@ impl ExperimentEngine for RealConfig {
         if let Some(k) = spec.replication {
             config = config.with_replication(k);
         }
+        if let Some(max) = spec.retry_max {
+            config.retry_max = max;
+        }
+        if let Some(us) = spec.retry_backoff_us {
+            config.retry_backoff = std::time::Duration::from_micros(us);
+        }
         // Geometry and shard-map validation happen inside the shared run
         // on the cursor the run actually uses; failures surface as typed
         // core errors.
@@ -115,6 +121,9 @@ fn into_run_report(report: ShardedRealReport) -> RunReport {
             avg_batch_jobs: report.writer.avg_batch_jobs(),
             max_batch_jobs: report.writer.max_batch_jobs,
             bytes_written: report.writer.bytes_written,
+            retries: report.writer.retries,
+            retry_exhausted: report.writer.retry_exhausted,
+            degraded_jobs: report.writer.degraded_jobs,
             avg_sqe_batch: report.writer.avg_sqe_batch(),
             max_sqe_batch: report.writer.max_sqe_batch,
             recovery_wall_s: report.recovery.map(|r| r.wall_s),

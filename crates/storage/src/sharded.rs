@@ -21,6 +21,7 @@ use crate::config::RealConfig;
 use crate::engine::{
     live_fingerprint, make_shard, measure_recovery_tiered, shard_report, PoolJob, RealBackend,
 };
+use crate::recovery::RecoveryOpts;
 use crate::replica::ReplicaSet;
 use crate::report::{RealReport, RecoveryMeasurement, WriterStats};
 use crate::writer::{spawn_writer, DurabilityConfig};
@@ -251,6 +252,13 @@ where
     let recovery = if config.measure_recovery {
         let crash_tick = run.ticks;
         let fingerprints: Vec<u64> = backends.iter().map(live_fingerprint).collect();
+        // Production recoveries run under the same crash/fault
+        // instrumentation and retry budget as the writer path.
+        let opts = RecoveryOpts {
+            crash: config.crash.clone(),
+            fault: config.fault.clone(),
+            retry: config.retry_policy(),
+        };
         let t0 = Instant::now();
         let results: Vec<io::Result<RecoveryMeasurement>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
@@ -260,7 +268,7 @@ where
                     let dir = shard_dir(&config.dir, s, n);
                     let fp = fingerprints[s];
                     let replicas = replicas.as_deref();
-                    let crash = config.crash.as_deref();
+                    let opts = &opts;
                     scope.spawn(move || {
                         let mut replay = ShardFilter::new(make_trace(), map.clone(), s);
                         measure_recovery_tiered(
@@ -272,7 +280,7 @@ where
                             fp,
                             replicas,
                             s as u32,
-                            crash,
+                            opts,
                         )
                     })
                 })

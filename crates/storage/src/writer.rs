@@ -69,6 +69,7 @@
 //! DESIGN.md § "The writer backends".
 
 use crate::engine::{Done, Job, PoolJob, ShardCtx, Store};
+use crate::fault::{FaultSite, RetryCounters};
 use crate::files::SyncTarget;
 use mmoc_core::run::WriterBackend as WriterBackendKind;
 use mmoc_core::{CursorKind, ObjectId};
@@ -212,6 +213,12 @@ pub(crate) struct InFlight {
     /// at submission when the run has a replica tier; published by the
     /// completion phase only after the durability point (publish-on-commit).
     replica: Option<ReplicaDelta>,
+    /// Transient-fault bookkeeping accumulated so far (submission-phase
+    /// retries; the completion phase adds its own and any presync share).
+    counters: RetryCounters,
+    /// The job completed under a degraded backend (the ring died and its
+    /// remaining I/O was redone through the syscall path).
+    degraded: bool,
 }
 
 /// One checkpoint's delta for the replica tier: the flushed object ids and
@@ -243,9 +250,16 @@ struct Presync {
     /// `syncfs` device barriers attributed to this job, counted the same
     /// way: 1 for the triggering job, 0 for riders.
     device_syncs: u32,
+    /// Transient-fault retries the scheduled sync burned, attributed to
+    /// the triggering job (0 for riders, like the call counts above).
+    retries: u64,
+    /// Retry budgets exhausted during the scheduled sync, same attribution.
+    exhausted: u64,
 }
 
 /// What remains between a submitted job and its durability point.
+/// `Copy` so the commit can be re-issued under the retry policy.
+#[derive(Clone, Copy)]
 enum PendingDurability {
     /// Double backup: objects written into `target`; the data sync and
     /// the `commit(target, tick)` metadata write remain.
@@ -332,6 +346,8 @@ pub(crate) fn submit_job(
     // of staging the data writes; the completion phase publishes it to
     // the peer mirrors only after the durability point.
     let want_delta = ctx.replicas.is_some();
+    let mut counters = RetryCounters::default();
+    let retry = &ctx.retry;
     let (objects, state, recycled, replica) = match job {
         Job::Eager {
             ids,
@@ -347,21 +363,37 @@ pub(crate) fn submit_job(
                 ids: ids.clone(),
                 data: data.clone(),
             });
-            let objects = ids
-                .iter()
-                .enumerate()
-                .map(|(i, &id)| (ObjectId(id), &data[i * obj_size..][..obj_size]));
             let state = match store {
                 Store::Double(set) => (|| {
                     set.invalidate(target)?;
-                    for (obj, bytes) in objects {
+                    for (i, &id) in ids.iter().enumerate() {
                         // Sorted I/O: ids are in increasing offset order.
-                        set.write_object(target, obj, bytes)?;
+                        // Each object write is retried independently: a
+                        // transient fault (even a short write) leaves the
+                        // target invalidated, so re-writing in place is safe.
+                        let bytes = &data[i * obj_size..][..obj_size];
+                        retry.run(&mut counters, || {
+                            set.write_object(target, ObjectId(id), bytes)
+                        })?;
                     }
                     Ok(PendingDurability::Double { target, tick })
                 })(),
-                Store::Log(log) => log
-                    .append_segment(seq, tick, full_image, objects, false)
+                // The whole append is retried: the failpoint faults before
+                // any byte lands, so the log length is unchanged and the
+                // retried segment restarts at the same offset (positionally
+                // idempotent — pinned by the retry-equivalence tests).
+                Store::Log(log) => retry
+                    .run(&mut counters, || {
+                        log.append_segment(
+                            seq,
+                            tick,
+                            full_image,
+                            ids.iter()
+                                .enumerate()
+                                .map(|(i, &id)| (ObjectId(id), &data[i * obj_size..][..obj_size])),
+                            false,
+                        )
+                    })
                     .map(|_| PendingDurability::Log),
             };
             (count, state, Some((ids, data)), replica)
@@ -410,12 +442,17 @@ pub(crate) fn submit_job(
                         if let Some(d) = delta.as_mut() {
                             d.data.extend_from_slice(buf);
                         }
-                        set.write_object(target, ObjectId(o), buf)?;
+                        retry.run(&mut counters, || set.write_object(target, ObjectId(o), buf))?;
                         publish(p, o);
                     }
                     Ok(PendingDurability::Double { target, tick })
                 })(),
                 Store::Log(log) => (|| {
+                    // The streamed writer is not re-entrant mid-segment, so
+                    // the whole-segment failpoint is pre-flighted under the
+                    // retry policy before the segment opens (no byte has
+                    // landed when it injects).
+                    retry.run(&mut counters, || log.preflight_append())?;
                     let mut seg = log.begin_segment(seq, tick, full_image)?;
                     for (p, &o) in list.iter().enumerate() {
                         read_object(o, buf);
@@ -445,6 +482,8 @@ pub(crate) fn submit_job(
         state,
         presync: None,
         replica,
+        counters,
+        degraded: false,
     }
 }
 
@@ -477,6 +516,8 @@ pub(crate) fn complete_job(
         state,
         presync,
         replica,
+        mut counters,
+        degraded,
     } = inflight;
     let mut data_syncs = 0;
     let mut device_syncs = 0;
@@ -493,11 +534,14 @@ pub(crate) fn complete_job(
             Some(p) => {
                 data_syncs = p.data_syncs;
                 device_syncs = p.device_syncs;
+                counters.retries += p.retries;
+                counters.exhausted += p.exhausted;
                 p.result?;
             }
             None if ctx.sync_data => {
                 data_syncs = 1;
-                sync_pending(store, &pending)?;
+                ctx.retry
+                    .run(&mut counters, || sync_pending(store, &pending))?;
             }
             None => {}
         }
@@ -529,7 +573,10 @@ pub(crate) fn complete_job(
             }
             _ => false,
         };
-        commit_pending(store, pending)?;
+        // The commit rewrites the whole metadata record, so a retried
+        // commit after a transient fault is idempotent.
+        ctx.retry
+            .run(&mut counters, || commit_pending(store, pending))?;
         // Step 2: the checkpoint is durable (or the simulated crash
         // froze the disk, re-checked here) — apply the delta to every
         // mirror and mark them complete at the checkpoint's tick.
@@ -562,6 +609,9 @@ pub(crate) fn complete_job(
         device_syncs,
         batch_jobs,
         sqe_batch,
+        retries: counters.retries,
+        retry_exhausted: counters.exhausted,
+        degraded,
     }
 }
 
@@ -864,6 +914,8 @@ impl AsyncBatchedWriter {
                                 result: share_sync_result(outcome),
                                 data_syncs: 0,
                                 device_syncs,
+                                retries: 0,
+                                exhausted: 0,
                             });
                             continue;
                         }
@@ -872,13 +924,22 @@ impl AsyncBatchedWriter {
                                 result: share_sync_result(outcome),
                                 data_syncs: 0,
                                 device_syncs: 0,
+                                retries: 0,
+                                exhausted: 0,
                             },
                             None => {
-                                let outcome = sync_pending(&store, pending);
+                                // The triggering job carries the retry
+                                // policy for the coalesced call, exactly
+                                // like the call count itself.
+                                let mut rc = RetryCounters::default();
+                                let outcome =
+                                    ctx.retry.run(&mut rc, || sync_pending(&store, pending));
                                 let presync = Presync {
                                     result: share_sync_result(&outcome),
                                     data_syncs: 1,
                                     device_syncs: 0,
+                                    retries: rc.retries,
+                                    exhausted: rc.exhausted,
                                 };
                                 synced.push((target, outcome));
                                 presync
@@ -1266,6 +1327,8 @@ fn stage_ring_job(
         state,
         presync: None,
         replica,
+        counters: RetryCounters::default(),
+        degraded: false,
     }
 }
 
@@ -1296,7 +1359,7 @@ fn run_ring_loop(
     let mut arena: Vec<Vec<u8>> = Vec::new();
     let mut ops: Vec<RingOp> = Vec::new();
     let mut outcomes: Vec<Option<i32>> = Vec::new();
-    let mut synced: Vec<(SyncTarget, io::Result<()>, bool)> = Vec::new();
+    let mut synced: Vec<(SyncTarget, io::Result<()>, bool, RetryCounters)> = Vec::new();
     let mut device_synced: Vec<(u64, io::Result<()>, bool)> = Vec::new();
     let mut batch_targets: Vec<(SyncTarget, std::os::unix::io::RawFd)> = Vec::new();
     let mut reap_order: Vec<usize> = Vec::new();
@@ -1313,6 +1376,9 @@ fn run_ring_loop(
     let full_batch = ctxs.len() * sched.pipeline_depth.max(1) as usize;
     // Crash-point lattice handle: one state serves the whole run.
     let crash = ctxs.first().and_then(|ctx| ctx.crash.clone());
+    // Transient-fault layer handle and retry budget, likewise run-global.
+    let fault = ctxs.first().and_then(|ctx| ctx.fault.clone());
+    let retry = ctxs.first().map_or_else(Default::default, |ctx| ctx.retry);
     while let Ok(first) = job_rx.recv() {
         batch.push(first);
         while let Ok(job) = job_rx.try_recv() {
@@ -1517,7 +1583,7 @@ fn run_ring_loop(
             // unsubmitted writes synchronously (positional writes are
             // idempotent), surface real errors into the job's state.
             for (k, op) in ops.iter().enumerate() {
-                let outcome = outcomes.get(k).copied().flatten();
+                let mut outcome = outcomes.get(k).copied().flatten();
                 if op.fsync {
                     chained[op.job] = Some(match outcome {
                         Some(r) if r >= 0 => ChainedFsync::Done,
@@ -1526,6 +1592,17 @@ fn run_ring_loop(
                         Some(r) => ChainedFsync::Failed(io::Error::from_raw_os_error(-r)),
                     });
                     continue;
+                }
+                // Transient-fault injection at the CQE seam: rewrite a
+                // successful write completion into the scheduled errno.
+                // The bytes did land, so the synchronous redo below is
+                // idempotent — the same contract as short-write repair.
+                if let Some(f) = &fault {
+                    if matches!(outcome, Some(r) if r >= 0) {
+                        if let Some(kind) = f.consult(FaultSite::UringCqe) {
+                            outcome = Some(-kind.errno());
+                        }
+                    }
                 }
                 let redo_from = match outcome {
                     Some(r) if r >= 0 => {
@@ -1537,14 +1614,36 @@ fn run_ring_loop(
                     }
                     Some(r) if -r == ECANCELED => 0, // broken chain: redo whole
                     Some(r) => {
-                        let e = io::Error::from_raw_os_error(-r);
-                        if completion_queue[op.job].state.is_ok() {
-                            completion_queue[op.job].state = Err(e);
+                        // A real CQE error spends the job's retry budget
+                        // on the synchronous redo (positional, hence
+                        // idempotent). Exhaustion takes the degradation
+                        // ladder: latch the ring dead so this batch — and
+                        // every later one — finishes on the synchronous
+                        // path. A zero budget is the historical engine:
+                        // the error propagates into the job's state.
+                        let job = &mut completion_queue[op.job];
+                        if retry.max == 0 {
+                            let e = io::Error::from_raw_os_error(-r);
+                            if job.state.is_ok() {
+                                job.state = Err(e);
+                            }
+                            continue;
                         }
-                        continue;
+                        if job.counters.retries >= u64::from(retry.max) {
+                            job.counters.exhausted += 1;
+                            ring_dead = true;
+                        } else {
+                            job.counters.retries += 1;
+                        }
+                        0 // redo the whole write synchronously
                     }
                     None => 0, // enter failed before completion: redo whole
                 };
+                if ring_dead {
+                    // Any redo performed after the ring latched dead ran
+                    // on the degraded synchronous path.
+                    completion_queue[op.job].degraded = true;
+                }
                 if down {
                     continue; // frozen: the redo path writes nothing
                 }
@@ -1580,6 +1679,8 @@ fn run_ring_loop(
                         result: Ok(()),
                         data_syncs: 1,
                         device_syncs: 0,
+                        retries: 0,
+                        exhausted: 0,
                     });
                 }
                 Some(ChainedFsync::Failed(e)) => {
@@ -1587,6 +1688,8 @@ fn run_ring_loop(
                         result: Err(e),
                         data_syncs: 1,
                         device_syncs: 0,
+                        retries: 0,
+                        exhausted: 0,
                     });
                 }
                 Some(ChainedFsync::Retry) | None => {}
@@ -1674,13 +1777,18 @@ fn run_ring_loop(
                 }
             }
             for (k, (target, _)) in fsync_targets.iter().enumerate() {
+                let mut cnt = RetryCounters::default();
                 let outcome = match results[k].take() {
                     Some(r) => r,
                     // Ring trouble (or an over-capacity tail): fall back
-                    // to the synchronous per-file fsync for this target.
-                    None => sync_target_fsync(ctxs, &completion_queue, *target),
+                    // to the synchronous per-file fsync for this target,
+                    // under the retry budget like the batched engine's
+                    // triggering sync.
+                    None => retry.run(&mut cnt, || {
+                        sync_target_fsync(ctxs, &completion_queue, *target)
+                    }),
                 };
-                synced.push((*target, outcome, false));
+                synced.push((*target, outcome, false, cnt));
             }
             for inflight in &mut completion_queue {
                 let ctx = &ctxs[inflight.shard];
@@ -1702,17 +1810,29 @@ fn run_ring_loop(
                         result: share_sync_result(outcome),
                         data_syncs: 0,
                         device_syncs,
+                        retries: 0,
+                        exhausted: 0,
                     });
                     continue;
                 }
-                if let Some((_, outcome, charged)) = synced.iter_mut().find(|(t, ..)| *t == target)
+                if let Some((_, outcome, charged, cnt)) =
+                    synced.iter_mut().find(|(t, ..)| *t == target)
                 {
                     let data_syncs = u32::from(!*charged);
+                    // Retry attempts behind a shared sync are charged to
+                    // the same job that pays its fsync.
+                    let (retries, exhausted) = if *charged {
+                        (0, 0)
+                    } else {
+                        (cnt.retries, cnt.exhausted)
+                    };
                     *charged = true;
                     inflight.presync = Some(Presync {
                         result: share_sync_result(outcome),
                         data_syncs,
                         device_syncs: 0,
+                        retries,
+                        exhausted,
                     });
                 }
             }
@@ -1829,6 +1949,8 @@ mod tests {
             done_tx,
             turn: TurnGate::new(),
             crash: None,
+            fault: None,
+            retry: crate::fault::RetryPolicy::none(),
             replicas: None,
         };
         (ctx, done_rx)
@@ -2277,6 +2399,8 @@ mod tests {
                 done_tx,
                 turn: TurnGate::new(),
                 crash: None,
+                fault: None,
+                retry: crate::fault::RetryPolicy::none(),
                 replicas: None,
             };
             let ctxs = Arc::new(vec![ctx]);

@@ -17,7 +17,9 @@
 use mmoc_core::{
     Algorithm, DiskOrg, EngineDetail, ObjectId, Run, ShardFilter, ShardMap, StateTable,
 };
-use mmoc_storage::recovery::{recover_and_replay, recover_and_replay_log, recover_from_replica};
+use mmoc_storage::recovery::{
+    recover_and_replay, recover_and_replay_log, recover_from_replica, RecoveryOpts,
+};
 use mmoc_storage::{shard_dir, RealConfig, ReplicaSet};
 use mmoc_workload::SyntheticConfig;
 use std::path::Path;
@@ -121,7 +123,7 @@ fn replica_recovery_matches_disk_recovery_across_the_matrix() {
                     map.shard_geometry(s),
                     &mut replay,
                     TICKS,
-                    None,
+                    &RecoveryOpts::default(),
                 )
                 .unwrap_or_else(|| panic!("{label}: replica fetch missed"))
                 .unwrap_or_else(|e| panic!("{label}: replica recovery: {e}"));
